@@ -1,0 +1,93 @@
+package "apps" (
+  directory = "apps"
+  description = ""
+  requires =
+  "fmt rex.codec rex.core rex.rexsync rex.sim rex.trace rex.workload"
+  archive(byte) = "apps.cma"
+  archive(native) = "apps.cmxa"
+  plugin(byte) = "apps.cma"
+  plugin(native) = "apps.cmxs"
+)
+package "codec" (
+  directory = "codec"
+  description = ""
+  requires = "fmt"
+  archive(byte) = "codec.cma"
+  archive(native) = "codec.cmxa"
+  plugin(byte) = "codec.cma"
+  plugin(native) = "codec.cmxs"
+)
+package "core" (
+  directory = "core"
+  description = ""
+  requires = "fmt logs rex.codec rex.paxos rex.rexsync rex.sim rex.trace"
+  archive(byte) = "rex_core.cma"
+  archive(native) = "rex_core.cmxa"
+  plugin(byte) = "rex_core.cma"
+  plugin(native) = "rex_core.cmxs"
+)
+package "eve" (
+  directory = "eve"
+  description = ""
+  requires =
+  "fmt logs rex.codec rex.core rex.paxos rex.rexsync rex.sim rex.trace"
+  archive(byte) = "eve.cma"
+  archive(native) = "eve.cmxa"
+  plugin(byte) = "eve.cma"
+  plugin(native) = "eve.cmxs"
+)
+package "paxos" (
+  directory = "paxos"
+  description = ""
+  requires = "fmt logs rex.codec rex.sim"
+  archive(byte) = "paxos.cma"
+  archive(native) = "paxos.cmxa"
+  plugin(byte) = "paxos.cma"
+  plugin(native) = "paxos.cmxs"
+)
+package "rexsync" (
+  directory = "rexsync"
+  description = ""
+  requires = "fmt logs rex.codec rex.sim rex.trace"
+  archive(byte) = "rexsync.cma"
+  archive(native) = "rexsync.cmxa"
+  plugin(byte) = "rexsync.cma"
+  plugin(native) = "rexsync.cmxs"
+)
+package "sim" (
+  directory = "sim"
+  description = ""
+  requires = "fmt logs rex.codec"
+  archive(byte) = "sim.cma"
+  archive(native) = "sim.cmxa"
+  plugin(byte) = "sim.cma"
+  plugin(native) = "sim.cmxs"
+)
+package "smr" (
+  directory = "smr"
+  description = ""
+  requires =
+  "fmt logs rex.codec rex.core rex.paxos rex.rexsync rex.sim rex.trace"
+  archive(byte) = "smr.cma"
+  archive(native) = "smr.cmxa"
+  plugin(byte) = "smr.cma"
+  plugin(native) = "smr.cmxs"
+)
+package "trace" (
+  directory = "trace"
+  description = ""
+  requires = "fmt rex.codec"
+  archive(byte) = "trace.cma"
+  archive(native) = "trace.cmxa"
+  plugin(byte) = "trace.cma"
+  plugin(native) = "trace.cmxs"
+)
+package "workload" (
+  directory = "workload"
+  description = ""
+  requires = "fmt rex.sim"
+  archive(byte) = "workload.cma"
+  archive(native) = "workload.cmxa"
+  plugin(byte) = "workload.cma"
+  plugin(native) = "workload.cmxs"
+)

@@ -1,0 +1,1 @@
+bench/ablate.ml: Apps Harness List Printf Rex_core Workload

@@ -1,0 +1,1 @@
+bench/bechamel_suite.ml: Analyze Bechamel Benchmark Codec Event Hashtbl Instance List Measure Paxos Printf Staged String Test Time Toolkit Trace Vclock

@@ -1,0 +1,1 @@
+bench/chain_bench.ml: Apps Harness List Printf Workload

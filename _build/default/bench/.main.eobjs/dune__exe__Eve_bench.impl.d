@@ -1,0 +1,1 @@
+bench/eve_bench.ml: Apps Array Engine Eve Fig8 Harness List Net Option Paxos Printf Rex_core Rng Rpc Sim

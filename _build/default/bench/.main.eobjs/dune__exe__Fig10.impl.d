@@ -1,0 +1,1 @@
+bench/fig10.ml: Apps Array Engine Float Option Printf Rex_core Rng Sim Workload

@@ -1,0 +1,1 @@
+bench/fig7.ml: Apps Harness List Printf Rex_core String Workload

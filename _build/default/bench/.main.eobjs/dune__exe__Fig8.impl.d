@@ -1,0 +1,1 @@
+bench/fig8.ml: Apps Array Codec Harness Hashtbl List Printf Rex_core Rexsync Sim String

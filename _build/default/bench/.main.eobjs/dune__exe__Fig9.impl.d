@@ -1,0 +1,1 @@
+bench/fig9.ml: Apps Array Engine Harness List Printf Rex_core Rng Sim Workload

@@ -1,0 +1,1 @@
+bench/harness.ml: Array Engine List Net Option Paxos Printf Rex_core Rexsync Rng Rpc Sim Smr String

@@ -1,0 +1,1 @@
+bench/main.ml: Ablate Arg Bechamel_suite Chain_bench Cmd Cmdliner Eve_bench Fig10 Fig7 Fig8 Fig9 Overhead Table1 Term Ycsb

@@ -1,0 +1,1 @@
+bench/overhead.ml: Apps Engine Harness List Printf Rex_core Rng Sim Workload

@@ -1,0 +1,1 @@
+bench/ycsb.ml: Apps Harness List Printf Rex_core String Workload

@@ -1,0 +1,149 @@
+(* Ablations of the design choices DESIGN.md calls out:
+   1. causal-edge reduction on/off (trace size, throughput);
+   2. partial-order vs total-order recording for readers-writer locks
+      (replay parallelism — paper Fig. 4's motivation);
+   3. flow-control window;
+   4. proposal pacing (the single-active-instance design). *)
+
+module R = Rex_core
+
+let threads = 16
+
+let kv_gen read_ratio () = Workload.Mix.kv ~read_ratio ()
+
+let rex_with cfg factory gen ~warmup ~measure =
+  Harness.run_rex ~threads ~config:cfg ~factory ~gen ~warmup ~measure ()
+
+(* Ablation 5: pipelining (§3.1 piggyback) — one vs several open
+   consensus instances, across network latencies.  With one instance,
+   reply latency is bounded below by a full commit round per delta;
+   pipelining overlaps them. *)
+let run_pipeline ?(quick = false) () =
+  let warmup = if quick then 300 else 1000 in
+  let measure = if quick then 1000 else 4000 in
+  Printf.printf "\n== Ablation 5: pipeline depth x network latency (lock server) ==\n";
+  Printf.printf "net_latency(us)\tdepth\tRex/s\tmean_lat(us)\tp99_lat(us)\n%!";
+  List.iter
+    (fun net_latency ->
+      List.iter
+        (fun depth ->
+          let cfg =
+            R.Config.make ~workers:threads ~propose_interval:2e-4
+              ~pipeline_depth:depth ~replicas:[ 0; 1; 2 ] ()
+          in
+          let r =
+            Harness.run_rex ~net_latency ~min_window:0.03 ~threads ~config:cfg
+              ~factory:(Apps.Lock_server.factory ())
+              ~gen:(Workload.Mix.lock_server ~n_files:100_000)
+              ~warmup ~measure ()
+          in
+          Printf.printf "%.0f\t%d\t%.0f\t%.0f\t%.0f\n%!" (net_latency *. 1e6)
+            depth r.Harness.throughput
+            (r.Harness.mean_latency *. 1e6)
+            (r.Harness.p99_latency *. 1e6))
+        [ 1; 4 ])
+    [ 50e-6; 500e-6; 2e-3 ]
+
+(* Ablation 6: acceptor stable storage — a real Paxos must fsync its
+   promises and accepts; batching amortizes the cost, pipelining hides
+   part of the latency. *)
+let run_sync_latency ?(quick = false) () =
+  let warmup = if quick then 300 else 1000 in
+  let measure = if quick then 1000 else 4000 in
+  Printf.printf "\n== Ablation 6: acceptor fsync cost (lock server) ==\n";
+  Printf.printf "fsync(us)\tdepth\tRex/s\tmean_lat(us)\n%!";
+  List.iter
+    (fun sync ->
+      List.iter
+        (fun depth ->
+          let cfg =
+            R.Config.make ~workers:threads ~propose_interval:2e-4
+              ~pipeline_depth:depth ~paxos_sync_latency:sync
+              ~replicas:[ 0; 1; 2 ] ()
+          in
+          let r =
+            Harness.run_rex ~min_window:0.03 ~threads ~config:cfg
+              ~factory:(Apps.Lock_server.factory ())
+              ~gen:(Workload.Mix.lock_server ~n_files:100_000)
+              ~warmup ~measure ()
+          in
+          Printf.printf "%.0f\t%d\t%.0f\t%.0f\n%!" (sync *. 1e6) depth
+            r.Harness.throughput
+            (r.Harness.mean_latency *. 1e6))
+        [ 1; 4 ])
+    [ 0.; 100e-6; 1e-3 ]
+
+let run ?(quick = false) () =
+  let scale n = if quick then n / 4 else n in
+  let warmup = scale 1000 and measure = scale 4000 in
+
+  Printf.printf "\n== Ablation 1: causal-edge reduction (lock server) ==\n";
+  Printf.printf "reduction\tRex/s\tedges/req\ttrace_B/req\n%!";
+  List.iter
+    (fun reduce ->
+      let cfg = Harness.rex_config ~reduce_edges:reduce ~threads () in
+      let r =
+        rex_with cfg
+          (Apps.Lock_server.factory ())
+          (Workload.Mix.lock_server ~n_files:100_000)
+          ~warmup ~measure
+      in
+      Printf.printf "%s\t%.0f\t%.1f\t%.0f\n%!"
+        (if reduce then "on" else "off")
+        r.Harness.throughput r.Harness.edges_per_req r.Harness.trace_bytes_per_req)
+    [ true; false ];
+
+  Printf.printf
+    "\n== Ablation 2: partial-order vs total-order recording (kyoto, 90%% reads) ==\n";
+  Printf.printf "recording\tRex/s\twaited/s\tedges/req\ttrace_B/req\n%!";
+  List.iter
+    (fun partial ->
+      let cfg = Harness.rex_config ~partial_order:partial ~threads () in
+      (* Few slices make concurrent reads of one slice common, which is
+         exactly where total-order recording destroys replay parallelism
+         (Fig. 4). *)
+      let r =
+        rex_with cfg
+          (Apps.Kyoto.factory ~slices:2 ())
+          (kv_gen 0.9 ()) ~warmup ~measure
+      in
+      Printf.printf "%s\t%.0f\t%.0f\t%.1f\t%.0f\n%!"
+        (if partial then "partial-order" else "total-order")
+        r.Harness.throughput r.Harness.waited_per_sec r.Harness.edges_per_req
+        r.Harness.trace_bytes_per_req)
+    [ true; false ];
+
+  Printf.printf "\n== Ablation 3: flow-control window (lock server) ==\n";
+  Printf.printf "window(events)\tRex/s\n%!";
+  List.iter
+    (fun w ->
+      let cfg = Harness.rex_config ~flow_window:w ~threads () in
+      let r =
+        rex_with cfg
+          (Apps.Lock_server.factory ())
+          (Workload.Mix.lock_server ~n_files:100_000)
+          ~warmup ~measure
+      in
+      Printf.printf "%d\t%.0f\n%!" w r.Harness.throughput)
+    [ 500; 2000; 20000; 200000 ];
+
+  run_pipeline ~quick ();
+  run_sync_latency ~quick ();
+  Printf.printf "\n== Ablation 4: proposal pacing (lock server) ==\n";
+  Printf.printf "propose_interval(us)\tRex/s\n%!";
+  List.iter
+    (fun interval ->
+      let cfg =
+        R.Config.make ~workers:threads ~propose_interval:interval
+          ~replicas:[ 0; 1; 2 ] ()
+      in
+      let r =
+        rex_with cfg
+          (Apps.Lock_server.factory ())
+          (Workload.Mix.lock_server ~n_files:100_000)
+          ~warmup ~measure
+      in
+      Printf.printf "%.0f\t%.0f\n%!" (interval *. 1e6) r.Harness.throughput)
+    [ 1e-4; 5e-4; 1e-3; 5e-3 ]
+
+

@@ -1,0 +1,123 @@
+(* Wall-clock micro-benchmarks (Bechamel): the constant factors of this
+   OCaml implementation — one Test.make per core operation underlying the
+   paper's tables and figures (trace recording for Fig. 7's record
+   overhead, delta codec for the §6.3 byte counts, scoreboard and vclock
+   ops for replay cost, Paxos message codec for the agree stage). *)
+
+open Bechamel
+open Toolkit
+
+let mk_event slot clock : Event.t =
+  {
+    id = { slot; clock };
+    kind = Event.Acquire;
+    resource = 42;
+    version = clock;
+    payload = "";
+  }
+
+let test_event_encode =
+  Test.make ~name:"event encode (16B target)"
+    (Staged.stage (fun () ->
+         let b = Codec.sink ~initial_capacity:32 () in
+         Event.write b (mk_event 3 123456)))
+
+let encoded_event =
+  let b = Codec.sink () in
+  Event.write b (mk_event 3 123456);
+  Codec.contents b
+
+let test_event_decode =
+  Test.make ~name:"event decode"
+    (Staged.stage (fun () -> ignore (Event.read (Codec.source encoded_event))))
+
+let test_trace_append =
+  Test.make ~name:"trace append 1k events + edges"
+    (Staged.stage (fun () ->
+         let t = Trace.create ~slots:4 () in
+         for c = 1 to 250 do
+           for s = 0 to 3 do
+             Trace.append t (mk_event s c)
+           done;
+           if c > 1 then
+             Trace.add_edge t ~src:{ slot = 0; clock = c - 1 }
+               ~dst:{ slot = 1; clock = c }
+         done))
+
+let big_trace =
+  let t = Trace.create ~slots:4 () in
+  for c = 1 to 250 do
+    for s = 0 to 3 do
+      Trace.append t (mk_event s c)
+    done;
+    if c > 1 then
+      Trace.add_edge t ~src:{ slot = 0; clock = c - 1 } ~dst:{ slot = 1; clock = c }
+  done;
+  t
+
+let test_delta_roundtrip =
+  Test.make ~name:"delta extract+encode+decode (1k events)"
+    (Staged.stage (fun () ->
+         let d = Trace.Delta.extract big_trace ~base:(Trace.Cut.zero ~slots:4) in
+         let b = Codec.sink () in
+         Trace.Delta.write b d;
+         ignore (Trace.Delta.read (Codec.source (Codec.contents b)))))
+
+let test_vclock =
+  Test.make ~name:"vclock join+dominates (32 slots)"
+    (Staged.stage
+       (let a = Vclock.create ~slots:32 and b = Vclock.create ~slots:32 in
+        fun () ->
+          Vclock.join a b;
+          ignore (Vclock.dominates a { slot = 7; clock = 3 })))
+
+let test_paxos_msg =
+  Test.make ~name:"paxos accept encode+decode"
+    (Staged.stage (fun () ->
+         let m =
+           Paxos.Msg.Accept
+             {
+               ballot = { round = 7; replica = 2 };
+               instance = 123456;
+               value = String.make 256 'x';
+               prior = [];
+             }
+         in
+         ignore (Paxos.Msg.decode (Paxos.Msg.encode m))))
+
+let test_last_consistent =
+  Test.make ~name:"last_consistent cut (1k events)"
+    (Staged.stage (fun () ->
+         ignore (Trace.last_consistent big_trace (Trace.end_cut big_trace))))
+
+let tests =
+  [
+    test_event_encode;
+    test_event_decode;
+    test_trace_append;
+    test_delta_roundtrip;
+    test_vclock;
+    test_paxos_msg;
+    test_last_consistent;
+  ]
+
+let run () =
+  Printf.printf "\n== Bechamel wall-clock micro-benchmarks ==\n%!";
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:None ()
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let stats = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] -> Printf.printf "%-45s %12.1f ns/run\n%!" name est
+          | Some _ | None -> Printf.printf "%-45s (no estimate)\n%!" name)
+        stats)
+    tests

@@ -1,0 +1,29 @@
+(* Paxos vs chain replication as the agree stage (paper §7): same Rex
+   execute/follow machinery, different agreement.  Chains trade commit
+   latency (a full traversal) for head bandwidth (each delta sent once
+   instead of n-1 times). *)
+
+let threads = 16
+
+let run_one ~agreement ~net_latency ~warmup ~measure =
+  Harness.run_rex ~agreement ~net_latency ~min_window:0.03 ~threads
+    ~factory:(Apps.Lock_server.factory ())
+    ~gen:(Workload.Mix.lock_server ~n_files:100_000)
+    ~warmup ~measure ()
+
+let run ?(quick = false) () =
+  let warmup = if quick then 300 else 1000 in
+  let measure = if quick then 1000 else 4000 in
+  Printf.printf "\n== Agree-stage comparison: Paxos vs chain replication (§7) ==\n";
+  Printf.printf "net_latency(us)\tagree\tRex/s\tmean_lat(us)\tp99_lat(us)\n%!";
+  List.iter
+    (fun net_latency ->
+      List.iter
+        (fun (name, agreement) ->
+          let r = run_one ~agreement ~net_latency ~warmup ~measure in
+          Printf.printf "%.0f\t%s\t%.0f\t%.0f\t%.0f\n%!" (net_latency *. 1e6)
+            name r.Harness.throughput
+            (r.Harness.mean_latency *. 1e6)
+            (r.Harness.p99_latency *. 1e6))
+        [ ("paxos", `Paxos); ("chain", `Chain) ])
+    [ 50e-6; 500e-6 ]

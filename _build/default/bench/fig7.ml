@@ -1,0 +1,114 @@
+(* Figure 7: throughput of the six real-world applications in native,
+   Rex and RSM modes as worker threads sweep 1..32, with the "waited
+   events" series on the secondary (paper §6.3). *)
+
+module R = Rex_core
+
+type app_spec = {
+  key : string;
+  title : string;
+  factory : unit -> R.App.factory;
+  gen : unit -> Workload.Mix.gen;
+  warmup : int;
+  measure : int;
+  unit_ : string;  (* throughput unit in the paper's plot *)
+}
+
+let specs =
+  [
+    {
+      key = "thumbnail";
+      title = "Thumbnail Server (Fig. 7a)";
+      factory = (fun () -> Apps.Thumbnail.factory ());
+      gen = (fun () -> Workload.Mix.thumbnail ~n_images:1_000_000);
+      warmup = 100;
+      measure = 500;
+      unit_ = "req/s";
+    };
+    {
+      key = "lockserver";
+      title = "Lock Server (Fig. 7b)";
+      factory = (fun () -> Apps.Lock_server.factory ());
+      gen = (fun () -> Workload.Mix.lock_server ~n_files:100_000);
+      warmup = 1000;
+      measure = 6000;
+      unit_ = "req/s";
+    };
+    {
+      key = "leveldb";
+      title = "LevelDB (Fig. 7c)";
+      factory = (fun () -> Apps.Leveldb.factory ());
+      gen = (fun () -> Workload.Mix.kv ~read_ratio:0.5 ());
+      warmup = 4000;
+      measure = 20000;
+      unit_ = "req/s";
+    };
+    {
+      key = "kyoto";
+      title = "Kyoto Cabinet (Fig. 7d)";
+      factory = (fun () -> Apps.Kyoto.factory ());
+      gen = (fun () -> Workload.Mix.kv ~read_ratio:0.5 ());
+      warmup = 4000;
+      measure = 20000;
+      unit_ = "req/s";
+    };
+    {
+      key = "filesys";
+      title = "File System (Fig. 7e)";
+      factory = (fun () -> Apps.Filesys.factory ());
+      gen = (fun () -> Workload.Mix.filesystem ~n_files:64);
+      warmup = 50;
+      measure = 250;
+      unit_ = "req/s";
+    };
+    {
+      key = "memcache";
+      title = "Memcached (Fig. 7f)";
+      factory = (fun () -> Apps.Memcache.factory ());
+      gen = (fun () -> Workload.Mix.kv ~read_ratio:0.5 ());
+      warmup = 800;
+      measure = 4000;
+      unit_ = "req/s";
+    };
+  ]
+
+let spec_of key = List.find_opt (fun s -> s.key = key) specs
+let default_threads = [ 1; 2; 4; 8; 16; 24; 32 ]
+
+let scale quick n = if quick then max 100 (n / 2) else n
+
+let run_app ?(quick = false) ?(threads = default_threads) spec =
+  Printf.printf "\n== %s  [throughput in %s] ==\n" spec.title spec.unit_;
+  Printf.printf "threads\tnative\tRex\tRSM\twaited_events/s\n%!";
+  let warmup = scale quick spec.warmup and measure = scale quick spec.measure in
+  (* RSM is serial: one point, repeated for reference on every row. *)
+  let rsm =
+    Harness.run_rsm ~factory:(spec.factory ()) ~gen:(spec.gen ()) ~warmup
+      ~measure ()
+  in
+  List.iter
+    (fun threads ->
+      let native =
+        Harness.run_native ~cores:16 ~threads ~factory:(spec.factory ())
+          ~gen:(spec.gen ()) ~warmup ~measure ()
+      in
+      let rex =
+        Harness.run_rex ~threads ~factory:(spec.factory ()) ~gen:(spec.gen ())
+          ~warmup ~measure ()
+      in
+      Printf.printf "%d\t%s\t%s\t%s\t%s\n%!" threads
+        (Harness.fmt_rate native.Harness.throughput)
+        (Harness.fmt_rate rex.Harness.throughput)
+        (Harness.fmt_rate rsm.Harness.throughput)
+        (Harness.fmt_rate rex.Harness.waited_per_sec))
+    threads
+
+let run ?(quick = false) ?app () =
+  match app with
+  | Some key -> (
+    match spec_of key with
+    | Some spec -> run_app ~quick spec
+    | None ->
+      Printf.eprintf "unknown app %s (have: %s)\n" key
+        (String.concat ", " (List.map (fun s -> s.key) specs)))
+  | None -> List.iter (run_app ~quick) specs

@@ -1,0 +1,90 @@
+(* Figure 8: lock-granularity and lock-contention micro-benchmark
+   (paper §6.4).  Each request computes for ~10 ms, a fraction of it
+   inside one lock drawn from a pool of [l] locks; the contention
+   probability is p = 1/l.  Run with 16 worker threads on 16 cores, as in
+   the paper. *)
+
+module R = Rex_core
+
+let compute = 10e-3
+let threads = 16
+
+(* The lock index is chosen by the workload generator so that the request
+   itself is deterministic. *)
+let micro_factory ~frac ~locks () : R.App.factory =
+ fun api ->
+  let pool =
+    Array.init locks (fun i -> R.Api.lock api (Printf.sprintf "micro%d" i))
+  in
+  let counters = Array.make locks 0 in
+  let execute ~request =
+    match Apps.Util.words request with
+    | [ "REQ"; idx ] ->
+      let i = int_of_string idx mod locks in
+      R.Api.work api (compute *. (1. -. frac));
+      Rexsync.Lock.with_lock pool.(i) (fun () ->
+          R.Api.work api (compute *. frac);
+          counters.(i) <- counters.(i) + 1;
+          (* order-sensitive response: conflicting executions differ *)
+          string_of_int counters.(i))
+    | _ -> "ERR"
+  in
+  {
+    R.App.name = "micro";
+    execute;
+    query = (fun ~request:_ -> "OK");
+    write_checkpoint =
+      (fun sink ->
+        Codec.write_array sink Codec.write_uvarint counters);
+    read_checkpoint =
+      (fun src ->
+        let a = Codec.read_array src Codec.read_uvarint in
+        Array.blit a 0 counters 0 (min (Array.length a) locks));
+    digest = (fun () -> string_of_int (Hashtbl.hash (Array.to_list counters)));
+  }
+
+let gen ~locks rng = Printf.sprintf "REQ %d" (Sim.Rng.int rng locks)
+
+let point ?(quick = false) ~mode ~frac ~locks () =
+  let warmup = if quick then 30 else 100 in
+  let measure = if quick then 100 else 400 in
+  let factory = micro_factory ~frac ~locks () in
+  match mode with
+  | Harness.Native ->
+    Harness.run_native ~cores:16 ~threads ~factory ~gen:(gen ~locks) ~warmup
+      ~measure ()
+  | Harness.Rex ->
+    Harness.run_rex ~threads ~factory ~gen:(gen ~locks) ~warmup ~measure ()
+  | Harness.Rsm -> Harness.run_rsm ~factory ~gen:(gen ~locks) ~warmup ~measure ()
+
+let run_a ?(quick = false) () =
+  Printf.printf
+    "\n== Fig. 8(a): Rex throughput vs contention, by lock granularity ==\n";
+  Printf.printf "contention_p\tf=10%%\tf=60%%\tf=80%%\tf=100%%\n%!";
+  let probs = [ 0.001; 0.01; 0.05; 0.1 ] in
+  List.iter
+    (fun p ->
+      let locks = max 1 (int_of_float (1. /. p)) in
+      let row =
+        List.map
+          (fun frac ->
+            let r = point ~quick ~mode:Harness.Rex ~frac ~locks () in
+            Harness.fmt_rate r.Harness.throughput)
+          [ 0.1; 0.6; 0.8; 1.0 ]
+      in
+      Printf.printf "%g\t%s\n%!" p (String.concat "\t" row))
+    probs
+
+let run_b ?(quick = false) () =
+  Printf.printf "\n== Fig. 8(b): native vs Rex, 10%% of compute in locks ==\n";
+  Printf.printf "contention_p\tnative\tRex\n%!";
+  let probs = [ 0.001; 0.01; 0.05; 0.1; 0.2; 0.5; 1.0 ] in
+  List.iter
+    (fun p ->
+      let locks = max 1 (int_of_float (1. /. p)) in
+      let native = point ~quick ~mode:Harness.Native ~frac:0.1 ~locks () in
+      let rex = point ~quick ~mode:Harness.Rex ~frac:0.1 ~locks () in
+      Printf.printf "%g\t%s\t%s\n%!" p
+        (Harness.fmt_rate native.Harness.throughput)
+        (Harness.fmt_rate rex.Harness.throughput))
+    probs

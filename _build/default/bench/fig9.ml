@@ -1,0 +1,88 @@
+(* Figure 9: query throughput under the two read semantics (paper §6.5).
+   The lock-server runs 24 query threads on either a secondary
+   (committed state) or the primary (speculative state) while the number
+   of update threads sweeps 1..32. *)
+
+open Sim
+module R = Rex_core
+
+let query_threads = 24
+
+let run_case ?(quick = false) ~on_secondary update_threads =
+  let warm = if quick then 0.01 else 0.02 in
+  let window = if quick then 0.04 else 0.1 in
+  let cfg = Harness.rex_config ~threads:update_threads () in
+  let cluster =
+    R.Cluster.create ~seed:77 ~cores_per_node:16 cfg
+      (Apps.Lock_server.factory ())
+  in
+  R.Cluster.start cluster;
+  let primary = R.Cluster.await_primary cluster in
+  let eng = R.Cluster.engine cluster in
+  let target =
+    if on_secondary then
+      Array.to_list (R.Cluster.servers cluster)
+      |> List.find (fun s -> not (R.Server.is_primary s))
+    else primary
+  in
+  (* Pre-populate so renewals succeed. *)
+  let n_files = 10_000 in
+  let populated = ref 0 in
+  for i = 0 to 499 do
+    R.Server.submit primary
+      (Printf.sprintf "CREATE %s 1000" (Workload.Keygen.path (i * 20)))
+      (fun _ -> incr populated)
+  done;
+  ignore
+    (Harness.pump eng ~done_p:(fun () -> !populated >= 500) ~virtual_deadline:60.);
+  (* Update load, open loop. *)
+  let gen = Workload.Mix.lock_server ~n_files in
+  let rng = Rng.create 5 in
+  let updates = ref 0 in
+  let rec submit_one () =
+    R.Server.submit primary (gen rng) (fun _ ->
+        incr updates;
+        submit_one ())
+  in
+  ignore
+    (Engine.spawn eng ~node:(R.Server.node primary) (fun () ->
+         for _ = 1 to 4 * update_threads do
+           submit_one ()
+         done));
+  (* Query load: 24 native read fibers on the target replica. *)
+  let queries = ref 0 in
+  let stop = ref false in
+  let qrng = Rng.create 99 in
+  for _ = 1 to query_threads do
+    ignore
+      (Engine.spawn eng ~node:(R.Server.node target) (fun () ->
+           while not !stop do
+             let path = Workload.Keygen.path (Sim.Rng.int qrng n_files) in
+             ignore (R.Server.query target (Printf.sprintf "READ %s" path));
+             incr queries
+           done))
+  done;
+  Engine.run ~until:(Engine.clock eng +. warm) eng;
+  let u0 = !updates and q0 = !queries in
+  Engine.run ~until:(Engine.clock eng +. window) eng;
+  stop := true;
+  let du = !updates - u0 and dq = !queries - q0 in
+  ( float_of_int du /. window,
+    float_of_int dq /. window )
+
+let run ?(quick = false) () =
+  let threads = [ 1; 2; 4; 8; 16; 24; 32 ] in
+  Printf.printf "\n== Fig. 9(a): queries on a SECONDARY (committed state) ==\n";
+  Printf.printf "update_threads\tupdate/s\tquery/s\n%!";
+  List.iter
+    (fun t ->
+      let u, q = run_case ~quick ~on_secondary:true t in
+      Printf.printf "%d\t%.0f\t%.0f\n%!" t u q)
+    threads;
+  Printf.printf "\n== Fig. 9(b): queries on the PRIMARY (speculative state) ==\n";
+  Printf.printf "update_threads\tupdate/s\tquery/s\n%!";
+  List.iter
+    (fun t ->
+      let u, q = run_case ~quick ~on_secondary:false t in
+      Printf.printf "%d\t%.0f\t%.0f\n%!" t u q)
+    threads

@@ -1,0 +1,308 @@
+(* Shared benchmark machinery: run one experiment point in one of three
+   modes (native single machine, Rex replication, standard RSM) and
+   measure steady-state throughput over a request-count window, plus the
+   paper's auxiliary metrics (waited events, trace bytes, edge counts). *)
+
+open Sim
+module R = Rex_core
+
+type mode = Native | Rex | Rsm
+
+let mode_name = function Native -> "native" | Rex -> "Rex" | Rsm -> "RSM"
+
+type result = {
+  mode : mode;
+  threads : int;
+  throughput : float;  (* requests committed (or executed) per second *)
+  waited_per_sec : float;  (* secondary replay waits per second (Fig. 7) *)
+  events_per_req : float;  (* recorded sync events per request *)
+  edges_per_req : float;
+  reduced_fraction : float;  (* edges removed by §4.2 reduction *)
+  trace_bytes_per_req : float;  (* consensus payload per request *)
+  request_bytes_per_req : float;  (* client payload inside those bytes *)
+  mean_latency : float;  (* submit -> committed reply, seconds *)
+  p99_latency : float;
+}
+
+let zero_result mode threads =
+  {
+    mode;
+    threads;
+    throughput = 0.;
+    waited_per_sec = 0.;
+    events_per_req = 0.;
+    edges_per_req = 0.;
+    reduced_fraction = 0.;
+    trace_bytes_per_req = 0.;
+    request_bytes_per_req = 0.;
+    mean_latency = 0.;
+    p99_latency = 0.;
+  }
+
+(* Pump the engine until [done_p] or the wall-deadline; returns false on
+   timeout. *)
+let pump eng ~done_p ~virtual_deadline =
+  let rec go () =
+    Engine.run ~until:(Engine.clock eng +. 0.2) eng;
+    if done_p () then true
+    else if Engine.clock eng > virtual_deadline then false
+    else go ()
+  in
+  go ()
+
+(* --- Native: the unreplicated multi-threaded application. --- *)
+
+let run_native ?(seed = 42) ~cores ~threads ~factory ~gen ~warmup ~measure () =
+  let eng = Engine.create ~seed ~cores_per_node:cores ~num_nodes:1 () in
+  let rt = Rexsync.Runtime.create eng ~node:0 ~slots:1 in
+  let api = R.Api.make rt in
+  let app : R.App.t = factory api in
+  let timers = R.Api.seal api in
+  List.iter
+    (fun (spec : R.Api.timer_spec) ->
+      ignore
+        (Engine.spawn eng ~node:0 ~name:spec.t_name (fun () ->
+             while true do
+               Engine.sleep spec.t_interval;
+               spec.t_callback ()
+             done)))
+    timers;
+  let total = warmup + measure in
+  let completed = ref 0 in
+  let t_warm = ref 0. and t_end = ref 0. in
+  let note_completion () =
+    incr completed;
+    if !completed = warmup then t_warm := Engine.now ();
+    if !completed = total then t_end := Engine.now ()
+  in
+  let stop = ref false in
+  for w = 0 to threads - 1 do
+    ignore
+      (Engine.spawn eng ~node:0
+         ~name:(Printf.sprintf "native-worker%d" w)
+         (fun () ->
+           let rng = Rng.create (seed + (w * 7919)) in
+           while not !stop do
+             ignore (app.R.App.execute ~request:(gen rng));
+             note_completion ()
+           done))
+  done;
+  let ok = pump eng ~done_p:(fun () -> !completed >= total) ~virtual_deadline:3600. in
+  stop := true;
+  if not ok then zero_result Native threads
+  else
+    {
+      (zero_result Native threads) with
+      throughput = float_of_int measure /. (!t_end -. !t_warm);
+    }
+
+(* --- Rex: 3-replica cluster, measuring committed replies. --- *)
+
+let rex_config ?(checkpoint_interval = None) ?(reduce_edges = true)
+    ?(partial_order = true) ?(flow_window = 20_000) ~threads () =
+  R.Config.make ~workers:threads ~propose_interval:2e-4 ~checkpoint_interval
+    ~flow_window ~reduce_edges ~partial_order ~replicas:[ 0; 1; 2 ] ()
+
+let run_rex ?(seed = 42) ?(cores = 16) ?net_latency ?(min_window = 0.)
+    ?agreement ?config ~threads ~factory ~gen ~warmup ~measure () =
+  let cfg =
+    match config with Some c -> c | None -> rex_config ~threads ()
+  in
+  let cluster =
+    R.Cluster.create ~seed ~cores_per_node:cores ?net_latency ?agreement cfg
+      factory
+  in
+  R.Cluster.start cluster;
+  let primary = R.Cluster.await_primary cluster in
+  let eng = R.Cluster.engine cluster in
+  let secondary =
+    Array.to_list (R.Cluster.servers cluster)
+    |> List.find (fun s -> R.Server.node s <> R.Server.node primary)
+  in
+  let total = warmup + measure in
+  let completed = ref 0 in
+  let t_warm = ref 0. and t_end = ref 0. in
+  let warm_sec_stats = ref (R.Server.runtime_stats secondary) in
+  let warm_primary_stats = ref (R.Server.stats primary) in
+  let warm_primary_rt = ref (R.Server.runtime_stats primary) in
+  let launched = ref 0 in
+  let rng = Rng.create (seed + 17) in
+  (* Open-loop-ish driving: keep enough requests outstanding that the
+     commit latency never starves the workers (the paper uses "enough
+     clients submitting requests so that the machines are fully
+     loaded"). *)
+  let window = max 512 (64 * threads) in
+  (* With a minimum time window the driver must keep the pipeline full
+     past [total]. *)
+  let launch_cap = if min_window > 0. then max_int else total + window in
+  let latencies = ref [] in
+  let rec submit_one () =
+    if !launched < launch_cap then begin
+      incr launched;
+      let submitted_at = Engine.clock eng in
+      R.Server.submit primary (gen rng) (fun _ ->
+          incr completed;
+          if !completed > warmup && !completed <= total then
+            latencies := (Engine.clock eng -. submitted_at) :: !latencies;
+          if !completed = warmup then begin
+            t_warm := Engine.clock eng;
+            warm_sec_stats := R.Server.runtime_stats secondary;
+            warm_primary_stats := R.Server.stats primary;
+            warm_primary_rt := R.Server.runtime_stats primary
+          end;
+          if !completed = total then t_end := Engine.clock eng;
+          submit_one ())
+    end
+  in
+  ignore
+    (Engine.spawn eng ~node:(R.Server.node primary) (fun () ->
+         for _ = 1 to window do
+           submit_one ()
+         done));
+  (* Replies release in per-commit batches; when they are coarser than the
+     request-count window, measure over a fixed time window instead. *)
+  let ok, dt, windowed_replies =
+    if min_window > 0. then begin
+      let ok =
+        pump eng ~done_p:(fun () -> !completed >= warmup) ~virtual_deadline:3600.
+      in
+      if not ok then (false, 0., 0)
+      else begin
+        let t0 = Engine.clock eng in
+        let r0 = (R.Server.stats primary).R.Server.replies_sent in
+        warm_sec_stats := R.Server.runtime_stats secondary;
+        warm_primary_stats := R.Server.stats primary;
+        warm_primary_rt := R.Server.runtime_stats primary;
+        t_warm := t0;
+        Engine.run ~until:(t0 +. min_window) eng;
+        let dt = Engine.clock eng -. t0 in
+        (dt > 0., dt, (R.Server.stats primary).R.Server.replies_sent - r0)
+      end
+    end
+    else begin
+      let ok =
+        pump eng ~done_p:(fun () -> !completed >= total) ~virtual_deadline:3600.
+      in
+      (ok, !t_end -. !t_warm, 0)
+    end
+  in
+  if not ok then zero_result Rex threads
+  else begin
+    let sec_stats = R.Server.runtime_stats secondary in
+    let pri_stats = R.Server.stats primary in
+    let pri_rt = R.Server.runtime_stats primary in
+    let d_waited =
+      sec_stats.Rexsync.Runtime.waited_events
+      - !warm_sec_stats.Rexsync.Runtime.waited_events
+    in
+    let d_replies =
+      pri_stats.R.Server.replies_sent - !warm_primary_stats.R.Server.replies_sent
+    in
+    let d_bytes =
+      pri_stats.R.Server.proposal_bytes
+      - !warm_primary_stats.R.Server.proposal_bytes
+    in
+    let d_req_bytes =
+      pri_stats.R.Server.request_payload_bytes
+      - !warm_primary_stats.R.Server.request_payload_bytes
+    in
+    let per_req n = float_of_int n /. float_of_int (max 1 d_replies) in
+    let d_events =
+      pri_rt.Rexsync.Runtime.events_recorded
+      - !warm_primary_rt.Rexsync.Runtime.events_recorded
+    in
+    let d_edges =
+      pri_rt.Rexsync.Runtime.edges_recorded
+      - !warm_primary_rt.Rexsync.Runtime.edges_recorded
+    in
+    let d_reduced =
+      pri_rt.Rexsync.Runtime.edges_reduced
+      - !warm_primary_rt.Rexsync.Runtime.edges_reduced
+    in
+    let reduced =
+      if d_edges + d_reduced = 0 then 0.
+      else float_of_int d_reduced /. float_of_int (d_edges + d_reduced)
+    in
+    let lat = Array.of_list !latencies in
+    Array.sort compare lat;
+    let mean_latency =
+      if Array.length lat = 0 then 0.
+      else Array.fold_left ( +. ) 0. lat /. float_of_int (Array.length lat)
+    in
+    let p99_latency =
+      if Array.length lat = 0 then 0.
+      else lat.(min (Array.length lat - 1) (Array.length lat * 99 / 100))
+    in
+    {
+      mode = Rex;
+      threads;
+      throughput =
+        (if min_window > 0. then float_of_int windowed_replies /. dt
+         else float_of_int measure /. dt);
+      mean_latency;
+      p99_latency;
+      waited_per_sec = float_of_int d_waited /. dt;
+      events_per_req = per_req d_events;
+      edges_per_req = per_req d_edges;
+      reduced_fraction = reduced;
+      trace_bytes_per_req = per_req d_bytes;
+      request_bytes_per_req = per_req d_req_bytes;
+    }
+  end
+
+(* --- RSM: same Paxos, sequential execution. --- *)
+
+let run_rsm ?(seed = 42) ?(cores = 16) ~factory ~gen ~warmup ~measure () =
+  let eng = Engine.create ~seed ~cores_per_node:cores ~num_nodes:4 () in
+  let net = Net.create eng in
+  let rpc = Rpc.create net in
+  let cfg = R.Config.make ~propose_interval:2e-4 ~replicas:[ 0; 1; 2 ] () in
+  let stores = Array.init 3 (fun _ -> Paxos.Store.create ()) in
+  let servers =
+    Array.init 3 (fun i ->
+        Smr.create net rpc cfg ~node:i ~paxos_store:stores.(i) factory)
+  in
+  Array.iter Smr.start servers;
+  Engine.run ~until:1.0 eng;
+  let primary =
+    match Array.find_opt Smr.is_primary servers with
+    | Some s -> s
+    | None ->
+      Engine.run ~until:5.0 eng;
+      Option.get (Array.find_opt Smr.is_primary servers)
+  in
+  let total = warmup + measure in
+  let completed = ref 0 in
+  let t_warm = ref 0. and t_end = ref 0. in
+  let launched = ref 0 in
+  let rng = Rng.create (seed + 17) in
+  let rec submit_one () =
+    if !launched < total + 512 then begin
+      incr launched;
+      Smr.submit primary (gen rng) (fun _ ->
+          incr completed;
+          if !completed = warmup then t_warm := Engine.clock eng;
+          if !completed = total then t_end := Engine.clock eng;
+          submit_one ())
+    end
+  in
+  ignore
+    (Engine.spawn eng ~node:(Smr.node primary) (fun () ->
+         for _ = 1 to 512 do
+           submit_one ()
+         done));
+  let ok = pump eng ~done_p:(fun () -> !completed >= total) ~virtual_deadline:3600. in
+  if not ok then zero_result Rsm 1
+  else
+    {
+      (zero_result Rsm 1) with
+      throughput = float_of_int measure /. (!t_end -. !t_warm);
+    }
+
+(* --- Pretty-printing helpers --- *)
+
+let print_header title columns =
+  Printf.printf "\n== %s ==\n" title;
+  Printf.printf "%s\n" (String.concat "\t" columns)
+
+let fmt_rate r = Printf.sprintf "%.0f" r

@@ -1,0 +1,115 @@
+(* Benchmark harness entry point: one subcommand per table/figure of the
+   paper's evaluation (§6), plus overhead, ablations and wall-clock
+   micro-benchmarks.  `all` regenerates everything. *)
+
+open Cmdliner
+
+let quick_arg =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Run scaled-down workloads.")
+
+let app_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "a"; "app" ]
+        ~doc:
+          "Only this application (thumbnail, lockserver, leveldb, kyoto, \
+           filesys, memcache).")
+
+let scale_arg =
+  Arg.(
+    value & opt float 0.1
+    & info [ "scale" ]
+        ~doc:"Timeline compression for fig10 (1.0 = the paper's 140 s).")
+
+let fig7_cmd =
+  let run quick app = Fig7.run ~quick ?app () in
+  Cmd.v (Cmd.info "fig7" ~doc:"Fig. 7: application throughput vs threads")
+    Term.(const run $ quick_arg $ app_arg)
+
+let fig8a_cmd =
+  Cmd.v (Cmd.info "fig8a" ~doc:"Fig. 8a: lock granularity")
+    Term.(const (fun quick -> Fig8.run_a ~quick ()) $ quick_arg)
+
+let fig8b_cmd =
+  Cmd.v (Cmd.info "fig8b" ~doc:"Fig. 8b: lock contention, native vs Rex")
+    Term.(const (fun quick -> Fig8.run_b ~quick ()) $ quick_arg)
+
+let fig9_cmd =
+  Cmd.v (Cmd.info "fig9" ~doc:"Fig. 9: query semantics")
+    Term.(const (fun quick -> Fig9.run ~quick ()) $ quick_arg)
+
+let fig10_cmd =
+  Cmd.v (Cmd.info "fig10" ~doc:"Fig. 10: failover timeline")
+    Term.(const (fun scale -> Fig10.run ~scale ()) $ scale_arg)
+
+let table1_cmd =
+  Cmd.v (Cmd.info "table1" ~doc:"Table 1: primitives per app")
+    Term.(const Table1.run $ const ())
+
+let overhead_cmd =
+  Cmd.v (Cmd.info "overhead" ~doc:"§6.3 overhead breakdown")
+    Term.(const (fun quick -> Overhead.run ~quick ()) $ quick_arg)
+
+let ablate_cmd =
+  Cmd.v (Cmd.info "ablate" ~doc:"Design-choice ablations")
+    Term.(const (fun quick -> Ablate.run ~quick ()) $ quick_arg)
+
+let ycsb_cmd =
+  Cmd.v (Cmd.info "ycsb" ~doc:"YCSB core workloads on the KV stores")
+    Term.(const (fun quick -> Ycsb.run ~quick ()) $ quick_arg)
+
+let eve_cmd =
+  Cmd.v
+    (Cmd.info "eve" ~doc:"Rex vs execute-verify (Eve-style) comparison (§5)")
+    Term.(const (fun quick -> Eve_bench.run ~quick ()) $ quick_arg)
+
+let chain_cmd =
+  Cmd.v (Cmd.info "chain" ~doc:"Paxos vs chain replication agree stage (§7)")
+    Term.(const (fun quick -> Chain_bench.run ~quick ()) $ quick_arg)
+
+let bechamel_cmd =
+  Cmd.v (Cmd.info "bechamel" ~doc:"Wall-clock micro-benchmarks")
+    Term.(const Bechamel_suite.run $ const ())
+
+let all ~quick () =
+  Table1.run ();
+  Fig7.run ~quick ();
+  Fig8.run_a ~quick ();
+  Fig8.run_b ~quick ();
+  Fig9.run ~quick ();
+  Fig10.run ~scale:(if quick then 0.05 else 0.1) ();
+  Overhead.run ~quick ();
+  Ablate.run ~quick ();
+  Eve_bench.run ~quick ();
+  Ycsb.run ~quick ();
+  Chain_bench.run ~quick ();
+  Bechamel_suite.run ()
+
+let all_cmd =
+  Cmd.v (Cmd.info "all" ~doc:"Every table and figure")
+    Term.(const (fun quick -> all ~quick ()) $ quick_arg)
+
+let default = Term.(const (fun quick -> all ~quick ()) $ quick_arg)
+
+let () =
+  exit
+    (Cmd.eval
+       (Cmd.group ~default
+          (Cmd.info "rex-bench" ~version:"1.0"
+             ~doc:"Regenerate the tables and figures of the Rex paper")
+          [
+            fig7_cmd;
+            fig8a_cmd;
+            fig8b_cmd;
+            fig9_cmd;
+            fig10_cmd;
+            table1_cmd;
+            overhead_cmd;
+            ablate_cmd;
+            eve_cmd;
+            ycsb_cmd;
+            chain_cmd;
+            bechamel_cmd;
+            all_cmd;
+          ]))

@@ -1,0 +1,35 @@
+(* YCSB core workloads on the replicated key/value stores: standard
+   cloud-serving mixes exercising the same Rex machinery with different
+   read/write balances, skew, scans and read-modify-writes. *)
+
+let threads = 16
+
+let stores :
+    (string * (unit -> Rex_core.App.factory)) list =
+  [
+    ("leveldb", fun () -> Apps.Leveldb.factory ());
+    ("kyoto", fun () -> Apps.Kyoto.factory ());
+  ]
+
+let run ?(quick = false) () =
+  let warmup = if quick then 500 else 2000 in
+  let measure = if quick then 2000 else 8000 in
+  Printf.printf "\n== YCSB core workloads under Rex (16 threads, req/s) ==\n";
+  Printf.printf "workload\t%s\n%!"
+    (String.concat "\t" (List.map fst stores));
+  List.iter
+    (fun w ->
+      let row =
+        List.map
+          (fun (_, factory) ->
+            let r =
+              Harness.run_rex ~threads ~factory:(factory ())
+                ~gen:(Workload.Mix.ycsb ~n_keys:100_000 w)
+                ~warmup ~measure ()
+            in
+            Harness.fmt_rate r.Harness.throughput)
+          stores
+      in
+      Printf.printf "%-22s\t%s\n%!" (Workload.Mix.ycsb_name w)
+        (String.concat "\t" row))
+    [ Workload.Mix.A; B; C; D; E; F ]

@@ -1,0 +1,163 @@
+(* rex-demo: a command-line playground for the Rex framework.
+
+   Pick an application, a workload size, worker threads, a seed, and
+   optional fault injection; the tool runs a 3-replica cluster in the
+   simulator and reports throughput, convergence and trace statistics.
+
+     dune exec bin/rex_demo.exe -- --app leveldb -n 20000 --threads 8 \
+       --kill-primary --checkpoints *)
+
+open Sim
+module R = Rex_core
+
+let apps :
+    (string * (unit -> R.App.factory) * (unit -> Workload.Mix.gen)) list =
+  [
+    ( "thumbnail",
+      (fun () -> Apps.Thumbnail.factory ()),
+      fun () -> Workload.Mix.thumbnail ~n_images:100_000 );
+    ( "lockserver",
+      (fun () -> Apps.Lock_server.factory ()),
+      fun () -> Workload.Mix.lock_server ~n_files:10_000 );
+    ( "leveldb",
+      (fun () -> Apps.Leveldb.factory ()),
+      fun () -> Workload.Mix.kv ~n_keys:10_000 ~read_ratio:0.5 () );
+    ( "kyoto",
+      (fun () -> Apps.Kyoto.factory ()),
+      fun () -> Workload.Mix.kv ~n_keys:10_000 ~read_ratio:0.5 () );
+    ( "filesys",
+      (fun () -> Apps.Filesys.factory ()),
+      fun () -> Workload.Mix.filesystem ~n_files:64 );
+    ( "memcache",
+      (fun () -> Apps.Memcache.factory ()),
+      fun () -> Workload.Mix.kv ~n_keys:10_000 ~read_ratio:0.5 () );
+  ]
+
+let run app n threads seed kill_primary checkpoints =
+  match List.find_opt (fun (k, _, _) -> k = app) apps with
+  | None ->
+    Printf.eprintf "unknown app %S; choose from: %s\n" app
+      (String.concat ", " (List.map (fun (k, _, _) -> k) apps));
+    exit 1
+  | Some (_, factory, gen) ->
+    let cfg =
+      R.Config.make ~workers:threads
+        ~checkpoint_interval:(if checkpoints then Some 0.25 else None)
+        ~replicas:[ 0; 1; 2 ] ()
+    in
+    let cluster = R.Cluster.create ~seed cfg (factory ()) in
+    R.Cluster.start cluster;
+    let primary = R.Cluster.await_primary cluster in
+    Printf.printf "cluster up; primary = replica %d\n%!" (R.Server.node primary);
+    let eng = R.Cluster.engine cluster in
+    let g = gen () in
+    let rng = Rng.create (seed * 31) in
+    let completed = ref 0 and dropped = ref 0 and launched = ref 0 in
+    let t0 = Engine.clock eng in
+    let target = ref primary in
+    let rec submit_one () =
+      if !launched < n then begin
+        incr launched;
+        R.Server.submit !target (g rng) (fun r ->
+            (match r with Some _ -> incr completed | None -> incr dropped);
+            submit_one ())
+      end
+    in
+    ignore
+      (Engine.spawn eng ~node:(R.Server.node primary) (fun () ->
+           for _ = 1 to 16 * threads do
+             submit_one ()
+           done));
+    (* Optional fault injection halfway through. *)
+    if kill_primary then
+      ignore
+        (Engine.spawn eng ~node:3 ~name:"chaos" (fun () ->
+             while !completed < n / 2 do
+               Engine.sleep 0.01
+             done;
+             let victim = R.Server.node primary in
+             Printf.printf "[%.3fs] killing primary (replica %d)\n%!"
+               (Engine.now () -. t0) victim;
+             R.Cluster.crash cluster victim;
+             (* resume driving on the new primary *)
+             let rec wait_new () =
+               match R.Cluster.primary cluster with
+               | Some p when R.Server.node p <> victim ->
+                 Printf.printf "[%.3fs] new primary: replica %d\n%!"
+                   (Engine.now () -. t0) (R.Server.node p);
+                 target := p;
+                 let remaining = n - !completed - !dropped in
+                 launched := n - remaining;
+                 for _ = 1 to min remaining (16 * threads) do
+                   submit_one ()
+                 done
+               | _ ->
+                 Engine.sleep 0.01;
+                 wait_new ()
+             in
+             wait_new ();
+             Engine.sleep 1.0;
+             Printf.printf "[%.3fs] restarting replica %d\n%!"
+               (Engine.now () -. t0) victim;
+             R.Cluster.restart cluster victim));
+    let deadline = Engine.clock eng +. 600. in
+    let rec pump () =
+      Engine.run ~until:(Engine.clock eng +. 0.25) eng;
+      if !completed + !dropped < n && Engine.clock eng < deadline then pump ()
+    in
+    pump ();
+    R.Cluster.run_for cluster 3.0;
+    let dt = Engine.clock eng -. t0 -. 3.0 in
+    Printf.printf "\n%d/%d requests committed (%d dropped) in %.3f virtual s \
+                   => %.0f req/s\n"
+      !completed n !dropped dt
+      (float_of_int !completed /. dt);
+    Array.iter
+      (fun s ->
+        if Engine.node_alive eng (R.Server.node s) then begin
+          let st = R.Server.runtime_stats s in
+          Printf.printf
+            "replica %d: digest %-12s role %-9s events rec/replayed %d/%d \
+             waited %d%s\n"
+            (R.Server.node s) (R.Server.app_digest s)
+            (if R.Server.is_primary s then "primary" else "secondary")
+            st.Rexsync.Runtime.events_recorded
+            st.Rexsync.Runtime.events_replayed
+            st.Rexsync.Runtime.waited_events
+            (match R.Server.divergence s with
+            | Some m -> "  DIVERGED: " ^ m
+            | None -> "")
+        end)
+      (R.Cluster.servers cluster);
+    let digests =
+      Array.to_list (R.Cluster.servers cluster)
+      |> List.filter (fun s -> Engine.node_alive eng (R.Server.node s))
+      |> List.map R.Server.app_digest
+    in
+    match digests with
+    | d :: rest when List.for_all (( = ) d) rest ->
+      print_endline "replicas CONVERGED"
+    | _ ->
+      print_endline "replicas DID NOT converge";
+      exit 1
+
+open Cmdliner
+
+let app_arg =
+  Arg.(value & opt string "lockserver" & info [ "a"; "app" ] ~doc:"Application.")
+
+let n_arg = Arg.(value & opt int 10_000 & info [ "n" ] ~doc:"Request count.")
+let threads_arg = Arg.(value & opt int 8 & info [ "threads" ] ~doc:"Workers.")
+let seed_arg = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Simulation seed.")
+
+let kill_arg =
+  Arg.(value & flag & info [ "kill-primary" ] ~doc:"Crash the primary mid-run.")
+
+let ckpt_arg =
+  Arg.(value & flag & info [ "checkpoints" ] ~doc:"Periodic checkpoints.")
+
+let () =
+  let term =
+    Term.(const run $ app_arg $ n_arg $ threads_arg $ seed_arg $ kill_arg $ ckpt_arg)
+  in
+  exit (Cmd.eval (Cmd.v (Cmd.info "rex-demo" ~doc:"Rex cluster playground") term))

@@ -1,0 +1,1 @@
+examples/agree_stages.ml: Array Codec Engine Eve List Net Option Paxos Printf Rex_core Rexsync Rng Rpc Sim String

@@ -1,0 +1,1 @@
+examples/agree_stages.mli:

@@ -1,0 +1,1 @@
+examples/build_your_own.ml: Array Codec Engine Hashtbl List Option Printf Queue Rex_core Rexsync Sim String

@@ -1,0 +1,1 @@
+examples/kv_failover.ml: Apps Array Engine Printf Rex_core Rng Sim Workload

@@ -1,0 +1,1 @@
+examples/lock_service.ml: Apps Array Engine List Printf Rex_core Sim

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Codec Engine Printf Rex_core Rexsync Sim String

@@ -1,0 +1,92 @@
+(* Quickstart: replicate a tiny multi-threaded counter service with Rex.
+
+   Run with:  dune exec examples/quickstart.exe
+
+   It shows the whole API surface in ~60 lines of application code:
+   - write a handler that uses Rex locks for concurrency;
+   - stand up a 3-replica cluster inside the simulator;
+   - submit requests through the client library;
+   - observe that all replicas converge to the same state. *)
+
+open Sim
+module R = Rex_core
+
+(* 1. The application: a counter service with 4 lock-sharded counters.
+   Handlers run concurrently on every worker thread of the primary and
+   are replayed with identical interleavings on the secondaries. *)
+let counter_app : R.App.factory =
+ fun api ->
+  let shards = 4 in
+  let counters = Array.make shards 0 in
+  let locks =
+    Array.init shards (fun i -> R.Api.lock api (Printf.sprintf "counter%d" i))
+  in
+  let execute ~request =
+    match String.split_on_char ' ' request with
+    | [ "INC"; shard ] ->
+      let i = int_of_string shard mod shards in
+      R.Api.work api 1e-5 (* some computation outside the lock *);
+      Rexsync.Lock.with_lock locks.(i) (fun () ->
+          counters.(i) <- counters.(i) + 1;
+          string_of_int counters.(i))
+    | _ -> "ERR"
+  in
+  let query ~request =
+    match String.split_on_char ' ' request with
+    | [ "READ"; shard ] ->
+      let i = int_of_string shard mod shards in
+      Rexsync.Lock.with_lock locks.(i) (fun () -> string_of_int counters.(i))
+    | _ -> "ERR"
+  in
+  {
+    R.App.name = "quickstart-counter";
+    execute;
+    query;
+    write_checkpoint =
+      (fun sink -> Array.iter (Codec.write_uvarint sink) counters);
+    read_checkpoint =
+      (fun src ->
+        for i = 0 to shards - 1 do
+          counters.(i) <- Codec.read_uvarint src
+        done);
+    digest =
+      (fun () ->
+        String.concat "," (Array.to_list (Array.map string_of_int counters)));
+  }
+
+let () =
+  (* 2. A three-replica group (nodes 0-2) plus one client node. *)
+  let cfg = R.Config.make ~workers:4 ~replicas:[ 0; 1; 2 ] () in
+  let cluster = R.Cluster.create cfg counter_app in
+  R.Cluster.start cluster;
+  let primary = R.Cluster.await_primary cluster in
+  Printf.printf "primary elected: replica %d\n" (R.Server.node primary);
+
+  (* 3. Drive 100 increments from a client fiber. *)
+  let eng = R.Cluster.engine cluster in
+  let client = R.Cluster.client cluster in
+  ignore
+    (Engine.spawn eng ~node:(R.Cluster.client_node cluster) (fun () ->
+         for i = 1 to 100 do
+           match R.Client.call client (Printf.sprintf "INC %d" (i mod 4)) with
+           | Some reply ->
+             if i mod 25 = 0 then
+               Printf.printf "request %3d -> counter value %s\n" i reply
+           | None -> Printf.printf "request %d dropped\n" i
+         done));
+  R.Cluster.run_for cluster 10.0;
+
+  (* 4. Every replica reached the same state, via different thread
+     interleavings replayed from the same trace. *)
+  Array.iter
+    (fun s ->
+      Printf.printf "replica %d state: [%s]%s\n" (R.Server.node s)
+        (R.Server.app_digest s)
+        (if R.Server.is_primary s then "  (primary)" else ""))
+    (R.Cluster.servers cluster);
+  let st = R.Server.runtime_stats primary in
+  Printf.printf
+    "trace recorded by primary: %d events, %d causal edges (%d made \
+     redundant by reduction)\n"
+    st.Rexsync.Runtime.events_recorded st.Rexsync.Runtime.edges_recorded
+    st.Rexsync.Runtime.edges_reduced

@@ -1,0 +1,1 @@
+lib/apps/filesys.ml: Array Codec Hashtbl List Option Printf Rex_core Rexsync Sim_disk Util

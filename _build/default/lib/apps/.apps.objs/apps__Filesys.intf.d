@@ -1,0 +1,1 @@
+lib/apps/filesys.mli: Rex_core Sim_disk

@@ -1,0 +1,1 @@
+lib/apps/kyoto.ml: Array Codec Hashtbl List Option Printf Rex_core Rexsync String Util

@@ -1,0 +1,1 @@
+lib/apps/kyoto.mli: Rex_core

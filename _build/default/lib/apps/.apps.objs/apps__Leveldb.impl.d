@@ -1,0 +1,1 @@
+lib/apps/leveldb.ml: Array Codec Hashtbl List Printf Rex_core Rexsync String Util

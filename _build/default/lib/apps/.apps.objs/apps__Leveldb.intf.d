@@ -1,0 +1,1 @@
+lib/apps/leveldb.mli: Rex_core

@@ -1,0 +1,1 @@
+lib/apps/lock_server.ml: Array Codec Hashtbl List Printf Rex_core Rexsync Util

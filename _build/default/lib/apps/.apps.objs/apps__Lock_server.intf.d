@@ -1,0 +1,1 @@
+lib/apps/lock_server.mli: Rex_core

@@ -1,0 +1,1 @@
+lib/apps/memcache.ml: Codec Hashtbl List Option Printf Queue Rex_core Rexsync Util

@@ -1,0 +1,1 @@
+lib/apps/memcache.mli: Rex_core

@@ -1,0 +1,1 @@
+lib/apps/sim_disk.ml: Engine Msync Sim

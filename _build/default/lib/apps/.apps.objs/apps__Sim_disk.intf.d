@@ -1,0 +1,1 @@
+lib/apps/sim_disk.mli: Sim

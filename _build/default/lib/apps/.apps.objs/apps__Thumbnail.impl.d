@@ -1,0 +1,1 @@
+lib/apps/thumbnail.ml: Array Hashtbl Option Printf Rex_core Rexsync Util

@@ -1,0 +1,1 @@
+lib/apps/thumbnail.mli: Rex_core

@@ -1,0 +1,1 @@
+lib/apps/util.ml: Array Codec Hashtbl List String

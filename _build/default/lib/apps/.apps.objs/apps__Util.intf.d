@@ -1,0 +1,1 @@
+lib/apps/util.mli: Codec Hashtbl

@@ -1,0 +1,79 @@
+module R = Rex_core
+
+let factory ?(n_files = 64) ?disk () : R.App.factory =
+ fun api ->
+  let eng = Rexsync.Runtime.engine (R.Api.runtime api) in
+  let disk = match disk with Some d -> d | None -> Sim_disk.create eng in
+  let file_locks =
+    Array.init n_files (fun i -> R.Api.lock api (Printf.sprintf "fs.file%d" i))
+  in
+  (* Block contents as write-generation numbers: (file, off) -> gen. *)
+  let blocks : (int * int, int) Hashtbl.t = Hashtbl.create 4096 in
+  let execute ~request =
+    match Util.words request with
+    | [ "READ"; file; off; len ] ->
+      let file = int_of_string file
+      and off = int_of_string off
+      and len = int_of_string len in
+      if file < 0 || file >= n_files then "ERR:bad-file"
+      else
+        Rexsync.Lock.with_lock file_locks.(file) (fun () ->
+            Sim_disk.io disk ~bytes_len:len;
+            let gen =
+              Option.value (Hashtbl.find_opt blocks (file, off)) ~default:0
+            in
+            Printf.sprintf "DATA %d" gen)
+    | [ "WRITE"; file; off; len ] ->
+      let file = int_of_string file
+      and off = int_of_string off
+      and len = int_of_string len in
+      if file < 0 || file >= n_files then "ERR:bad-file"
+      else
+        Rexsync.Lock.with_lock file_locks.(file) (fun () ->
+            Sim_disk.io disk ~bytes_len:len;
+            let gen =
+              1 + Option.value (Hashtbl.find_opt blocks (file, off)) ~default:0
+            in
+            Hashtbl.replace blocks (file, off) gen;
+            Printf.sprintf "OK %d" gen)
+    | _ -> "ERR:bad-request"
+  in
+  let query ~request =
+    match Util.words request with
+    | [ "STAT"; file; off ] ->
+      let file = int_of_string file and off = int_of_string off in
+      if file < 0 || file >= n_files then "ERR:bad-file"
+      else
+        Rexsync.Lock.with_lock file_locks.(file) (fun () ->
+            string_of_int
+              (Option.value (Hashtbl.find_opt blocks (file, off)) ~default:0))
+    | _ -> "ERR:bad-query"
+  in
+  let bindings () =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) blocks [] |> List.sort compare
+  in
+  {
+    R.App.name = "filesys";
+    execute;
+    query;
+    write_checkpoint =
+      (fun sink ->
+        Codec.write_list sink
+          (fun b ((file, off), gen) ->
+            Codec.write_uvarint b file;
+            Codec.write_uvarint b off;
+            Codec.write_uvarint b gen)
+          (bindings ()));
+    read_checkpoint =
+      (fun src ->
+        Hashtbl.reset blocks;
+        let entries =
+          Codec.read_list src (fun s ->
+              let file = Codec.read_uvarint s in
+              let off = Codec.read_uvarint s in
+              let gen = Codec.read_uvarint s in
+              ((file, off), gen))
+        in
+        List.iter (fun (k, v) -> Hashtbl.replace blocks k v) entries);
+    digest = (fun () -> string_of_int (Hashtbl.hash (bindings ())));
+  }

@@ -1,0 +1,9 @@
+(** Simple replicated file system (paper §6.3, Fig. 7e): synchronized
+    random 16 KB reads/writes over 64 files of 128 MB, read:write = 1:4.
+    Disk-bound: concurrency helps because the {!Sim_disk} overlaps seeks.
+
+    Requests: ["READ <file> <off> <len>"], ["WRITE <file> <off> <len>"].
+    Synchronization: [Lock] per file (Table 1). *)
+
+val factory : ?n_files:int -> ?disk:Sim_disk.t -> unit -> Rex_core.App.factory
+(** [disk] defaults to a fresh {!Sim_disk} per replica. *)

@@ -1,0 +1,192 @@
+module R = Rex_core
+
+type slice = {
+  lock : Rexsync.Lock.t;
+  memtable : (string, string) Hashtbl.t;
+  disktable : (string, string) Hashtbl.t;
+      (* a deleted key is a binding to "" (tombstone) in the memtable *)
+}
+
+let factory ?(slices = 256) ?(memtable_limit = 64) ?(stall_limit = 16384)
+    ?(compaction_interval = 2e-3) ?(op_cost = 6e-6) () : R.App.factory =
+ fun api ->
+  let meta_lock = R.Api.lock api "ldb.meta" in
+  let unstalled = R.Api.cond api "ldb.unstall" in
+  let slice_arr =
+    Array.init slices (fun i ->
+        {
+          lock = R.Api.lock api (Printf.sprintf "ldb.slice%d" i);
+          memtable = Hashtbl.create 16;
+          disktable = Hashtbl.create 64;
+        })
+  in
+  let resident = ref 0 in
+  (* Per-slice resident counts, guarded by [meta_lock]: compaction picks
+     its victims from these, never by peeking at unlocked memtables. *)
+  let counts = Array.make slices 0 in
+  let sequence = ref 0 in
+  (* Fig. 5: the comparator singleton is initialized by whichever thread
+     gets there first on each replica — explicitly excluded from
+     record/replay with NATIVE_EXEC. *)
+  let comparator = ref None in
+  let ensure_comparator () =
+    R.Api.native api (fun () ->
+        if !comparator = None then comparator := Some "leveldb.BytewiseComparator")
+  in
+  let slice_of key = Hashtbl.hash key mod slices in
+  (* Background compaction: drain dirty slices' memtables into their disk
+     tables, then wake stalled writers. *)
+  let compact () =
+    let work_list =
+      Rexsync.Lock.with_lock meta_lock (fun () ->
+          (* Full memtables always; under stall pressure, everything. *)
+          let pressured = !resident >= stall_limit / 2 in
+          let picked = ref [] in
+          Array.iteri
+            (fun i c ->
+              if c >= memtable_limit || (pressured && c > 0) then
+                picked := i :: !picked)
+            counts;
+          !picked)
+    in
+    List.iter
+      (fun i ->
+        let s = slice_arr.(i) in
+        Rexsync.Lock.with_lock s.lock (fun () ->
+            let n = Hashtbl.length s.memtable in
+            if n > 0 then begin
+              (* Sort + write cost, modeled per entry. *)
+              R.Api.work api (float_of_int n *. 1e-6);
+              Hashtbl.iter
+                (fun k v ->
+                  if v = "" then Hashtbl.remove s.disktable k
+                  else Hashtbl.replace s.disktable k v)
+                s.memtable;
+              Hashtbl.reset s.memtable;
+              Rexsync.Lock.with_lock meta_lock (fun () ->
+                  resident := !resident - n;
+                  counts.(i) <- counts.(i) - n;
+                  Rexsync.Condvar.broadcast unstalled)
+            end))
+      work_list
+  in
+  R.Api.add_timer api ~name:"compaction" ~interval:compaction_interval compact;
+  let put key value =
+    ensure_comparator ();
+    R.Api.work api op_cost;
+    (* Write stall: wait for compaction when too much is resident. *)
+    Rexsync.Lock.with_lock meta_lock (fun () ->
+        while !resident >= stall_limit do
+          Rexsync.Condvar.wait unstalled meta_lock
+        done;
+        incr sequence);
+    let i = slice_of key in
+    let s = slice_arr.(i) in
+    Rexsync.Lock.with_lock s.lock (fun () ->
+        let added = not (Hashtbl.mem s.memtable key) in
+        Hashtbl.replace s.memtable key value;
+        if added then
+          Rexsync.Lock.with_lock meta_lock (fun () ->
+              incr resident;
+              counts.(i) <- counts.(i) + 1));
+    "OK"
+  in
+  let get key =
+    ensure_comparator ();
+    R.Api.work api op_cost;
+    let s = slice_arr.(slice_of key) in
+    Rexsync.Lock.with_lock s.lock (fun () ->
+        match Hashtbl.find_opt s.memtable key with
+        | Some "" -> "NOTFOUND"
+        | Some v -> v
+        | None -> (
+          match Hashtbl.find_opt s.disktable key with
+          | Some v -> v
+          | None -> "NOTFOUND"))
+  in
+  let execute ~request =
+    match Util.words request with
+    | [ "SET"; key; value ] -> put key value
+    | [ "GET"; key ] -> get key
+    | [ "DEL"; key ] -> put key ""
+    | "MGET" :: keys -> String.concat "," (List.map get keys)
+    | [ "RMW"; key; value ] ->
+      let old = get key in
+      ignore (put key value);
+      if old = "NOTFOUND" then "RMW:new" else "RMW:ok"
+    | _ -> "ERR:bad-request"
+  in
+  let query ~request =
+    match Util.words request with
+    | [ "GET"; key ] ->
+      let s = slice_arr.(slice_of key) in
+      Rexsync.Lock.with_lock s.lock (fun () ->
+          match Hashtbl.find_opt s.memtable key with
+          | Some "" -> "NOTFOUND"
+          | Some v -> v
+          | None -> (
+            match Hashtbl.find_opt s.disktable key with
+            | Some v -> v
+            | None -> "NOTFOUND"))
+    | _ -> "ERR:bad-query"
+  in
+  (* Logical contents: disk table overlaid with the memtable. *)
+  let bindings () =
+    Array.to_list slice_arr
+    |> List.concat_map (fun s ->
+           let merged = Hashtbl.copy s.disktable in
+           Hashtbl.iter
+             (fun k v ->
+               if v = "" then Hashtbl.remove merged k
+               else Hashtbl.replace merged k v)
+             s.memtable;
+           Hashtbl.fold (fun k v acc -> (k, v) :: acc) merged [])
+    |> List.sort compare
+  in
+  (* Checkpoints must capture the PHYSICAL state — which entries sit in
+     which memtable, the resident counters — not just the logical
+     contents: replay after the checkpoint cut re-executes compaction
+     decisions that depend on it (the paper's §5 warning that loading a
+     checkpoint must not "reset the context"). *)
+  let write_table sink tbl =
+    Codec.write_list sink
+      (fun b (k, v) ->
+        Codec.write_string b k;
+        Codec.write_string b v)
+      (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare)
+  in
+  let read_table src tbl =
+    Hashtbl.reset tbl;
+    Codec.read_list src (fun s ->
+        let k = Codec.read_string s in
+        let v = Codec.read_string s in
+        (k, v))
+    |> List.iter (fun (k, v) -> Hashtbl.replace tbl k v)
+  in
+  {
+    R.App.name = "leveldb";
+    execute;
+    query;
+    write_checkpoint =
+      (fun sink ->
+        Codec.write_uvarint sink !resident;
+        Codec.write_uvarint sink !sequence;
+        Codec.write_array sink Codec.write_uvarint counts;
+        Array.iter
+          (fun s ->
+            write_table sink s.memtable;
+            write_table sink s.disktable)
+          slice_arr);
+    read_checkpoint =
+      (fun src ->
+        resident := Codec.read_uvarint src;
+        sequence := Codec.read_uvarint src;
+        let c = Codec.read_array src Codec.read_uvarint in
+        Array.blit c 0 counts 0 (min (Array.length c) slices);
+        Array.iter
+          (fun s ->
+            read_table src s.memtable;
+            read_table src s.disktable)
+          slice_arr);
+    digest = (fun () -> string_of_int (Hashtbl.hash (bindings ())));
+  }

@@ -1,0 +1,25 @@
+(** LevelDB-style ordered key/value store (paper §6.3, Fig. 7c): the
+    database is divided into 256 slices, each slice guarded by one
+    lightweight mutex; writes land in per-slice memtables that a
+    background compaction task — registered with [AddTimer] and replicated
+    like any thread — migrates to on-"disk" tables.  Writers stall on a
+    condition variable when memtables run too far ahead of compaction,
+    exercising [Lock] + [Cond] (Table 1).
+
+    Also reproduces the paper's Figure 5 benign race: a lazily
+    initialized singleton (the comparator) is constructed under
+    [NATIVE_EXEC], so a different thread may initialize it on each
+    replica.
+
+    Requests: ["SET <key> <value>"], ["GET <key>"], ["DEL <key>"]. *)
+
+val factory :
+  ?slices:int ->
+  ?memtable_limit:int ->
+  ?stall_limit:int ->
+  ?compaction_interval:float ->
+  ?op_cost:float ->
+  unit ->
+  Rex_core.App.factory
+(** Defaults: 256 slices, 64-entry memtables, stall at 4096 total resident
+    entries, compaction every 2 ms, 6 µs per op. *)

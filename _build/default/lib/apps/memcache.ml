@@ -1,0 +1,126 @@
+module R = Rex_core
+
+let factory ?(capacity = 100_000) ?(op_cost = 8e-6) () : R.App.factory =
+ fun api ->
+  let cache_lock = R.Api.lock api "mc.cache" in
+  let slabs_lock = R.Api.lock api "mc.slabs" in
+  let stats_lock = R.Api.lock api "mc.stats" in
+  let maintenance = R.Api.cond api "mc.maintenance" in
+  let table : (string, string) Hashtbl.t = Hashtbl.create 1024 in
+  let lru : string Queue.t = Queue.create () in
+  let hits = ref 0 and misses = ref 0 and sets = ref 0 and evictions = ref 0 in
+  let under_lock_cost = op_cost *. 0.75 in
+  let outside_cost = op_cost *. 0.25 in
+  (* The slab maintainer thread: woken when eviction pressure builds. *)
+  R.Api.add_timer api ~name:"slab-maintainer" ~interval:10e-3 (fun () ->
+      Rexsync.Lock.with_lock slabs_lock (fun () ->
+          (* page reassignment bookkeeping *)
+          R.Api.work api 2e-6;
+          Rexsync.Condvar.signal maintenance));
+  let bump counter =
+    Rexsync.Lock.with_lock stats_lock (fun () ->
+        R.Api.work api (op_cost *. 0.05);
+        incr counter)
+  in
+  let evict_if_needed () =
+    while Hashtbl.length table > capacity do
+      match Queue.take_opt lru with
+      | None -> Hashtbl.reset table
+      | Some victim ->
+        if Hashtbl.mem table victim then begin
+          (* freeing an item touches the slabs *)
+          Rexsync.Lock.with_lock slabs_lock (fun () -> R.Api.work api 1e-6);
+          Hashtbl.remove table victim;
+          incr evictions
+        end
+    done
+  in
+  let execute ~request =
+    R.Api.work api outside_cost;
+    match Util.words request with
+    | [ "SET"; key; value ] ->
+      Rexsync.Lock.with_lock cache_lock (fun () ->
+          R.Api.work api under_lock_cost;
+          if not (Hashtbl.mem table key) then Queue.push key lru;
+          Hashtbl.replace table key value;
+          evict_if_needed ());
+      bump sets;
+      "STORED"
+    | [ "GET"; key ] ->
+      let v =
+        Rexsync.Lock.with_lock cache_lock (fun () ->
+            R.Api.work api under_lock_cost;
+            Hashtbl.find_opt table key)
+      in
+      (match v with
+      | Some v ->
+        bump hits;
+        v
+      | None ->
+        bump misses;
+        "NOTFOUND")
+    | [ "DEL"; key ] ->
+      Rexsync.Lock.with_lock cache_lock (fun () ->
+          R.Api.work api under_lock_cost;
+          Hashtbl.remove table key);
+      "DELETED"
+    | [ "STATS" ] ->
+      Rexsync.Lock.with_lock stats_lock (fun () ->
+          Printf.sprintf "hits=%d misses=%d sets=%d evictions=%d" !hits !misses
+            !sets !evictions)
+    | _ -> "ERR:bad-request"
+  in
+  let query ~request =
+    match Util.words request with
+    | [ "GET"; key ] ->
+      Rexsync.Lock.with_lock cache_lock (fun () ->
+          R.Api.work api under_lock_cost;
+          Option.value (Hashtbl.find_opt table key) ~default:"NOTFOUND")
+    | [ "STATS" ] ->
+      Printf.sprintf "hits=%d misses=%d sets=%d evictions=%d" !hits !misses
+        !sets !evictions
+    | _ -> "ERR:bad-query"
+  in
+  let bindings () =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) table [] |> List.sort compare
+  in
+  {
+    R.App.name = "memcached";
+    execute;
+    query;
+    write_checkpoint =
+      (fun sink ->
+        Codec.write_list sink
+          (fun b (k, v) ->
+            Codec.write_string b k;
+            Codec.write_string b v)
+          (bindings ());
+        (* the eviction order is state too: replayed evictions follow it *)
+        Codec.write_list sink Codec.write_string
+          (List.of_seq (Queue.to_seq lru));
+        Codec.write_uvarint sink !hits;
+        Codec.write_uvarint sink !misses;
+        Codec.write_uvarint sink !sets;
+        Codec.write_uvarint sink !evictions);
+    read_checkpoint =
+      (fun src ->
+        Hashtbl.reset table;
+        Queue.clear lru;
+        let entries =
+          Codec.read_list src (fun s ->
+              let k = Codec.read_string s in
+              let v = Codec.read_string s in
+              (k, v))
+        in
+        List.iter (fun (k, v) -> Hashtbl.replace table k v) entries;
+        Codec.read_list src Codec.read_string
+        |> List.iter (fun k -> Queue.push k lru);
+        hits := Codec.read_uvarint src;
+        misses := Codec.read_uvarint src;
+        sets := Codec.read_uvarint src;
+        evictions := Codec.read_uvarint src);
+    digest =
+      (fun () ->
+        Printf.sprintf "%d/%d/%d/%d/%s" !hits !misses !sets !evictions
+          (string_of_int (Hashtbl.hash (bindings ()))));
+  }

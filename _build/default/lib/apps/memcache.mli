@@ -1,0 +1,15 @@
+(** Memcached-style object cache (paper §6.3, Fig. 7f): "contains three
+    frequently used global locks (slabs lock, cache lock, and status
+    lock) ... the regions guarded by the locks are large, therefore
+    introducing heavy lock contention.  The application does not scale
+    well even in native mode.  Rex clearly does not work well in this
+    case."  This port reproduces that pathology faithfully: most of each
+    request's work happens under the single cache lock.
+
+    Requests: ["SET <key> <value>"], ["GET <key>"], ["DEL <key>"].
+    Synchronization: [Lock], [Cond] (Table 1). *)
+
+val factory :
+  ?capacity:int -> ?op_cost:float -> unit -> Rex_core.App.factory
+(** Defaults: 100 000 items, 8 µs per op (≈6 µs of it under the cache
+    lock). *)

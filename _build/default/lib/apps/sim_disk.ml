@@ -1,0 +1,29 @@
+open Sim
+
+type t = {
+  seek_time : float;
+  bandwidth : float;
+  ncq : Msync.Sem.t;
+  transfer : Msync.Mutex.t;
+  mutable completed : int;
+}
+
+let create ?(seek_time = 4.5e-3) ?(bandwidth = 200e6) ?(queue_depth = 5) eng =
+  {
+    seek_time;
+    bandwidth;
+    ncq = Msync.Sem.create eng queue_depth;
+    transfer = Msync.Mutex.create eng;
+    completed = 0;
+  }
+
+let io t ~bytes_len =
+  Msync.Sem.acquire t.ncq;
+  Engine.sleep t.seek_time;
+  Msync.Sem.release t.ncq;
+  Msync.Mutex.lock t.transfer;
+  Engine.sleep (float_of_int bytes_len /. t.bandwidth);
+  Msync.Mutex.unlock t.transfer;
+  t.completed <- t.completed + 1
+
+let ios_completed t = t.completed

@@ -1,0 +1,67 @@
+module R = Rex_core
+
+let factory ?(shards = 64) ?(compute_cost = 3e-3) () : R.App.factory =
+ fun api ->
+  (* metadata: img -> hit count; cache: "img:dim" -> thumbnail tag *)
+  let meta = Array.init shards (fun _ -> Hashtbl.create 64) in
+  let cache = Array.init shards (fun _ -> Hashtbl.create 64) in
+  let locks =
+    Array.init shards (fun i -> R.Api.lock api (Printf.sprintf "thumb.shard%d" i))
+  in
+  let shard_of key = Hashtbl.hash key mod shards in
+  let lookup_cache key =
+    let i = shard_of key in
+    Rexsync.Lock.with_lock locks.(i) (fun () ->
+        Hashtbl.find_opt cache.(i) key)
+  in
+  let fill key img thumbnail =
+    let i = shard_of key in
+    Rexsync.Lock.with_lock locks.(i) (fun () ->
+        Hashtbl.replace cache.(i) key thumbnail);
+    let j = shard_of img in
+    Rexsync.Lock.with_lock locks.(j) (fun () ->
+        let hits =
+          1
+          + int_of_string
+              (Option.value (Hashtbl.find_opt meta.(j) img) ~default:"0")
+        in
+        Hashtbl.replace meta.(j) img (string_of_int hits))
+  in
+  let execute ~request =
+    match Util.words request with
+    | [ "THUMB"; img; dim ] ->
+      let key = img ^ ":" ^ dim in
+      (match lookup_cache key with
+      | Some thumb -> thumb
+      | None ->
+        (* The expensive part — decoding and scaling — runs outside any
+           lock, exactly the structure Rex preserves. *)
+        R.Api.work api compute_cost;
+        let thumb = Printf.sprintf "tn-%s-%s" img dim in
+        fill key img thumb;
+        thumb)
+    | _ -> "ERR:bad-request"
+  in
+  let query ~request =
+    match Util.words request with
+    | [ "HITS"; img ] ->
+      let i = shard_of img in
+      Rexsync.Lock.with_lock locks.(i) (fun () ->
+          Option.value (Hashtbl.find_opt meta.(i) img) ~default:"0")
+    | _ -> "ERR:bad-query"
+  in
+  {
+    R.App.name = "thumbnail";
+    execute;
+    query;
+    write_checkpoint =
+      (fun sink ->
+        Util.write_tables sink meta;
+        Util.write_tables sink cache);
+    read_checkpoint =
+      (fun src ->
+        Util.read_tables src ~shard_of meta;
+        Util.read_tables src ~shard_of cache);
+    digest =
+      (fun () -> Util.digest_of_tables meta ^ "/" ^ Util.digest_of_tables cache);
+  }

@@ -1,0 +1,11 @@
+(** Thumbnail server (paper §6.3, Fig. 7a): computation-heavy requests —
+    decode + scale a picture — with brief critical sections updating an
+    in-memory metadata table and a thumbnail cache.  "Shows perfect
+    scalability until the number of threads exceeds the number of CPU
+    cores."
+
+    Requests: ["THUMB <img> <dim>"].  Synchronization: [Lock] (Table 1). *)
+
+val factory :
+  ?shards:int -> ?compute_cost:float -> unit -> Rex_core.App.factory
+(** Defaults: 64 lock shards, 3 ms of CPU per thumbnail. *)

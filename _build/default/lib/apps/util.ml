@@ -1,0 +1,27 @@
+let words s =
+  String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
+
+let sorted_bindings tables =
+  Array.to_list tables
+  |> List.concat_map (fun tbl -> Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+  |> List.sort compare
+
+let digest_of_tables tables =
+  string_of_int (Hashtbl.hash (sorted_bindings tables))
+
+let write_tables sink tables =
+  Codec.write_list sink
+    (fun b (k, v) ->
+      Codec.write_string b k;
+      Codec.write_string b v)
+    (sorted_bindings tables)
+
+let read_tables src ~shard_of tables =
+  Array.iter Hashtbl.reset tables;
+  let bindings =
+    Codec.read_list src (fun s ->
+        let k = Codec.read_string s in
+        let v = Codec.read_string s in
+        (k, v))
+  in
+  List.iter (fun (k, v) -> Hashtbl.replace tables.(shard_of k) k v) bindings

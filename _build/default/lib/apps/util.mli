@@ -1,0 +1,11 @@
+(** Shared helpers for the evaluation applications. *)
+
+val words : string -> string list
+
+val digest_of_tables : (string, string) Hashtbl.t array -> string
+(** Order-independent fingerprint of a sharded string table. *)
+
+val write_tables : Codec.sink -> (string, string) Hashtbl.t array -> unit
+val read_tables :
+  Codec.source -> shard_of:(string -> int) -> (string, string) Hashtbl.t array -> unit
+(** Clears the tables and reloads them, re-sharding each binding. *)

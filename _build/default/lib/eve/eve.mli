@@ -1,0 +1,70 @@
+(** An execute-verify replica in the style of Eve (Kapritsos et al.,
+    OSDI 2012) — the system paper §5 compares Rex against.
+
+    A {e mixer} on the leader packs incoming requests into batches whose
+    members are believed non-conflicting (using an application-supplied
+    conflict-key oracle).  The batch itself goes through consensus; every
+    replica then executes the batch {e concurrently and independently} on
+    its own thread pool, snapshots, and sends a state digest to the
+    leader.  If the digests diverge — a conflict the mixer missed — all
+    replicas roll the batch back and re-execute it {e sequentially}, which
+    is deterministic.
+
+    Faithful to the paper's critique, this implementation:
+    - treats a whole request as the unit of parallelism (the f = 100%
+      configuration of Fig. 8a): two requests that share any conflict key
+      never run in the same batch, no matter how briefly they would have
+      held a common lock;
+    - rejects applications with background timers — "Eve uses the end of
+      processing a request batch as the point to check state consistency,
+      assuming that the incoming requests are the only triggers to state
+      changes" (§5);
+    - supports [miss_rate], the probability that the mixer misses a true
+      conflict, to study the cost of imperfect mixers (rollback + serial
+      re-execution).
+
+    The same {!Rex_core.App.factory} applications run unchanged: their
+    synchronization wrappers take the native path. *)
+
+type t
+
+type config = {
+  replicas : int list;
+  workers : int;  (** executor threads per replica *)
+  batch_max : int;
+  mix_interval : float;
+  miss_rate : float;  (** P(mixer misses a true conflict) *)
+  heartbeat_period : float;
+  election_timeout : float;
+}
+
+val default_config : ?workers:int -> ?batch_max:int -> ?miss_rate:float ->
+  replicas:int list -> unit -> config
+
+type stats = {
+  requests_executed : int;
+  replies_sent : int;
+  batches : int;
+  rollbacks : int;  (** batches that diverged and were re-run serially *)
+  avg_batch : float;
+}
+
+val create :
+  Sim.Net.t ->
+  Sim.Rpc.t ->
+  config ->
+  node:int ->
+  paxos_store:Paxos.Store.t ->
+  conflict_keys:(string -> string list) ->
+  Rex_core.App.factory ->
+  t
+(** Raises [Invalid_argument] if the application registers background
+    timers (unsupported by the execute-verify model, §5). *)
+
+val start : t -> unit
+val node : t -> int
+val is_primary : t -> bool
+val submit : t -> string -> (string option -> unit) -> unit
+val query : t -> string -> string
+val app_digest : t -> string
+val stats : t -> stats

@@ -1,0 +1,1 @@
+lib/paxos/ballot.ml: Codec Fmt Int

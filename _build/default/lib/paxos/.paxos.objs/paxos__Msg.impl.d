@@ -1,0 +1,1 @@
+lib/paxos/msg.ml: Ballot Codec Fmt Fun List Printf

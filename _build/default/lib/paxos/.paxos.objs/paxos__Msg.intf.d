@@ -1,0 +1,1 @@
+lib/paxos/msg.mli: Ballot Fmt

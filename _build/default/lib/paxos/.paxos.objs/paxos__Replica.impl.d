@@ -1,0 +1,1 @@
+lib/paxos/replica.ml: Ballot Codec Engine Hashtbl List Msg Net Rng Sim Store

@@ -1,0 +1,1 @@
+lib/paxos/replica.mli: Ballot Sim Store

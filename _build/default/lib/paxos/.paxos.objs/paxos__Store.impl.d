@@ -1,0 +1,1 @@
+lib/paxos/store.ml: Ballot Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/paxos/store.mli: Ballot

@@ -1,0 +1,20 @@
+type t = { round : int; replica : int }
+
+let zero = { round = 0; replica = -1 }
+
+let compare a b =
+  match Int.compare a.round b.round with
+  | 0 -> Int.compare a.replica b.replica
+  | c -> c
+
+let next b ~me = { round = b.round + 1; replica = me }
+let pp ppf b = Fmt.pf ppf "%d.%d" b.round b.replica
+
+let write sink b =
+  Codec.write_uvarint sink b.round;
+  Codec.write_varint sink b.replica
+
+let read s =
+  let round = Codec.read_uvarint s in
+  let replica = Codec.read_varint s in
+  { round; replica }

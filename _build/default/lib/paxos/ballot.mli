@@ -1,0 +1,13 @@
+(** Paxos ballot numbers: a round counter tie-broken by replica id, so two
+    campaigners never share a ballot. *)
+
+type t = { round : int; replica : int }
+
+val zero : t
+val compare : t -> t -> int
+val next : t -> me:int -> t
+(** Smallest ballot owned by [me] strictly greater than the argument. *)
+
+val pp : t Fmt.t
+val write : Codec.sink -> t -> unit
+val read : Codec.source -> t

@@ -1,0 +1,139 @@
+type t =
+  | Prepare of { ballot : Ballot.t }
+  | Promise of {
+      ballot : Ballot.t;
+      accepted : (int * Ballot.t * string) list;
+      committed_upto : int;
+    }
+  | Nack of { ballot : Ballot.t }
+  | Accept of {
+      ballot : Ballot.t;
+      instance : int;
+      value : string;
+      prior : (int * string) list;
+    }
+  | Accepted of { ballot : Ballot.t; instance : int }
+  | Commit of { instance : int; value : string }
+  | Heartbeat of { ballot : Ballot.t; committed_upto : int }
+  | Learn of { from_instance : int }
+  | Learn_reply of { entries : (int * string) list }
+
+let write b = function
+  | Prepare { ballot } ->
+    Codec.write_byte b 0;
+    Ballot.write b ballot
+  | Promise { ballot; accepted; committed_upto } ->
+    Codec.write_byte b 1;
+    Ballot.write b ballot;
+    Codec.write_list b
+      (fun b (i, bal, v) ->
+        Codec.write_uvarint b i;
+        Ballot.write b bal;
+        Codec.write_string b v)
+      accepted;
+    Codec.write_uvarint b committed_upto
+  | Nack { ballot } ->
+    Codec.write_byte b 2;
+    Ballot.write b ballot
+  | Accept { ballot; instance; value; prior } ->
+    Codec.write_byte b 3;
+    Ballot.write b ballot;
+    Codec.write_uvarint b instance;
+    Codec.write_string b value;
+    Codec.write_list b
+      (fun b (i, v) ->
+        Codec.write_uvarint b i;
+        Codec.write_string b v)
+      prior
+  | Accepted { ballot; instance } ->
+    Codec.write_byte b 4;
+    Ballot.write b ballot;
+    Codec.write_uvarint b instance
+  | Commit { instance; value } ->
+    Codec.write_byte b 5;
+    Codec.write_uvarint b instance;
+    Codec.write_string b value
+  | Heartbeat { ballot; committed_upto } ->
+    Codec.write_byte b 6;
+    Ballot.write b ballot;
+    Codec.write_uvarint b committed_upto
+  | Learn { from_instance } ->
+    Codec.write_byte b 7;
+    Codec.write_uvarint b from_instance
+  | Learn_reply { entries } ->
+    Codec.write_byte b 8;
+    Codec.write_list b
+      (fun b (i, v) ->
+        Codec.write_uvarint b i;
+        Codec.write_string b v)
+      entries
+
+let read s =
+  match Codec.read_byte s with
+  | 0 -> Prepare { ballot = Ballot.read s }
+  | 1 ->
+    let ballot = Ballot.read s in
+    let accepted =
+      Codec.read_list s (fun s ->
+          let i = Codec.read_uvarint s in
+          let bal = Ballot.read s in
+          let v = Codec.read_string s in
+          (i, bal, v))
+    in
+    let committed_upto = Codec.read_uvarint s in
+    Promise { ballot; accepted; committed_upto }
+  | 2 -> Nack { ballot = Ballot.read s }
+  | 3 ->
+    let ballot = Ballot.read s in
+    let instance = Codec.read_uvarint s in
+    let value = Codec.read_string s in
+    let prior =
+      Codec.read_list s (fun s ->
+          let i = Codec.read_uvarint s in
+          let v = Codec.read_string s in
+          (i, v))
+    in
+    Accept { ballot; instance; value; prior }
+  | 4 ->
+    let ballot = Ballot.read s in
+    let instance = Codec.read_uvarint s in
+    Accepted { ballot; instance }
+  | 5 ->
+    let instance = Codec.read_uvarint s in
+    let value = Codec.read_string s in
+    Commit { instance; value }
+  | 6 ->
+    let ballot = Ballot.read s in
+    let committed_upto = Codec.read_uvarint s in
+    Heartbeat { ballot; committed_upto }
+  | 7 -> Learn { from_instance = Codec.read_uvarint s }
+  | 8 ->
+    Learn_reply
+      {
+        entries =
+          Codec.read_list s (fun s ->
+              let i = Codec.read_uvarint s in
+              let v = Codec.read_string s in
+              (i, v));
+      }
+  | n -> raise (Codec.Decode_error (Printf.sprintf "bad paxos msg tag %d" n))
+
+let encode m = Codec.encode (Fun.flip write) m
+let decode s = Codec.decode read s
+
+let pp ppf = function
+  | Prepare { ballot } -> Fmt.pf ppf "prepare(%a)" Ballot.pp ballot
+  | Promise { ballot; accepted; committed_upto } ->
+    Fmt.pf ppf "promise(%a,%d acc,upto %d)" Ballot.pp ballot
+      (List.length accepted) committed_upto
+  | Nack { ballot } -> Fmt.pf ppf "nack(%a)" Ballot.pp ballot
+  | Accept { ballot; instance; prior; _ } ->
+    Fmt.pf ppf "accept(%a,i%d,+%d prior)" Ballot.pp ballot instance
+      (List.length prior)
+  | Accepted { ballot; instance } ->
+    Fmt.pf ppf "accepted(%a,i%d)" Ballot.pp ballot instance
+  | Commit { instance; _ } -> Fmt.pf ppf "commit(i%d)" instance
+  | Heartbeat { ballot; committed_upto } ->
+    Fmt.pf ppf "heartbeat(%a,upto %d)" Ballot.pp ballot committed_upto
+  | Learn { from_instance } -> Fmt.pf ppf "learn(from %d)" from_instance
+  | Learn_reply { entries } -> Fmt.pf ppf "learn_reply(%d)" (List.length entries)

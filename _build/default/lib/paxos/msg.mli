@@ -1,0 +1,29 @@
+(** Paxos wire messages. *)
+
+type t =
+  | Prepare of { ballot : Ballot.t }  (** phase 1a, covers all open instances *)
+  | Promise of {
+      ballot : Ballot.t;
+      accepted : (int * Ballot.t * string) list;
+          (** accepted-but-uncommitted proposals above the committed prefix *)
+      committed_upto : int;
+    }  (** phase 1b *)
+  | Nack of { ballot : Ballot.t }  (** a higher ballot exists *)
+  | Accept of {
+      ballot : Ballot.t;
+      instance : int;
+      value : string;
+      prior : (int * string) list;
+          (** piggybacked not-yet-committed proposals from earlier
+              instances (Rex §3.1): an acceptor that missed them accepts
+              them first, preserving the no-holes invariant *)
+    }  (** 2a *)
+  | Accepted of { ballot : Ballot.t; instance : int }  (** 2b *)
+  | Commit of { instance : int; value : string }
+  | Heartbeat of { ballot : Ballot.t; committed_upto : int }
+  | Learn of { from_instance : int }  (** catch-up request *)
+  | Learn_reply of { entries : (int * string) list }
+
+val encode : t -> string
+val decode : string -> t
+val pp : t Fmt.t

@@ -1,0 +1,422 @@
+open Sim
+
+let port = "paxos"
+let learn_batch = 64
+
+type callbacks = {
+  on_committed : int -> string -> unit;
+  on_become_leader : unit -> unit;
+  on_new_leader : int -> unit;
+}
+
+type config = {
+  me : int;
+  peers : int list;
+  heartbeat_period : float;
+  election_timeout : float;
+  max_inflight : int;
+      (* how many consensus instances may be open concurrently; 1 is
+         Rex's single-active-instance design, >1 enables the §3.1
+         piggyback pipelining *)
+  sync_latency : float;
+      (* modeled stable-storage write before an acceptor answers a
+         Prepare or Accept (real Paxos must fsync its promises) *)
+}
+
+let default_config ?(max_inflight = 1) ?(sync_latency = 0.) ~me ~peers () =
+  {
+    me;
+    peers;
+    heartbeat_period = 5e-3;
+    election_timeout = 30e-3;
+    max_inflight;
+    sync_latency;
+  }
+
+type role = Follower | Candidate | Leader
+
+type inflight = {
+  fi_instance : int;
+  fi_ballot : Ballot.t;
+  fi_value : string;
+  mutable fi_acks : int list;
+  fi_recovery : bool;  (* re-proposal during leader takeover *)
+}
+
+type t = {
+  net : Net.t;
+  cfg : config;
+  st : Store.t;
+  cbs : callbacks;
+  rng : Rng.t;
+  mutable role : role;
+  mutable ballot : Ballot.t;  (* highest ballot this replica has seen *)
+  mutable announced : Ballot.t;  (* last foreign ballot reported via on_new_leader *)
+  mutable leader : int option;
+  mutable last_contact : float;
+  mutable campaign_promises : (int * (int * Ballot.t * string) list * int) list;
+      (* (from, accepted entries, committed_upto) for the current campaign *)
+  mutable campaign_open : bool;
+  mutable lead_after_catchup : int option;
+      (* becoming leader is deferred until our committed prefix reaches
+         this instance (learned from the promise majority) *)
+  mutable recovery_queue : (int * string) list;
+      (* uncommitted proposals to re-drive before leading *)
+  inflight : (int, inflight) Hashtbl.t;
+  mutable delivered : int;
+  mutable stopped : bool;
+}
+
+let majority t = (List.length t.cfg.peers / 2) + 1
+let is_leader t = t.role = Leader
+let leader_hint t = t.leader
+let current_ballot t = t.ballot
+let committed_upto t = Store.committed_upto t.st
+
+let next_instance t =
+  (* Never reuse an instance: account for open proposals AND commits that
+     landed above the contiguous prefix (out-of-order quorums). *)
+  let m =
+    Hashtbl.fold (fun i _ acc -> max i acc) t.inflight
+      (max (Store.committed_upto t.st) (Store.max_committed t.st))
+  in
+  m + 1
+
+let in_flight t = Hashtbl.length t.inflight > 0
+let can_propose t =
+  t.role = Leader && Hashtbl.length t.inflight < t.cfg.max_inflight
+let store t = t.st
+let now t = Engine.clock (Net.engine t.net)
+
+let send t dst msg =
+  if dst = t.cfg.me then ()
+  else Net.send t.net ~src:t.cfg.me ~dst ~port (Msg.encode msg)
+
+let broadcast t msg =
+  List.iter (fun p -> send t p msg) t.cfg.peers
+
+let deliver t =
+  while t.delivered < Store.committed_upto t.st do
+    let i = t.delivered + 1 in
+    t.delivered <- i;
+    match Store.committed t.st i with
+    | Some v -> t.cbs.on_committed i v
+    | None -> () (* subsumed by a checkpoint fast-forward *)
+  done
+
+(* Observing a higher ballot owned by someone else demotes us and, once
+   per ballot, surfaces the new leader upstream. *)
+let observe_ballot t (b : Ballot.t) =
+  if Ballot.compare b t.ballot > 0 then begin
+    t.ballot <- b;
+    if b.Ballot.replica <> t.cfg.me then begin
+      if t.role <> Follower then begin
+        t.role <- Follower;
+        Hashtbl.reset t.inflight;
+        t.recovery_queue <- [];
+        t.campaign_open <- false;
+        t.lead_after_catchup <- None
+      end;
+      t.leader <- Some b.Ballot.replica;
+      if Ballot.compare b t.announced > 0 then begin
+        t.announced <- b;
+        t.cbs.on_new_leader b.Ballot.replica
+      end
+    end
+  end
+
+let request_catch_up t from upto =
+  if Store.committed_upto t.st < upto then
+    send t from (Msg.Learn { from_instance = Store.committed_upto t.st + 1 })
+
+(* --- Leadership --- *)
+
+let rec drive_next_proposal t =
+  match t.recovery_queue with
+  | [] ->
+    if t.role = Candidate then begin
+      t.role <- Leader;
+      t.leader <- Some t.cfg.me;
+      t.cbs.on_become_leader ()
+    end
+  | (instance, value) :: rest ->
+    if instance <= Store.committed_upto t.st then begin
+      (* Got committed behind our back (e.g. learned during catch-up). *)
+      t.recovery_queue <- rest;
+      drive_next_proposal t
+    end
+    else start_accept t ~instance ~value ~recovery:true
+
+and start_accept t ~instance ~value ~recovery =
+  Store.set_accepted t.st instance t.ballot value;
+  Hashtbl.replace t.inflight instance
+    {
+      fi_instance = instance;
+      fi_ballot = t.ballot;
+      fi_value = value;
+      fi_acks = [ t.cfg.me ];
+      fi_recovery = recovery;
+    };
+  (* Piggyback the open instances below this one (§3.1): a follower that
+     missed an earlier Accept can still take the whole chain. *)
+  let prior =
+    Hashtbl.fold
+      (fun i fi acc -> if i < instance then (i, fi.fi_value) :: acc else acc)
+      t.inflight []
+    |> List.sort compare
+  in
+  broadcast t (Msg.Accept { ballot = t.ballot; instance; value; prior });
+  check_quorum t instance
+
+and check_quorum t instance =
+  match Hashtbl.find_opt t.inflight instance with
+  | Some fi when List.length fi.fi_acks >= majority t ->
+    Hashtbl.remove t.inflight instance;
+    Store.commit t.st fi.fi_instance fi.fi_value;
+    broadcast t (Msg.Commit { instance = fi.fi_instance; value = fi.fi_value });
+    if fi.fi_recovery then begin
+      t.recovery_queue <-
+        List.filter (fun (i, _) -> i <> fi.fi_instance) t.recovery_queue;
+      deliver t;
+      drive_next_proposal t
+    end
+    else deliver t
+  | Some _ | None -> ()
+
+let campaign t =
+  t.role <- Candidate;
+  t.leader <- None;
+  Hashtbl.reset t.inflight;
+  t.recovery_queue <- [];
+  let b = Ballot.next t.ballot ~me:t.cfg.me in
+  t.ballot <- b;
+  Store.set_promised t.st b;
+  t.campaign_promises <-
+    [
+      ( t.cfg.me,
+        Store.accepted_above t.st (Store.committed_upto t.st),
+        Store.committed_upto t.st );
+    ];
+  t.campaign_open <- true;
+  broadcast t (Msg.Prepare { ballot = b })
+
+let tally_promises t =
+  if t.campaign_open && List.length t.campaign_promises >= majority t then begin
+    t.campaign_open <- false;
+    (* Catch up to the most advanced committed prefix we heard of. *)
+    let max_upto =
+      List.fold_left (fun m (_, _, u) -> max m u) 0 t.campaign_promises
+    in
+    (* Collect the highest-ballot accepted value per open instance: those
+       may have been chosen and must be re-proposed, preserving the prefix
+       condition. *)
+    let best = Hashtbl.create 4 in
+    List.iter
+      (fun (_, entries, _) ->
+        List.iter
+          (fun (i, b, v) ->
+            match Hashtbl.find_opt best i with
+            | Some (b', _) when Ballot.compare b' b >= 0 -> ()
+            | Some _ | None -> Hashtbl.replace best i (b, v))
+          entries)
+      t.campaign_promises;
+    let queue =
+      Hashtbl.fold (fun i (_, v) acc -> (i, v) :: acc) best []
+      |> List.sort (fun (i, _) (j, _) -> compare i j)
+    in
+    t.recovery_queue <- queue;
+    (* Leading before learning every committed instance would let us
+       propose a fresh value at an already-decided instance: defer until
+       our committed prefix reaches the majority's. *)
+    if Store.committed_upto t.st >= max_upto then begin
+      t.campaign_promises <- [];
+      drive_next_proposal t
+    end
+    else begin
+      t.lead_after_catchup <- Some max_upto;
+      (match
+         List.find_opt (fun (_, _, u) -> u = max_upto) t.campaign_promises
+       with
+      | Some (from, _, _) when from <> t.cfg.me ->
+        request_catch_up t from max_upto
+      | Some _ | None -> ());
+      t.campaign_promises <- []
+    end
+  end
+
+(* --- Message handling --- *)
+
+let handle t ~src msg =
+  if not t.stopped then begin
+    match msg with
+    | Msg.Prepare { ballot } ->
+      if Ballot.compare ballot (Store.promised t.st) > 0 then begin
+        Store.set_promised t.st ballot;
+        observe_ballot t ballot;
+        t.last_contact <- now t;
+        if t.cfg.sync_latency > 0. then Engine.sleep t.cfg.sync_latency;
+        send t src
+          (Msg.Promise
+             {
+               ballot;
+               accepted = Store.accepted_above t.st (Store.committed_upto t.st);
+               committed_upto = Store.committed_upto t.st;
+             })
+      end
+      else send t src (Msg.Nack { ballot = Store.promised t.st })
+    | Msg.Promise { ballot; accepted; committed_upto } ->
+      if
+        t.role = Candidate
+        && Ballot.compare ballot t.ballot = 0
+        && not (List.exists (fun (f, _, _) -> f = src) t.campaign_promises)
+      then begin
+        t.campaign_promises <-
+          (src, accepted, committed_upto) :: t.campaign_promises;
+        tally_promises t
+      end
+    | Msg.Nack { ballot } -> observe_ballot t ballot
+    | Msg.Accept { ballot; instance; value; prior } ->
+      if Ballot.compare ballot (Store.promised t.st) >= 0 then begin
+        Store.set_promised t.st ballot;
+        observe_ballot t ballot;
+        t.last_contact <- now t;
+        (* Take the piggybacked chain first, then the new instance, but
+           never leave a hole: each instance needs its predecessor
+           committed or accepted. *)
+        let contiguous i =
+          i <= Store.committed_upto t.st + 1 || Store.accepted t.st (i - 1) <> None
+        in
+        List.iter
+          (fun (i, v) ->
+            if
+              Store.committed t.st i = None
+              && Store.accepted t.st i = None
+              && contiguous i
+            then begin
+              Store.set_accepted t.st i ballot v;
+              send t src (Msg.Accepted { ballot; instance = i })
+            end)
+          (List.sort compare prior);
+        if contiguous instance then begin
+          Store.set_accepted t.st instance ballot value;
+          if t.cfg.sync_latency > 0. then Engine.sleep t.cfg.sync_latency;
+          send t src (Msg.Accepted { ballot; instance })
+        end
+      end
+      else send t src (Msg.Nack { ballot = Store.promised t.st })
+    | Msg.Accepted { ballot; instance } -> (
+      match Hashtbl.find_opt t.inflight instance with
+      | Some fi
+        when Ballot.compare fi.fi_ballot ballot = 0
+             && not (List.mem src fi.fi_acks) ->
+        fi.fi_acks <- src :: fi.fi_acks;
+        check_quorum t instance
+      | Some _ | None -> ())
+    | Msg.Commit { instance; value } ->
+      Store.commit t.st instance value;
+      deliver t
+    | Msg.Heartbeat { ballot; committed_upto } ->
+      if Ballot.compare ballot (Store.promised t.st) >= 0 then begin
+        Store.set_promised t.st ballot;
+        observe_ballot t ballot;
+        t.last_contact <- now t;
+        request_catch_up t src committed_upto
+      end
+      else send t src (Msg.Nack { ballot = Store.promised t.st })
+    | Msg.Learn { from_instance } ->
+      let upto =
+        min (Store.committed_upto t.st) (from_instance + learn_batch - 1)
+      in
+      if upto >= from_instance then
+        send t src
+          (Msg.Learn_reply
+             { entries = Store.committed_range t.st ~from_i:from_instance ~upto })
+    | Msg.Learn_reply { entries } ->
+      List.iter (fun (i, v) -> Store.commit t.st i v) entries;
+      deliver t;
+      (match t.lead_after_catchup with
+      | Some target when Store.committed_upto t.st >= target ->
+        t.lead_after_catchup <- None;
+        if t.role = Candidate then drive_next_proposal t
+      | Some target ->
+        (* keep pulling until we reach the target *)
+        if entries <> [] then request_catch_up t src target
+      | None ->
+        (* There may be more to learn. *)
+        if entries <> [] then
+          request_catch_up t src (Store.committed_upto t.st + learn_batch))
+  end
+
+let create net cfg st cbs =
+  let eng = Net.engine net in
+  let t =
+    {
+      net;
+      cfg;
+      st;
+      cbs;
+      rng = Rng.split (Engine.rng eng);
+      role = Follower;
+      ballot = Store.promised st;
+      announced = Ballot.zero;
+      leader = None;
+      last_contact = Engine.clock eng;
+      campaign_promises = [];
+      campaign_open = false;
+      lead_after_catchup = None;
+      recovery_queue = [];
+      inflight = Hashtbl.create 4;
+      delivered = Store.committed_upto st;
+      stopped = false;
+    }
+  in
+  Net.register net ~node:cfg.me ~port (fun ~src payload ->
+      match Msg.decode payload with
+      | msg -> handle t ~src msg
+      | exception Codec.Decode_error _ -> ());
+  t
+
+let start t =
+  let eng = Net.engine t.net in
+  (* Election watchdog. *)
+  ignore
+    (Engine.spawn eng ~node:t.cfg.me ~name:"paxos.election" (fun () ->
+         let timeout = ref (t.cfg.election_timeout *. (1. +. Rng.float t.rng 1.)) in
+         while not t.stopped do
+           Engine.sleep (t.cfg.election_timeout /. 3.);
+           if
+             (not t.stopped) && t.role <> Leader
+             && now t -. t.last_contact > !timeout
+           then begin
+             timeout := t.cfg.election_timeout *. (1. +. Rng.float t.rng 1.);
+             t.last_contact <- now t;
+             campaign t;
+             (* A lone replica in a single-node group elects itself. *)
+             tally_promises t
+           end
+         done));
+  (* Leader heartbeats. *)
+  ignore
+    (Engine.spawn eng ~node:t.cfg.me ~name:"paxos.heartbeat" (fun () ->
+         while not t.stopped do
+           Engine.sleep t.cfg.heartbeat_period;
+           if (not t.stopped) && t.role = Leader then
+             broadcast t
+               (Msg.Heartbeat
+                  {
+                    ballot = t.ballot;
+                    committed_upto = Store.committed_upto t.st;
+                  })
+         done))
+
+let stop t = t.stopped <- true
+
+let propose t value =
+  if t.stopped || not (can_propose t) then false
+  else begin
+    start_accept t ~instance:(next_instance t) ~value ~recovery:false;
+    true
+  end
+
+
+let committed_value t i = Store.committed t.st i

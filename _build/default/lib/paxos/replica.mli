@@ -1,0 +1,73 @@
+(** Multi-instance Paxos replica with leader election (paper §3.1).
+
+    The interface mirrors Rex's extended Paxos API: [propose] submits a
+    value for the next instance, [on_committed] fires — in instance order,
+    exactly once per instance per replica lifetime — when a value commits,
+    and leadership changes surface through [on_become_leader] /
+    [on_new_leader].
+
+    Two Rex design decisions are enforced here: at most one consensus
+    instance is active at a time (a proposal is admitted only when no
+    instance is in flight, so the prefix condition is easy to maintain
+    upstream), and the leader is the only proposer (co-located with the
+    Rex primary).
+
+    Safety notes: acceptor state lives in a {!Store.t} the caller keeps
+    across crash/restart cycles, modelling stable storage; a new leader
+    first catches up on the committed prefix and re-proposes any value
+    that might have been chosen before announcing leadership. *)
+
+type callbacks = {
+  on_committed : int -> string -> unit;
+      (** invoked in a fiber on this node, in instance order *)
+  on_become_leader : unit -> unit;
+  on_new_leader : int -> unit;
+      (** a higher ballot owned by the given replica was observed *)
+}
+
+type config = {
+  me : int;  (** this replica's node id *)
+  peers : int list;  (** all replica node ids, including [me] *)
+  heartbeat_period : float;
+  election_timeout : float;
+      (** base timeout; each campaign randomizes in [[t, 2t]] *)
+  max_inflight : int;
+      (** concurrent open instances: 1 = Rex's single-active-instance
+          design; >1 pipelines, with earlier open proposals piggybacked
+          on each Accept (§3.1) *)
+  sync_latency : float;
+      (** modeled stable-storage write (fsync) before answering a Prepare
+          or Accept; 0 disables *)
+}
+
+val default_config :
+  ?max_inflight:int -> ?sync_latency:float -> me:int -> peers:int list ->
+  unit -> config
+(** 5 ms heartbeats, 30 ms election timeout, [max_inflight] 1, no modeled
+    fsync. *)
+
+type t
+
+val create : Sim.Net.t -> config -> Store.t -> callbacks -> t
+(** Registers the network handler.  Call {!start} to spawn the election
+    and heartbeat fibers. *)
+
+val start : t -> unit
+val stop : t -> unit
+(** Stops fibers and ignores further messages (a clean local halt; the
+    node itself may stay alive). *)
+
+val propose : t -> string -> bool
+(** Propose a value for the next free instance.  Returns [false] if this
+    replica is not the leader or [max_inflight] instances are open. *)
+
+val can_propose : t -> bool
+
+val is_leader : t -> bool
+val leader_hint : t -> int option
+val current_ballot : t -> Ballot.t
+val committed_upto : t -> int
+val next_instance : t -> int
+val committed_value : t -> int -> string option
+val in_flight : t -> bool
+val store : t -> Store.t

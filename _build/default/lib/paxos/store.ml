@@ -1,0 +1,79 @@
+type t = {
+  mutable promised_b : Ballot.t;
+  accepted_tbl : (int, Ballot.t * string) Hashtbl.t;
+  committed_tbl : (int, string) Hashtbl.t;
+  mutable upto : int;
+  mutable max_committed_i : int;
+      (* commits can land out of order under pipelining; a proposer must
+         never reuse an instance above the contiguous prefix *)
+}
+
+let create () =
+  {
+    promised_b = Ballot.zero;
+    accepted_tbl = Hashtbl.create 16;
+    committed_tbl = Hashtbl.create 64;
+    upto = 0;
+    max_committed_i = 0;
+  }
+
+let promised t = t.promised_b
+
+let set_promised t b =
+  if Ballot.compare b t.promised_b > 0 then t.promised_b <- b
+
+let accepted t i = Hashtbl.find_opt t.accepted_tbl i
+let set_accepted t i b v = Hashtbl.replace t.accepted_tbl i (b, v)
+
+let accepted_above t floor =
+  Hashtbl.fold
+    (fun i (b, v) acc -> if i > floor then (i, b, v) :: acc else acc)
+    t.accepted_tbl []
+  |> List.sort (fun (i, _, _) (j, _, _) -> compare i j)
+
+let committed t i = Hashtbl.find_opt t.committed_tbl i
+
+let commit t i v =
+  (match Hashtbl.find_opt t.committed_tbl i with
+  | Some v' when v' <> v ->
+    invalid_arg
+      (Printf.sprintf "Paxos safety violation at instance %d (have %d, got %d)"
+         i (Hashtbl.hash v') (Hashtbl.hash v))
+  | Some _ | None -> ());
+  Hashtbl.replace t.committed_tbl i v;
+  if i > t.max_committed_i then t.max_committed_i <- i;
+  while Hashtbl.mem t.committed_tbl (t.upto + 1) do
+    t.upto <- t.upto + 1
+  done
+
+let committed_upto t = t.upto
+let max_committed t = t.max_committed_i
+
+let fast_forward t i =
+  (* A checkpoint subsumes everything at or below its instance: treat the
+     prefix as committed even though the values are gone. *)
+  if i > t.upto then begin
+    t.upto <- i;
+    if i > t.max_committed_i then t.max_committed_i <- i;
+    while Hashtbl.mem t.committed_tbl (t.upto + 1) do
+      t.upto <- t.upto + 1
+    done
+  end
+
+let committed_range t ~from_i ~upto =
+  let rec go i acc =
+    if i < from_i then acc
+    else
+      match Hashtbl.find_opt t.committed_tbl i with
+      | None -> go (i - 1) acc
+      | Some v -> go (i - 1) ((i, v) :: acc)
+  in
+  go upto []
+
+let truncate_below t floor =
+  Hashtbl.iter
+    (fun i _ -> if i < floor then Hashtbl.remove t.committed_tbl i)
+    (Hashtbl.copy t.committed_tbl);
+  Hashtbl.iter
+    (fun i _ -> if i < floor then Hashtbl.remove t.accepted_tbl i)
+    (Hashtbl.copy t.accepted_tbl)

@@ -1,0 +1,37 @@
+(** Acceptor/learner durable state.
+
+    Models the stable storage a real Paxos acceptor must write before
+    answering: the benchmark harness keeps this object across
+    {!Sim.Engine.crash_node}/restart cycles, so a restarted replica
+    remembers its promises and accepted values, as safety requires.
+    Instances are numbered from 1. *)
+
+type t
+
+val create : unit -> t
+val promised : t -> Ballot.t
+val set_promised : t -> Ballot.t -> unit
+
+val accepted : t -> int -> (Ballot.t * string) option
+val set_accepted : t -> int -> Ballot.t -> string -> unit
+
+val accepted_above : t -> int -> (int * Ballot.t * string) list
+(** Accepted entries with instance strictly above the argument, ascending. *)
+
+val committed : t -> int -> string option
+val commit : t -> int -> string -> unit
+val committed_upto : t -> int
+(** Highest instance such that all instances [1..i] are committed. *)
+
+val max_committed : t -> int
+(** Highest instance committed at all — can exceed {!committed_upto} when
+    pipelined commits land out of order. *)
+
+val fast_forward : t -> int -> unit
+(** Advance the committed prefix to at least the given instance without
+    values — used when a checkpoint subsumes a GC'd prefix. *)
+
+val committed_range : t -> from_i:int -> upto:int -> (int * string) list
+val truncate_below : t -> int -> unit
+(** Garbage-collect committed values below the given instance (kept by a
+    checkpoint). *)

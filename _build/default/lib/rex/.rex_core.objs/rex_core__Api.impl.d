@@ -1,0 +1,1 @@
+lib/rex/api.ml: Engine Fmt List Rexsync Rng Sim

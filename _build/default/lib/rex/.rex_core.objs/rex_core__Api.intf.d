@@ -1,0 +1,1 @@
+lib/rex/api.mli: Rexsync

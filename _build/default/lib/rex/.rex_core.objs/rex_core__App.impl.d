@@ -1,0 +1,1 @@
+lib/rex/app.ml: Api Codec

@@ -1,0 +1,1 @@
+lib/rex/app.mli: Api Codec

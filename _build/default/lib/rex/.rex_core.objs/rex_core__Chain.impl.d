@@ -1,0 +1,1 @@
+lib/rex/chain.ml: Agreement Codec Engine Fun Hashtbl List Net Option Paxos Printf Sim

@@ -1,0 +1,1 @@
+lib/rex/chain.mli: Agreement Paxos Sim

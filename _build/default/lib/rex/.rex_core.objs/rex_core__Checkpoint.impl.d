@@ -1,0 +1,1 @@
+lib/rex/checkpoint.ml: Codec Fun Trace

@@ -1,0 +1,1 @@
+lib/rex/checkpoint.mli: Trace

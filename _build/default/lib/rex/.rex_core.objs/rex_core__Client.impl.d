@@ -1,0 +1,1 @@
+lib/rex/client.ml: Array Codec Engine Option Printf Rpc Sim

@@ -1,0 +1,1 @@
+lib/rex/client.mli: Sim

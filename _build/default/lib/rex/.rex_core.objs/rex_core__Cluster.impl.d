@@ -1,0 +1,1 @@
+lib/rex/cluster.ml: Agreement App Array Chain Checkpoint Client Config Engine Fun List Net Paxos Rpc Server Sim

@@ -1,0 +1,1 @@
+lib/rex/cluster.mli: App Client Config Server Sim

@@ -1,0 +1,1 @@
+lib/rex/config.mli:

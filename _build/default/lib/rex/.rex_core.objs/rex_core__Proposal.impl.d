@@ -1,0 +1,1 @@
+lib/rex/proposal.ml: Codec Fun String Trace

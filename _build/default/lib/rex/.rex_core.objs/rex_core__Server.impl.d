@@ -1,0 +1,1 @@
+lib/rex/server.ml: Agreement Api App Array Checkpoint Client Codec Config Engine Event Fmt Hashtbl List Logs Net Option Paxos Printexc Printf Proposal Queue Render Rexsync Rpc Sim String Trace

@@ -1,0 +1,1 @@
+lib/rex/server.mli: Agreement App Checkpoint Config Paxos Rexsync Sim Trace

@@ -1,0 +1,35 @@
+(** The agree-stage abstraction.
+
+    Rex's execute-agree-follow does not care {e how} replicas agree on the
+    sequence of trace deltas, only that they do — the paper notes the
+    approach "can also be applied to other replication protocols, such as
+    primary/backup replication and its variations (e.g., chain
+    replication)" (§7).  {!Server} is written against this interface;
+    {!of_paxos} wraps the default multi-instance Paxos, and {!Chain}
+    provides a chain-replicated log. *)
+
+type callbacks = {
+  on_committed : int -> string -> unit;
+      (** fired in sequence order, exactly once per slot per process
+          lifetime *)
+  on_become_leader : unit -> unit;
+      (** this replica may now propose (it is the Paxos leader / chain
+          head) *)
+  on_new_leader : int -> unit;  (** another replica took over *)
+}
+
+type t = {
+  start : unit -> unit;
+  propose : string -> bool;
+      (** submit the next value; false when not leader or window full *)
+  can_propose : unit -> bool;
+  is_leader : unit -> bool;
+  leader_hint : unit -> int option;
+  committed_upto : unit -> int;
+  committed : int -> string option;  (** read back for recovery *)
+  truncate_below : int -> unit;  (** GC below a checkpointed sequence *)
+  fast_forward : int -> unit;
+      (** a loaded checkpoint subsumes the prefix up to this sequence *)
+}
+
+val of_paxos : Paxos.Replica.t -> t

@@ -1,0 +1,48 @@
+open Sim
+
+type timer_spec = { t_name : string; t_interval : float; t_callback : unit -> unit }
+
+type t = {
+  rt : Rexsync.Runtime.t;
+  mutable timers : timer_spec list;  (* reversed *)
+  mutable sealed : bool;
+  time_rng : Rng.t;
+}
+
+let make rt =
+  {
+    rt;
+    timers = [];
+    sealed = false;
+    time_rng = Rng.split (Engine.rng (Rexsync.Runtime.engine rt));
+  }
+
+let seal t =
+  t.sealed <- true;
+  List.rev t.timers
+
+let lock t name = Rexsync.Lock.create t.rt name
+let rwlock t name = Rexsync.Rwlock.create t.rt name
+let cond t name = Rexsync.Condvar.create t.rt name
+let sem t name permits = Rexsync.Sem.create t.rt name permits
+
+let add_timer t ~name ~interval callback =
+  if t.sealed then
+    invalid_arg "Api.add_timer: timers must be registered at creation time";
+  t.timers <-
+    { t_name = name; t_interval = interval; t_callback = callback } :: t.timers
+
+let work _t d = Engine.work d
+let nondet t f = Rexsync.Runtime.nondet t.rt f
+
+let nondet_int t f =
+  int_of_string (Rexsync.Runtime.nondet t.rt (fun () -> string_of_int (f ())))
+
+let random_int t bound = nondet_int t (fun () -> Rng.int t.time_rng bound)
+
+let virtual_now t =
+  float_of_string (Rexsync.Runtime.nondet t.rt (fun () -> Fmt.str "%h" (Engine.now ())))
+
+let native t f = Rexsync.Runtime.native_exec t.rt f
+let node t = Rexsync.Runtime.node t.rt
+let runtime t = t.rt

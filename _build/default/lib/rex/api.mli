@@ -1,0 +1,53 @@
+(** What a Rex application sees: the programming API of paper Fig. 6.
+
+    An application factory ({!App.factory}) receives an [Api.t] and builds
+    its replica-local state with it: synchronization primitives
+    ([RexLock], [RexReadWriteLock], [RexCond], semaphores), background
+    timers ([AddTimer]) and recorded nondeterministic functions.  Request
+    handlers then use the same handle for CPU work and synchronization.
+
+    The ordering of synchronization events must be the only source of
+    nondeterminism in handlers (§2): ambient randomness or time must go
+    through {!nondet}/{!nondet_int}/{!random_int}, and deliberately
+    race-tolerant sections through {!native} (the [NATIVE_EXEC] macro). *)
+
+type t
+
+val lock : t -> string -> Rexsync.Lock.t
+val rwlock : t -> string -> Rexsync.Rwlock.t
+val cond : t -> string -> Rexsync.Condvar.t
+val sem : t -> string -> int -> Rexsync.Sem.t
+
+val add_timer : t -> name:string -> interval:float -> (unit -> unit) -> unit
+(** Register a background task (e.g. LevelDB compaction).  Only legal
+    while the application factory runs; each timer gets its own thread
+    slot, replicated like any worker. *)
+
+val work : t -> float -> unit
+(** Consume CPU (virtual seconds) — how handlers model computation. *)
+
+val nondet : t -> (unit -> string) -> string
+val nondet_int : t -> (unit -> int) -> int
+val random_int : t -> int -> int
+(** Recorded random number: drawn on the primary, replayed on
+    secondaries. *)
+
+val virtual_now : t -> float
+(** Recorded wall-clock reading. *)
+
+val native : t -> (unit -> 'a) -> 'a
+(** [NATIVE_EXEC]: run without recording/replaying (benign races). *)
+
+val node : t -> int
+val runtime : t -> Rexsync.Runtime.t
+
+(**/**)
+
+(* Internal: used by [Server]. *)
+
+type timer_spec = { t_name : string; t_interval : float; t_callback : unit -> unit }
+
+val make : Rexsync.Runtime.t -> t
+val seal : t -> timer_spec list
+(** End of the factory phase: further [add_timer] calls raise. Returns
+    timers in registration order. *)

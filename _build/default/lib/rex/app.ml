@@ -1,0 +1,10 @@
+type t = {
+  name : string;
+  execute : request:string -> string;
+  query : request:string -> string;
+  write_checkpoint : Codec.sink -> unit;
+  read_checkpoint : Codec.source -> unit;
+  digest : unit -> string;
+}
+
+type factory = Api.t -> t

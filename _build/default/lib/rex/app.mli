@@ -1,0 +1,24 @@
+(** Application interface (the [RexRSM]/[RexRequest] of paper Fig. 6).
+
+    An application is a factory: given an {!Api.t}, it builds replica-local
+    state (allocating its locks and timers through the API, in
+    deterministic order) and returns its handlers.  The factory is invoked
+    at replica start and again whenever a replica rebuilds itself from a
+    checkpoint. *)
+
+type t = {
+  name : string;
+  execute : request:string -> string;
+      (** update-request handler; runs concurrently on worker slots using
+          Rex synchronization primitives.  The returned bytes are the
+          client's response (sent once the request's trace commits). *)
+  query : request:string -> string;
+      (** read-only handler; runs natively (hybrid execution, §4) on the
+          primary (speculative state) or a secondary (committed state) *)
+  write_checkpoint : Codec.sink -> unit;
+  read_checkpoint : Codec.source -> unit;
+  digest : unit -> string;
+      (** cheap state fingerprint, used by tests and validity checking *)
+}
+
+type factory = Api.t -> t

@@ -1,0 +1,48 @@
+type t = {
+  seq : int;
+  instance : int;
+  cut : Trace.Cut.t;
+  versions : (int * int) list;
+  app_bytes : string;
+}
+
+let write b t =
+  Codec.write_uvarint b t.seq;
+  Codec.write_uvarint b t.instance;
+  Trace.Cut.write b t.cut;
+  Codec.write_list b
+    (fun b (uid, v) ->
+      Codec.write_uvarint b uid;
+      Codec.write_uvarint b v)
+    t.versions;
+  Codec.write_string b t.app_bytes
+
+let read s =
+  let seq = Codec.read_uvarint s in
+  let instance = Codec.read_uvarint s in
+  let cut = Trace.Cut.read s in
+  let versions =
+    Codec.read_list s (fun s ->
+        let uid = Codec.read_uvarint s in
+        let v = Codec.read_uvarint s in
+        (uid, v))
+  in
+  let app_bytes = Codec.read_string s in
+  { seq; instance; cut; versions; app_bytes }
+
+let encode t = Codec.encode (Fun.flip write) t
+let decode s = Codec.decode read s
+
+module Disk = struct
+  type ckpt = t
+  type nonrec t = { mutable latest : ckpt option }
+
+  let create () = { latest = None }
+
+  let save d c =
+    match d.latest with
+    | Some prev when prev.seq >= c.seq -> ()
+    | Some _ | None -> d.latest <- Some c
+
+  let latest d = d.latest
+end

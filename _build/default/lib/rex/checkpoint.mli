@@ -1,0 +1,28 @@
+(** Checkpoints and the per-node "disk" that stores them.
+
+    A checkpoint records the application snapshot at a cut, the resource
+    versions at that cut, and the Paxos instance whose proposal carried
+    the checkpoint request — recovery re-fetches committed trace deltas
+    from that instance on.  The {!Disk.t} object is owned by the harness
+    and survives {!Sim.Engine.crash_node}, modelling local stable
+    storage. *)
+
+type t = {
+  seq : int;  (** checkpoint sequence number *)
+  instance : int;  (** Paxos instance carrying the checkpoint request *)
+  cut : Trace.Cut.t;
+  versions : (int * int) list;  (** resource uid, version *)
+  app_bytes : string;
+}
+
+val encode : t -> string
+val decode : string -> t
+
+module Disk : sig
+  type ckpt := t
+  type t
+
+  val create : unit -> t
+  val save : t -> ckpt -> unit
+  val latest : t -> ckpt option
+end

@@ -1,0 +1,80 @@
+open Sim
+
+type reply = Ok_reply of string | Not_leader of int option | Dropped
+
+let client_port = "rex.client"
+let query_port = "rex.query"
+
+let encode_reply r =
+  let b = Codec.sink () in
+  (match r with
+  | Ok_reply s ->
+    Codec.write_byte b 0;
+    Codec.write_string b s
+  | Not_leader hint ->
+    Codec.write_byte b 1;
+    Codec.write_varint b (Option.value hint ~default:(-1))
+  | Dropped -> Codec.write_byte b 2);
+  Codec.contents b
+
+let decode_reply s =
+  let src = Codec.source s in
+  match Codec.read_byte src with
+  | 0 -> Ok_reply (Codec.read_string src)
+  | 1 ->
+    let h = Codec.read_varint src in
+    Not_leader (if h < 0 then None else Some h)
+  | 2 -> Dropped
+  | n -> raise (Codec.Decode_error (Printf.sprintf "bad reply tag %d" n))
+
+type t = {
+  rpc : Rpc.t;
+  me : int;
+  replicas : int array;
+  mutable guess : int;  (* index into replicas *)
+}
+
+let create rpc ~me ~replicas =
+  if replicas = [] then invalid_arg "Client.create";
+  { rpc; me; replicas = Array.of_list replicas; guess = 0 }
+
+let leader_guess t = t.replicas.(t.guess)
+
+let point_at t node =
+  Array.iteri (fun i r -> if r = node then t.guess <- i) t.replicas
+
+let rotate t = t.guess <- (t.guess + 1) mod Array.length t.replicas
+
+let call ?(retries = 8) ?(timeout = 0.1) t request =
+  let rec go tries =
+    if tries = 0 then None
+    else
+      match
+        Rpc.call t.rpc ~src:t.me ~dst:(leader_guess t) ~port:client_port
+          ~timeout request
+      with
+      | None ->
+        rotate t;
+        go (tries - 1)
+      | Some reply -> (
+        match decode_reply reply with
+        | Ok_reply resp -> Some resp
+        | Dropped ->
+          rotate t;
+          go (tries - 1)
+        | Not_leader hint ->
+          (match hint with Some h -> point_at t h | None -> rotate t);
+          (* Give an election a moment before hammering the next guess. *)
+          Engine.sleep 5e-3;
+          go (tries - 1))
+  in
+  go retries
+
+let query ?on ?(timeout = 0.1) t request =
+  let dst = Option.value on ~default:(leader_guess t) in
+  match Rpc.call t.rpc ~src:t.me ~dst ~port:query_port ~timeout request with
+  | None -> None
+  | Some reply -> (
+    match decode_reply reply with
+    | Ok_reply resp -> Some resp
+    | Not_leader _ | Dropped -> None)

@@ -1,0 +1,25 @@
+(** Client library: leader discovery, retries, and the client/replica wire
+    format. *)
+
+type reply = Ok_reply of string | Not_leader of int option | Dropped
+
+val encode_reply : reply -> string
+val decode_reply : string -> reply
+
+val client_port : string
+val query_port : string
+
+type t
+
+val create : Sim.Rpc.t -> me:int -> replicas:int list -> t
+
+val call : ?retries:int -> ?timeout:float -> t -> string -> string option
+(** Submit an update request; follows leader hints and retries on
+    timeout.  [None] after exhausting retries.  At-least-once semantics:
+    a request may execute even when [None] is returned. *)
+
+val query : ?on:int -> ?timeout:float -> t -> string -> string option
+(** Read-only request on a chosen replica (default: the believed
+    leader). *)
+
+val leader_guess : t -> int

@@ -1,0 +1,110 @@
+open Sim
+
+type t = {
+  eng : Engine.t;
+  net_ : Net.t;
+  rpc_ : Rpc.t;
+  cfg : Config.t;
+  factory : App.factory;
+  servers_ : Server.t array;
+  stores : Paxos.Store.t array;
+  disks : Checkpoint.Disk.t array;
+  make_agreement :
+    (Server.t -> Agreement.callbacks -> Agreement.t) option;
+  first_client_node : int;
+}
+
+let create ?(seed = 7) ?(cores_per_node = 16) ?(extra_nodes = 1)
+    ?(net_latency = 50e-6) ?(agreement = `Paxos) cfg factory =
+  let n = List.length cfg.Config.replicas in
+  if cfg.Config.replicas <> List.init n Fun.id then
+    invalid_arg "Cluster.create: replicas must be nodes 0..n-1";
+  let eng =
+    Engine.create ~seed ~cores_per_node ~num_nodes:(n + extra_nodes) ()
+  in
+  let net_ = Net.create ~base_latency:net_latency eng in
+  let rpc_ = Rpc.create net_ in
+  let stores = Array.init n (fun _ -> Paxos.Store.create ()) in
+  let disks = Array.init n (fun _ -> Checkpoint.Disk.create ()) in
+  let make_agreement =
+    match agreement with
+    | `Paxos -> None
+    | `Chain ->
+      (* the view manager lives on the first extra node, which the
+         benchmarks never crash *)
+      let vm_node = n in
+      Chain.view_manager net_ ~node:vm_node ~replicas:cfg.Config.replicas ();
+      Some
+        (fun srv cbs ->
+          Chain.make net_ ~node:(Server.node srv) ~vm_node
+            ~store:stores.(Server.node srv) cbs)
+  in
+  let servers_ =
+    Array.init n (fun i ->
+        Server.create ?make_agreement net_ rpc_ cfg ~node:i
+          ~paxos_store:stores.(i) ~disk:disks.(i) factory)
+  in
+  {
+    eng;
+    net_;
+    rpc_;
+    cfg;
+    factory;
+    servers_;
+    stores;
+    disks;
+    make_agreement;
+    first_client_node = n;
+  }
+
+let engine t = t.eng
+let net t = t.net_
+let rpc t = t.rpc_
+let server t i = t.servers_.(i)
+let servers t = t.servers_
+let client_node t = t.first_client_node
+let start t = Array.iter Server.start t.servers_
+let run ?until t = Engine.run ?until t.eng
+let run_for t d = Engine.run ~until:(Engine.clock t.eng +. d) t.eng
+
+let primary t =
+  Array.find_opt
+    (fun s -> Engine.node_alive t.eng (Server.node s) && Server.is_primary s)
+    t.servers_
+
+let await_primary ?(limit = 30.) t =
+  let deadline = Engine.clock t.eng +. limit in
+  let rec go () =
+    match primary t with
+    | Some s -> s
+    | None ->
+      if Engine.clock t.eng >= deadline then
+        failwith "Cluster.await_primary: no primary elected"
+      else begin
+        run_for t 0.05;
+        go ()
+      end
+  in
+  go ()
+
+let crash t i = Engine.crash_node t.eng i
+
+let restart t i =
+  Engine.restart_node t.eng i;
+  let s =
+    Server.create ?make_agreement:t.make_agreement t.net_ t.rpc_ t.cfg ~node:i
+      ~paxos_store:t.stores.(i) ~disk:t.disks.(i) t.factory
+  in
+  t.servers_.(i) <- s;
+  Server.start s
+
+let client t = Client.create t.rpc_ ~me:t.first_client_node ~replicas:t.cfg.Config.replicas
+
+let check_no_divergence t =
+  Array.iter
+    (fun s ->
+      if Engine.node_alive t.eng (Server.node s) then
+        match Server.divergence s with
+        | Some msg -> failwith ("replica diverged: " ^ msg)
+        | None -> ())
+    t.servers_

@@ -1,0 +1,53 @@
+(** Harness for a whole Rex deployment inside one simulation: engine,
+    network, RPC, the replica group, and the per-node durable state
+    (Paxos store + checkpoint disk) that survives crash/restart.  Used by
+    tests, benchmarks and examples. *)
+
+type t
+
+val create :
+  ?seed:int ->
+  ?cores_per_node:int ->
+  ?extra_nodes:int ->
+  ?net_latency:float ->
+  ?agreement:[ `Paxos | `Chain ] ->
+  Config.t ->
+  App.factory ->
+  t
+(** Nodes [0 .. n-1] host the replicas listed in [Config.replicas] (which
+    must be [0 .. n-1]); [extra_nodes] more nodes (default 1) host clients
+    and, for [`Chain], the view manager.  [agreement] picks the agree
+    stage: multi-instance Paxos (default) or chain replication
+    (paper §7). *)
+
+val engine : t -> Sim.Engine.t
+val net : t -> Sim.Net.t
+val rpc : t -> Sim.Rpc.t
+val server : t -> int -> Server.t
+val servers : t -> Server.t array
+val client_node : t -> int
+(** First non-replica node. *)
+
+val start : t -> unit
+val run : ?until:float -> t -> unit
+(** Absolute virtual-time limit. *)
+
+val run_for : t -> float -> unit
+(** Relative. *)
+
+val primary : t -> Server.t option
+
+val await_primary : ?limit:float -> t -> Server.t
+(** Run the simulation until some replica is primary (raises
+    [Failure] after [limit] seconds, default 30). *)
+
+val crash : t -> int -> unit
+val restart : t -> int -> unit
+(** Recreate the replica server from its surviving Paxos store and
+    checkpoint disk, and start it. *)
+
+val client : t -> Client.t
+(** A client homed on {!client_node}. *)
+
+val check_no_divergence : t -> unit
+(** Raises [Failure] if any live replica detected divergence. *)

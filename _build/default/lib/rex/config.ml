@@ -1,0 +1,50 @@
+type t = {
+  replicas : int list;
+  workers : int;
+  propose_interval : float;
+  checkpoint_interval : float option;
+  flow_window : int;
+  flow_report_interval : float;
+  flow_staleness : float;
+  heartbeat_period : float;
+  election_timeout : float;
+  reduce_edges : bool;
+  partial_order : bool;
+  check_versions : bool;
+  record_cost : float;
+  replay_cost : float;
+  ckpt_byte_cost : float;
+  pipeline_depth : int;
+  paxos_sync_latency : float;
+}
+
+let make ?(workers = 8) ?(propose_interval = 1e-3) ?(checkpoint_interval = None)
+    ?(flow_window = 20_000) ?(flow_report_interval = 2e-3)
+    ?(flow_staleness = 0.2) ?(heartbeat_period = 5e-3)
+    ?(election_timeout = 50e-3) ?(reduce_edges = true) ?(partial_order = true)
+    ?(check_versions = true) ?(record_cost = 5e-8) ?(replay_cost = 1.5e-7)
+    ?(ckpt_byte_cost = 4e-8) ?(pipeline_depth = 1) ?(paxos_sync_latency = 0.)
+    ~replicas () =
+  if replicas = [] then invalid_arg "Config.make: empty replica set";
+  if workers <= 0 then invalid_arg "Config.make: workers";
+  {
+    replicas;
+    workers;
+    propose_interval;
+    checkpoint_interval;
+    flow_window;
+    flow_report_interval;
+    flow_staleness;
+    heartbeat_period;
+    election_timeout;
+    reduce_edges;
+    partial_order;
+    check_versions;
+    record_cost;
+    replay_cost;
+    ckpt_byte_cost;
+    pipeline_depth;
+    paxos_sync_latency;
+  }
+
+let total_slots t ~n_timers = t.workers + n_timers

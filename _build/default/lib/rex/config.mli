@@ -1,0 +1,55 @@
+(** Replica-group configuration. *)
+
+type t = {
+  replicas : int list;  (** node ids of the replica group *)
+  workers : int;  (** worker thread slots per replica *)
+  propose_interval : float;
+      (** how often the primary cuts a trace delta into a proposal *)
+  checkpoint_interval : float option;  (** [None]: no periodic checkpoints *)
+  flow_window : int;
+      (** max trace events the primary may run ahead of the slowest
+          live secondary's replay *)
+  flow_report_interval : float;
+  flow_staleness : float;
+      (** a secondary silent for this long no longer gates the primary *)
+  heartbeat_period : float;
+  election_timeout : float;
+  reduce_edges : bool;
+  partial_order : bool;
+  check_versions : bool;
+  record_cost : float;
+      (** modeled CPU cost of logging one event on the primary *)
+  replay_cost : float;  (** modeled CPU cost of replaying one event *)
+  ckpt_byte_cost : float;
+      (** modeled cost (seconds per byte) of serializing and writing a
+          checkpoint on a secondary — the source of Fig. 10's dips *)
+  pipeline_depth : int;
+      (** concurrent consensus instances; 1 = the paper's
+          single-active-instance design, >1 = the §3.1 piggyback
+          pipelining *)
+  paxos_sync_latency : float;
+      (** modeled acceptor fsync before promises/accepts (0 disables) *)
+}
+
+val make :
+  ?workers:int ->
+  ?propose_interval:float ->
+  ?checkpoint_interval:float option ->
+  ?flow_window:int ->
+  ?flow_report_interval:float ->
+  ?flow_staleness:float ->
+  ?heartbeat_period:float ->
+  ?election_timeout:float ->
+  ?reduce_edges:bool ->
+  ?partial_order:bool ->
+  ?check_versions:bool ->
+  ?record_cost:float ->
+  ?replay_cost:float ->
+  ?ckpt_byte_cost:float ->
+  ?pipeline_depth:int ->
+  ?paxos_sync_latency:float ->
+  replicas:int list ->
+  unit ->
+  t
+
+val total_slots : t -> n_timers:int -> int

@@ -1,0 +1,27 @@
+type t = {
+  delta : Trace.Delta.t;
+  ckpt : (int * Trace.Cut.t) option;
+}
+
+let write b t =
+  Trace.Delta.write b t.delta;
+  Codec.write_option b
+    (fun b (seq, cut) ->
+      Codec.write_uvarint b seq;
+      Trace.Cut.write b cut)
+    t.ckpt
+
+let read s =
+  let delta = Trace.Delta.read s in
+  let ckpt =
+    Codec.read_option s (fun s ->
+        let seq = Codec.read_uvarint s in
+        let cut = Trace.Cut.read s in
+        (seq, cut))
+  in
+  { delta; ckpt }
+
+let encode t = Codec.encode (Fun.flip write) t
+let decode s = Codec.decode read s
+
+let wire_size t = String.length (encode t)

@@ -1,0 +1,13 @@
+(** Consensus values: what Rex proposes to Paxos instances — a trace delta
+    plus an optional checkpoint request (paper §3.3). *)
+
+type t = {
+  delta : Trace.Delta.t;
+  ckpt : (int * Trace.Cut.t) option;
+      (** checkpoint sequence number and the cut at which secondaries
+          should snapshot *)
+}
+
+val encode : t -> string
+val decode : string -> t
+val wire_size : t -> int

@@ -1,0 +1,876 @@
+open Sim
+module Runtime = Rexsync.Runtime
+
+let flow_port = "rex.flow"
+let fetch_ckpt_port = "rex.fetch_ckpt"
+let push_ckpt_port = "rex.push_ckpt"
+
+(* Timer slots beyond the workers; a fixed budget keeps the slot count —
+   and hence trace arity — independent of when the factory runs. *)
+let timer_slot_budget = 8
+
+type role = Primary | Secondary
+
+type exec = {
+  gen : int;
+  rt : Runtime.t;
+  app : App.t;
+  timers : Api.timer_spec array;
+}
+
+type pending_ckpt = { pc_seq : int; pc_cut : Trace.Cut.t; pc_instance : int }
+
+type stats = {
+  requests_executed : int;
+  replies_sent : int;
+  queries_served : int;
+  proposals_sent : int;
+  proposal_bytes : int;
+  request_payload_bytes : int;
+  checkpoints_written : int;
+  rollbacks : int;
+}
+
+type t = {
+  eng : Engine.t;
+  net : Net.t;
+  rpc : Rpc.t;
+  cfg : Config.t;
+  node_id : int;
+  factory : App.factory;
+  pstore : Paxos.Store.t;
+  disk : Checkpoint.Disk.t;
+  slots : int;
+  mutable agree : Agreement.t option;
+  make_agreement : (t -> Agreement.callbacks -> Agreement.t) option;
+  mutable exec : exec option;
+  mutable role_ : role;
+  mutable gen : int;
+  mutable rebuilding : bool;
+  (* run queue (primary) *)
+  queue : (string * (string option -> unit)) Queue.t;
+  mutable queue_waiters : Engine.waker list;
+  mutable pending_replies : (Event.Id.t * string * (string option -> unit)) list;
+  (* consensus bookkeeping *)
+  mutable proposed_cut : Trace.Cut.t;
+  mutable committed_cut_ : Trace.Cut.t;
+  mutable committed_instance : int;
+  (* checkpointing: primary side *)
+  mutable ckpt_flag : bool;
+  mutable ckpt_paused : int;
+  mutable ckpt_seq : int;
+  mutable ckpt_pending_proposal : (int * Trace.Cut.t) option;
+  mutable ckpt_resume_waiters : Engine.waker list;
+  mutable ckpt_kick : Engine.waker list;
+  (* checkpointing: secondary side *)
+  mutable ckpt_barrier : pending_ckpt option;
+  mutable ckpt_arrived : int;
+  mutable ckpt_done_waiters : Engine.waker list;
+  (* flow control *)
+  flow_reports : (int, int * float) Hashtbl.t;
+  mutable flow_waiters : Engine.waker list;
+  (* stats *)
+  mutable st_requests_executed : int;
+  mutable st_replies_sent : int;
+  mutable st_queries : int;
+  mutable st_proposals : int;
+  mutable st_proposal_bytes : int;
+  mutable st_request_bytes : int;
+  mutable st_ckpts : int;
+  mutable st_rollbacks : int;
+  mutable diverged : string option;
+}
+
+let node t = t.node_id
+let role t = t.role_
+let is_primary t = t.role_ = Primary
+let committed_cut t = t.committed_cut_
+let queue_length t = Queue.length t.queue
+let divergence t = t.diverged
+let agreement t = Option.get t.agree
+
+let the_exec t =
+  match t.exec with
+  | Some e -> e
+  | None -> invalid_arg "Rex.Server: not started"
+
+let runtime t = (the_exec t).rt
+let app_digest t = (the_exec t).app.App.digest ()
+let runtime_stats t = Runtime.stats (runtime t)
+
+let executed_cut t =
+  let e = the_exec t in
+  match Runtime.mode e.rt with
+  | Runtime.Replay -> Runtime.executed_cut e.rt
+  | Runtime.Record | Runtime.Native -> Runtime.recorded_cut e.rt
+
+let divergence_report t =
+  match (t.diverged, t.exec) with
+  | Some msg, Some exec ->
+    let rt = exec.rt in
+    let dot =
+      Render.window_to_dot
+        ~resource_name:(Runtime.resource_name rt)
+        (Runtime.trace rt)
+        ~center:(Runtime.executed_cut rt)
+        ~radius:6
+    in
+    Some (msg ^ "\n" ^ dot)
+  | _ -> None
+
+let stats t =
+  {
+    requests_executed = t.st_requests_executed;
+    replies_sent = t.st_replies_sent;
+    queries_served = t.st_queries;
+    proposals_sent = t.st_proposals;
+    proposal_bytes = t.st_proposal_bytes;
+    request_payload_bytes = t.st_request_bytes;
+    checkpoints_written = t.st_ckpts;
+    rollbacks = t.st_rollbacks;
+  }
+
+let wake_all waiters = List.iter Engine.wake waiters
+
+let wake_queue t =
+  let ws = t.queue_waiters in
+  t.queue_waiters <- [];
+  wake_all ws
+
+let wake_flow t =
+  let ws = t.flow_waiters in
+  t.flow_waiters <- [];
+  wake_all ws
+
+let wake_ckpt_resume t =
+  let ws = t.ckpt_resume_waiters in
+  t.ckpt_resume_waiters <- [];
+  wake_all ws
+
+let wake_ckpt_kick t =
+  let ws = t.ckpt_kick in
+  t.ckpt_kick <- [];
+  wake_all ws
+
+let wake_ckpt_done t =
+  let ws = t.ckpt_done_waiters in
+  t.ckpt_done_waiters <- [];
+  wake_all ws
+
+let active_slots t exec = t.cfg.Config.workers + Array.length exec.timers
+
+let release_replies t =
+  let ready, waiting =
+    List.partition
+      (fun (id, _, _) -> Trace.Cut.includes t.committed_cut_ id)
+      t.pending_replies
+  in
+  t.pending_replies <- waiting;
+  List.iter
+    (fun (_, resp, cb) ->
+      t.st_replies_sent <- t.st_replies_sent + 1;
+      cb (Some resp))
+    ready
+
+let drop_client_state t =
+  let pending = t.pending_replies in
+  t.pending_replies <- [];
+  List.iter (fun (_, _, cb) -> cb None) pending;
+  Queue.iter (fun (_, cb) -> cb None) t.queue;
+  Queue.clear t.queue
+
+(* --- Flow control (paper §6.3: the primary waits for live secondaries) --- *)
+
+let flow_ok t exec =
+  let mine =
+    Array.fold_left ( + ) 0 (Trace.Cut.to_array (Runtime.recorded_cut exec.rt))
+  in
+  let now = Engine.clock t.eng in
+  let slow =
+    Hashtbl.fold
+      (fun _ (count, at) acc ->
+        if now -. at <= t.cfg.Config.flow_staleness then
+          Some (match acc with None -> count | Some m -> min m count)
+        else acc)
+      t.flow_reports None
+  in
+  match slow with
+  | None -> true
+  | Some s -> mine - s <= t.cfg.Config.flow_window
+
+(* --- Checkpoint: secondary barrier --- *)
+
+let ckpt_arrive t exec seq =
+  match t.ckpt_barrier with
+  | Some pc when pc.pc_seq = seq ->
+    t.ckpt_arrived <- t.ckpt_arrived + 1;
+    if t.ckpt_arrived >= active_slots t exec then begin
+      (* Every slot is paused at its mark: the state is quiescent. *)
+      let sink = Codec.sink ~initial_capacity:4096 () in
+      exec.app.App.write_checkpoint sink;
+      (* Serializing + writing the snapshot stalls this replica's replay,
+         which the flow-control window turns into the primary-side dip of
+         Fig. 10. *)
+      Engine.work
+        (float_of_int (Codec.length sink) *. t.cfg.Config.ckpt_byte_cost);
+      let blob =
+        {
+          Checkpoint.seq = pc.pc_seq;
+          instance = pc.pc_instance;
+          cut = pc.pc_cut;
+          versions = Runtime.version_snapshot exec.rt;
+          app_bytes = Codec.contents sink;
+        }
+      in
+      Checkpoint.Disk.save t.disk blob;
+      (match t.agree with
+      | Some a -> a.Agreement.truncate_below pc.pc_instance
+      | None -> ());
+      t.st_ckpts <- t.st_ckpts + 1;
+      t.ckpt_barrier <- None;
+      t.ckpt_arrived <- 0;
+      wake_ckpt_done t;
+      (* Copy the checkpoint to the other replicas in the background
+         (§3.3) so every node — the primary included — can roll back or
+         recover locally. *)
+      let encoded = Checkpoint.encode blob in
+      ignore
+        (Engine.spawn t.eng ~node:t.node_id ~name:"rex.ckpt-push" (fun () ->
+             List.iter
+               (fun peer ->
+                 if peer <> t.node_id then
+                   Net.send t.net ~src:t.node_id ~dst:peer ~port:push_ckpt_port
+                     encoded)
+               t.cfg.Config.replicas))
+    end
+    else
+      while
+        match t.ckpt_barrier with
+        | Some pc' when pc'.pc_seq = seq -> true
+        | Some _ | None -> false
+      do
+        Engine.park (fun w -> t.ckpt_done_waiters <- w :: t.ckpt_done_waiters)
+      done
+  | Some _ | None -> () (* stale mark from before our checkpoint *)
+
+(* --- Checkpoint: primary pause (paper §3.3) --- *)
+
+let ckpt_pause_if_needed t exec =
+  if t.ckpt_flag then begin
+    ignore
+      (Runtime.record exec.rt ~kind:Event.Ckpt_mark ~resource:t.ckpt_seq []);
+    t.ckpt_paused <- t.ckpt_paused + 1;
+    if t.ckpt_paused >= active_slots t exec then begin
+      (* All slots are at a request boundary: this trace end is the cut. *)
+      t.ckpt_pending_proposal <-
+        Some (t.ckpt_seq, Trace.end_cut (Runtime.trace exec.rt));
+      t.ckpt_flag <- false;
+      t.ckpt_paused <- 0;
+      wake_ckpt_resume t
+    end
+    else
+      while t.ckpt_flag do
+        Engine.park (fun w ->
+            t.ckpt_resume_waiters <- w :: t.ckpt_resume_waiters)
+      done
+  end
+
+let request_checkpoint t =
+  if t.role_ = Primary && (not t.ckpt_flag) && t.exec <> None then begin
+    t.ckpt_seq <- t.ckpt_seq + 1;
+    t.ckpt_flag <- true;
+    wake_queue t;
+    wake_flow t;
+    wake_ckpt_kick t
+  end
+
+(* --- Worker slots --- *)
+
+let current t (exec : exec) = exec.gen = t.gen && t.diverged = None
+
+(* Blocking request intake with checkpoint-pause and flow-control gates. *)
+let rec pop_request t exec =
+  if not (current t exec) || t.role_ <> Primary then None
+  else begin
+    ckpt_pause_if_needed t exec;
+    if not (flow_ok t exec) then begin
+      Engine.park (fun w -> t.flow_waiters <- w :: t.flow_waiters);
+      pop_request t exec
+    end
+    else
+      match Queue.take_opt t.queue with
+      | Some r -> Some r
+      | None ->
+        Engine.park (fun w -> t.queue_waiters <- w :: t.queue_waiters);
+        pop_request t exec
+  end
+
+let execute_guarded t exec request =
+  match exec.app.App.execute ~request with
+  | resp -> resp
+  | exception ((Runtime.Divergence _ | Runtime.Replay_interrupted | Engine.Killed) as e) ->
+    raise e
+  | exception exn ->
+    Logs.warn (fun m ->
+        m "rex[%d]: handler raised %s" t.node_id (Printexc.to_string exn));
+    "ERR:handler-exception"
+
+(* Result checking (§5): the primary logs a digest of each response in
+   the request's completion event; secondaries compare it against the
+   response their own replay computed, catching divergences that version
+   checking alone would surface much later. *)
+let response_digest resp =
+  let b = Codec.sink ~initial_capacity:8 () in
+  Codec.write_uvarint b (Hashtbl.hash resp);
+  Codec.contents b
+
+let record_iteration t exec =
+  match pop_request t exec with
+  | None -> ()
+  | Some (request, cb) ->
+    ignore
+      (Runtime.record exec.rt ~kind:Event.Req_start ~resource:0
+         ~payload:request []);
+    t.st_request_bytes <- t.st_request_bytes + String.length request;
+    let resp = execute_guarded t exec request in
+    let src =
+      Runtime.record exec.rt ~kind:Event.Req_end ~resource:0
+        ~payload:(response_digest resp) []
+    in
+    t.st_requests_executed <- t.st_requests_executed + 1;
+    t.pending_replies <-
+      (Runtime.source_id src, resp, cb) :: t.pending_replies
+
+let replay_iteration t exec =
+  match Runtime.await_next exec.rt with
+  | `Interrupted -> raise Runtime.Replay_interrupted
+  | `Record_now -> () (* promotion: the main loop re-dispatches on mode *)
+  | `Event e -> (
+    match e.Event.kind with
+    | Event.Req_start ->
+      (* Dispatch events carry no incoming causal edges. *)
+      Runtime.complete exec.rt e;
+      let resp = execute_guarded t exec e.payload in
+      (match Runtime.mode exec.rt with
+      | Runtime.Replay -> (
+        match Runtime.take exec.rt ~kinds:[ Event.Req_end ] ~resource:0 with
+        | `Event e2 ->
+          if
+            t.cfg.Config.check_versions && e2.payload <> ""
+            && e2.payload <> response_digest resp
+          then
+            raise
+              (Runtime.Divergence
+                 (Fmt.str
+                    "rex[%d]: slot %d computed a different response than the                      primary for %S (result checking, §5)"
+                    t.node_id e.id.slot
+                    (String.sub e.payload 0 (min 40 (String.length e.payload)))))
+          else Runtime.complete exec.rt e2
+        | `Record_now ->
+          ignore
+            (Runtime.record exec.rt ~kind:Event.Req_end ~resource:0
+               ~payload:(response_digest resp) []))
+      | Runtime.Record | Runtime.Native ->
+        (* Promoted mid-request: finish it as the new primary. *)
+        ignore
+          (Runtime.record exec.rt ~kind:Event.Req_end ~resource:0
+             ~payload:(response_digest resp) []));
+      t.st_requests_executed <- t.st_requests_executed + 1
+    | Event.Ckpt_mark ->
+      Runtime.complete exec.rt e;
+      ckpt_arrive t exec e.resource
+    | _ ->
+      raise
+        (Runtime.Divergence
+           (Fmt.str "rex[%d]: worker slot %d found unexpected %s in trace"
+              t.node_id e.id.slot
+              (Event.kind_to_string e.kind))))
+
+let worker_loop t exec slot () =
+  Runtime.bind_slot exec.rt slot;
+  let rec loop () =
+    if current t exec then begin
+      (match Runtime.mode exec.rt with
+      | Runtime.Record -> record_iteration t exec
+      | Runtime.Replay -> replay_iteration t exec
+      | Runtime.Native -> ());
+      loop ()
+    end
+  in
+  (try loop () with
+  | Runtime.Divergence msg -> t.diverged <- Some msg
+  | Runtime.Replay_interrupted -> ());
+  Runtime.unbind_slot exec.rt
+
+(* --- Timer slots (background tasks, e.g. compaction) --- *)
+
+(* Wait out the timer period, but stay responsive to checkpoint pauses
+   and teardown. *)
+let timer_wait t exec interval =
+  let deadline = Engine.now () +. interval in
+  let rec wait () =
+    if not (current t exec) then ()
+    else begin
+      ckpt_pause_if_needed t exec;
+      let now = Engine.now () in
+      if now < deadline then begin
+        Engine.park (fun w ->
+            t.ckpt_kick <- w :: t.ckpt_kick;
+            Engine.schedule t.eng ~at:deadline (fun () -> Engine.wake w));
+        wait ()
+      end
+    end
+  in
+  wait ()
+
+let timer_record_iteration t exec (spec : Api.timer_spec) =
+  timer_wait t exec spec.t_interval;
+  if current t exec && Runtime.mode exec.rt = Runtime.Record then begin
+    ignore
+      (Runtime.record exec.rt ~kind:Event.Timer_fire ~resource:0
+         ~payload:spec.t_name []);
+    spec.t_callback ()
+  end
+
+let timer_replay_iteration t exec (spec : Api.timer_spec) =
+  match Runtime.await_next exec.rt with
+  | `Interrupted -> raise Runtime.Replay_interrupted
+  | `Record_now -> ()
+  | `Event e -> (
+    match e.Event.kind with
+    | Event.Timer_fire ->
+      Runtime.complete exec.rt e;
+      spec.t_callback ()
+    | Event.Ckpt_mark ->
+      Runtime.complete exec.rt e;
+      ckpt_arrive t exec e.resource
+    | _ ->
+      raise
+        (Runtime.Divergence
+           (Fmt.str "rex[%d]: timer slot %d found unexpected %s" t.node_id
+              e.id.slot
+              (Event.kind_to_string e.kind))))
+
+let timer_loop t exec slot (spec : Api.timer_spec) () =
+  Runtime.bind_slot exec.rt slot;
+  let rec loop () =
+    if current t exec then begin
+      (match Runtime.mode exec.rt with
+      | Runtime.Record -> timer_record_iteration t exec spec
+      | Runtime.Replay -> timer_replay_iteration t exec spec
+      | Runtime.Native -> ());
+      loop ()
+    end
+  in
+  (try loop () with
+  | Runtime.Divergence msg -> t.diverged <- Some msg
+  | Runtime.Replay_interrupted -> ());
+  Runtime.unbind_slot exec.rt
+
+let spawn_slots t exec =
+  for slot = 0 to t.cfg.Config.workers - 1 do
+    ignore
+      (Engine.spawn t.eng ~node:t.node_id
+         ~name:(Printf.sprintf "rex.worker%d" slot)
+         (worker_loop t exec slot))
+  done;
+  Array.iteri
+    (fun i spec ->
+      ignore
+        (Engine.spawn t.eng ~node:t.node_id
+           ~name:(Printf.sprintf "rex.timer.%s" spec.Api.t_name)
+           (timer_loop t exec (t.cfg.Config.workers + i) spec)))
+    exec.timers
+
+(* --- Secondary flow reporting --- *)
+
+let spawn_flow_reporter t exec =
+  ignore
+    (Engine.spawn t.eng ~node:t.node_id ~name:"rex.flow" (fun () ->
+         while current t exec do
+           Engine.sleep t.cfg.Config.flow_report_interval;
+           if current t exec && t.role_ = Secondary then begin
+             let count =
+               Array.fold_left ( + ) 0
+                 (Trace.Cut.to_array (Runtime.executed_cut exec.rt))
+             in
+             let b = Codec.sink ~initial_capacity:16 () in
+             Codec.write_uvarint b count;
+             List.iter
+               (fun peer ->
+                 if peer <> t.node_id then
+                   Net.send t.net ~src:t.node_id ~dst:peer ~port:flow_port
+                     (Codec.contents b))
+               t.cfg.Config.replicas
+           end
+         done))
+
+(* --- Proposer (primary) --- *)
+
+let spawn_proposer t exec =
+  ignore
+    (Engine.spawn t.eng ~node:t.node_id ~name:"rex.proposer" (fun () ->
+         while current t exec && t.role_ = Primary do
+           Engine.sleep t.cfg.Config.propose_interval;
+           wake_flow t;
+           (* staleness re-check *)
+           if current t exec && t.role_ = Primary && not t.ckpt_flag then begin
+             let agree = agreement t in
+             if agree.Agreement.can_propose () then begin
+               let upto = Trace.end_cut (Runtime.trace exec.rt) in
+               let ckpt = t.ckpt_pending_proposal in
+               if (not (Trace.Cut.equal upto t.proposed_cut)) || ckpt <> None
+               then begin
+                 let delta =
+                   Trace.Delta.extract (Runtime.trace exec.rt)
+                     ~base:t.proposed_cut ~upto
+                 in
+                 let prop = { Proposal.delta; ckpt } in
+                 let encoded = Proposal.encode prop in
+                 if agree.Agreement.propose encoded then begin
+                   t.proposed_cut <- upto;
+                   t.ckpt_pending_proposal <- None;
+                   t.st_proposals <- t.st_proposals + 1;
+                   t.st_proposal_bytes <-
+                     t.st_proposal_bytes + String.length encoded
+                 end
+               end
+             end
+           end
+         done))
+
+(* --- Checkpoint policy timer (primary) --- *)
+
+let spawn_ckpt_policy t exec =
+  match t.cfg.Config.checkpoint_interval with
+  | None -> ()
+  | Some interval ->
+    ignore
+      (Engine.spawn t.eng ~node:t.node_id ~name:"rex.ckpt-policy" (fun () ->
+           while current t exec && t.role_ = Primary do
+             Engine.sleep interval;
+             if current t exec && t.role_ = Primary then request_checkpoint t
+           done))
+
+(* --- Building / rebuilding the execution context --- *)
+
+let apply_committed t exec instance value =
+  match Proposal.decode value with
+  | exception Codec.Decode_error _ -> ()
+  | prop -> (
+    t.committed_instance <- instance;
+    match Trace.Delta.apply_overlapping (Runtime.trace exec.rt) prop.delta with
+    | Ok () ->
+      t.committed_cut_ <- prop.Proposal.delta.upto;
+      (match prop.ckpt with
+      | Some (seq, cut) ->
+        let have =
+          match Checkpoint.Disk.latest t.disk with
+          | Some c -> c.seq
+          | None -> 0
+        in
+        if seq > have then begin
+          t.ckpt_barrier <- Some { pc_seq = seq; pc_cut = cut; pc_instance = instance };
+          t.ckpt_seq <- max t.ckpt_seq seq
+        end
+      | None -> ());
+      Runtime.feed_progress exec.rt
+    | Error msg ->
+      t.diverged <-
+        Some (Fmt.str "rex[%d]: committed delta misaligned: %s" t.node_id msg))
+
+let build_exec t =
+  t.rebuilding <- true;
+  t.gen <- t.gen + 1;
+  (match t.exec with
+  | Some old -> Runtime.interrupt_replay old.rt
+  | None -> ());
+  wake_queue t;
+  wake_flow t;
+  wake_ckpt_resume t;
+  wake_ckpt_kick t;
+  wake_ckpt_done t;
+  t.ckpt_flag <- false;
+  t.ckpt_paused <- 0;
+  t.ckpt_pending_proposal <- None;
+  t.ckpt_barrier <- None;
+  t.ckpt_arrived <- 0;
+  let ck = Checkpoint.Disk.latest t.disk in
+  let base = Option.map (fun c -> c.Checkpoint.cut) ck in
+  let rt =
+    Runtime.create ~reduce_edges:t.cfg.Config.reduce_edges
+      ~partial_order:t.cfg.Config.partial_order
+      ~check_versions:t.cfg.Config.check_versions
+      ~record_cost:t.cfg.Config.record_cost
+      ~replay_cost:t.cfg.Config.replay_cost ?base t.eng ~node:t.node_id
+      ~slots:t.slots
+  in
+  Runtime.set_mode rt Runtime.Replay;
+  let api = Api.make rt in
+  let app = t.factory api in
+  let timers = Array.of_list (Api.seal api) in
+  if Array.length timers > timer_slot_budget then
+    invalid_arg "Rex.Server: too many timers (budget is 8)";
+  (match ck with
+  | Some c ->
+    app.App.read_checkpoint (Codec.source c.app_bytes);
+    Runtime.restore_versions rt c.versions;
+    t.ckpt_seq <- max t.ckpt_seq c.seq;
+    t.committed_cut_ <- c.cut;
+    (* The checkpoint subsumes the log prefix up to its instance; a
+       rejoiner behind its peers' GC horizon must not wait for entries
+       that no longer exist anywhere. *)
+    (match t.agree with
+    | Some a -> a.Agreement.fast_forward (c.instance - 1)
+    | None -> ())
+  | None -> t.committed_cut_ <- Trace.Cut.zero ~slots:t.slots);
+  let exec = { gen = t.gen; rt; app; timers } in
+  t.exec <- Some exec;
+  (* Re-apply the committed history this replica already knows. *)
+  (match t.agree with
+  | None -> ()
+  | Some agree ->
+    let from_i = match ck with Some c -> c.instance | None -> 1 in
+    for i = max 1 from_i to agree.Agreement.committed_upto () do
+      match agree.Agreement.committed i with
+      | Some v -> apply_committed t exec i v
+      | None -> ()
+    done);
+  spawn_slots t exec;
+  spawn_flow_reporter t exec;
+  t.rebuilding <- false;
+  exec
+
+(* --- Role transitions --- *)
+
+let demote t ~reason =
+  if t.role_ = Primary then begin
+    Logs.info (fun m -> m "rex[%d]: demoting (%s)" t.node_id reason);
+    t.role_ <- Secondary;
+    t.st_rollbacks <- t.st_rollbacks + 1;
+    t.gen <- t.gen + 1;
+    (* invalidate old slots immediately *)
+    drop_client_state t;
+    t.rebuilding <- true;
+    ignore
+      (Engine.spawn t.eng ~node:t.node_id ~name:"rex.demote" (fun () ->
+           ignore (build_exec t)))
+  end
+
+let promote t =
+  let g = t.gen in
+  ignore
+    (Engine.spawn t.eng ~node:t.node_id ~name:"rex.promote" (fun () ->
+         match t.exec with
+         | Some exec when exec.gen = g && t.gen = g ->
+           (* Replay the committed trace to its end before leading
+              (§3.2: promotion to primary). *)
+           let rec wait_caught_up () =
+             if t.gen = g && t.diverged = None then
+               if
+                 Trace.Cut.equal
+                   (Runtime.executed_cut exec.rt)
+                   (Runtime.recorded_cut exec.rt)
+               then ()
+               else begin
+                 Engine.sleep 2e-4;
+                 wait_caught_up ()
+               end
+           in
+           wait_caught_up ();
+           if t.gen = g && t.diverged = None then begin
+             Runtime.set_mode exec.rt Runtime.Record;
+             Runtime.feed_progress exec.rt;
+             t.role_ <- Primary;
+             t.proposed_cut <- Runtime.recorded_cut exec.rt;
+             Hashtbl.reset t.flow_reports;
+             spawn_proposer t exec;
+             spawn_ckpt_policy t exec;
+             Logs.info (fun m -> m "rex[%d]: promoted to primary" t.node_id)
+           end
+         | Some _ | None -> ()))
+
+let on_committed t instance value =
+  if not t.rebuilding then
+    match t.exec with
+    | None -> ()
+    | Some exec ->
+      if t.role_ = Primary then begin
+        match Proposal.decode value with
+        | exception Codec.Decode_error _ -> ()
+        | prop ->
+          t.committed_instance <- instance;
+          if Trace.Cut.leq prop.delta.upto (Runtime.recorded_cut exec.rt) then begin
+            (* our own proposal: the trace already holds it *)
+            t.committed_cut_ <- prop.delta.upto;
+            release_replies t
+          end
+          else
+            (* a foreign commit while we believe we lead *)
+            demote t ~reason:"foreign commit observed"
+      end
+      else apply_committed t exec instance value
+
+(* --- Construction --- *)
+
+let create ?make_agreement net rpc cfg ~node ~paxos_store ~disk factory =
+  let eng = Net.engine net in
+  let slots = cfg.Config.workers + timer_slot_budget in
+  let t =
+    {
+      eng;
+      net;
+      rpc;
+      cfg;
+      node_id = node;
+      factory;
+      pstore = paxos_store;
+      disk;
+      slots;
+      agree = None;
+      make_agreement;
+      exec = None;
+      role_ = Secondary;
+      gen = 0;
+      rebuilding = false;
+      queue = Queue.create ();
+      queue_waiters = [];
+      pending_replies = [];
+      proposed_cut = Trace.Cut.zero ~slots;
+      committed_cut_ = Trace.Cut.zero ~slots;
+      committed_instance = 0;
+      ckpt_flag = false;
+      ckpt_paused = 0;
+      ckpt_seq = 0;
+      ckpt_pending_proposal = None;
+      ckpt_resume_waiters = [];
+      ckpt_kick = [];
+      ckpt_barrier = None;
+      ckpt_arrived = 0;
+      ckpt_done_waiters = [];
+      flow_reports = Hashtbl.create 8;
+      flow_waiters = [];
+      st_requests_executed = 0;
+      st_replies_sent = 0;
+      st_queries = 0;
+      st_proposals = 0;
+      st_proposal_bytes = 0;
+      st_request_bytes = 0;
+      st_ckpts = 0;
+      st_rollbacks = 0;
+      diverged = None;
+    }
+  in
+  (* Client-facing services. *)
+  Rpc.serve_async rpc ~node ~port:Client.client_port (fun ~src:_ request ~reply ->
+      if t.role_ <> Primary then
+        reply
+          (Client.encode_reply
+             (Client.Not_leader
+                (match t.agree with
+                | Some a -> a.Agreement.leader_hint ()
+                | None -> None)))
+      else begin
+        Queue.push
+          ( request,
+            function
+            | Some resp -> reply (Client.encode_reply (Client.Ok_reply resp))
+            | None -> reply (Client.encode_reply Client.Dropped) )
+          t.queue;
+        wake_queue t
+      end);
+  Rpc.serve rpc ~node ~port:Client.query_port (fun ~src:_ request ->
+      match t.exec with
+      | None -> Client.encode_reply Client.Dropped
+      | Some exec ->
+        t.st_queries <- t.st_queries + 1;
+        Client.encode_reply (Client.Ok_reply (exec.app.App.query ~request)));
+  Rpc.serve rpc ~node ~port:fetch_ckpt_port (fun ~src:_ _ ->
+      match Checkpoint.Disk.latest t.disk with
+      | Some c -> Checkpoint.encode c
+      | None -> "");
+  Net.register net ~node ~port:push_ckpt_port (fun ~src:_ payload ->
+      match Checkpoint.decode payload with
+      | blob -> Checkpoint.Disk.save t.disk blob
+      | exception Codec.Decode_error _ -> ());
+  Net.register net ~node ~port:flow_port (fun ~src payload ->
+      (match Codec.read_uvarint (Codec.source payload) with
+      | count ->
+        Hashtbl.replace t.flow_reports src (count, Engine.clock eng)
+      | exception Codec.Decode_error _ -> ());
+      wake_flow t);
+  t
+
+let submit t request cb =
+  if t.role_ <> Primary then cb None
+  else begin
+    Queue.push (request, cb) t.queue;
+    wake_queue t
+  end
+
+let query t request =
+  let exec = the_exec t in
+  t.st_queries <- t.st_queries + 1;
+  exec.app.App.query ~request
+
+(* Fetch a fresher checkpoint from peers before first build (a rejoining
+   replica whose peers have GC'd their logs needs it). *)
+let fetch_better_checkpoint t =
+  let mine =
+    match Checkpoint.Disk.latest t.disk with Some c -> c.seq | None -> 0
+  in
+  List.iter
+    (fun peer ->
+      if peer <> t.node_id then
+        match
+          Rpc.call t.rpc ~src:t.node_id ~dst:peer ~port:fetch_ckpt_port
+            ~timeout:0.05 ""
+        with
+        | Some blob when blob <> "" -> (
+          match Checkpoint.decode blob with
+          | c when c.seq > mine -> Checkpoint.Disk.save t.disk c
+          | _ -> ()
+          | exception Codec.Decode_error _ -> ())
+        | Some _ | None -> ())
+    t.cfg.Config.replicas
+
+let start t =
+  let cbs =
+    {
+      Agreement.on_committed = (fun i v -> on_committed t i v);
+      on_become_leader = (fun () -> promote t);
+      on_new_leader =
+        (fun r ->
+          if t.role_ = Primary then
+            demote t ~reason:(Printf.sprintf "replica %d took leadership" r));
+    }
+  in
+  let agree =
+    match t.make_agreement with
+    | Some make -> make t cbs
+    | None ->
+      let pax_cfg =
+        {
+          Paxos.Replica.me = t.node_id;
+          peers = t.cfg.Config.replicas;
+          heartbeat_period = t.cfg.Config.heartbeat_period;
+          election_timeout = t.cfg.Config.election_timeout;
+          max_inflight = t.cfg.Config.pipeline_depth;
+          sync_latency = t.cfg.Config.paxos_sync_latency;
+        }
+      in
+      let pax_cbs =
+        {
+          Paxos.Replica.on_committed = cbs.Agreement.on_committed;
+          on_become_leader = cbs.Agreement.on_become_leader;
+          on_new_leader = cbs.Agreement.on_new_leader;
+        }
+      in
+      Agreement.of_paxos (Paxos.Replica.create t.net pax_cfg t.pstore pax_cbs)
+  in
+  t.agree <- Some agree;
+  ignore
+    (Engine.spawn t.eng ~node:t.node_id ~name:"rex.start" (fun () ->
+         fetch_better_checkpoint t;
+         ignore (build_exec t);
+         agree.Agreement.start ()))

@@ -1,0 +1,1 @@
+lib/rexsync/condvar.ml: Event Lock Msync Option Queue Runtime Sim

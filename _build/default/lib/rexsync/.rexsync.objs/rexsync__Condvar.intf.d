@@ -1,0 +1,1 @@
+lib/rexsync/condvar.mli: Lock Runtime

@@ -1,0 +1,1 @@
+lib/rexsync/lock.ml: Engine Event Fun Msync Option Runtime Sim

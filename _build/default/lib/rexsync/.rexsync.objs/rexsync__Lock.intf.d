@@ -1,0 +1,1 @@
+lib/rexsync/lock.mli: Event Runtime Sim

@@ -1,0 +1,1 @@
+lib/rexsync/runtime.ml: Array Engine Event Fmt Fun Hashtbl List Option Printf Scoreboard Sim String Trace Vclock

@@ -1,0 +1,1 @@
+lib/rexsync/runtime.mli: Event Sim Trace

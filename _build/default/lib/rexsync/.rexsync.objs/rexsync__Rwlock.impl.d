@@ -1,0 +1,1 @@
+lib/rexsync/rwlock.ml: Event Fun Msync Option Runtime Sim

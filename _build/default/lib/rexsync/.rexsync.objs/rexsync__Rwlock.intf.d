@@ -1,0 +1,1 @@
+lib/rexsync/rwlock.mli: Runtime

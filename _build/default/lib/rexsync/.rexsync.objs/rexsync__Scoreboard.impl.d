@@ -1,0 +1,1 @@
+lib/rexsync/scoreboard.ml: Array Engine Event Pqueue Printf Sim Trace

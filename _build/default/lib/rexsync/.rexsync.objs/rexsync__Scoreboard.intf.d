@@ -1,0 +1,1 @@
+lib/rexsync/scoreboard.mli: Event Trace

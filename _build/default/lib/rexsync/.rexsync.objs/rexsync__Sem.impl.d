@@ -1,0 +1,1 @@
+lib/rexsync/sem.ml: Engine Event Msync Option Queue Runtime Sim

@@ -1,0 +1,1 @@
+lib/rexsync/sem.mli: Runtime

@@ -1,0 +1,23 @@
+(** [RexCond]: condition-variable wrapper.
+
+    A recorded wait produces two trace events against the condition's
+    resource: [Cond_wait] (the mutex release going to sleep) and
+    [Cond_wake] (the wake-up, with a causal edge from the signal or
+    broadcast that caused it, plus the mutex re-acquisition edges).
+
+    During replay the real condition variable is bypassed entirely: the
+    waiter parks on the scoreboard until its recorded signal has executed,
+    then re-acquires the real mutex.  There are therefore no lost wakeups
+    in replay, and after a promotion the primitive switches back to the
+    real condition variable seamlessly. *)
+
+type t
+
+val create : Runtime.t -> string -> t
+val uid : t -> int
+
+val wait : t -> Lock.t -> unit
+(** Caller must hold the lock. *)
+
+val signal : t -> unit
+val broadcast : t -> unit

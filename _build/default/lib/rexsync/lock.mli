@@ -1,0 +1,43 @@
+(** [RexLock]: the mutex wrapper of paper Fig. 3, with [TryLock].
+
+    In record mode each operation appends an event to the trace —
+    [Acquire] carries a causal edge from the previous [Release], a failed
+    try carries an edge from the current holder's [Acquire], and a
+    [Release] carries edges from the failed tries it unblocks (the
+    partial-order scheme of Fig. 4; with [partial_order = false] in the
+    runtime, a per-lock total order is recorded instead).  In replay mode
+    each operation waits for its recorded causal edges, performs the real
+    operation, and verifies the resource version.  Unbound (native)
+    fibers and [native_exec] scopes go straight to the real lock. *)
+
+type t
+
+val create : Runtime.t -> string -> t
+val uid : t -> int
+val lock : t -> unit
+val try_lock : t -> bool
+val unlock : t -> unit
+
+val locked : t -> bool
+(** Native inspection of the underlying lock (diagnostics only). *)
+
+val with_lock : t -> (unit -> 'a) -> 'a
+
+(**/**)
+
+(* Internal hooks used by {!Condvar}: perform this lock's record/replay
+   bookkeeping for a wait/wake event logged against the condition
+   variable's resource, without touching the real mutex. *)
+
+val runtime : t -> Runtime.t
+val real_mutex : t -> Sim.Msync.Mutex.t
+
+val record_release_as :
+  t -> kind:Event.kind -> resource:int -> Runtime.source
+
+val record_acquire_as :
+  t -> kind:Event.kind -> resource:int -> extra_srcs:Runtime.source list ->
+  Runtime.source
+
+val replay_note_release : t -> Event.t -> unit
+val replay_note_acquire : t -> Event.t -> unit

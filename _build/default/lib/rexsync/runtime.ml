@@ -1,0 +1,334 @@
+open Sim
+
+exception Divergence of string
+exception Replay_interrupted
+
+type mode = Record | Replay | Native
+
+type fiber_ctx = { slot : int; mutable native_depth : int }
+
+type stats = {
+  events_recorded : int;
+  edges_recorded : int;
+  edges_reduced : int;
+  events_replayed : int;
+  waited_events : int;
+  nondet_recorded : int;
+}
+
+type t = {
+  eng : Engine.t;
+  node : int;
+  slots : int;
+  tr : Trace.t;
+  sbd : Scoreboard.t;
+  mutable md : mode;
+  vcs : Vclock.t array;
+  bound : (Engine.tid, fiber_ctx) Hashtbl.t;
+  slot_owner : Engine.tid option array;
+  resource_names : (int, string) Hashtbl.t;
+  versioned : (int, (unit -> int) * (int -> unit)) Hashtbl.t;
+  mutable global_res_counter : int;
+  slot_res_counter : int array;
+  mutable feed_waiters : Engine.waker list;
+  mutable interrupted : bool;
+  do_reduce_edges : bool;
+  do_partial_order : bool;
+  do_check_versions : bool;
+  record_cost : float;
+  replay_cost : float;
+  mutable st_events_recorded : int;
+  mutable st_edges_recorded : int;
+  mutable st_edges_reduced : int;
+  mutable st_events_replayed : int;
+  mutable st_waited_events : int;
+  mutable st_nondet : int;
+}
+
+(* Resource uid scheme: uids minted during initialization (no slot bound)
+   use stripe 0; uids minted inside slot [s] use stripe [s+1].  Stripes
+   keep uid assignment deterministic across replicas even when handlers
+   on different slots create resources concurrently. *)
+let max_slots = 62
+
+let create ?(reduce_edges = true) ?(partial_order = true)
+    ?(check_versions = true) ?(record_cost = 0.) ?(replay_cost = 0.) ?base eng
+    ~node ~slots =
+  if slots <= 0 || slots > max_slots then
+    invalid_arg "Runtime.create: slots out of range";
+  let sbd = Scoreboard.create ~slots in
+  (match base with Some b -> Scoreboard.reset sbd b | None -> ());
+  {
+    eng;
+    node;
+    slots;
+    tr = Trace.create ?base ~slots ();
+    sbd;
+    md = Record;
+    vcs = Array.init slots (fun _ -> Vclock.create ~slots);
+    bound = Hashtbl.create 32;
+    slot_owner = Array.make slots None;
+    resource_names = Hashtbl.create 64;
+    versioned = Hashtbl.create 64;
+    global_res_counter = 0;
+    slot_res_counter = Array.make slots 0;
+    feed_waiters = [];
+    interrupted = false;
+    do_reduce_edges = reduce_edges;
+    do_partial_order = partial_order;
+    do_check_versions = check_versions;
+    record_cost;
+    replay_cost;
+    st_events_recorded = 0;
+    st_edges_recorded = 0;
+    st_edges_reduced = 0;
+    st_events_replayed = 0;
+    st_waited_events = 0;
+    st_nondet = 0;
+  }
+
+let engine t = t.eng
+let node t = t.node
+let num_slots t = t.slots
+let trace t = t.tr
+let mode t = t.md
+let set_mode t m = t.md <- m
+let reduce_edges t = t.do_reduce_edges
+let partial_order t = t.do_partial_order
+
+(* --- Fiber binding --- *)
+
+let bind_slot t slot =
+  if slot < 0 || slot >= t.slots then invalid_arg "Runtime.bind_slot";
+  (match t.slot_owner.(slot) with
+  | Some _ -> invalid_arg "Runtime.bind_slot: slot already bound"
+  | None -> ());
+  let tid = Engine.self () in
+  Hashtbl.replace t.bound tid { slot; native_depth = 0 };
+  t.slot_owner.(slot) <- Some tid
+
+let unbind_slot t =
+  let tid = Engine.self () in
+  match Hashtbl.find_opt t.bound tid with
+  | None -> ()
+  | Some ctx ->
+    Hashtbl.remove t.bound tid;
+    t.slot_owner.(ctx.slot) <- None
+
+let ctx t =
+  match Engine.self_opt () with
+  | None -> None
+  | Some tid -> Hashtbl.find_opt t.bound tid
+
+let current_slot t =
+  match ctx t with
+  | Some c when c.native_depth = 0 -> Some c.slot
+  | Some _ | None -> None
+
+let effective_mode t =
+  match current_slot t with Some _ -> t.md | None -> Native
+
+let native_exec t f =
+  match ctx t with
+  | None -> f ()
+  | Some c ->
+    c.native_depth <- c.native_depth + 1;
+    Fun.protect ~finally:(fun () -> c.native_depth <- c.native_depth - 1) f
+
+let required_slot t =
+  match current_slot t with
+  | Some s -> s
+  | None -> invalid_arg "Rex runtime: calling fiber is not bound to a slot"
+
+(* --- Resources --- *)
+
+let fresh_resource_id t name =
+  let uid =
+    match current_slot t with
+    | None ->
+      let k = t.global_res_counter in
+      t.global_res_counter <- k + 1;
+      k * (max_slots + 2)
+    | Some s ->
+      let k = t.slot_res_counter.(s) in
+      t.slot_res_counter.(s) <- k + 1;
+      (k * (max_slots + 2)) + s + 1
+  in
+  Hashtbl.replace t.resource_names uid name;
+  uid
+
+let resource_name t uid =
+  Option.value (Hashtbl.find_opt t.resource_names uid)
+    ~default:(Printf.sprintf "resource#%d" uid)
+
+(* Resource-version snapshots ride inside checkpoints so that a replica
+   rebuilt from one resumes divergence checking with correct counters. *)
+let register_versioned t uid ~get ~set = Hashtbl.replace t.versioned uid (get, set)
+
+let version_snapshot t =
+  Hashtbl.fold (fun uid (get, _) acc -> (uid, get ()) :: acc) t.versioned []
+  |> List.sort compare
+
+let restore_versions t versions =
+  List.iter
+    (fun (uid, v) ->
+      match Hashtbl.find_opt t.versioned uid with
+      | Some (_, set) -> set v
+      | None -> ())
+    versions
+
+(* --- Record path --- *)
+
+type source = { sid : Event.Id.t; svc : Vclock.t }
+
+let source_id s = s.sid
+
+let record t ~kind ~resource ?(version = 0) ?(payload = "") srcs =
+  let slot = required_slot t in
+  if t.md <> Record then
+    invalid_arg "Runtime.record: runtime is not in record mode";
+  let clock = Trace.slot_end t.tr slot + 1 in
+  let id : Event.Id.t = { slot; clock } in
+  Trace.append t.tr { Event.id; kind; resource; version; payload };
+  t.st_events_recorded <- t.st_events_recorded + 1;
+  let vc = t.vcs.(slot) in
+  ignore (Vclock.tick vc slot);
+  let seen = Hashtbl.create 4 in
+  let add_src src =
+    if src.sid.slot <> slot && not (Hashtbl.mem seen src.sid) then begin
+      Hashtbl.replace seen src.sid ();
+      if t.do_reduce_edges && Vclock.dominates vc src.sid then
+        t.st_edges_reduced <- t.st_edges_reduced + 1
+      else begin
+        Trace.add_edge t.tr ~src:src.sid ~dst:id;
+        t.st_edges_recorded <- t.st_edges_recorded + 1
+      end;
+      Vclock.join vc src.svc
+    end
+  in
+  List.iter add_src srcs;
+  let src = { sid = id; svc = Vclock.copy vc } in
+  (* Model the instruction overhead of logging an event (paper §6.3:
+     recording costs the primary <= 5%).  Charged after the append so the
+     trace bookkeeping itself stays atomic. *)
+  if t.record_cost > 0. then Engine.work t.record_cost;
+  src
+
+(* --- Replay path --- *)
+
+let feed_progress t =
+  let ws = t.feed_waiters in
+  t.feed_waiters <- [];
+  List.iter Engine.wake ws
+
+let interrupt_replay t =
+  t.interrupted <- true;
+  feed_progress t
+
+let resume_replay t = t.interrupted <- false
+
+let await_next t =
+  let slot = required_slot t in
+  let rec loop () =
+    if t.interrupted then `Interrupted
+    else if t.md <> Replay then `Record_now
+    else
+      let clock = Scoreboard.watermark t.sbd slot + 1 in
+      match Trace.find t.tr { slot; clock } with
+      | Some e -> `Event e
+      | None ->
+        Engine.park (fun w -> t.feed_waiters <- w :: t.feed_waiters);
+        loop ()
+  in
+  loop ()
+
+let peek_next t =
+  let slot = required_slot t in
+  let clock = Scoreboard.watermark t.sbd slot + 1 in
+  Trace.find t.tr { slot; clock }
+
+let divergence fmt = Fmt.kstr (fun msg -> raise (Divergence msg)) fmt
+
+let take t ~kinds ~resource =
+  match await_next t with
+  | `Interrupted -> raise Replay_interrupted
+  | `Record_now -> `Record_now
+  | `Event e ->
+    if not (List.mem e.Event.kind kinds) then
+      divergence
+        "slot %d: trace expects %s on %s, but execution performed %s on %s"
+        e.id.slot
+        (Event.kind_to_string e.kind)
+        (resource_name t e.resource)
+        (String.concat "|" (List.map Event.kind_to_string kinds))
+        (resource_name t resource)
+    else if e.resource <> resource then
+      divergence
+        "slot %d: trace expects %s on %s, but execution touched %s" e.id.slot
+        (Event.kind_to_string e.kind)
+        (resource_name t e.resource)
+        (resource_name t resource)
+    else begin
+      let parked = ref false in
+      List.iter
+        (fun src -> if Scoreboard.wait_for t.sbd src then parked := true)
+        (Trace.incoming t.tr e.id);
+      if !parked then t.st_waited_events <- t.st_waited_events + 1;
+      `Event e
+    end
+
+let check_version t (e : Event.t) ~actual =
+  if t.do_check_versions && e.version <> actual then
+    divergence
+      "slot %d: resource %s version mismatch at %a: recorded %d, replica \
+       observed %d (likely an unrecorded data race)"
+      e.id.slot
+      (resource_name t e.resource)
+      Event.Id.pp e.id e.version actual
+
+let complete t (e : Event.t) =
+  Scoreboard.advance t.sbd ~slot:e.id.slot ~clock:e.id.clock;
+  (* Keep the slot's own vector-clock component in step with its clock so
+     edge reduction stays sound after a replay→record switch. *)
+  ignore (Vclock.tick t.vcs.(e.id.slot) e.id.slot);
+  t.st_events_replayed <- t.st_events_replayed + 1
+
+let executed_cut t = Scoreboard.cut t.sbd
+let recorded_cut t = Trace.end_cut t.tr
+
+(* Wrappers keep their edge-source bookkeeping warm during replay so that
+   a promoted secondary records correct edges from its very first
+   operation.  The vector clock attached is a sound under-approximation
+   (just the event itself): reduction keeps more edges than strictly
+   needed right after a promotion, never fewer. *)
+let replay_source t (e : Event.t) =
+  let vc = Vclock.create ~slots:t.slots in
+  Vclock.observe vc e.id;
+  { sid = e.id; svc = vc }
+
+(* --- Nondet --- *)
+
+let rec nondet t f =
+  match effective_mode t with
+  | Native -> f ()
+  | Record ->
+    let v = f () in
+    t.st_nondet <- t.st_nondet + 1;
+    ignore (record t ~kind:Event.Nondet ~resource:0 ~payload:v []);
+    v
+  | Replay -> (
+    match take t ~kinds:[ Event.Nondet ] ~resource:0 with
+    | `Record_now -> nondet t f
+    | `Event e ->
+      complete t e;
+      e.payload)
+
+let stats t =
+  {
+    events_recorded = t.st_events_recorded;
+    edges_recorded = t.st_edges_recorded;
+    edges_reduced = t.st_edges_reduced;
+    events_replayed = t.st_events_replayed;
+    waited_events = t.st_waited_events;
+    nondet_recorded = t.st_nondet;
+  }

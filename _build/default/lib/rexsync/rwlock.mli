@@ -1,0 +1,18 @@
+(** [RexReadWriteLock]: readers-writer lock wrapper.
+
+    Record mode keeps the partial order of Fig. 4's spirit: a reader's
+    acquire is ordered only after the last writer's release, so concurrent
+    readers replay concurrently; a writer's acquire is ordered after every
+    read release of the preceding epoch.  The resource version counts
+    writer epochs. *)
+
+type t
+
+val create : Runtime.t -> string -> t
+val uid : t -> int
+val rd_lock : t -> unit
+val rd_unlock : t -> unit
+val wr_lock : t -> unit
+val wr_unlock : t -> unit
+val with_rd : t -> (unit -> 'a) -> 'a
+val with_wr : t -> (unit -> 'a) -> 'a

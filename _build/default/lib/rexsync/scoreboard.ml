@@ -1,0 +1,59 @@
+open Sim
+
+type t = {
+  executed : int array;
+  waiters : Engine.waker Pqueue.t array;
+      (* per slot, keyed by the clock the waiter needs *)
+}
+
+let create ~slots =
+  {
+    executed = Array.make slots 0;
+    waiters = Array.init slots (fun _ -> Pqueue.create ());
+  }
+
+let watermark t slot = t.executed.(slot)
+let cut t = Trace.Cut.of_array t.executed
+
+let advance t ~slot ~clock =
+  if clock <> t.executed.(slot) + 1 then
+    invalid_arg
+      (Printf.sprintf "Scoreboard.advance: slot %d at %d, got clock %d" slot
+         t.executed.(slot) clock);
+  t.executed.(slot) <- clock;
+  let q = t.waiters.(slot) in
+  let rec wake_ready () =
+    match Pqueue.peek_priority q with
+    | Some threshold when int_of_float threshold <= clock -> (
+      match Pqueue.pop q with
+      | Some (_, w) ->
+        Engine.wake w;
+        wake_ready ()
+      | None -> ())
+    | Some _ | None -> ()
+  in
+  wake_ready ()
+
+let wait_for t (id : Event.Id.t) =
+  if t.executed.(id.slot) >= id.clock then false
+  else begin
+    (* Loop: a waker can fire spuriously early relative to our threshold
+       only if watermarks regressed, which [advance] forbids — but the
+       loop keeps the invariant obvious. *)
+    while t.executed.(id.slot) < id.clock do
+      Engine.park (fun w ->
+          Pqueue.add t.waiters.(id.slot) ~priority:(float_of_int id.clock) w)
+    done;
+    true
+  end
+
+let reset t cut =
+  let a = Trace.Cut.to_array cut in
+  if Array.length a <> Array.length t.executed then
+    invalid_arg "Scoreboard.reset";
+  Array.blit a 0 t.executed 0 (Array.length a);
+  Array.iter
+    (fun q ->
+      if not (Pqueue.is_empty q) then
+        invalid_arg "Scoreboard.reset: waiters present")
+    t.waiters

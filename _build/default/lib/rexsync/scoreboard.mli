@@ -1,0 +1,26 @@
+(** Replay progress tracking (the follow stage's synchronization core).
+
+    The scoreboard holds, per thread slot, the clock of the last event that
+    slot has fully replayed.  A replayer about to execute an event with
+    incoming causal edges parks until every source event's slot watermark
+    has passed the source clock — implementing the paper's
+    [WaitCausalEdgesIfNecessary] (Fig. 3). *)
+
+type t
+
+val create : slots:int -> t
+val watermark : t -> int -> int
+val cut : t -> Trace.Cut.t
+(** Snapshot of all watermarks. *)
+
+val advance : t -> slot:int -> clock:int -> unit
+(** Mark the event executed and wake satisfied waiters.  Clocks must
+    advance by exactly one per slot. *)
+
+val wait_for : t -> Event.Id.t -> bool
+(** Park until the watermark of the event's slot reaches its clock.
+    Returns [true] if the caller actually had to wait. *)
+
+val reset : t -> Trace.Cut.t -> unit
+(** Reset watermarks (used when a replica re-joins from a checkpoint).
+    There must be no parked waiters. *)

@@ -1,0 +1,17 @@
+(** Counting-semaphore wrapper.
+
+    Record mode matches each acquisition to a specific earlier release
+    (FIFO over release events) so that replayed acquisitions wait only for
+    the release that actually freed their permit — the partial-order
+    treatment the paper extends to semaphores (§4.2).  Because two cleared
+    acquirers may then race benignly during replay, resource-version
+    checking for semaphores is only meaningful (and only performed) in
+    total-order mode. *)
+
+type t
+
+val create : Runtime.t -> string -> int -> t
+val uid : t -> int
+val acquire : t -> unit
+val try_acquire : t -> bool
+val release : t -> unit

@@ -1,0 +1,1 @@
+lib/sim/msync.ml: Engine List Rng

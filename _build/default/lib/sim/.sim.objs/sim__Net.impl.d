@@ -1,0 +1,1 @@
+lib/sim/net.ml: Engine Float Hashtbl Option Rng String

@@ -1,0 +1,281 @@
+open Effect
+open Effect.Deep
+
+type tid = int
+
+exception Killed
+
+type fiber = {
+  tid : tid;
+  node : int;
+  inc : int;
+  name : string;
+  mutable parked : (unit, unit) continuation option;
+  mutable park_gen : int;
+}
+
+type t = {
+  mutable time : float;
+  events : (unit -> unit) Pqueue.t;
+  root_rng : Rng.t;
+  jitter_rng : Rng.t;
+  nodes : int;
+  cores : int;
+  alive : bool array;
+  node_inc : int array;
+  free_cores : int array;
+  cpu_wait : (fiber * float * (unit, unit) continuation) Queue.t array;
+  busy : float array;
+  fibers : (tid, fiber) Hashtbl.t;
+  mutable next_tid : int;
+  mutable running : fiber option;
+}
+
+type waker = { wt : t; wfiber : fiber; wgen : int; mutable fired : bool }
+
+type _ Effect.t +=
+  | E_now : float Effect.t
+  | E_self : fiber Effect.t
+  | E_work : float -> unit Effect.t
+  | E_sleep : float -> unit Effect.t
+  | E_park : (waker -> unit) -> unit Effect.t
+
+let create ?(seed = 42) ?(cores_per_node = 16) ~num_nodes () =
+  if num_nodes <= 0 then invalid_arg "Engine.create: num_nodes";
+  if cores_per_node <= 0 then invalid_arg "Engine.create: cores_per_node";
+  let root = Rng.create seed in
+  {
+    time = 0.;
+    events = Pqueue.create ();
+    jitter_rng = Rng.split root;
+    root_rng = root;
+    nodes = num_nodes;
+    cores = cores_per_node;
+    alive = Array.make num_nodes true;
+    node_inc = Array.make num_nodes 0;
+    free_cores = Array.make num_nodes cores_per_node;
+    cpu_wait = Array.init num_nodes (fun _ -> Queue.create ());
+    busy = Array.make num_nodes 0.;
+    fibers = Hashtbl.create 64;
+    next_tid = 0;
+    running = None;
+  }
+
+let num_nodes t = t.nodes
+let cores_per_node t = t.cores
+let rng t = t.root_rng
+let clock t = t.time
+let pending_events t = Pqueue.length t.events
+let node_alive t n = t.alive.(n)
+let busy_time t n = t.busy.(n)
+
+let jittered t at = at +. Rng.float t.jitter_rng 1e-9
+
+let schedule t ~at cb = Pqueue.add t.events ~priority:(max at t.time) cb
+
+let valid t fiber = t.alive.(fiber.node) && fiber.inc = t.node_inc.(fiber.node)
+
+let fiber_done t fiber = Hashtbl.remove t.fibers fiber.tid
+
+(* Resume a suspended fiber from the event loop, tracking the "currently
+   running fiber" so that [self]-style effects can answer.  A fiber whose
+   node died while it was suspended is resumed with [Killed] instead. *)
+let resume t fiber k v =
+  let prev = t.running in
+  t.running <- Some fiber;
+  Fun.protect
+    ~finally:(fun () -> t.running <- prev)
+    (fun () -> if valid t fiber then continue k v else discontinue k Killed)
+
+let kill t fiber k =
+  let prev = t.running in
+  t.running <- Some fiber;
+  Fun.protect
+    ~finally:(fun () -> t.running <- prev)
+    (fun () -> discontinue k Killed)
+
+(* CPU core accounting: a fiber holds a core exactly for the duration of an
+   [E_work] effect; waiters queue FIFO per node. *)
+let rec start_work t fiber d k =
+  let n = fiber.node in
+  t.free_cores.(n) <- t.free_cores.(n) - 1;
+  schedule t ~at:(jittered t (t.time +. d)) (fun () ->
+      if fiber.inc = t.node_inc.(n) && t.alive.(n) then begin
+        t.busy.(n) <- t.busy.(n) +. d;
+        release_core t n;
+        resume t fiber k ()
+      end
+      else
+        (* The node crashed (resetting core counts) after this work began:
+           do not release a core that was already reclaimed. *)
+        kill t fiber k)
+
+and release_core t n =
+  t.free_cores.(n) <- t.free_cores.(n) + 1;
+  match Queue.take_opt t.cpu_wait.(n) with
+  | None -> ()
+  | Some (fiber, d, k) ->
+    if valid t fiber then start_work t fiber d k else kill t fiber k
+
+let do_park t fiber register k =
+  fiber.park_gen <- fiber.park_gen + 1;
+  fiber.parked <- Some k;
+  let w = { wt = t; wfiber = fiber; wgen = fiber.park_gen; fired = false } in
+  register w
+
+let wake w =
+  if not w.fired then begin
+    w.fired <- true;
+    let t = w.wt and fiber = w.wfiber in
+    if w.wgen = fiber.park_gen then
+      match fiber.parked with
+      | None -> ()
+      | Some k ->
+        fiber.parked <- None;
+        schedule t ~at:(jittered t t.time) (fun () -> resume t fiber k ())
+  end
+
+let handler t fiber =
+  let effc : type a. a Effect.t -> ((a, unit) continuation -> unit) option =
+    function
+    | E_now -> Some (fun (k : (float, unit) continuation) -> continue k t.time)
+    | E_self -> Some (fun (k : (fiber, unit) continuation) -> continue k fiber)
+    | E_work d ->
+      Some
+        (fun (k : (unit, unit) continuation) ->
+          if not (valid t fiber) then discontinue k Killed
+          else if t.free_cores.(fiber.node) > 0 then start_work t fiber d k
+          else Queue.push (fiber, d, k) t.cpu_wait.(fiber.node))
+    | E_sleep d ->
+      Some
+        (fun (k : (unit, unit) continuation) ->
+          if not (valid t fiber) then discontinue k Killed
+          else
+            schedule t
+              ~at:(jittered t (t.time +. d))
+              (fun () -> resume t fiber k ()))
+    | E_park register ->
+      Some
+        (fun (k : (unit, unit) continuation) ->
+          if not (valid t fiber) then discontinue k Killed
+          else do_park t fiber register k)
+    | _ -> None
+  in
+  {
+    retc = (fun () -> fiber_done t fiber);
+    exnc =
+      (fun e ->
+        match e with
+        | Killed -> fiber_done t fiber
+        | e ->
+          fiber_done t fiber;
+          raise e);
+    effc;
+  }
+
+let exec_fiber t fiber main =
+  let prev = t.running in
+  t.running <- Some fiber;
+  Fun.protect
+    ~finally:(fun () -> t.running <- prev)
+    (fun () -> match_with main () (handler t fiber))
+
+let spawn_fiber t ~node ~at ~name main =
+  if node < 0 || node >= t.nodes then invalid_arg "Engine.spawn: bad node";
+  let fiber =
+    {
+      tid = t.next_tid;
+      node;
+      inc = t.node_inc.(node);
+      name;
+      parked = None;
+      park_gen = 0;
+    }
+  in
+  t.next_tid <- t.next_tid + 1;
+  Hashtbl.replace t.fibers fiber.tid fiber;
+  schedule t ~at:(jittered t at) (fun () ->
+      if valid t fiber then exec_fiber t fiber main else fiber_done t fiber);
+  fiber.tid
+
+let spawn t ~node ?(name = "fiber") main =
+  if not t.alive.(node) then invalid_arg "Engine.spawn: node is down";
+  spawn_fiber t ~node ~at:t.time ~name main
+
+let spawn_immediate t ~node ?(name = "fiber") main =
+  if node < 0 || node >= t.nodes then invalid_arg "Engine.spawn_immediate";
+  if not t.alive.(node) then invalid_arg "Engine.spawn_immediate: node is down";
+  let fiber =
+    {
+      tid = t.next_tid;
+      node;
+      inc = t.node_inc.(node);
+      name;
+      parked = None;
+      park_gen = 0;
+    }
+  in
+  t.next_tid <- t.next_tid + 1;
+  Hashtbl.replace t.fibers fiber.tid fiber;
+  exec_fiber t fiber main
+
+let spawn_at t ~node ~at ?(name = "fiber") main =
+  ignore (spawn_fiber t ~node ~at ~name main)
+
+let run ?(until = infinity) t =
+  let rec loop () =
+    match Pqueue.peek_priority t.events with
+    | None -> ()
+    | Some at when at > until -> t.time <- until
+    | Some _ -> (
+      match Pqueue.pop t.events with
+      | None -> ()
+      | Some (at, cb) ->
+        if at > t.time then t.time <- at;
+        cb ();
+        loop ())
+  in
+  loop ()
+
+let crash_node t n =
+  if t.alive.(n) then begin
+    t.alive.(n) <- false;
+    t.node_inc.(n) <- t.node_inc.(n) + 1;
+    t.free_cores.(n) <- t.cores;
+    let waiting = Queue.create () in
+    Queue.transfer t.cpu_wait.(n) waiting;
+    Queue.iter (fun (fiber, _, k) -> kill t fiber k) waiting;
+    let victims =
+      Hashtbl.fold
+        (fun _ fiber acc -> if fiber.node = n then fiber :: acc else acc)
+        t.fibers []
+    in
+    let kill_parked fiber =
+      match fiber.parked with
+      | Some k ->
+        fiber.parked <- None;
+        kill t fiber k
+      | None -> ()
+    in
+    List.iter kill_parked victims
+  end
+
+let restart_node t n = t.alive.(n) <- true
+
+(* Fiber-context operations. *)
+let now () = perform E_now
+let self () = (perform E_self).tid
+
+let self_opt () =
+  match perform E_self with
+  | fiber -> Some fiber.tid
+  | exception Effect.Unhandled _ -> None
+let self_name () = (perform E_self).name
+let work d = perform (E_work d)
+let sleep d = perform (E_sleep d)
+let park register = perform (E_park register)
+
+let yield () =
+  park (fun w ->
+      let t = w.wt in
+      schedule t ~at:(jittered t t.time) (fun () -> wake w))

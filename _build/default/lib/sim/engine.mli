@@ -1,0 +1,118 @@
+(** Deterministic discrete-event simulator with green threads.
+
+    The simulator stands in for the paper's 12-core/24-hyperthread servers
+    (see DESIGN.md §2): each node has a fixed number of CPU cores; a fiber
+    consumes a core only while inside {!work}; blocking ({!park}, lock
+    waits, message waits) is free.  Virtual time advances only through the
+    event queue, so a whole multi-node run is reproducible from its seed.
+
+    Scheduling nondeterminism — the raw material Rex must record and
+    replay — comes from a tiny seed-dependent jitter added to every wakeup,
+    which perturbs the order of causally unrelated events.
+
+    Fibers are OCaml 5 effect handlers.  The fiber-context operations
+    ({!now}, {!self}, {!work}, {!sleep}, {!park}, {!yield}) must only be
+    called from inside a fiber started with {!spawn}; calling them outside
+    raises [Effect.Unhandled]. *)
+
+type t
+type tid = int
+
+exception Killed
+(** Raised inside a fiber when its node crashes while it is parked or
+    working. *)
+
+val create : ?seed:int -> ?cores_per_node:int -> num_nodes:int -> unit -> t
+(** Default [cores_per_node] is 16, matching the effective parallelism of
+    the paper's 12-core hyper-threaded machines (Fig. 8 explicitly uses
+    16-core machines). *)
+
+val num_nodes : t -> int
+val cores_per_node : t -> int
+val rng : t -> Rng.t
+(** The root generator; [Rng.split] it for independent streams. *)
+
+(** {1 Driving the simulation} *)
+
+val spawn : t -> node:int -> ?name:string -> (unit -> unit) -> tid
+(** Start a fiber on [node] (which must be alive). It first runs at the
+    current virtual time. *)
+
+val spawn_at : t -> node:int -> at:float -> ?name:string -> (unit -> unit) -> unit
+(** Schedule a fiber to start at absolute virtual time [at] (if the node is
+    alive then). *)
+
+val spawn_immediate : t -> node:int -> ?name:string -> (unit -> unit) -> unit
+(** Start a fiber and run it synchronously up to its first suspension
+    point, with no start jitter.  [Net] uses this so that message handlers
+    observe deliveries in FIFO order. *)
+
+val run : ?until:float -> t -> unit
+(** Execute events in time order until the queue drains or virtual time
+    would exceed [until]. Can be called repeatedly to run in slices. *)
+
+val clock : t -> float
+(** Current virtual time, readable from outside fibers. *)
+
+val pending_events : t -> int
+
+(** {1 Failure injection} *)
+
+val crash_node : t -> int -> unit
+(** Kill every fiber of the node (parked fibers are resumed with {!Killed})
+    and invalidate its in-flight events.  Idempotent. *)
+
+val restart_node : t -> int -> unit
+(** Mark the node alive again; the caller spawns fresh fibers for it. *)
+
+val node_alive : t -> int -> bool
+
+(** {1 Fiber context} *)
+
+val now : unit -> float
+val self : unit -> tid
+
+val self_opt : unit -> tid option
+(** [None] when called outside any fiber (e.g. during test setup or from a
+    raw {!schedule} callback). *)
+
+val self_name : unit -> string
+
+val work : float -> unit
+(** Consume [d] seconds of CPU on this fiber's node: waits for a free core,
+    holds it for [d] virtual seconds, releases it. *)
+
+val sleep : float -> unit
+(** Advance virtual time without consuming CPU. *)
+
+val yield : unit -> unit
+(** Reschedule at the current time (with jitter), letting peers run. *)
+
+(** {2 Parking} *)
+
+type waker
+
+val park : (waker -> unit) -> unit
+(** [park register] suspends the fiber and hands a one-shot {!waker} to
+    [register]; the fiber resumes when {!wake} is called on it.  The waker
+    may be invoked from any context (another fiber, a timer, a network
+    delivery), and invoking it more than once is harmless. *)
+
+val wake : waker -> unit
+
+(** {1 Statistics} *)
+
+val busy_time : t -> int -> float
+(** Total core-seconds consumed on a node so far; sample it twice to derive
+    utilization over a window. *)
+
+(** {1 Low-level scheduling (used by [Net] and [Timer])} *)
+
+val schedule : t -> at:float -> (unit -> unit) -> unit
+(** Run a raw callback at time [at].  The callback executes outside any
+    fiber: it must not use fiber-context operations, only mutate state,
+    call {!wake}, or {!spawn}. *)
+
+val jittered : t -> float -> float
+(** [jittered t at] = [at] plus a tiny seed-dependent epsilon; use it to
+    randomize the order of simultaneous events. *)

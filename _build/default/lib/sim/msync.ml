@@ -1,0 +1,173 @@
+(* Contended hand-off picks a uniformly random waiter, modelling the OS
+   scheduler's freedom; this is the nondeterminism source Rex records.
+
+   A subtlety exploited throughout: the simulator only switches fibers at
+   effect points, and the only effects below are [park] and the immediate
+   [self]; every state update between two blocking points is atomic, so no
+   extra latching is needed. *)
+
+let pick_out rng l =
+  match l with
+  | [] -> None
+  | l ->
+    let i = Rng.int rng (List.length l) in
+    let rec split k acc = function
+      | [] -> assert false
+      | x :: rest ->
+        if k = i then Some (x, List.rev_append acc rest)
+        else split (k + 1) (x :: acc) rest
+    in
+    split 0 [] l
+
+module Mutex = struct
+  type t = {
+    rng : Rng.t;
+    mutable holder : Engine.tid option;
+    mutable waiters : (Engine.tid * Engine.waker) list;
+  }
+
+  let create eng = { rng = Rng.split (Engine.rng eng); holder = None; waiters = [] }
+
+  let lock m =
+    let me = Engine.self () in
+    match m.holder with
+    | None -> m.holder <- Some me
+    | Some _ -> Engine.park (fun w -> m.waiters <- (me, w) :: m.waiters)
+
+  let try_lock m =
+    match m.holder with
+    | None ->
+      m.holder <- Some (Engine.self ());
+      true
+    | Some _ -> false
+
+  let unlock m =
+    let me = Engine.self () in
+    match m.holder with
+    | Some h when h = me -> (
+      match pick_out m.rng m.waiters with
+      | None -> m.holder <- None
+      | Some ((tid, w), rest) ->
+        (* Direct hand-off: the woken fiber already owns the lock when its
+           [lock] call returns. *)
+        m.waiters <- rest;
+        m.holder <- Some tid;
+        Engine.wake w)
+    | _ -> invalid_arg "Msync.Mutex.unlock: caller does not hold the lock"
+
+  let locked m = m.holder <> None
+  let holder m = m.holder
+end
+
+module Cond = struct
+  type t = { rng : Rng.t; mutable waiters : Engine.waker list }
+
+  let create eng = { rng = Rng.split (Engine.rng eng); waiters = [] }
+
+  let wait c m =
+    Mutex.unlock m;
+    Engine.park (fun w -> c.waiters <- w :: c.waiters);
+    Mutex.lock m
+
+  let signal c =
+    match pick_out c.rng c.waiters with
+    | None -> ()
+    | Some (w, rest) ->
+      c.waiters <- rest;
+      Engine.wake w
+
+  let broadcast c =
+    let ws = c.waiters in
+    c.waiters <- [];
+    List.iter Engine.wake ws
+end
+
+module Rwlock = struct
+  type kind = R | W
+
+  type t = {
+    rng : Rng.t;
+    mutable readers : int;
+    mutable writer : Engine.tid option;
+    mutable waiters : (kind * Engine.tid * Engine.waker) list;
+  }
+
+  let create eng =
+    { rng = Rng.split (Engine.rng eng); readers = 0; writer = None; waiters = [] }
+
+  let rd_lock l =
+    let me = Engine.self () in
+    (* A reader barges only when no writer holds or waits, so writers are
+       not starved under a read-heavy workload. *)
+    if l.writer = None && l.waiters = [] then l.readers <- l.readers + 1
+    else Engine.park (fun w -> l.waiters <- (R, me, w) :: l.waiters)
+
+  let wr_lock l =
+    let me = Engine.self () in
+    if l.writer = None && l.readers = 0 then l.writer <- Some me
+    else Engine.park (fun w -> l.waiters <- (W, me, w) :: l.waiters)
+
+  let dispatch l =
+    match pick_out l.rng l.waiters with
+    | None -> ()
+    | Some ((W, tid, w), rest) ->
+      l.waiters <- rest;
+      l.writer <- Some tid;
+      Engine.wake w
+    | Some ((R, _, w), rest) ->
+      (* Admitting one reader admits every waiting reader. *)
+      let readers, writers =
+        List.partition (fun (kind, _, _) -> kind = R) rest
+      in
+      l.waiters <- writers;
+      l.readers <- 1 + List.length readers;
+      Engine.wake w;
+      List.iter (fun (_, _, w) -> Engine.wake w) readers
+
+  let rd_unlock l =
+    if l.readers <= 0 then invalid_arg "Msync.Rwlock.rd_unlock: not read-held";
+    l.readers <- l.readers - 1;
+    if l.readers = 0 then dispatch l
+
+  let wr_unlock l =
+    let me = Engine.self () in
+    match l.writer with
+    | Some h when h = me ->
+      l.writer <- None;
+      dispatch l
+    | _ -> invalid_arg "Msync.Rwlock.wr_unlock: caller is not the writer"
+
+  let holders l =
+    match l.writer with
+    | Some tid -> `Writer tid
+    | None -> if l.readers = 0 then `Free else `Readers l.readers
+end
+
+module Sem = struct
+  type t = { rng : Rng.t; mutable count : int; mutable waiters : Engine.waker list }
+
+  let create eng n =
+    if n < 0 then invalid_arg "Msync.Sem.create: negative count";
+    { rng = Rng.split (Engine.rng eng); count = n; waiters = [] }
+
+  let acquire s =
+    if s.count > 0 then s.count <- s.count - 1
+    else Engine.park (fun w -> s.waiters <- w :: s.waiters)
+
+  let try_acquire s =
+    if s.count > 0 then begin
+      s.count <- s.count - 1;
+      true
+    end
+    else false
+
+  let release s =
+    match pick_out s.rng s.waiters with
+    | None -> s.count <- s.count + 1
+    | Some (w, rest) ->
+      (* Hand-off: the permit passes directly to the woken fiber. *)
+      s.waiters <- rest;
+      Engine.wake w
+
+  let value s = s.count
+end

@@ -1,0 +1,58 @@
+(** Blocking synchronization primitives for simulator fibers.
+
+    These model the pthread primitives of the paper's C++ runtime and are
+    the "real locks" wrapped by the Rex record/replay layer.  Contended
+    hand-off picks a *random* waiter (seeded by the engine), which is
+    precisely the scheduling nondeterminism Rex must capture: two runs with
+    different seeds acquire locks in different orders.
+
+    All blocking operations must be called from inside a fiber. *)
+
+module Mutex : sig
+  type t
+
+  val create : Engine.t -> t
+  val lock : t -> unit
+  val try_lock : t -> bool
+  val unlock : t -> unit
+  (** Raises [Invalid_argument] if the caller does not hold the lock. *)
+
+  val locked : t -> bool
+  val holder : t -> Engine.tid option
+end
+
+module Cond : sig
+  type t
+
+  val create : Engine.t -> t
+
+  val wait : t -> Mutex.t -> unit
+  (** Atomically releases the mutex and parks; re-acquires before
+      returning.  The caller must hold the mutex. *)
+
+  val signal : t -> unit
+  (** Wake one random waiter (no-op if none). *)
+
+  val broadcast : t -> unit
+end
+
+module Rwlock : sig
+  type t
+
+  val create : Engine.t -> t
+  val rd_lock : t -> unit
+  val wr_lock : t -> unit
+  val rd_unlock : t -> unit
+  val wr_unlock : t -> unit
+  val holders : t -> [ `Free | `Readers of int | `Writer of Engine.tid ]
+end
+
+module Sem : sig
+  type t
+
+  val create : Engine.t -> int -> t
+  val acquire : t -> unit
+  val try_acquire : t -> bool
+  val release : t -> unit
+  val value : t -> int
+end

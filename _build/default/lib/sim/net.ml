@@ -1,0 +1,81 @@
+type handler = src:int -> string -> unit
+
+type t = {
+  eng : Engine.t;
+  rng : Rng.t;
+  base_latency : float;
+  jitter_mean : float;
+  handlers : (int * string, handler) Hashtbl.t;
+  last_delivery : (int * int, float) Hashtbl.t;
+  blocked : (int * int, unit) Hashtbl.t;
+  mutable drop_probability : float;
+  mutable messages : int;
+  mutable bytes : int;
+  port_bytes : (string, int) Hashtbl.t;
+}
+
+let create ?(base_latency = 50e-6) ?(jitter_mean = 20e-6) eng =
+  {
+    eng;
+    rng = Rng.split (Engine.rng eng);
+    base_latency;
+    jitter_mean;
+    handlers = Hashtbl.create 32;
+    last_delivery = Hashtbl.create 32;
+    blocked = Hashtbl.create 8;
+    drop_probability = 0.;
+    messages = 0;
+    bytes = 0;
+    port_bytes = Hashtbl.create 16;
+  }
+
+let engine t = t.eng
+let register t ~node ~port h = Hashtbl.replace t.handlers (node, port) h
+let set_drop_probability t p = t.drop_probability <- p
+
+let partition t a b =
+  Hashtbl.replace t.blocked (a, b) ();
+  Hashtbl.replace t.blocked (b, a) ()
+
+let heal t a b =
+  Hashtbl.remove t.blocked (a, b);
+  Hashtbl.remove t.blocked (b, a)
+
+let heal_all t = Hashtbl.reset t.blocked
+let messages_sent t = t.messages
+let bytes_sent t = t.bytes
+
+let bytes_sent_on_port t port =
+  Option.value (Hashtbl.find_opt t.port_bytes port) ~default:0
+
+let reset_stats t =
+  t.messages <- 0;
+  t.bytes <- 0;
+  Hashtbl.reset t.port_bytes
+
+let send t ~src ~dst ~port payload =
+  t.messages <- t.messages + 1;
+  t.bytes <- t.bytes + String.length payload;
+  Hashtbl.replace t.port_bytes port
+    (bytes_sent_on_port t port + String.length payload);
+  let dropped =
+    Hashtbl.mem t.blocked (src, dst)
+    || (t.drop_probability > 0. && Rng.float t.rng 1.0 < t.drop_probability)
+  in
+  if not dropped then begin
+    let latency = t.base_latency +. Rng.exponential t.rng ~mean:t.jitter_mean in
+    let arrival = Engine.clock t.eng +. latency in
+    (* FIFO per directed pair: never deliver before an earlier message. *)
+    let floor =
+      Option.value (Hashtbl.find_opt t.last_delivery (src, dst)) ~default:0.
+    in
+    let at = Float.max arrival (floor +. 1e-12) in
+    Hashtbl.replace t.last_delivery (src, dst) at;
+    Engine.schedule t.eng ~at (fun () ->
+        if Engine.node_alive t.eng dst then
+          match Hashtbl.find_opt t.handlers (dst, port) with
+          | None -> ()
+          | Some h ->
+            Engine.spawn_immediate t.eng ~node:dst ~name:("net:" ^ port)
+              (fun () -> h ~src payload))
+  end

@@ -1,0 +1,43 @@
+(** Simulated message-passing network between simulator nodes.
+
+    Stands in for the paper's 40 Gbps interconnect: messages are byte
+    strings delivered after a configurable latency (base + exponential
+    jitter), FIFO per directed pair, with optional loss and partitions.
+    Handlers run in a fresh fiber on the destination node and may block.
+
+    Byte counters let the benchmark harness reproduce the paper's trace
+    log-size overhead measurements (§6.3). *)
+
+type t
+
+type handler = src:int -> string -> unit
+
+val create :
+  ?base_latency:float -> ?jitter_mean:float -> Engine.t -> t
+(** Defaults: 50 µs base latency, 20 µs mean jitter. *)
+
+val engine : t -> Engine.t
+
+val register : t -> node:int -> port:string -> handler -> unit
+(** Replaces any previous handler for [(node, port)]. *)
+
+val send : t -> src:int -> dst:int -> port:string -> string -> unit
+(** Fire-and-forget.  Silently dropped if the destination is down or
+    partitioned away, if the loss process fires, or if no handler is
+    registered at delivery time. *)
+
+(** {1 Fault injection} *)
+
+val set_drop_probability : t -> float -> unit
+val partition : t -> int -> int -> unit
+(** Symmetric: blocks both directions. *)
+
+val heal : t -> int -> int -> unit
+val heal_all : t -> unit
+
+(** {1 Statistics} *)
+
+val messages_sent : t -> int
+val bytes_sent : t -> int
+val bytes_sent_on_port : t -> string -> int
+val reset_stats : t -> unit

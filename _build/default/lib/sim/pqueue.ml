@@ -1,0 +1,74 @@
+type 'a entry = { prio : float; seq : int; value : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let dummy_of v = { prio = 0.; seq = 0; value = v }
+
+let create () = { heap = [||]; size = 0; next_seq = 0 }
+let is_empty q = q.size = 0
+let length q = q.size
+
+let less a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+
+let swap q i j =
+  let tmp = q.heap.(i) in
+  q.heap.(i) <- q.heap.(j);
+  q.heap.(j) <- tmp
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less q.heap.(i) q.heap.(parent) then begin
+      swap q i parent;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < q.size && less q.heap.(l) q.heap.(!smallest) then smallest := l;
+  if r < q.size && less q.heap.(r) q.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap q i !smallest;
+    sift_down q !smallest
+  end
+
+let ensure_capacity q =
+  if q.size >= Array.length q.heap then begin
+    let cap = max 16 (2 * Array.length q.heap) in
+    let heap = Array.make cap (dummy_of q.heap.(0).value) in
+    Array.blit q.heap 0 heap 0 q.size;
+    q.heap <- heap
+  end
+
+let add q ~priority value =
+  let entry = { prio = priority; seq = q.next_seq; value } in
+  q.next_seq <- q.next_seq + 1;
+  if q.size = 0 && Array.length q.heap = 0 then q.heap <- Array.make 16 entry;
+  ensure_capacity q;
+  q.heap.(q.size) <- entry;
+  q.size <- q.size + 1;
+  sift_up q (q.size - 1)
+
+let pop q =
+  if q.size = 0 then None
+  else begin
+    let top = q.heap.(0) in
+    q.size <- q.size - 1;
+    if q.size > 0 then begin
+      q.heap.(0) <- q.heap.(q.size);
+      sift_down q 0
+    end;
+    Some (top.prio, top.value)
+  end
+
+let peek_priority q = if q.size = 0 then None else Some q.heap.(0).prio
+
+let clear q =
+  q.size <- 0;
+  q.next_seq <- 0

@@ -1,0 +1,21 @@
+(** Binary min-heap keyed by [(priority : float, seq : int)].
+
+    The sequence number makes the pop order total and deterministic: two
+    entries with equal priority pop in insertion order.  This is the event
+    queue of the discrete-event {!Engine}. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+
+val add : 'a t -> priority:float -> 'a -> unit
+(** Insertion order among equal priorities is remembered. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the minimum entry. *)
+
+val peek_priority : 'a t -> float option
+
+val clear : 'a t -> unit

@@ -1,0 +1,30 @@
+(** Deterministic splittable pseudo-random numbers (SplitMix64).
+
+    Every source of scheduling nondeterminism in the simulator draws from
+    one of these generators, so an entire cluster run is a pure function of
+    its seed — which is what lets the test suite record a trace under seed
+    [a] and replay it under seed [b] to check the determinism property. *)
+
+type t
+
+val create : int -> t
+val split : t -> t
+(** An independent generator; the parent advances. *)
+
+val bits64 : t -> int64
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed, for network latency tails. *)

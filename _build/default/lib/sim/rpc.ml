@@ -1,0 +1,66 @@
+type pending = { mutable result : string option; waker : Engine.waker }
+
+type t = {
+  net : Net.t;
+  pending : (int, pending) Hashtbl.t;
+  mutable next_id : int;
+}
+
+let reply_port = "rpc.reply"
+
+let create net =
+  let t = { net; pending = Hashtbl.create 64; next_id = 0 } in
+  let eng = Net.engine net in
+  let on_reply ~src:_ payload =
+    let s = Codec.source payload in
+    let id = Codec.read_uvarint s in
+    let body = Codec.read_string s in
+    match Hashtbl.find_opt t.pending id with
+    | None -> () (* Caller already timed out. *)
+    | Some p ->
+      p.result <- Some body;
+      Engine.wake p.waker
+  in
+  for node = 0 to Engine.num_nodes eng - 1 do
+    Net.register net ~node ~port:reply_port on_reply
+  done;
+  t
+
+let encode_request id body =
+  let b = Codec.sink () in
+  Codec.write_uvarint b id;
+  Codec.write_string b body;
+  Codec.contents b
+
+let serve_async t ~node ~port handler =
+  Net.register t.net ~node ~port (fun ~src payload ->
+      let s = Codec.source payload in
+      let id = Codec.read_uvarint s in
+      let body = Codec.read_string s in
+      let reply resp =
+        Net.send t.net ~src:node ~dst:src ~port:reply_port
+          (encode_request id resp)
+      in
+      handler ~src body ~reply)
+
+let serve t ~node ~port handler =
+  serve_async t ~node ~port (fun ~src body ~reply -> reply (handler ~src body))
+
+let call t ~src ~dst ~port ?(timeout = 1.0) body =
+  let id = t.next_id in
+  t.next_id <- t.next_id + 1;
+  let eng = Net.engine t.net in
+  let result = ref None in
+  Engine.park (fun w ->
+      let p = { result = None; waker = w } in
+      Hashtbl.replace t.pending id p;
+      result := Some p;
+      Net.send t.net ~src ~dst ~port (encode_request id body);
+      Engine.schedule eng
+        ~at:(Engine.clock eng +. timeout)
+        (fun () -> Engine.wake w));
+  match !result with
+  | None -> None
+  | Some p ->
+    Hashtbl.remove t.pending id;
+    p.result

@@ -1,0 +1,23 @@
+(** Request/response RPC over {!Net} with correlation ids and timeouts.
+
+    [call] parks the calling fiber until the reply arrives or the timeout
+    fires; lost messages (drops, partitions, crashed callee) surface as
+    [None].  Servers run each request in its own fiber and may block. *)
+
+type t
+
+val create : Net.t -> t
+
+val serve : t -> node:int -> port:string -> (src:int -> string -> string) -> unit
+(** Register a service; the handler's return value is the reply. *)
+
+val serve_async :
+  t -> node:int -> port:string ->
+  (src:int -> string -> reply:(string -> unit) -> unit) -> unit
+(** Like {!serve} but the handler replies explicitly (possibly never — the
+    caller then times out). *)
+
+val call :
+  t -> src:int -> dst:int -> port:string -> ?timeout:float -> string ->
+  string option
+(** Default timeout: 1 s of virtual time. *)

@@ -1,0 +1,18 @@
+type periodic = { mutable active : bool }
+
+let after eng ~node ?(name = "timer") ~delay f =
+  Engine.spawn_at eng ~node ~at:(Engine.clock eng +. delay) ~name f
+
+let every eng ~node ?(name = "periodic") ~period f =
+  let p = { active = true } in
+  let rec loop () =
+    Engine.sleep period;
+    if p.active then begin
+      f ();
+      loop ()
+    end
+  in
+  ignore (Engine.spawn eng ~node ~name loop);
+  p
+
+let cancel p = p.active <- false

@@ -1,0 +1,18 @@
+(** Node-local timers, each running its callback inside a fresh fiber (so
+    callbacks may take locks, do CPU work, and block).  A timer dies with
+    its node: after a crash its fiber is killed and it never fires again,
+    matching the fate of the paper's background-task threads. *)
+
+type periodic
+
+val after :
+  Engine.t -> node:int -> ?name:string -> delay:float -> (unit -> unit) -> unit
+(** Run the callback once, [delay] seconds from now. *)
+
+val every :
+  Engine.t -> node:int -> ?name:string -> period:float -> (unit -> unit) ->
+  periodic
+(** Run the callback every [period] seconds (first firing after one
+    period) until {!cancel} or node crash. *)
+
+val cancel : periodic -> unit

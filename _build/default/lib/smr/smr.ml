@@ -1,0 +1,270 @@
+open Sim
+module R = Rex_core
+
+let batch_max = 64
+let timer_prefix = "\x00TIMER:"
+
+type pending = string * (string option -> unit) option
+
+type stats = {
+  requests_executed : int;
+  replies_sent : int;
+  queries_served : int;
+  proposals_sent : int;
+  proposal_bytes : int;
+}
+
+type t = {
+  eng : Engine.t;
+  net : Net.t;
+  cfg : R.Config.t;
+  node_id : int;
+  pstore : Paxos.Store.t;
+  app : R.App.t;
+  timers : R.Api.timer_spec array;
+  mutable pax : Paxos.Replica.t option;
+  mutable leader : bool;
+  mutable leader_epoch : int;
+  queue : (string * (string option -> unit)) Queue.t;
+  mutable inflight : (string * (string option -> unit) option list) option;
+      (* encoded batch we proposed, and its callbacks in order *)
+  exec_queue : pending list Queue.t;
+  mutable exec_waiters : Engine.waker list;
+  mutable st_requests : int;
+  mutable st_replies : int;
+  mutable st_queries : int;
+  mutable st_proposals : int;
+  mutable st_proposal_bytes : int;
+}
+
+let node t = t.node_id
+let is_primary t = t.leader
+let app_digest t = t.app.R.App.digest ()
+let executed_requests t = t.st_requests
+
+let stats t =
+  {
+    requests_executed = t.st_requests;
+    replies_sent = t.st_replies;
+    queries_served = t.st_queries;
+    proposals_sent = t.st_proposals;
+    proposal_bytes = t.st_proposal_bytes;
+  }
+
+let encode_batch reqs = Codec.encode (fun l b -> Codec.write_list b Codec.write_string l) reqs
+let decode_batch v = Codec.decode (fun s -> Codec.read_list s Codec.read_string) v
+
+let wake_executor t =
+  let ws = t.exec_waiters in
+  t.exec_waiters <- [];
+  List.iter Engine.wake ws
+
+(* All replicas execute committed requests in order, one at a time: the
+   sequential execution model of classic SMR. *)
+let executor_loop t () =
+  let rec next_batch () =
+    match Queue.take_opt t.exec_queue with
+    | Some b -> b
+    | None ->
+      Engine.park (fun w -> t.exec_waiters <- w :: t.exec_waiters);
+      next_batch ()
+  in
+  let run_one (request, cb) =
+    (if String.length request > String.length timer_prefix
+        && String.sub request 0 (String.length timer_prefix) = timer_prefix
+    then begin
+      let idx =
+        int_of_string
+          (String.sub request (String.length timer_prefix)
+             (String.length request - String.length timer_prefix))
+      in
+      if idx >= 0 && idx < Array.length t.timers then
+        t.timers.(idx).R.Api.t_callback ()
+    end
+    else begin
+      let resp =
+        try t.app.R.App.execute ~request
+        with exn ->
+          Logs.warn (fun m ->
+              m "smr[%d]: handler raised %s" t.node_id (Printexc.to_string exn));
+          "ERR:handler-exception"
+      in
+      t.st_requests <- t.st_requests + 1;
+      match cb with
+      | Some cb ->
+        t.st_replies <- t.st_replies + 1;
+        cb (Some resp)
+      | None -> ()
+    end)
+  in
+  let rec loop () =
+    List.iter run_one (next_batch ());
+    loop ()
+  in
+  loop ()
+
+let on_committed t _instance value =
+  match decode_batch value with
+  | exception Codec.Decode_error _ -> ()
+  | reqs ->
+    let cbs =
+      match t.inflight with
+      | Some (enc, cbs) when enc = value ->
+        t.inflight <- None;
+        cbs
+      | Some _ | None -> List.map (fun _ -> None) reqs
+    in
+    let cbs =
+      (* Defensive: lengths can differ if the commit is foreign. *)
+      if List.length cbs = List.length reqs then cbs
+      else List.map (fun _ -> None) reqs
+    in
+    Queue.push (List.combine reqs cbs) t.exec_queue;
+    wake_executor t
+
+let spawn_leader_fibers t =
+  t.leader_epoch <- t.leader_epoch + 1;
+  let epoch = t.leader_epoch in
+  let live () = t.leader && t.leader_epoch = epoch in
+  (* Batcher: drain the queue into proposals, one instance at a time. *)
+  ignore
+    (Engine.spawn t.eng ~node:t.node_id ~name:"smr.batcher" (fun () ->
+         while live () do
+           Engine.sleep t.cfg.R.Config.propose_interval;
+           if live () && t.inflight = None && not (Queue.is_empty t.queue) then begin
+             let pax = Option.get t.pax in
+             if Paxos.Replica.is_leader pax && not (Paxos.Replica.in_flight pax)
+             then begin
+               let rec drain k acc =
+                 if k = 0 then List.rev acc
+                 else
+                   match Queue.take_opt t.queue with
+                   | None -> List.rev acc
+                   | Some r -> drain (k - 1) (r :: acc)
+               in
+               let items = drain batch_max [] in
+               if items <> [] then begin
+                 let reqs = List.map fst items in
+                 let enc = encode_batch reqs in
+                 if Paxos.Replica.propose pax enc then begin
+                   t.inflight <- Some (enc, List.map (fun (_, cb) -> Some cb) items);
+                   t.st_proposals <- t.st_proposals + 1;
+                   t.st_proposal_bytes <- t.st_proposal_bytes + String.length enc
+                 end
+                 else List.iter (fun (_, cb) -> cb None) items
+               end
+             end
+           end
+         done));
+  (* Timers become proposed pseudo-requests, serialized like the rest. *)
+  Array.iteri
+    (fun idx spec ->
+      ignore
+        (Engine.spawn t.eng ~node:t.node_id
+           ~name:("smr.timer." ^ spec.R.Api.t_name)
+           (fun () ->
+             while live () do
+               Engine.sleep spec.R.Api.t_interval;
+               if live () then
+                 Queue.push
+                   (Printf.sprintf "%s%d" timer_prefix idx, fun _ -> ())
+                   t.queue
+             done)))
+    t.timers
+
+let create net rpc cfg ~node ~paxos_store factory =
+  let eng = Net.engine net in
+  (* The app's wrappers run native: no fiber is ever bound to a slot. *)
+  let rt = Rexsync.Runtime.create eng ~node ~slots:1 in
+  let api = R.Api.make rt in
+  let app = factory api in
+  let timers = Array.of_list (R.Api.seal api) in
+  let t =
+    {
+      eng;
+      net;
+      cfg;
+      node_id = node;
+      pstore = paxos_store;
+      app;
+      timers;
+      pax = None;
+      leader = false;
+      leader_epoch = 0;
+      queue = Queue.create ();
+      inflight = None;
+      exec_queue = Queue.create ();
+      exec_waiters = [];
+      st_requests = 0;
+      st_replies = 0;
+      st_queries = 0;
+      st_proposals = 0;
+      st_proposal_bytes = 0;
+    }
+  in
+  Rpc.serve_async rpc ~node ~port:R.Client.client_port
+    (fun ~src:_ request ~reply ->
+      if not t.leader then
+        reply
+          (R.Client.encode_reply
+             (R.Client.Not_leader
+                (match t.pax with
+                | Some p -> Paxos.Replica.leader_hint p
+                | None -> None)))
+      else
+        Queue.push
+          ( request,
+            function
+            | Some resp ->
+              reply (R.Client.encode_reply (R.Client.Ok_reply resp))
+            | None -> reply (R.Client.encode_reply R.Client.Dropped) )
+          t.queue);
+  Rpc.serve rpc ~node ~port:R.Client.query_port (fun ~src:_ request ->
+      t.st_queries <- t.st_queries + 1;
+      R.Client.encode_reply (R.Client.Ok_reply (t.app.R.App.query ~request)));
+  t
+
+let start t =
+  let pax_cfg =
+    {
+      Paxos.Replica.me = t.node_id;
+      peers = t.cfg.R.Config.replicas;
+      heartbeat_period = t.cfg.R.Config.heartbeat_period;
+      election_timeout = t.cfg.R.Config.election_timeout;
+      max_inflight = 1;
+      sync_latency = 0.;
+    }
+  in
+  let cbs =
+    {
+      Paxos.Replica.on_committed = (fun i v -> on_committed t i v);
+      on_become_leader =
+        (fun () ->
+          t.leader <- true;
+          spawn_leader_fibers t);
+      on_new_leader =
+        (fun _ ->
+          if t.leader then begin
+            t.leader <- false;
+            (match t.inflight with
+            | Some (_, cbs) ->
+              List.iter (function Some cb -> cb None | None -> ()) cbs
+            | None -> ());
+            t.inflight <- None;
+            Queue.iter (fun (_, cb) -> cb None) t.queue;
+            Queue.clear t.queue
+          end);
+    }
+  in
+  let pax = Paxos.Replica.create t.net pax_cfg t.pstore cbs in
+  t.pax <- Some pax;
+  Paxos.Replica.start pax;
+  ignore (Engine.spawn t.eng ~node:t.node_id ~name:"smr.executor" (executor_loop t))
+
+let submit t request cb =
+  if not t.leader then cb None
+  else Queue.push (request, cb) t.queue
+
+let query t request =
+  t.st_queries <- t.st_queries + 1;
+  t.app.R.App.query ~request

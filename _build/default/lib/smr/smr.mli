@@ -1,0 +1,44 @@
+(** Standard replicated state machine — the baseline Rex is measured
+    against (paper Fig. 1, left; "RSM mode" in Fig. 7).
+
+    Consensus-execute: the leader batches incoming requests, drives each
+    batch through a Paxos instance, and every replica executes committed
+    requests {e sequentially} in a single executor fiber — the
+    deterministic sequential execution model that wastes all but one core.
+    Application background timers are serialized the same way: the leader
+    proposes a timer-tick pseudo-request, so all replicas run the callback
+    at the same point in the request order.
+
+    The same {!Rex_core.App.factory} runs unchanged: its synchronization
+    wrappers see unbound fibers and take the native path. *)
+
+type t
+
+type stats = {
+  requests_executed : int;
+  replies_sent : int;
+  queries_served : int;
+  proposals_sent : int;
+  proposal_bytes : int;
+}
+
+val create :
+  Sim.Net.t ->
+  Sim.Rpc.t ->
+  Rex_core.Config.t ->
+  node:int ->
+  paxos_store:Paxos.Store.t ->
+  Rex_core.App.factory ->
+  t
+(** [Config.workers] is ignored: execution is sequential by design.
+    [propose_interval] paces batching. *)
+
+val start : t -> unit
+val node : t -> int
+val is_primary : t -> bool
+
+val submit : t -> string -> (string option -> unit) -> unit
+val query : t -> string -> string
+val app_digest : t -> string
+val stats : t -> stats
+val executed_requests : t -> int

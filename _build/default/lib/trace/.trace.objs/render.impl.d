@@ -1,0 +1,1 @@
+lib/trace/render.ml: Buffer Event Fmt List Printf Trace

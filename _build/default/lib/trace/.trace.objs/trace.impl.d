@@ -1,0 +1,1 @@
+lib/trace/trace.ml: Array Codec Event Fmt Hashtbl List Option Printf Stdlib Vec

@@ -1,0 +1,1 @@
+lib/trace/vclock.ml: Array Event Fmt

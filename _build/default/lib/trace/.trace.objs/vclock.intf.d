@@ -1,0 +1,1 @@
+lib/trace/vclock.mli: Event Fmt

@@ -1,0 +1,1 @@
+lib/trace/vec.ml: Array List

@@ -1,0 +1,135 @@
+module Id = struct
+  type t = { slot : int; clock : int }
+
+  let compare a b =
+    match compare a.slot b.slot with 0 -> compare a.clock b.clock | c -> c
+
+  let equal a b = a.slot = b.slot && a.clock = b.clock
+  let pp ppf { slot; clock } = Fmt.pf ppf "(%d,%d)" slot clock
+
+  let write b { slot; clock } =
+    Codec.write_uvarint b slot;
+    Codec.write_uvarint b clock
+
+  let read s =
+    let slot = Codec.read_uvarint s in
+    let clock = Codec.read_uvarint s in
+    { slot; clock }
+end
+
+type kind =
+  | Req_start
+  | Req_end
+  | Timer_fire
+  | Acquire
+  | Release
+  | Try_ok
+  | Try_fail
+  | Rd_acquire
+  | Rd_release
+  | Wr_acquire
+  | Wr_release
+  | Sem_acquire
+  | Sem_release
+  | Cond_wait
+  | Cond_wake
+  | Cond_signal
+  | Cond_broadcast
+  | Nondet
+  | Ckpt_mark
+
+type t = {
+  id : Id.t;
+  kind : kind;
+  resource : int;
+  version : int;
+  payload : string;
+}
+
+let kind_tag = function
+  | Req_start -> 0
+  | Req_end -> 1
+  | Timer_fire -> 2
+  | Acquire -> 3
+  | Release -> 4
+  | Try_ok -> 5
+  | Try_fail -> 6
+  | Rd_acquire -> 7
+  | Rd_release -> 8
+  | Wr_acquire -> 9
+  | Wr_release -> 10
+  | Sem_acquire -> 11
+  | Sem_release -> 12
+  | Cond_wait -> 13
+  | Cond_wake -> 14
+  | Cond_signal -> 15
+  | Cond_broadcast -> 16
+  | Nondet -> 17
+  | Ckpt_mark -> 18
+
+let kind_of_tag = function
+  | 0 -> Req_start
+  | 1 -> Req_end
+  | 2 -> Timer_fire
+  | 3 -> Acquire
+  | 4 -> Release
+  | 5 -> Try_ok
+  | 6 -> Try_fail
+  | 7 -> Rd_acquire
+  | 8 -> Rd_release
+  | 9 -> Wr_acquire
+  | 10 -> Wr_release
+  | 11 -> Sem_acquire
+  | 12 -> Sem_release
+  | 13 -> Cond_wait
+  | 14 -> Cond_wake
+  | 15 -> Cond_signal
+  | 16 -> Cond_broadcast
+  | 17 -> Nondet
+  | 18 -> Ckpt_mark
+  | n -> raise (Codec.Decode_error (Printf.sprintf "bad event kind %d" n))
+
+let kind_to_string = function
+  | Req_start -> "req_start"
+  | Req_end -> "req_end"
+  | Timer_fire -> "timer_fire"
+  | Acquire -> "acquire"
+  | Release -> "release"
+  | Try_ok -> "try_ok"
+  | Try_fail -> "try_fail"
+  | Rd_acquire -> "rd_acquire"
+  | Rd_release -> "rd_release"
+  | Wr_acquire -> "wr_acquire"
+  | Wr_release -> "wr_release"
+  | Sem_acquire -> "sem_acquire"
+  | Sem_release -> "sem_release"
+  | Cond_wait -> "cond_wait"
+  | Cond_wake -> "cond_wake"
+  | Cond_signal -> "cond_signal"
+  | Cond_broadcast -> "cond_broadcast"
+  | Nondet -> "nondet"
+  | Ckpt_mark -> "ckpt_mark"
+
+let pp ppf e =
+  Fmt.pf ppf "%a %s r%d v%d" Id.pp e.id (kind_to_string e.kind) e.resource
+    e.version
+
+let write b e =
+  Id.write b e.id;
+  Codec.write_byte b (kind_tag e.kind);
+  Codec.write_uvarint b e.resource;
+  Codec.write_uvarint b e.version;
+  Codec.write_string b e.payload
+
+let read s =
+  let id = Id.read s in
+  let kind = kind_of_tag (Codec.read_byte s) in
+  let resource = Codec.read_uvarint s in
+  let version = Codec.read_uvarint s in
+  let payload = Codec.read_string s in
+  { id; kind; resource; version; payload }
+
+let wire_size e =
+  let b = Codec.sink ~initial_capacity:32 () in
+  write b e;
+  Codec.length b

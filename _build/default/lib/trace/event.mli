@@ -1,0 +1,58 @@
+(** Synchronization events: the vertices of a Rex trace.
+
+    An event is identified by its thread slot and a local logical clock
+    that increases by one for each event the slot logs (paper §2.1).
+    Slots — not OS thread ids — name threads, because every replica runs
+    the same fixed pool of worker and timer threads and slot [i] on a
+    secondary replays slot [i] of the primary. *)
+
+module Id : sig
+  type t = { slot : int; clock : int }
+
+  val compare : t -> t -> int
+  val equal : t -> t -> bool
+  val pp : t Fmt.t
+  val write : Codec.sink -> t -> unit
+  val read : Codec.source -> t
+end
+
+type kind =
+  | Req_start  (** a request was assigned to this slot; payload = request bytes *)
+  | Req_end  (** the request handler returned *)
+  | Timer_fire  (** a background task fired; resource = timer id *)
+  | Acquire  (** mutex acquired *)
+  | Release  (** mutex released *)
+  | Try_ok  (** try_lock succeeded *)
+  | Try_fail  (** try_lock failed *)
+  | Rd_acquire
+  | Rd_release
+  | Wr_acquire
+  | Wr_release
+  | Sem_acquire
+  | Sem_release
+  | Cond_wait  (** released the mutex and went to sleep *)
+  | Cond_wake  (** woken by a signal/broadcast (edge from that event) *)
+  | Cond_signal
+  | Cond_broadcast
+  | Nondet  (** recorded nondeterministic value; payload = the value *)
+  | Ckpt_mark  (** checkpoint cut point for this slot *)
+
+type t = {
+  id : Id.t;
+  kind : kind;
+  resource : int;
+      (** uid of the lock/semaphore/timer involved; 0 when meaningless *)
+  version : int;
+      (** resource version (count of state changes) observed at this
+          event; used by resource-version divergence checking (§5) *)
+  payload : string;  (** request bytes / recorded nondet value; often empty *)
+}
+
+val kind_to_string : kind -> string
+val pp : t Fmt.t
+val write : Codec.sink -> t -> unit
+val read : Codec.source -> t
+
+val wire_size : t -> int
+(** Encoded size in bytes — reproduces the paper's "each synchronization
+    event adds around 16 bytes to the trace" measurement. *)

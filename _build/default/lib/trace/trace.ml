@@ -1,0 +1,344 @@
+module Cut = struct
+  type t = int array
+
+  let zero ~slots = Array.make slots 0
+
+  let of_array a =
+    if Array.exists (fun w -> w < 0) a then invalid_arg "Cut.of_array";
+    Array.copy a
+
+  let to_array = Array.copy
+  let slots = Array.length
+  let watermark c s = c.(s)
+  let includes c (id : Event.Id.t) = id.clock <= c.(id.slot)
+
+  let leq a b =
+    let n = Array.length a in
+    let rec go i = i >= n || (a.(i) <= b.(i) && go (i + 1)) in
+    Array.length b = n && go 0
+
+  let equal a b = a = b
+  let min a b = Array.mapi (fun i v -> Stdlib.min v b.(i)) a
+  let pp = Fmt.(brackets (array ~sep:comma int))
+  let write b c = Codec.write_array b Codec.write_uvarint c
+  let read s = Codec.read_array s Codec.read_uvarint
+end
+
+type slot_data = {
+  events : Event.t Vec.t;
+  edges : (Event.Id.t * Event.Id.t) Vec.t;
+      (* edges whose destination lies in this slot, destination clock
+         nondecreasing *)
+}
+
+type t = {
+  base : int array;
+      (* clocks at or below the base are before this trace object's
+         horizon (a checkpoint cut); their events are not materialized *)
+  slot_data : slot_data array;
+  incoming_tbl : (int * int, Event.Id.t list) Hashtbl.t;
+  mutable n_edges : int;
+}
+
+let create ?base ~slots () =
+  if slots <= 0 then invalid_arg "Trace.create";
+  let base =
+    match base with
+    | None -> Array.make slots 0
+    | Some b ->
+      if Array.length b <> slots then invalid_arg "Trace.create: base arity";
+      Array.copy b
+  in
+  {
+    base;
+    slot_data =
+      Array.init slots (fun _ -> { events = Vec.create (); edges = Vec.create () });
+    incoming_tbl = Hashtbl.create 256;
+    n_edges = 0;
+  }
+
+let num_slots t = Array.length t.slot_data
+let base_cut t = Array.copy t.base
+let slot_end t s = t.base.(s) + Vec.length t.slot_data.(s).events
+
+let append t (e : Event.t) =
+  let s = e.id.slot in
+  if s < 0 || s >= num_slots t then invalid_arg "Trace.append: bad slot";
+  if e.id.clock <> slot_end t s + 1 then
+    invalid_arg
+      (Printf.sprintf "Trace.append: clock %d in slot %d, expected %d"
+         e.id.clock s (slot_end t s + 1));
+  Vec.push t.slot_data.(s).events e
+
+(* A source may predate the trace's horizon: the event itself is gone (a
+   checkpoint subsumed it) but referring to it in an edge is legal — a
+   replayer's scoreboard starts at the base, so such edges are trivially
+   satisfied. *)
+let valid_src t (id : Event.Id.t) =
+  id.slot >= 0 && id.slot < num_slots t && id.clock >= 1
+  && id.clock <= slot_end t id.slot
+
+let contains t (id : Event.Id.t) =
+  valid_src t id && id.clock > t.base.(id.slot)
+
+let add_edge t ~src ~dst =
+  if not (valid_src t src) then invalid_arg "Trace.add_edge: src not in trace";
+  if not (contains t dst) then invalid_arg "Trace.add_edge: dst not in trace";
+  if src.Event.Id.slot = dst.Event.Id.slot then
+    invalid_arg "Trace.add_edge: intra-slot edge (program order is implicit)";
+  let sd = t.slot_data.(dst.slot) in
+  (match Vec.last sd.edges with
+  | Some (_, prev_dst) when prev_dst.Event.Id.clock > dst.clock ->
+    invalid_arg "Trace.add_edge: destination clocks must be nondecreasing"
+  | _ -> ());
+  Vec.push sd.edges (src, dst);
+  t.n_edges <- t.n_edges + 1;
+  let key = (dst.slot, dst.clock) in
+  let prev = Option.value (Hashtbl.find_opt t.incoming_tbl key) ~default:[] in
+  Hashtbl.replace t.incoming_tbl key (src :: prev)
+
+let find t (id : Event.Id.t) =
+  if contains t id then
+    Some (Vec.get t.slot_data.(id.slot).events (id.clock - t.base.(id.slot) - 1))
+  else None
+
+let incoming t (id : Event.Id.t) =
+  Option.value (Hashtbl.find_opt t.incoming_tbl (id.slot, id.clock)) ~default:[]
+
+let end_cut t = Array.init (num_slots t) (slot_end t)
+
+let event_count t =
+  Array.fold_left (fun acc sd -> acc + Vec.length sd.events) 0 t.slot_data
+
+let edge_count t = t.n_edges
+
+let iter_events t f =
+  Array.iter (fun sd -> Vec.iter f sd.events) t.slot_data
+
+let iter_edges t f =
+  Array.iter (fun sd -> Vec.iter (fun (src, dst) -> f ~src ~dst) sd.edges)
+    t.slot_data
+
+let pp ppf t =
+  Fmt.pf ppf "trace<%d slots, %d events, %d edges, end %a>" (num_slots t)
+    (event_count t) (edge_count t) Cut.pp (end_cut t)
+
+let is_consistent t cut =
+  let ok = ref true in
+  iter_edges t (fun ~src ~dst ->
+      if Cut.includes cut dst && not (Cut.includes cut src) then ok := false);
+  !ok
+
+let last_consistent t cut =
+  let c = Array.copy cut in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    iter_edges t (fun ~src ~dst ->
+        if
+          dst.Event.Id.clock <= c.(dst.slot)
+          && src.Event.Id.clock > c.(src.slot)
+        then begin
+          c.(dst.slot) <- dst.clock - 1;
+          changed := true
+        end)
+  done;
+  c
+
+(* First index in [edges] whose destination clock exceeds [wm]; edges are
+   sorted by destination clock. *)
+let edge_lower_bound edges wm =
+  let n = Vec.length edges in
+  let rec bs lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      let _, dst = Vec.get edges mid in
+      if dst.Event.Id.clock <= wm then bs (mid + 1) hi else bs lo mid
+  in
+  bs 0 n
+
+let is_prefix t ~of_ =
+  num_slots t = num_slots of_
+  && t.base = of_.base
+  && Cut.leq (end_cut t) (end_cut of_)
+  &&
+  let ok = ref true in
+  for s = 0 to num_slots t - 1 do
+    let a = t.slot_data.(s) and b = of_.slot_data.(s) in
+    for i = 0 to Vec.length a.events - 1 do
+      if Vec.get a.events i <> Vec.get b.events i then ok := false
+    done;
+    (* Edges of the prefix must be exactly the larger trace's edges whose
+       destination falls inside the prefix. *)
+    let wm = slot_end t s in
+    let expected = edge_lower_bound b.edges wm in
+    if Vec.length a.edges <> expected then ok := false
+    else
+      for i = 0 to expected - 1 do
+        if Vec.get a.edges i <> Vec.get b.edges i then ok := false
+      done
+  done;
+  !ok
+
+module Delta = struct
+  type trace = t
+
+  type t = {
+    base : Cut.t;
+    upto : Cut.t;
+    events : Event.t list;
+    edges : (Event.Id.t * Event.Id.t) list;
+  }
+
+  let extract ?upto (tr : trace) ~base =
+    if Cut.slots base <> num_slots tr then invalid_arg "Delta.extract";
+    let upto = Option.value upto ~default:(end_cut tr) in
+    if not (Cut.leq base upto) || not (Cut.leq upto (end_cut tr)) then
+      invalid_arg "Delta.extract: cuts out of range";
+    if not (Cut.leq (base_cut tr) base) then
+      invalid_arg "Delta.extract: base below trace horizon";
+    let events = ref [] in
+    let edges = ref [] in
+    for s = num_slots tr - 1 downto 0 do
+      let sd = tr.slot_data.(s) in
+      let lo = Cut.watermark base s - tr.base.(s)
+      and hi = Cut.watermark upto s - tr.base.(s) in
+      let evs = ref [] in
+      for i = lo to hi - 1 do
+        evs := Vec.get sd.events i :: !evs
+      done;
+      events := List.rev_append !evs !events;
+      let eds = ref [] in
+      (* Edge slicing is by absolute destination clock, not vec index —
+         the two differ on a trace with a checkpoint base. *)
+      let e_lo = edge_lower_bound sd.edges (Cut.watermark base s)
+      and e_hi = edge_lower_bound sd.edges (Cut.watermark upto s) in
+      for i = e_lo to e_hi - 1 do
+        eds := Vec.get sd.edges i :: !eds
+      done;
+      edges := List.rev_append !eds !edges
+    done;
+    { base; upto; events = !events; edges = !edges }
+
+  let is_empty d = d.events = [] && d.edges = []
+
+  (* Validate fully before mutating so a malformed delta leaves the trace
+     untouched. *)
+  let validate (tr : trace) (d : t) =
+    let slots = num_slots tr in
+    if Cut.slots d.base <> slots || Cut.slots d.upto <> slots then
+      Error "delta cut arity mismatch"
+    else if not (Cut.equal (end_cut tr) d.base) then
+      Error
+        (Fmt.str "delta base %a does not match trace end %a" Cut.pp d.base
+           Cut.pp (end_cut tr))
+    else if not (Cut.leq d.base d.upto) then Error "delta upto below base"
+    else begin
+      let next = Array.init slots (fun s -> Cut.watermark d.base s + 1) in
+      let events_ok =
+        List.for_all
+          (fun (e : Event.t) ->
+            let s = e.id.slot in
+            s >= 0 && s < slots && e.id.clock = next.(s)
+            && begin
+                 next.(s) <- next.(s) + 1;
+                 e.id.clock <= Cut.watermark d.upto s
+               end)
+          d.events
+      in
+      let reached =
+        Array.for_all2 (fun n w -> n = w + 1) next (Cut.to_array d.upto)
+      in
+      let last_dst = Array.make slots 0 in
+      let edges_ok =
+        List.for_all
+          (fun ((src : Event.Id.t), (dst : Event.Id.t)) ->
+            src.slot <> dst.slot && Cut.includes d.upto src
+            && Cut.includes d.upto dst
+            && dst.clock > Cut.watermark d.base dst.slot
+            && dst.clock >= last_dst.(dst.slot)
+            && begin
+                 last_dst.(dst.slot) <- dst.clock;
+                 true
+               end)
+          d.edges
+      in
+      if not events_ok then Error "delta events not contiguous"
+      else if not reached then Error "delta events do not reach its upto cut"
+      else if not edges_ok then Error "delta edges malformed"
+      else Ok ()
+    end
+
+  let apply (tr : trace) (d : t) =
+    match validate tr d with
+    | Error _ as e -> e
+    | Ok () ->
+      List.iter (append tr) d.events;
+      List.iter (fun (src, dst) -> add_edge tr ~src ~dst) d.edges;
+      Ok ()
+
+  (* Clock-aligned apply for recovery: a replica rebuilding its trace from
+     a checkpoint replays committed deltas whose ranges may partly overlap
+     what it already holds (or what the checkpoint subsumed).  Events at
+     or below the current end are skipped; gaps are an error. *)
+  let apply_overlapping (tr : trace) (d : t) =
+    if Cut.slots d.upto <> num_slots tr then Error "delta arity mismatch"
+    else begin
+      let before = end_cut tr in
+      let bad = ref None in
+      List.iter
+        (fun (e : Event.t) ->
+          if !bad = None then
+            let s = e.Event.id.slot in
+            if s < 0 || s >= num_slots tr then bad := Some "bad slot"
+            else if e.id.clock <= slot_end tr s then ()
+            else if e.id.clock = slot_end tr s + 1 then append tr e
+            else
+              bad :=
+                Some
+                  (Printf.sprintf "gap in slot %d: at %d, delta gives %d" s
+                     (slot_end tr s) e.id.clock))
+        d.events;
+      match !bad with
+      | Some msg -> Error msg
+      | None ->
+        List.iter
+          (fun ((src : Event.Id.t), (dst : Event.Id.t)) ->
+            (* Only edges whose destination was appended just now. *)
+            if
+              dst.clock > Cut.watermark before dst.slot
+              && contains tr dst && valid_src tr src
+              && src.slot <> dst.slot
+            then add_edge tr ~src ~dst)
+          d.edges;
+        Ok ()
+    end
+
+  let write b d =
+    Cut.write b d.base;
+    Cut.write b d.upto;
+    Codec.write_list b Event.write d.events;
+    Codec.write_list b
+      (fun b (src, dst) ->
+        Event.Id.write b src;
+        Event.Id.write b dst)
+      d.edges
+
+  let read s =
+    let base = Cut.read s in
+    let upto = Cut.read s in
+    let events = Codec.read_list s Event.read in
+    let edges =
+      Codec.read_list s (fun s ->
+          let src = Event.Id.read s in
+          let dst = Event.Id.read s in
+          (src, dst))
+    in
+    { base; upto; events; edges }
+
+  let wire_size d =
+    let b = Codec.sink () in
+    write b d;
+    Codec.length b
+end

@@ -1,0 +1,117 @@
+(** Partially-ordered execution traces (paper §2.1).
+
+    A trace is, per thread slot, a sequence of {!Event.t}s in local-clock
+    order, plus directed causal edges between events of different slots.
+    The primary appends to its trace while executing; consensus proposals
+    carry {!Delta}s of a growing trace; secondaries re-assemble the same
+    trace and replay it.
+
+    Appending is strict: event clocks must be contiguous per slot, and an
+    edge may only point at events already present (the source may be in
+    any slot, the destination must be the latest event of its slot or
+    earlier).  This keeps every materialized trace well-formed; the
+    paper's "inconsistent cut" phenomenon (§3.2, asynchronous logging) is
+    modelled by taking {e cuts} that may slice between an edge's source
+    and destination, and repaired with {!last_consistent}. *)
+
+type t
+
+module Cut : sig
+  (** A cut assigns each slot a watermark: events with [clock <= watermark]
+      are inside the cut. *)
+
+  type t
+
+  val zero : slots:int -> t
+  val of_array : int array -> t
+  val to_array : t -> int array
+  val slots : t -> int
+  val watermark : t -> int -> int
+  val includes : t -> Event.Id.t -> bool
+  val leq : t -> t -> bool
+  val equal : t -> t -> bool
+  val min : t -> t -> t
+  val pp : t Fmt.t
+  val write : Codec.sink -> t -> unit
+  val read : Codec.source -> t
+end
+
+val create : ?base:Cut.t -> slots:int -> unit -> t
+(** [base] (default: all zeros) is the trace's horizon: a checkpoint cut
+    below which events are not materialized.  A replica recovering from a
+    checkpoint replays only events above the base; causal-edge sources at
+    or below it are considered already executed. *)
+
+val num_slots : t -> int
+val base_cut : t -> Cut.t
+
+(** {1 Growing} *)
+
+val append : t -> Event.t -> unit
+(** Raises [Invalid_argument] unless the event's clock is exactly one past
+    the slot's current end. *)
+
+val add_edge : t -> src:Event.Id.t -> dst:Event.Id.t -> unit
+(** Raises [Invalid_argument] if either endpoint is not in the trace or
+    the edge is intra-slot (program order is implicit). *)
+
+(** {1 Reading} *)
+
+val slot_end : t -> int -> int
+(** Clock of the last event of the slot (0 if none). *)
+
+val find : t -> Event.Id.t -> Event.t option
+val incoming : t -> Event.Id.t -> Event.Id.t list
+(** Sources of edges into this event (possibly not yet in the trace). *)
+
+val end_cut : t -> Cut.t
+val event_count : t -> int
+val edge_count : t -> int
+val iter_events : t -> (Event.t -> unit) -> unit
+val iter_edges : t -> (src:Event.Id.t -> dst:Event.Id.t -> unit) -> unit
+val pp : t Fmt.t
+
+(** {1 Cut algebra} *)
+
+val is_consistent : t -> Cut.t -> bool
+(** No edge crosses out of the cut into it. *)
+
+val last_consistent : t -> Cut.t -> Cut.t
+(** Greatest consistent cut below the given one — "the last consistent cut
+    contained in a trace [is] the meaning of the proposal" (§3.2). *)
+
+val is_prefix : t -> of_:t -> bool
+(** Is this trace a cut of [of_] with identical events and edges?  The
+    prefix property of §2.2. *)
+
+(** {1 Deltas: what consensus proposals carry} *)
+
+module Delta : sig
+  type trace := t
+
+  type t = {
+    base : Cut.t;  (** the already-agreed prefix this extends *)
+    upto : Cut.t;  (** the new end *)
+    events : Event.t list;  (** per-slot contiguous, clock order *)
+    edges : (Event.Id.t * Event.Id.t) list;
+  }
+
+  val extract : ?upto:Cut.t -> trace -> base:Cut.t -> t
+  (** Everything appended after [base], up to [upto] (default: the current
+      end).  [upto] must be a consistent cut, or the delta will fail to
+      apply. *)
+
+  val apply : trace -> t -> (unit, string) result
+  (** Append the delta; fails (leaving the trace unchanged) unless
+      [delta.base] equals the trace's current end. *)
+
+  val apply_overlapping : trace -> t -> (unit, string) result
+  (** Clock-aligned apply for checkpoint recovery: events at or below the
+      trace's current end are skipped, later ones appended; a gap is an
+      error (the trace may then be partly extended). *)
+
+  val is_empty : t -> bool
+  val write : Codec.sink -> t -> unit
+  val read : Codec.source -> t
+  val wire_size : t -> int
+end

@@ -1,0 +1,27 @@
+type t = int array
+
+let create ~slots = Array.make slots 0
+let copy = Array.copy
+let get v i = v.(i)
+let slots = Array.length
+
+let tick v slot =
+  v.(slot) <- v.(slot) + 1;
+  v
+
+let observe v (id : Event.Id.t) =
+  if id.clock > v.(id.slot) then v.(id.slot) <- id.clock
+
+let join v u =
+  for i = 0 to Array.length v - 1 do
+    if u.(i) > v.(i) then v.(i) <- u.(i)
+  done
+
+let dominates v (id : Event.Id.t) = v.(id.slot) >= id.clock
+
+let leq v u =
+  let n = Array.length v in
+  let rec go i = i >= n || (v.(i) <= u.(i) && go (i + 1)) in
+  go 0
+
+let pp = Fmt.(brackets (array ~sep:comma int))

@@ -1,0 +1,28 @@
+(** Vector clocks over thread slots.
+
+    Used at record time to drop causal edges already implied by program
+    order and transitivity (paper §4.2 "remove unnecessary causal edges"),
+    and in tests to state reachability properties. *)
+
+type t = private int array
+
+val create : slots:int -> t
+val copy : t -> t
+val get : t -> int -> int
+val slots : t -> int
+
+val tick : t -> int -> t
+(** [tick v slot] bumps [slot]'s component (in place) and returns [v]. *)
+
+val observe : t -> Event.Id.t -> unit
+(** Join a single event into the clock (in place). *)
+
+val join : t -> t -> unit
+(** [join v u] merges [u] into [v] (in place). *)
+
+val dominates : t -> Event.Id.t -> bool
+(** Does the clock already know of this event (i.e. an edge to it would be
+    redundant)? *)
+
+val leq : t -> t -> bool
+val pp : t Fmt.t

@@ -1,0 +1,31 @@
+type 'a t = { mutable arr : 'a array; mutable len : int }
+
+let create () = { arr = [||]; len = 0 }
+let length v = v.len
+
+let get v i =
+  if i < 0 || i >= v.len then invalid_arg "Vec.get";
+  v.arr.(i)
+
+let push v x =
+  if v.len = Array.length v.arr then begin
+    let cap = max 8 (2 * Array.length v.arr) in
+    let arr = Array.make cap x in
+    Array.blit v.arr 0 arr 0 v.len;
+    v.arr <- arr
+  end;
+  v.arr.(v.len) <- x;
+  v.len <- v.len + 1
+
+let iter f v =
+  for i = 0 to v.len - 1 do
+    f v.arr.(i)
+  done
+
+let iter_from start f v =
+  for i = max 0 start to v.len - 1 do
+    f v.arr.(i)
+  done
+
+let to_list v = List.init v.len (fun i -> v.arr.(i))
+let last v = if v.len = 0 then None else Some v.arr.(v.len - 1)

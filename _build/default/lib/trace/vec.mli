@@ -1,0 +1,14 @@
+(** Growable arrays (OCaml 5.1 predates [Dynarray]). *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val get : 'a t -> int -> 'a
+val push : 'a t -> 'a -> unit
+val iter : ('a -> unit) -> 'a t -> unit
+val iter_from : int -> ('a -> unit) -> 'a t -> unit
+(** [iter_from i f v] applies [f] to elements [i .. length-1]. *)
+
+val to_list : 'a t -> 'a list
+val last : 'a t -> 'a option

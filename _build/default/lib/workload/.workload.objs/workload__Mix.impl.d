@@ -1,0 +1,1 @@
+lib/workload/mix.ml: Keygen List Printf Sim String Zipf

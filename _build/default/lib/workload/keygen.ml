@@ -1,0 +1,6 @@
+let key i = Printf.sprintf "user%012d" i
+
+let value rng len =
+  String.init len (fun _ -> Char.chr (97 + Sim.Rng.int rng 26))
+
+let path i = Printf.sprintf "/locks/cell-%d/file-%d" (i mod 64) i

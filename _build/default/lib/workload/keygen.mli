@@ -1,0 +1,12 @@
+(** Deterministic key and value material for the paper's workloads:
+    "1 million entries where each operation has a 16-byte key and a
+    100-byte value" (§6.3). *)
+
+val key : int -> string
+(** 16-byte key for an index. *)
+
+val value : Sim.Rng.t -> int -> string
+(** Pseudo-random printable value of the given length. *)
+
+val path : int -> string
+(** Lock-server style file path for an index. *)

@@ -1,0 +1,26 @@
+type t = { cdf : float array }
+
+let create ~n ~theta =
+  if n <= 0 then invalid_arg "Zipf.create";
+  let weights = Array.init n (fun i -> 1.0 /. Float.pow (float_of_int (i + 1)) theta) in
+  let total = Array.fold_left ( +. ) 0. weights in
+  let cdf = Array.make n 0. in
+  let acc = ref 0. in
+  Array.iteri
+    (fun i w ->
+      acc := !acc +. (w /. total);
+      cdf.(i) <- !acc)
+    weights;
+  cdf.(n - 1) <- 1.0;
+  { cdf }
+
+let sample t rng =
+  let u = Sim.Rng.float rng 1.0 in
+  (* binary search for the first index with cdf >= u *)
+  let rec bs lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if t.cdf.(mid) >= u then bs lo mid else bs (mid + 1) hi
+  in
+  bs 0 (Array.length t.cdf - 1)

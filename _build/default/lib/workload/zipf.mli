@@ -1,0 +1,10 @@
+(** Zipfian rank sampling (rejection-inversion-free, precomputed CDF) for
+    skewed key popularity in the key/value workloads. *)
+
+type t
+
+val create : n:int -> theta:float -> t
+(** Ranks [0 .. n-1]; [theta = 0] is uniform, [theta ~ 0.99] is the
+    classic YCSB skew. *)
+
+val sample : t -> Sim.Rng.t -> int

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Apps Array Codec Engine Float List Printf QCheck QCheck_alcotest Rex_core Rexsync Rng Sim String Workload

@@ -1,0 +1,1 @@
+test/test_codec.ml: Alcotest Codec Event Float List Paxos Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_eve.ml: Alcotest Apps Array Codec Engine Eve Hashtbl List Net Option Paxos Printf Rex_core Rexsync Rng Rpc Sim String

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Apps Array Codec Engine List Printf QCheck QCheck_alcotest Rex_core Rexsync Rng Sim Trace Workload

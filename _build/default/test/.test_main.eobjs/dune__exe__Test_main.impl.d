@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_apps Test_codec Test_eve Test_integration Test_paxos Test_rex Test_rexsync Test_sim Test_trace

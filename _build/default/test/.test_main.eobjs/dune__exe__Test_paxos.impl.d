@@ -1,0 +1,1 @@
+test/test_paxos.ml: Alcotest Array Engine Fun List Msg Net Obj Option Paxos Printf Sim Store

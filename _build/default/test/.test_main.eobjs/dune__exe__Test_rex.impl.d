@@ -1,0 +1,1 @@
+test/test_rex.ml: Alcotest Apps Array Codec Engine Fun Hashtbl List Net Option Paxos Printf Rex_core Rexsync Rpc Sim Smr String

@@ -1,0 +1,1 @@
+test/test_rexsync.ml: Alcotest Array Condvar Engine Hashtbl List Lock Printf QCheck QCheck_alcotest Queue Rexsync Runtime Rwlock Sem Sim Trace

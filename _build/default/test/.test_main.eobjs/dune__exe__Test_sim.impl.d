@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Engine Float Fun List Msync Net Pqueue Printf QCheck QCheck_alcotest Rng Rpc Sim Timer

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array Codec Event Fun List Printf QCheck QCheck_alcotest Render String Trace Vclock

@@ -1,0 +1,287 @@
+(* Unit tests for the six evaluation applications, run natively (no
+   replication): request semantics, background tasks, checkpoint
+   roundtrips, and the disk model. *)
+
+open Sim
+module R = Rex_core
+
+(* Run an app standalone: build it over a native runtime, spawn its
+   timers as plain periodic fibers, execute [script app] in a fiber. *)
+let run_native ?(seed = 9) ?(cores = 8) ?(until = 60.) factory script =
+  let eng = Engine.create ~seed ~cores_per_node:cores ~num_nodes:1 () in
+  let rt = Rexsync.Runtime.create eng ~node:0 ~slots:1 in
+  let api = R.Api.make rt in
+  let app : R.App.t = factory api in
+  let timers = R.Api.seal api in
+  List.iter
+    (fun (spec : R.Api.timer_spec) ->
+      ignore
+        (Engine.spawn eng ~node:0 ~name:spec.t_name (fun () ->
+             while true do
+               Engine.sleep spec.t_interval;
+               spec.t_callback ()
+             done)))
+    timers;
+  let finished = ref false in
+  ignore
+    (Engine.spawn eng ~node:0 ~name:"script" (fun () ->
+         script app;
+         finished := true));
+  Engine.run ~until eng;
+  Alcotest.(check bool) "script completed" true !finished;
+  app
+
+let exec (app : R.App.t) req = app.execute ~request:req
+
+let checkpoint_roundtrip factory (app : R.App.t) =
+  let sink = Codec.sink () in
+  app.write_checkpoint sink;
+  let eng = Engine.create ~num_nodes:1 () in
+  let rt = Rexsync.Runtime.create eng ~node:0 ~slots:1 in
+  let api = R.Api.make rt in
+  let app2 : R.App.t = factory api in
+  ignore (R.Api.seal api);
+  app2.read_checkpoint (Codec.source (Codec.contents sink));
+  Alcotest.(check string) "checkpoint roundtrip preserves digest"
+    (app.digest ()) (app2.digest ())
+
+(* --- Thumbnail --- *)
+
+let thumbnail_semantics () =
+  let factory = Apps.Thumbnail.factory ~compute_cost:1e-4 () in
+  let app =
+    run_native factory (fun app ->
+        let t1 = exec app "THUMB 42 64" in
+        Alcotest.(check string) "computed" "tn-42-64" t1;
+        let before = Engine.now () in
+        let t2 = exec app "THUMB 42 64" in
+        Alcotest.(check string) "cache hit" "tn-42-64" t2;
+        Alcotest.(check bool) "hit is cheap" true (Engine.now () -. before < 1e-4);
+        Alcotest.(check string) "bad request" "ERR:bad-request" (exec app "NOPE");
+        Alcotest.(check string) "hits query" "1" (app.query ~request:"HITS 42"))
+  in
+  checkpoint_roundtrip (Apps.Thumbnail.factory ()) app
+
+(* --- Lock server --- *)
+
+let lock_server_semantics () =
+  let factory = Apps.Lock_server.factory () in
+  let app =
+    run_native factory (fun app ->
+        Alcotest.(check string) "renew missing" "ERR:no-such-lock" (exec app "RENEW /a");
+        Alcotest.(check string) "create" "OK" (exec app "CREATE /a 1000");
+        Alcotest.(check string) "create dup" "ERR:exists" (exec app "CREATE /a 1000");
+        Alcotest.(check string) "renew" "LEASE 2" (exec app "RENEW /a");
+        Alcotest.(check string) "renew again" "LEASE 3" (exec app "RENEW /a");
+        Alcotest.(check string) "update" "GEN 2" (exec app "UPDATE /a 2000");
+        Alcotest.(check string) "read" "SIZE 2000 GEN 2" (exec app "READ /a"))
+  in
+  checkpoint_roundtrip factory app
+
+(* --- File system --- *)
+
+let filesys_semantics () =
+  let factory = Apps.Filesys.factory () in
+  let app =
+    run_native factory (fun app ->
+        Alcotest.(check string) "read fresh" "DATA 0" (exec app "READ 3 16384 16384");
+        Alcotest.(check string) "write" "OK 1" (exec app "WRITE 3 16384 16384");
+        Alcotest.(check string) "write again" "OK 2" (exec app "WRITE 3 16384 16384");
+        Alcotest.(check string) "read back" "DATA 2" (exec app "READ 3 16384 16384");
+        Alcotest.(check string) "bad file" "ERR:bad-file" (exec app "READ 99 0 16384"))
+  in
+  checkpoint_roundtrip factory app
+
+let sim_disk_concurrency () =
+  (* 20 IOs serially vs 20 IOs concurrently: NCQ must overlap seeks. *)
+  let eng = Engine.create ~num_nodes:1 ~cores_per_node:8 () in
+  let disk = Apps.Sim_disk.create eng in
+  let serial_done = ref 0. in
+  ignore
+    (Engine.spawn eng ~node:0 (fun () ->
+         for _ = 1 to 20 do
+           Apps.Sim_disk.io disk ~bytes_len:16384
+         done;
+         serial_done := Engine.now ()));
+  Engine.run eng;
+  let serial_elapsed = !serial_done in
+  let eng2 = Engine.create ~num_nodes:1 ~cores_per_node:8 () in
+  let disk2 = Apps.Sim_disk.create eng2 in
+  let finish = ref 0. in
+  for _ = 1 to 20 do
+    ignore
+      (Engine.spawn eng2 ~node:0 (fun () ->
+           Apps.Sim_disk.io disk2 ~bytes_len:16384;
+           finish := Float.max !finish (Engine.now ())))
+  done;
+  Engine.run eng2;
+  Alcotest.(check bool)
+    (Printf.sprintf "concurrent %.3fs < serial %.3fs / 2" !finish serial_elapsed)
+    true
+    (!finish < serial_elapsed /. 2.);
+  Alcotest.(check int) "all ios" 20 (Apps.Sim_disk.ios_completed disk2)
+
+(* --- LevelDB --- *)
+
+let leveldb_semantics () =
+  let factory = Apps.Leveldb.factory ~memtable_limit:4 ~compaction_interval:1e-3 () in
+  let app =
+    run_native factory (fun app ->
+        Alcotest.(check string) "get missing" "NOTFOUND" (exec app "GET k1");
+        Alcotest.(check string) "set" "OK" (exec app "SET k1 v1");
+        Alcotest.(check string) "get" "v1" (exec app "GET k1");
+        Alcotest.(check string) "overwrite" "OK" (exec app "SET k1 v2");
+        Alcotest.(check string) "get new" "v2" (exec app "GET k1");
+        Alcotest.(check string) "del" "OK" (exec app "DEL k1");
+        Alcotest.(check string) "deleted" "NOTFOUND" (exec app "GET k1");
+        (* Fill past the memtable limit, then give compaction time. *)
+        for i = 0 to 19 do
+          ignore (exec app (Printf.sprintf "SET key%d val%d" i i))
+        done;
+        Engine.sleep 0.05;
+        for i = 0 to 19 do
+          Alcotest.(check string)
+            (Printf.sprintf "key%d survives compaction" i)
+            (Printf.sprintf "val%d" i)
+            (exec app (Printf.sprintf "GET key%d" i))
+        done;
+        Alcotest.(check string) "mget" "val1,val2" (exec app "MGET key1 key2");
+        Alcotest.(check string) "rmw" "RMW:ok" (exec app "RMW key1 zz");
+        Alcotest.(check string) "rmw result" "zz" (exec app "GET key1"))
+  in
+  checkpoint_roundtrip (Apps.Leveldb.factory ()) app
+
+let leveldb_stall_recovers () =
+  (* Push way past the stall limit: writers must block and then be
+     released by compaction rather than deadlock. *)
+  let factory =
+    Apps.Leveldb.factory ~memtable_limit:8 ~stall_limit:32
+      ~compaction_interval:1e-3 ()
+  in
+  ignore
+    (run_native factory (fun app ->
+         for i = 0 to 199 do
+           Alcotest.(check string) "set ok" "OK"
+             (exec app (Printf.sprintf "SET s%d v" i))
+         done))
+
+(* --- Kyoto --- *)
+
+let kyoto_semantics () =
+  let factory = Apps.Kyoto.factory () in
+  let app =
+    run_native factory (fun app ->
+        Alcotest.(check string) "set" "OK" (exec app "SET a 1");
+        Alcotest.(check string) "set b" "OK" (exec app "SET b 2");
+        Alcotest.(check string) "get" "1" (exec app "GET a");
+        Alcotest.(check string) "count" "2" (exec app "COUNT");
+        Alcotest.(check string) "del" "OK" (exec app "DEL a");
+        Alcotest.(check string) "count after del" "1" (exec app "COUNT");
+        Alcotest.(check string) "get deleted" "NOTFOUND" (exec app "GET a");
+        Alcotest.(check string) "mget" "2,NOTFOUND" (exec app "MGET b zz");
+        Alcotest.(check string) "rmw new" "RMW:new" (exec app "RMW c 9");
+        Alcotest.(check string) "rmw existing" "RMW:ok" (exec app "RMW c 10");
+        Alcotest.(check string) "rmw result" "10" (exec app "GET c"))
+  in
+  checkpoint_roundtrip factory app
+
+(* --- Memcached --- *)
+
+let memcache_semantics () =
+  let factory = Apps.Memcache.factory ~capacity:4 () in
+  let app =
+    run_native factory (fun app ->
+        Alcotest.(check string) "set" "STORED" (exec app "SET a 1");
+        Alcotest.(check string) "get" "1" (exec app "GET a");
+        Alcotest.(check string) "miss" "NOTFOUND" (exec app "GET nope");
+        Alcotest.(check string) "del" "DELETED" (exec app "DEL a");
+        (* Overflow the tiny capacity: eviction must kick in. *)
+        for i = 0 to 9 do
+          ignore (exec app (Printf.sprintf "SET e%d v" i))
+        done;
+        let stats = exec app "STATS" in
+        Alcotest.(check bool)
+          (Printf.sprintf "evictions counted (%s)" stats)
+          true
+          (not (String.ends_with ~suffix:"evictions=0" stats)))
+  in
+  checkpoint_roundtrip (Apps.Memcache.factory ()) app
+
+(* --- Workload generators --- *)
+
+let zipf_skew () =
+  let rng = Rng.create 5 in
+  let z = Workload.Zipf.create ~n:1000 ~theta:0.99 in
+  let counts = Array.make 1000 0 in
+  for _ = 1 to 10_000 do
+    let r = Workload.Zipf.sample z rng in
+    counts.(r) <- counts.(r) + 1
+  done;
+  Alcotest.(check bool) "rank 0 is hot" true (counts.(0) > counts.(500) * 10);
+  let uniform = Workload.Zipf.create ~n:10 ~theta:0. in
+  let ucounts = Array.make 10 0 in
+  for _ = 1 to 10_000 do
+    let r = Workload.Zipf.sample uniform rng in
+    ucounts.(r) <- ucounts.(r) + 1
+  done;
+  Array.iter
+    (fun c -> Alcotest.(check bool) "roughly uniform" true (c > 700 && c < 1300))
+    ucounts
+
+let prop_zipf_in_range =
+  QCheck.Test.make ~name:"zipf sample in range" ~count:200
+    QCheck.(pair small_int (int_range 1 500))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let z = Workload.Zipf.create ~n ~theta:0.9 in
+      let r = Workload.Zipf.sample z rng in
+      r >= 0 && r < n)
+
+let mix_formats () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 50 do
+    (match Apps.Util.words (Workload.Mix.lock_server ~n_files:100 rng) with
+    | [ "RENEW"; _ ] -> ()
+    | [ ("CREATE" | "UPDATE"); _; size; payload ] ->
+      Alcotest.(check int)
+        "payload bytes match the declared size" (int_of_string size)
+        (String.length payload)
+    | other -> Alcotest.fail (String.concat " " (List.map (fun w -> String.sub w 0 (min 20 (String.length w))) other)));
+    (match Apps.Util.words (Workload.Mix.filesystem ~n_files:64 rng) with
+    | [ ("READ" | "WRITE"); _; _; "16384" ] -> ()
+    | other -> Alcotest.fail (String.concat " " other));
+    match Apps.Util.words (Workload.Mix.kv () rng) with
+    | [ "GET"; k ] | [ "SET"; k; _ ] ->
+      Alcotest.(check int) "16-byte key" 16 (String.length k)
+    | other -> Alcotest.fail (String.concat " " other)
+  done
+
+let lock_server_mix_ratio () =
+  let rng = Rng.create 11 in
+  let renews = ref 0 and total = 5000 in
+  for _ = 1 to total do
+    match Apps.Util.words (Workload.Mix.lock_server ~n_files:1000 rng) with
+    | "RENEW" :: _ -> incr renews
+    | _ -> ()
+  done;
+  let ratio = float_of_int !renews /. float_of_int total in
+  Alcotest.(check bool)
+    (Printf.sprintf "~90%% renews (got %.2f)" ratio)
+    true
+    (ratio > 0.85 && ratio < 0.95)
+
+let suite =
+  [
+    Alcotest.test_case "thumbnail" `Quick thumbnail_semantics;
+    Alcotest.test_case "lock server" `Quick lock_server_semantics;
+    Alcotest.test_case "filesys" `Quick filesys_semantics;
+    Alcotest.test_case "sim_disk NCQ" `Quick sim_disk_concurrency;
+    Alcotest.test_case "leveldb" `Quick leveldb_semantics;
+    Alcotest.test_case "leveldb stall" `Quick leveldb_stall_recovers;
+    Alcotest.test_case "kyoto" `Quick kyoto_semantics;
+    Alcotest.test_case "memcached" `Quick memcache_semantics;
+    Alcotest.test_case "zipf skew" `Quick zipf_skew;
+    QCheck_alcotest.to_alcotest prop_zipf_in_range;
+    Alcotest.test_case "mix formats" `Quick mix_formats;
+    Alcotest.test_case "lock-server mix ratio" `Quick lock_server_mix_ratio;
+  ]

@@ -1,0 +1,448 @@
+(* Paxos tests: election, ordered commitment, failover with value
+   recovery, catch-up, and agreement under message loss. *)
+
+open Sim
+
+type replica_ctx = {
+  mutable rep : Paxos.Replica.t;
+  store : Paxos.Store.t;
+  mutable delivered : (int * string) list;  (* reverse order *)
+  mutable became_leader : int;  (* count *)
+}
+
+type cluster = {
+  eng : Engine.t;
+  net : Net.t;
+  nodes : int list;
+  ctxs : replica_ctx array;
+}
+
+let mk_replica cluster_net cfg store ctx =
+  let cbs =
+    {
+      Paxos.Replica.on_committed =
+        (fun i v -> ctx.delivered <- (i, v) :: ctx.delivered);
+      on_become_leader = (fun () -> ctx.became_leader <- ctx.became_leader + 1);
+      on_new_leader = (fun _ -> ());
+    }
+  in
+  let rep = Paxos.Replica.create cluster_net cfg store cbs in
+  Paxos.Replica.start rep;
+  rep
+
+let mk_cluster ?(seed = 5) ?(n = 3) () =
+  let eng = Engine.create ~seed ~cores_per_node:4 ~num_nodes:n () in
+  let net = Net.create eng in
+  let nodes = List.init n Fun.id in
+  let ctxs =
+    Array.init n (fun _ ->
+        {
+          rep = Obj.magic ();
+          store = Paxos.Store.create ();
+          delivered = [];
+          became_leader = 0;
+        })
+  in
+  let cluster = { eng; net; nodes; ctxs } in
+  List.iter
+    (fun i ->
+      let cfg = Paxos.Replica.default_config ~me:i ~peers:nodes () in
+      ctxs.(i).rep <- mk_replica net cfg ctxs.(i).store ctxs.(i))
+    nodes;
+  cluster
+
+let restart_replica c i =
+  Engine.restart_node c.eng i;
+  let cfg = Paxos.Replica.default_config ~me:i ~peers:c.nodes () in
+  c.ctxs.(i).rep <- mk_replica c.net cfg c.ctxs.(i).store c.ctxs.(i)
+
+let current_leader c =
+  let alive =
+    List.filter (fun i -> Engine.node_alive c.eng i) c.nodes
+  in
+  List.find_opt (fun i -> Paxos.Replica.is_leader c.ctxs.(i).rep) alive
+
+let run_for c seconds = Engine.run ~until:(Engine.clock c.eng +. seconds) c.eng
+
+(* Drive proposals from a fiber on an alive node: find the leader, propose,
+   wait for local commitment. *)
+let propose_values c values =
+  let driver_node =
+    List.find (fun i -> Engine.node_alive c.eng i) c.nodes
+  in
+  let finished = ref false in
+  ignore
+    (Engine.spawn c.eng ~node:driver_node ~name:"driver" (fun () ->
+         List.iter
+           (fun v ->
+             let rec try_propose () =
+               match current_leader c with
+               | Some l when Paxos.Replica.propose c.ctxs.(l).rep v -> l
+               | _ ->
+                 Engine.sleep 2e-3;
+                 try_propose ()
+             in
+             let l = try_propose () in
+             let target = Paxos.Replica.next_instance c.ctxs.(l).rep in
+             ignore target;
+             let rec wait_commit () =
+               let committed =
+                 List.exists
+                   (fun i ->
+                     Engine.node_alive c.eng i
+                     && List.exists (fun (_, v') -> v' = v)
+                          c.ctxs.(i).delivered)
+                   c.nodes
+               in
+               if not committed then begin
+                 Engine.sleep 2e-3;
+                 wait_commit ()
+               end
+             in
+             wait_commit ())
+           values;
+         finished := true));
+  let rec pump limit =
+    run_for c 1.0;
+    if (not !finished) && limit > 0 then pump (limit - 1)
+  in
+  pump 60;
+  Alcotest.(check bool) "driver finished" true !finished
+
+let delivered_values ctx = List.rev_map snd ctx.delivered
+
+let election_single_leader () =
+  let c = mk_cluster () in
+  run_for c 1.0;
+  (match current_leader c with
+  | Some _ -> ()
+  | None -> Alcotest.fail "no leader elected");
+  let leaders =
+    List.filter (fun i -> Paxos.Replica.is_leader c.ctxs.(i).rep) c.nodes
+  in
+  Alcotest.(check int) "exactly one leader" 1 (List.length leaders)
+
+let commit_in_order () =
+  let c = mk_cluster () in
+  run_for c 1.0;
+  let values = List.init 10 (fun i -> Printf.sprintf "v%d" i) in
+  propose_values c values;
+  run_for c 1.0;
+  List.iter
+    (fun i ->
+      Alcotest.(check (list string))
+        (Printf.sprintf "replica %d delivered all, in order" i)
+        values
+        (delivered_values c.ctxs.(i));
+      let instances = List.rev_map fst c.ctxs.(i).delivered in
+      Alcotest.(check (list int))
+        (Printf.sprintf "replica %d instances contiguous" i)
+        (List.init 10 (fun k -> k + 1))
+        instances)
+    c.nodes
+
+let failover_elects_new_leader () =
+  let c = mk_cluster ~seed:7 () in
+  run_for c 1.0;
+  propose_values c [ "a"; "b" ];
+  let l1 = Option.get (current_leader c) in
+  Engine.crash_node c.eng l1;
+  run_for c 2.0;
+  (match current_leader c with
+  | Some l2 -> Alcotest.(check bool) "different leader" true (l2 <> l1)
+  | None -> Alcotest.fail "no new leader after crash");
+  propose_values c [ "c" ];
+  run_for c 1.0;
+  (* Restart the old leader: it must catch up on everything. *)
+  restart_replica c l1;
+  run_for c 3.0;
+  Alcotest.(check (list string))
+    "restarted replica caught up" [ "a"; "b"; "c" ]
+    (delivered_values c.ctxs.(l1))
+
+let agreement_under_loss () =
+  let c = mk_cluster ~seed:13 () in
+  Net.set_drop_probability c.net 0.05;
+  run_for c 2.0;
+  let values = List.init 20 (fun i -> Printf.sprintf "x%d" i) in
+  propose_values c values;
+  Net.set_drop_probability c.net 0.;
+  run_for c 3.0;
+  (* All replicas must agree on a common prefix equal to the full list. *)
+  List.iter
+    (fun i ->
+      let got = delivered_values c.ctxs.(i) in
+      let expected_prefix = List.filteri (fun k _ -> k < List.length got) values in
+      Alcotest.(check (list string))
+        (Printf.sprintf "replica %d prefix agrees" i)
+        expected_prefix got)
+    c.nodes;
+  (* And at least one replica (the leader's majority) has everything. *)
+  let max_len =
+    List.fold_left (fun m i -> max m (List.length (delivered_values c.ctxs.(i)))) 0 c.nodes
+  in
+  Alcotest.(check int) "all values committed somewhere" (List.length values) max_len
+
+let partition_heals_catch_up () =
+  let c = mk_cluster ~seed:21 () in
+  run_for c 1.0;
+  let l = Option.get (current_leader c) in
+  let isolated = List.find (fun i -> i <> l) c.nodes in
+  List.iter (fun i -> if i <> isolated then Net.partition c.net isolated i) c.nodes;
+  propose_values c [ "p"; "q"; "r" ];
+  Alcotest.(check (list string))
+    "isolated replica saw nothing" []
+    (delivered_values c.ctxs.(isolated));
+  Net.heal_all c.net;
+  run_for c 3.0;
+  Alcotest.(check (list string))
+    "isolated replica caught up after heal" [ "p"; "q"; "r" ]
+    (delivered_values c.ctxs.(isolated))
+
+let no_two_leaders_same_ballot () =
+  (* Repeatedly crash and restart leaders; at no quiescent point may two
+     alive replicas both believe they lead with the same ballot. *)
+  let c = mk_cluster ~seed:31 () in
+  run_for c 1.0;
+  for round = 1 to 4 do
+    (match current_leader c with
+    | Some l ->
+      Engine.crash_node c.eng l;
+      run_for c 1.5;
+      restart_replica c l;
+      run_for c 1.5
+    | None -> run_for c 1.0);
+    let leaders =
+      List.filter
+        (fun i ->
+          Engine.node_alive c.eng i && Paxos.Replica.is_leader c.ctxs.(i).rep)
+        c.nodes
+    in
+    let ballots =
+      List.map (fun i -> Paxos.Replica.current_ballot c.ctxs.(i).rep) leaders
+    in
+    let distinct = List.sort_uniq Paxos.Ballot.compare ballots in
+    Alcotest.(check int)
+      (Printf.sprintf "round %d: leader ballots distinct" round)
+      (List.length ballots) (List.length distinct)
+  done
+
+let value_recovery_across_failover () =
+  (* The chosen-value rule: if the old leader's value reached a majority of
+     acceptors, the new leader must re-propose it, never replace it. *)
+  let c = mk_cluster ~seed:43 () in
+  run_for c 1.0;
+  propose_values c [ "committed-1" ];
+  let l = Option.get (current_leader c) in
+  (* Propose but immediately isolate the leader so the accept may reach a
+     subset of acceptors. *)
+  Alcotest.(check bool) "proposed" true
+    (Paxos.Replica.propose c.ctxs.(l).rep "maybe-chosen");
+  List.iter (fun i -> if i <> l then Net.partition c.net l i) c.nodes;
+  run_for c 0.5;
+  Engine.crash_node c.eng l;
+  Net.heal_all c.net;
+  run_for c 3.0;
+  propose_values c [ "after-failover" ];
+  run_for c 1.0;
+  (* Whatever happened, every replica's instance 2 must agree, and if
+     "maybe-chosen" survived anywhere it is everywhere. *)
+  let alive = List.filter (fun i -> Engine.node_alive c.eng i) c.nodes in
+  let at_instance i inst =
+    List.assoc_opt inst (List.map (fun (a, b) -> (a, b)) c.ctxs.(i).delivered)
+  in
+  let vals_i2 = List.filter_map (fun i -> at_instance i 2) alive in
+  (match List.sort_uniq compare vals_i2 with
+  | [] | [ _ ] -> ()
+  | _ -> Alcotest.fail "replicas disagree at instance 2");
+  Alcotest.(check bool) "progress resumed" true
+    (List.exists
+       (fun i -> List.mem "after-failover" (delivered_values c.ctxs.(i)))
+       alive)
+
+let ballot_ordering () =
+  let open Paxos.Ballot in
+  Alcotest.(check bool) "round dominates" true
+    (compare { round = 2; replica = 0 } { round = 1; replica = 5 } > 0);
+  Alcotest.(check bool) "replica ties" true
+    (compare { round = 1; replica = 2 } { round = 1; replica = 1 } > 0);
+  let b = next { round = 3; replica = 1 } ~me:0 in
+  Alcotest.(check bool) "next is larger" true (compare b { round = 3; replica = 1 } > 0)
+
+let msg_roundtrip () =
+  let open Paxos in
+  let msgs =
+    [
+      Msg.Prepare { ballot = { round = 3; replica = 1 } };
+      Msg.Promise
+        {
+          ballot = { round = 3; replica = 1 };
+          accepted = [ (7, { round = 2; replica = 0 }, "val") ];
+          committed_upto = 6;
+        };
+      Msg.Nack { ballot = { round = 9; replica = 2 } };
+      Msg.Accept
+        {
+          ballot = { round = 3; replica = 1 };
+          instance = 7;
+          value = "v";
+          prior = [ (6, "u") ];
+        };
+      Msg.Accepted { ballot = { round = 3; replica = 1 }; instance = 7 };
+      Msg.Commit { instance = 7; value = "v" };
+      Msg.Heartbeat { ballot = { round = 3; replica = 1 }; committed_upto = 7 };
+      Msg.Learn { from_instance = 4 };
+      Msg.Learn_reply { entries = [ (4, "a"); (5, "b") ] };
+    ]
+  in
+  List.iter
+    (fun m ->
+      Alcotest.(check bool) "roundtrip" true (Msg.decode (Msg.encode m) = m))
+    msgs
+
+let store_basics () =
+  let open Paxos in
+  let st = Store.create () in
+  Store.commit st 1 "a";
+  Store.commit st 3 "c";
+  Alcotest.(check int) "gap blocks upto" 1 (Store.committed_upto st);
+  Store.commit st 2 "b";
+  Alcotest.(check int) "contiguous" 3 (Store.committed_upto st);
+  (match Store.commit st 2 "DIFFERENT" with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "conflicting commit must be rejected");
+  Store.set_accepted st 4 { round = 1; replica = 0 } "d";
+  Alcotest.(check int) "accepted above" 1 (List.length (Store.accepted_above st 3));
+  Store.truncate_below st 3;
+  Alcotest.(check (option string)) "gc'd" None (Store.committed st 1);
+  Alcotest.(check (option string)) "kept" (Some "c") (Store.committed st 3)
+
+let suite =
+  [
+    Alcotest.test_case "ballot ordering" `Quick ballot_ordering;
+    Alcotest.test_case "msg roundtrip" `Quick msg_roundtrip;
+    Alcotest.test_case "store basics" `Quick store_basics;
+    Alcotest.test_case "election: single leader" `Quick election_single_leader;
+    Alcotest.test_case "commit in order" `Quick commit_in_order;
+    Alcotest.test_case "failover + restart catch-up" `Quick failover_elects_new_leader;
+    Alcotest.test_case "agreement under loss" `Quick agreement_under_loss;
+    Alcotest.test_case "partition heal catch-up" `Quick partition_heals_catch_up;
+    Alcotest.test_case "no two leaders same ballot" `Quick no_two_leaders_same_ballot;
+    Alcotest.test_case "value recovery across failover" `Quick value_recovery_across_failover;
+  ]
+
+(* --- Pipelined proposals (§3.1 piggybacking) --- *)
+
+let mk_pipelined_cluster ?(seed = 5) ?(n = 3) ~depth () =
+  let eng = Engine.create ~seed ~cores_per_node:4 ~num_nodes:n () in
+  let net = Net.create eng in
+  let nodes = List.init n Fun.id in
+  let ctxs =
+    Array.init n (fun _ ->
+        {
+          rep = Obj.magic ();
+          store = Paxos.Store.create ();
+          delivered = [];
+          became_leader = 0;
+        })
+  in
+  let cluster = { eng; net; nodes; ctxs } in
+  List.iter
+    (fun i ->
+      let cfg =
+        Paxos.Replica.default_config ~max_inflight:depth ~me:i ~peers:nodes ()
+      in
+      ctxs.(i).rep <- mk_replica net cfg ctxs.(i).store ctxs.(i))
+    nodes;
+  cluster
+
+let pipelined_commits_in_order () =
+  let c = mk_pipelined_cluster ~seed:71 ~depth:4 () in
+  run_for c 1.0;
+  let l = Option.get (current_leader c) in
+  let rep = c.ctxs.(l).rep in
+  (* Fire proposals as fast as the window allows. *)
+  let submitted = ref 0 in
+  ignore
+    (Engine.spawn c.eng ~node:l (fun () ->
+         while !submitted < 40 do
+           if Paxos.Replica.propose rep (Printf.sprintf "p%d" !submitted) then
+             incr submitted
+           else Engine.sleep 1e-4
+         done));
+  run_for c 5.0;
+  List.iter
+    (fun i ->
+      Alcotest.(check (list string))
+        (Printf.sprintf "replica %d ordered" i)
+        (List.init 40 (fun k -> Printf.sprintf "p%d" k))
+        (delivered_values c.ctxs.(i)))
+    c.nodes;
+  (* The pipeline really was deeper than one. *)
+  Alcotest.(check bool) "window opened" true
+    (Paxos.Replica.can_propose rep)
+
+let pipelined_safe_across_failover () =
+  let c = mk_pipelined_cluster ~seed:73 ~depth:4 () in
+  run_for c 1.0;
+  let l = Option.get (current_leader c) in
+  let rep = c.ctxs.(l).rep in
+  ignore
+    (Engine.spawn c.eng ~node:l (fun () ->
+         for i = 1 to 4 do
+           ignore (Paxos.Replica.propose rep (Printf.sprintf "q%d" i))
+         done));
+  (* Kill the leader with proposals potentially in flight. *)
+  run_for c 0.002;
+  Engine.crash_node c.eng l;
+  run_for c 3.0;
+  propose_values c [ "after" ];
+  run_for c 2.0;
+  (* Whatever survived, all replicas agree on the same ordered prefix. *)
+  let alive = List.filter (fun i -> Engine.node_alive c.eng i) c.nodes in
+  let seqs = List.map (fun i -> delivered_values c.ctxs.(i)) alive in
+  (match seqs with
+  | s :: rest -> List.iter (fun s' -> Alcotest.(check (list string)) "agree" s s') rest
+  | [] -> Alcotest.fail "no live replicas");
+  Alcotest.(check bool) "progress after failover" true
+    (List.exists (fun s -> List.mem "after" s) seqs)
+
+let pipelined_no_holes_with_loss () =
+  let c = mk_pipelined_cluster ~seed:79 ~depth:4 () in
+  Net.set_drop_probability c.net 0.1;
+  run_for c 2.0;
+  (match current_leader c with
+  | None -> run_for c 2.0
+  | Some _ -> ());
+  let l = Option.get (current_leader c) in
+  let rep = c.ctxs.(l).rep in
+  let submitted = ref 0 in
+  ignore
+    (Engine.spawn c.eng ~node:l (fun () ->
+         while !submitted < 30 do
+           if Paxos.Replica.propose rep (Printf.sprintf "z%d" !submitted) then
+             incr submitted
+           else Engine.sleep 2e-4
+         done));
+  run_for c 10.0;
+  Net.set_drop_probability c.net 0.;
+  run_for c 5.0;
+  (* Deliveries must be gapless prefixes of z0..z29 on every replica. *)
+  List.iter
+    (fun i ->
+      let got = delivered_values c.ctxs.(i) in
+      List.iteri
+        (fun k v ->
+          Alcotest.(check string)
+            (Printf.sprintf "replica %d position %d" i k)
+            (Printf.sprintf "z%d" k) v)
+        got)
+    c.nodes
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "pipelined commits in order" `Quick pipelined_commits_in_order;
+      Alcotest.test_case "pipelined safe across failover" `Quick pipelined_safe_across_failover;
+      Alcotest.test_case "pipelined no holes under loss" `Quick pipelined_no_holes_with_loss;
+    ]

@@ -1,0 +1,509 @@
+(* End-to-end tests of the Rex framework: replication, consistency across
+   replicas, failover with promotion mid-stream, demotion rollback,
+   checkpointing + recovery, query semantics, and the SMR baseline. *)
+
+open Sim
+module R = Rex_core
+
+(* --- Test application: a sharded key/value counter store. ---
+   Requests: "INC <key>" -> new value; "PUT <key> <v>" -> "OK";
+   "GET <key>" -> value (also served as a query). *)
+
+let test_app ?(shards = 4) ?(work = 5e-5) () : R.App.factory =
+ fun api ->
+  let shard_tables = Array.init shards (fun _ -> Hashtbl.create 64) in
+  let shard_locks =
+    Array.init shards (fun i -> R.Api.lock api (Printf.sprintf "shard%d" i))
+  in
+  let shard_of key = Hashtbl.hash key mod shards in
+  let with_shard key f =
+    let i = shard_of key in
+    Rexsync.Lock.lock shard_locks.(i);
+    Fun.protect
+      ~finally:(fun () -> Rexsync.Lock.unlock shard_locks.(i))
+      (fun () -> f shard_tables.(i))
+  in
+  let execute ~request =
+    R.Api.work api work;
+    match String.split_on_char ' ' request with
+    | [ "INC"; key ] ->
+      with_shard key (fun tbl ->
+          let v = Option.value (Hashtbl.find_opt tbl key) ~default:0 + 1 in
+          Hashtbl.replace tbl key v;
+          string_of_int v)
+    | [ "PUT"; key; v ] ->
+      with_shard key (fun tbl ->
+          Hashtbl.replace tbl key (int_of_string v);
+          "OK")
+    | [ "GET"; key ] ->
+      with_shard key (fun tbl ->
+          string_of_int (Option.value (Hashtbl.find_opt tbl key) ~default:0))
+    | _ -> "ERR:bad-request"
+  in
+  let query ~request =
+    match String.split_on_char ' ' request with
+    | [ "GET"; key ] ->
+      let tbl = shard_tables.(shard_of key) in
+      string_of_int (Option.value (Hashtbl.find_opt tbl key) ~default:0)
+    | _ -> "ERR:bad-query"
+  in
+  let sorted_bindings () =
+    Array.to_list shard_tables
+    |> List.concat_map (fun tbl -> Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+    |> List.sort compare
+  in
+  let digest () =
+    string_of_int (Hashtbl.hash (sorted_bindings ()))
+  in
+  let write_checkpoint sink =
+    Codec.write_list sink
+      (fun b (k, v) ->
+        Codec.write_string b k;
+        Codec.write_varint b v)
+      (sorted_bindings ())
+  in
+  let read_checkpoint src =
+    Array.iter Hashtbl.reset shard_tables;
+    let bindings =
+      Codec.read_list src (fun s ->
+          let k = Codec.read_string s in
+          let v = Codec.read_varint s in
+          (k, v))
+    in
+    List.iter
+      (fun (k, v) -> Hashtbl.replace shard_tables.(shard_of k) k v)
+      bindings
+  in
+  { R.App.name = "test-kv"; execute; query; write_checkpoint; read_checkpoint; digest }
+
+let cfg ?(workers = 4) ?(checkpoint_interval = None) () =
+  R.Config.make ~workers ~checkpoint_interval ~replicas:[ 0; 1; 2 ] ()
+
+(* Drive [n] requests from concurrent client fibers on the client node;
+   returns the collected (request, response) pairs once all have
+   completed or the time limit passes. *)
+let drive_requests ?(concurrency = 8) cl requests eng node =
+  let results = ref [] in
+  let remaining = ref (List.length requests) in
+  let pending = ref requests in
+  for _ = 1 to concurrency do
+    ignore
+      (Engine.spawn eng ~node ~name:"client" (fun () ->
+           let rec loop () =
+             match !pending with
+             | [] -> ()
+             | req :: rest ->
+               pending := rest;
+               let resp = R.Client.call cl req in
+               results := (req, resp) :: !results;
+               decr remaining;
+               loop ()
+           in
+           loop ()))
+  done;
+  let deadline = Engine.clock eng +. 120. in
+  let rec pump () =
+    Engine.run ~until:(Engine.clock eng +. 0.5) eng;
+    if !remaining > 0 && Engine.clock eng < deadline then pump ()
+  in
+  pump ();
+  !results
+
+(* Let secondaries finish replaying everything committed. *)
+let quiesce cluster =
+  R.Cluster.run_for cluster 0.5
+
+let all_digests cluster =
+  Array.to_list (R.Cluster.servers cluster)
+  |> List.filter (fun s ->
+         Engine.node_alive (R.Cluster.engine cluster) (R.Server.node s))
+  |> List.map (fun s -> (R.Server.node s, R.Server.app_digest s))
+
+let check_digests_equal what cluster =
+  match all_digests cluster with
+  | [] -> Alcotest.fail "no live replicas"
+  | (_, d0) :: rest ->
+    List.iter
+      (fun (n, d) ->
+        Alcotest.(check string) (Printf.sprintf "%s: replica %d" what n) d0 d)
+      rest
+
+let e2e_replication () =
+  let cluster = R.Cluster.create ~seed:3 (cfg ()) (test_app ()) in
+  R.Cluster.start cluster;
+  ignore (R.Cluster.await_primary cluster);
+  let cl = R.Cluster.client cluster in
+  let reqs = List.init 60 (fun i -> Printf.sprintf "INC key%d" (i mod 7)) in
+  let results =
+    drive_requests cl reqs (R.Cluster.engine cluster) (R.Cluster.client_node cluster)
+  in
+  Alcotest.(check int) "all requests answered" 60
+    (List.length (List.filter (fun (_, r) -> r <> None) results));
+  quiesce cluster;
+  R.Cluster.check_no_divergence cluster;
+  check_digests_equal "digests converge" cluster;
+  (* Primary answered with monotonically increasing counter values per key. *)
+  let primary = Option.get (R.Cluster.primary cluster) in
+  Alcotest.(check string) "final value via query" "9"
+    (R.Server.query primary "GET key0")
+
+let secondary_replays_concurrently () =
+  (* The waited-events counter only moves on replicas that replay. *)
+  let cluster = R.Cluster.create ~seed:5 (cfg ()) (test_app ()) in
+  R.Cluster.start cluster;
+  let primary = R.Cluster.await_primary cluster in
+  let cl = R.Cluster.client cluster in
+  let reqs = List.init 80 (fun i -> Printf.sprintf "INC k%d" (i mod 3)) in
+  ignore
+    (drive_requests cl reqs (R.Cluster.engine cluster)
+       (R.Cluster.client_node cluster));
+  quiesce cluster;
+  Array.iter
+    (fun s ->
+      if R.Server.node s <> R.Server.node primary then begin
+        let st = R.Server.runtime_stats s in
+        Alcotest.(check bool)
+          (Printf.sprintf "replica %d replayed events" (R.Server.node s))
+          true
+          (st.Rexsync.Runtime.events_replayed > 0)
+      end)
+    (R.Cluster.servers cluster);
+  R.Cluster.check_no_divergence cluster
+
+let failover_continues_service () =
+  let cluster = R.Cluster.create ~seed:11 (cfg ()) (test_app ()) in
+  R.Cluster.start cluster;
+  let primary = R.Cluster.await_primary cluster in
+  let cl = R.Cluster.client cluster in
+  let eng = R.Cluster.engine cluster in
+  let cnode = R.Cluster.client_node cluster in
+  ignore (drive_requests cl (List.init 30 (fun i -> Printf.sprintf "INC a%d" (i mod 3))) eng cnode);
+  (* Kill the primary mid-flight. *)
+  R.Cluster.crash cluster (R.Server.node primary);
+  R.Cluster.run_for cluster 1.0;
+  let results2 =
+    drive_requests cl (List.init 30 (fun i -> Printf.sprintf "INC b%d" (i mod 3))) eng cnode
+  in
+  Alcotest.(check bool) "service resumed" true
+    (List.exists (fun (_, r) -> r <> None) results2);
+  let new_primary = R.Cluster.await_primary cluster in
+  Alcotest.(check bool) "new primary is a different node" true
+    (R.Server.node new_primary <> R.Server.node primary);
+  quiesce cluster;
+  R.Cluster.check_no_divergence cluster;
+  check_digests_equal "digests converge after failover" cluster
+
+let checkpoint_and_rejoin () =
+  let cluster =
+    R.Cluster.create ~seed:17
+      (cfg ~checkpoint_interval:(Some 0.5) ())
+      (test_app ())
+  in
+  R.Cluster.start cluster;
+  let primary = R.Cluster.await_primary cluster in
+  let cl = R.Cluster.client cluster in
+  let eng = R.Cluster.engine cluster in
+  let cnode = R.Cluster.client_node cluster in
+  ignore (drive_requests cl (List.init 40 (fun i -> Printf.sprintf "INC c%d" (i mod 5))) eng cnode);
+  (* Run past a checkpoint interval so secondaries snapshot. *)
+  R.Cluster.run_for cluster 1.5;
+  let victim =
+    R.Server.node
+      (Array.to_list (R.Cluster.servers cluster)
+      |> List.find (fun s -> not (R.Server.is_primary s)))
+  in
+  let ckpts_before =
+    Array.fold_left
+      (fun acc s -> acc + (R.Server.stats s).R.Server.checkpoints_written)
+      0 (R.Cluster.servers cluster)
+  in
+  Alcotest.(check bool) "some secondary wrote a checkpoint" true (ckpts_before > 0);
+  R.Cluster.crash cluster victim;
+  R.Cluster.run_for cluster 0.5;
+  ignore (drive_requests cl (List.init 40 (fun i -> Printf.sprintf "INC d%d" (i mod 5))) eng cnode);
+  R.Cluster.restart cluster victim;
+  R.Cluster.run_for cluster 5.0;
+  ignore primary;
+  R.Cluster.check_no_divergence cluster;
+  check_digests_equal "rejoined replica converges" cluster
+
+let demotion_rolls_back () =
+  let cluster = R.Cluster.create ~seed:23 (cfg ()) (test_app ()) in
+  R.Cluster.start cluster;
+  let primary = R.Cluster.await_primary cluster in
+  let cl = R.Cluster.client cluster in
+  let eng = R.Cluster.engine cluster in
+  let cnode = R.Cluster.client_node cluster in
+  ignore (drive_requests cl (List.init 20 (fun i -> Printf.sprintf "INC e%d" (i mod 2))) eng cnode);
+  let p = R.Server.node primary in
+  (* Isolate the primary: it keeps executing speculatively; the others
+     elect a new leader; on heal the old primary must roll back. *)
+  List.iter
+    (fun i -> if i <> p then Net.partition (R.Cluster.net cluster) p i)
+    [ 0; 1; 2 ];
+  (* Local (non-replicated) submissions on the isolated primary create
+     speculative state that can never commit. *)
+  for i = 0 to 9 do
+    R.Server.submit primary (Printf.sprintf "INC zombie%d" i) (fun _ -> ())
+  done;
+  R.Cluster.run_for cluster 2.0;
+  Net.heal_all (R.Cluster.net cluster);
+  R.Cluster.run_for cluster 2.0;
+  ignore (drive_requests cl (List.init 10 (fun i -> Printf.sprintf "INC f%d" i)) eng cnode);
+  R.Cluster.run_for cluster 3.0;
+  let old_primary = R.Cluster.server cluster p in
+  Alcotest.(check bool) "old primary demoted" true (not (R.Server.is_primary old_primary));
+  Alcotest.(check bool) "rollback counted" true
+    ((R.Server.stats old_primary).R.Server.rollbacks >= 1);
+  R.Cluster.check_no_divergence cluster;
+  check_digests_equal "speculative state discarded everywhere" cluster;
+  (* The zombie keys must not exist on the rolled-back replica. *)
+  Alcotest.(check string) "zombie gone" "0" (R.Server.query old_primary "GET zombie0")
+
+let query_semantics () =
+  let cluster = R.Cluster.create ~seed:29 (cfg ()) (test_app ()) in
+  R.Cluster.start cluster;
+  let primary = R.Cluster.await_primary cluster in
+  let cl = R.Cluster.client cluster in
+  let eng = R.Cluster.engine cluster in
+  let cnode = R.Cluster.client_node cluster in
+  ignore (drive_requests cl [ "PUT q 41"; "INC q" ] eng cnode);
+  quiesce cluster;
+  (* Committed state visible on every replica. *)
+  Array.iter
+    (fun s ->
+      Alcotest.(check string)
+        (Printf.sprintf "query on replica %d" (R.Server.node s))
+        "42" (R.Server.query s "GET q"))
+    (R.Cluster.servers cluster);
+  ignore primary
+
+let smr_baseline_replicates () =
+  let eng = Engine.create ~seed:31 ~cores_per_node:16 ~num_nodes:4 () in
+  let net = Net.create eng in
+  let rpc = Rpc.create net in
+  let config = cfg () in
+  let stores = Array.init 3 (fun _ -> Paxos.Store.create ()) in
+  let servers =
+    Array.init 3 (fun i ->
+        Smr.create net rpc config ~node:i ~paxos_store:stores.(i) (test_app ()))
+  in
+  Array.iter Smr.start servers;
+  Engine.run ~until:1.0 eng;
+  let cl = R.Client.create rpc ~me:3 ~replicas:[ 0; 1; 2 ] in
+  let answered = ref 0 in
+  ignore
+    (Engine.spawn eng ~node:3 (fun () ->
+         for i = 1 to 30 do
+           match R.Client.call cl (Printf.sprintf "INC s%d" (i mod 4)) with
+           | Some _ -> incr answered
+           | None -> ()
+         done));
+  Engine.run ~until:30.0 eng;
+  Alcotest.(check int) "all answered" 30 !answered;
+  Engine.run ~until:31.0 eng;
+  let digests = Array.map Smr.app_digest servers in
+  Alcotest.(check string) "smr replicas agree 0=1" digests.(0) digests.(1);
+  Alcotest.(check string) "smr replicas agree 0=2" digests.(0) digests.(2);
+  (* Sequential execution: every replica executed every request. *)
+  Array.iter
+    (fun s ->
+      Alcotest.(check bool) "executed all" true (Smr.executed_requests s >= 30))
+    servers
+
+let suite =
+  [
+    Alcotest.test_case "e2e replication" `Quick e2e_replication;
+    Alcotest.test_case "secondaries replay" `Quick secondary_replays_concurrently;
+    Alcotest.test_case "failover continues service" `Quick failover_continues_service;
+    Alcotest.test_case "checkpoint + rejoin" `Quick checkpoint_and_rejoin;
+    Alcotest.test_case "demotion rolls back" `Quick demotion_rolls_back;
+    Alcotest.test_case "query semantics" `Quick query_semantics;
+    Alcotest.test_case "smr baseline" `Quick smr_baseline_replicates;
+  ]
+
+(* --- Additional behaviours --- *)
+
+(* A client pointed at a secondary gets redirected to the leader. *)
+let client_redirects () =
+  let cluster = R.Cluster.create ~seed:37 (cfg ()) (test_app ()) in
+  R.Cluster.start cluster;
+  let primary = R.Cluster.await_primary cluster in
+  let secondary =
+    Array.to_list (R.Cluster.servers cluster)
+    |> List.find (fun s -> not (R.Server.is_primary s))
+  in
+  let eng = R.Cluster.engine cluster in
+  let got = ref None in
+  ignore
+    (Engine.spawn eng ~node:(R.Cluster.client_node cluster) (fun () ->
+         let cl =
+           R.Client.create
+             (R.Cluster.rpc cluster)
+             ~me:(R.Cluster.client_node cluster)
+             ~replicas:
+               (* deliberately guess the secondary first *)
+               [ R.Server.node secondary; R.Server.node primary ]
+         in
+         got := R.Client.call cl "INC redirected";
+         Alcotest.(check int)
+           "client learned the real leader" (R.Server.node primary)
+           (R.Client.leader_guess cl)));
+  R.Cluster.run_for cluster 5.0;
+  Alcotest.(check (option string)) "served after redirect" (Some "1") !got
+
+(* Checkpoints garbage-collect the consensus log beneath them. *)
+let checkpoint_gc_truncates () =
+  let cluster =
+    R.Cluster.create ~seed:43
+      (cfg ~checkpoint_interval:(Some 0.2) ())
+      (test_app ())
+  in
+  R.Cluster.start cluster;
+  let primary = R.Cluster.await_primary cluster in
+  let eng = R.Cluster.engine cluster in
+  let done_ = ref 0 in
+  ignore
+    (Engine.spawn eng ~node:(R.Server.node primary) (fun () ->
+         for i = 1 to 200 do
+           R.Server.submit primary (Printf.sprintf "INC g%d" (i mod 7))
+             (fun _ -> incr done_)
+         done));
+  R.Cluster.run_for cluster 2.0;
+  Alcotest.(check int) "load done" 200 !done_;
+  (* Some secondary must have written a checkpoint and truncated. *)
+  let truncated =
+    Array.to_list (R.Cluster.servers cluster)
+    |> List.exists (fun s ->
+           (not (R.Server.is_primary s))
+           && (R.Server.stats s).R.Server.checkpoints_written > 0
+           && (R.Server.agreement s).R.Agreement.committed 1 = None)
+  in
+  Alcotest.(check bool) "log below checkpoint collected" true truncated
+
+(* Divergence reports embed a rendered trace window. *)
+let divergence_report_renders () =
+  let buggy : R.App.factory =
+   fun api ->
+    let l = R.Api.lock api "rep.lock" in
+    let n = ref 0 in
+    {
+      R.App.name = "buggy2";
+      execute =
+        (fun ~request:_ ->
+          Rexsync.Lock.with_lock l (fun () -> incr n);
+          (* unrecorded nondeterminism *)
+          string_of_int (Hashtbl.hash (Engine.now ())));
+      query = (fun ~request:_ -> "");
+      write_checkpoint = (fun sink -> Codec.write_uvarint sink !n);
+      read_checkpoint = (fun src -> n := Codec.read_uvarint src);
+      digest = (fun () -> string_of_int !n);
+    }
+  in
+  let cluster = R.Cluster.create ~seed:53 (cfg ()) buggy in
+  R.Cluster.start cluster;
+  let primary = R.Cluster.await_primary cluster in
+  let done_ = ref 0 in
+  ignore
+    (Engine.spawn (R.Cluster.engine cluster) ~node:(R.Server.node primary)
+       (fun () ->
+         for _ = 1 to 30 do
+           R.Server.submit primary "go" (fun _ -> incr done_)
+         done));
+  R.Cluster.run_for cluster 2.0;
+  let report =
+    Array.to_list (R.Cluster.servers cluster)
+    |> List.find_map R.Server.divergence_report
+  in
+  match report with
+  | Some r ->
+    Alcotest.(check bool) "mentions the resource" true
+      (let contains hay needle =
+         let n = String.length needle and h = String.length hay in
+         let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+         go 0
+       in
+       contains r "digraph" && contains r "rep.lock")
+  | None -> Alcotest.fail "expected a divergence report"
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "client redirect" `Quick client_redirects;
+      Alcotest.test_case "checkpoint GC truncates" `Quick checkpoint_gc_truncates;
+      Alcotest.test_case "divergence report renders" `Quick divergence_report_renders;
+    ]
+
+(* --- SMR baseline extras --- *)
+
+(* Background timers under classic RSM are serialized as proposed
+   pseudo-requests, so every replica runs the callback at the same point
+   in the request order. *)
+let smr_timers_serialized () =
+  let eng = Engine.create ~seed:71 ~cores_per_node:8 ~num_nodes:4 () in
+  let net = Net.create eng in
+  let rpc = Rpc.create net in
+  let config = cfg () in
+  let stores = Array.init 3 (fun _ -> Paxos.Store.create ()) in
+  let servers =
+    Array.init 3 (fun i ->
+        Smr.create net rpc config ~node:i ~paxos_store:stores.(i)
+          (Apps.Leveldb.factory ~memtable_limit:4 ~compaction_interval:5e-3 ()))
+  in
+  Array.iter Smr.start servers;
+  Engine.run ~until:1.0 eng;
+  let primary = Option.get (Array.find_opt Smr.is_primary servers) in
+  let done_ = ref 0 in
+  ignore
+    (Engine.spawn eng ~node:(Smr.node primary) (fun () ->
+         for i = 1 to 60 do
+           Smr.submit primary (Printf.sprintf "SET t%d v%d" i i) (fun _ ->
+               incr done_)
+         done));
+  Engine.run ~until:3.0 eng;
+  Alcotest.(check int) "all replied" 60 !done_;
+  Engine.run ~until:4.0 eng;
+  (* Compaction (a timer) ran identically everywhere: digests equal even
+     though the memtable/disktable split is part of the digest's input. *)
+  let ds = Array.map Smr.app_digest servers in
+  Alcotest.(check string) "0=1" ds.(0) ds.(1);
+  Alcotest.(check string) "0=2" ds.(0) ds.(2)
+
+let smr_failover () =
+  let eng = Engine.create ~seed:73 ~cores_per_node:8 ~num_nodes:4 () in
+  let net = Net.create eng in
+  let rpc = Rpc.create net in
+  let config = cfg () in
+  let stores = Array.init 3 (fun _ -> Paxos.Store.create ()) in
+  let mk i =
+    let s = Smr.create net rpc config ~node:i ~paxos_store:stores.(i) (test_app ()) in
+    Smr.start s;
+    s
+  in
+  let servers = Array.init 3 mk in
+  Engine.run ~until:1.0 eng;
+  let cl = R.Client.create rpc ~me:3 ~replicas:[ 0; 1; 2 ] in
+  let phase n = drive_requests cl (List.init n (fun i -> Printf.sprintf "INC s%d" (i mod 3))) eng 3 in
+  ignore (phase 20);
+  let leader = Option.get (Array.find_opt Smr.is_primary servers) in
+  Engine.crash_node eng (Smr.node leader);
+  Engine.run ~until:(Engine.clock eng +. 2.0) eng;
+  let results = phase 20 in
+  Alcotest.(check bool) "service resumed after SMR failover" true
+    (List.exists (fun (_, r) -> r <> None) results);
+  (* note: the crashed node stays down; the two live replicas agree *)
+  Engine.run ~until:(Engine.clock eng +. 1.0) eng;
+  let live =
+    Array.to_list servers
+    |> List.filter (fun s -> Engine.node_alive eng (Smr.node s))
+  in
+  match List.map Smr.app_digest live with
+  | d :: rest -> List.iter (Alcotest.(check string) "smr live agree" d) rest
+  | [] -> Alcotest.fail "no live replicas"
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "smr timers serialized" `Quick smr_timers_serialized;
+      Alcotest.test_case "smr failover" `Quick smr_failover;
+    ]
