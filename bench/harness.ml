@@ -10,6 +10,56 @@ type mode = Native | Rex | Rsm
 
 let mode_name = function Native -> "native" | Rex -> "Rex" | Rsm -> "RSM"
 
+(* --- Metrics / trace export sinks (--metrics-out / --trace-out) ---
+
+   Every run_* call builds a fresh Engine, so the registry is per-run;
+   we snapshot each run's metrics into a JSON document and write them
+   all out as one array when the subcommand finishes.  The trace file
+   holds the span stream of the most recent traced run (a whole
+   subcommand's worth of runs in one Chrome timeline would overlap). *)
+
+let metrics_path : string option ref = ref None
+let trace_path : string option ref = ref None
+let run_docs : string list ref = ref []
+let last_trace : Obs.Span.collector option ref = ref None
+
+let set_outputs ~metrics ~trace =
+  metrics_path := metrics;
+  trace_path := trace;
+  run_docs := [];
+  last_trace := None
+
+let tracing_requested () = !trace_path <> None
+
+(* Enable span collection on a fresh engine when --trace-out was given. *)
+let arm_tracing eng =
+  if tracing_requested () then Obs.enable_tracing (Engine.obs eng) true
+
+let note_run ~label eng =
+  let obs = Engine.obs eng in
+  if !metrics_path <> None then
+    run_docs :=
+      Printf.sprintf "{\"run\":%S,\"time\":%.9g,\"metrics\":%s}" label
+        (Engine.clock eng)
+        (Obs.Export.metrics_json (Obs.registry obs))
+      :: !run_docs;
+  if Obs.tracing obs && Obs.Span.length (Obs.spans obs) > 0 then
+    last_trace := Some (Obs.spans obs)
+
+let flush_outputs () =
+  (match !metrics_path with
+  | None -> ()
+  | Some path ->
+    Obs.Export.to_file ~path
+      ("[\n" ^ String.concat ",\n" (List.rev !run_docs) ^ "\n]\n"));
+  match (!trace_path, !last_trace) with
+  | Some path, Some col ->
+    Obs.Export.to_file ~path (Obs.Export.chrome_trace col)
+  | Some path, None ->
+    (* No traced run happened: still emit a valid (empty) trace file. *)
+    Obs.Export.to_file ~path "{\"traceEvents\":[]}\n"
+  | None, _ -> ()
+
 type result = {
   mode : mode;
   threads : int;
@@ -54,6 +104,7 @@ let pump eng ~done_p ~virtual_deadline =
 
 let run_native ?(seed = 42) ~cores ~threads ~factory ~gen ~warmup ~measure () =
   let eng = Engine.create ~seed ~cores_per_node:cores ~num_nodes:1 () in
+  arm_tracing eng;
   let rt = Rexsync.Runtime.create eng ~node:0 ~slots:1 in
   let api = R.Api.make rt in
   let app : R.App.t = factory api in
@@ -89,6 +140,7 @@ let run_native ?(seed = 42) ~cores ~threads ~factory ~gen ~warmup ~measure () =
   done;
   let ok = pump eng ~done_p:(fun () -> !completed >= total) ~virtual_deadline:3600. in
   stop := true;
+  note_run ~label:(Printf.sprintf "native-t%d" threads) eng;
   if not ok then zero_result Native threads
   else
     {
@@ -112,9 +164,10 @@ let run_rex ?(seed = 42) ?(cores = 16) ?net_latency ?(min_window = 0.)
     R.Cluster.create ~seed ~cores_per_node:cores ?net_latency ?agreement cfg
       factory
   in
+  let eng = R.Cluster.engine cluster in
+  arm_tracing eng;
   R.Cluster.start cluster;
   let primary = R.Cluster.await_primary cluster in
-  let eng = R.Cluster.engine cluster in
   let secondary =
     Array.to_list (R.Cluster.servers cluster)
     |> List.find (fun s -> R.Server.node s <> R.Server.node primary)
@@ -186,6 +239,7 @@ let run_rex ?(seed = 42) ?(cores = 16) ?net_latency ?(min_window = 0.)
       (ok, !t_end -. !t_warm, 0)
     end
   in
+  note_run ~label:(Printf.sprintf "rex-t%d" threads) eng;
   if not ok then zero_result Rex threads
   else begin
     let sec_stats = R.Server.runtime_stats secondary in
@@ -254,6 +308,7 @@ let run_rex ?(seed = 42) ?(cores = 16) ?net_latency ?(min_window = 0.)
 
 let run_rsm ?(seed = 42) ?(cores = 16) ~factory ~gen ~warmup ~measure () =
   let eng = Engine.create ~seed ~cores_per_node:cores ~num_nodes:4 () in
+  arm_tracing eng;
   let net = Net.create eng in
   let rpc = Rpc.create net in
   let cfg = R.Config.make ~propose_interval:2e-4 ~replicas:[ 0; 1; 2 ] () in
@@ -292,6 +347,7 @@ let run_rsm ?(seed = 42) ?(cores = 16) ~factory ~gen ~warmup ~measure () =
            submit_one ()
          done));
   let ok = pump eng ~done_p:(fun () -> !completed >= total) ~virtual_deadline:3600. in
+  note_run ~label:"rsm" eng;
   if not ok then zero_result Rsm 1
   else
     {

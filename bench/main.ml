@@ -1,6 +1,10 @@
 (* Benchmark harness entry point: one subcommand per table/figure of the
    paper's evaluation (§6), plus overhead, ablations and wall-clock
-   micro-benchmarks.  `all` regenerates everything. *)
+   micro-benchmarks.  `all` regenerates everything.
+
+   Every subcommand takes --metrics-out FILE (per-run metrics registry as
+   a JSON array) and --trace-out FILE (Chrome trace_event JSON of the last
+   traced run, viewable in chrome://tracing or ui.perfetto.dev). *)
 
 open Cmdliner
 
@@ -22,51 +26,80 @@ let scale_arg =
     & info [ "scale" ]
         ~doc:"Timeline compression for fig10 (1.0 = the paper's 140 s).")
 
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:"Write each run's metrics registry to $(docv) as JSON.")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Collect tracing spans and write a Chrome trace_event file to \
+           $(docv).")
+
+(* Wrap a thunk-valued term so that the metrics/trace sinks are armed
+   before the benchmark runs and flushed after it finishes. *)
+let instrumented (term : (unit -> unit) Term.t) =
+  let wrap metrics trace run =
+    Harness.set_outputs ~metrics ~trace;
+    run ();
+    Harness.flush_outputs ()
+  in
+  Term.(const wrap $ metrics_arg $ trace_arg $ term)
+
 let fig7_cmd =
-  let run quick app = Fig7.run ~quick ?app () in
+  let run quick app () = Fig7.run ~quick ?app () in
   Cmd.v (Cmd.info "fig7" ~doc:"Fig. 7: application throughput vs threads")
-    Term.(const run $ quick_arg $ app_arg)
+    (instrumented Term.(const run $ quick_arg $ app_arg))
 
 let fig8a_cmd =
   Cmd.v (Cmd.info "fig8a" ~doc:"Fig. 8a: lock granularity")
-    Term.(const (fun quick -> Fig8.run_a ~quick ()) $ quick_arg)
+    (instrumented Term.(const (fun quick () -> Fig8.run_a ~quick ()) $ quick_arg))
 
 let fig8b_cmd =
   Cmd.v (Cmd.info "fig8b" ~doc:"Fig. 8b: lock contention, native vs Rex")
-    Term.(const (fun quick -> Fig8.run_b ~quick ()) $ quick_arg)
+    (instrumented Term.(const (fun quick () -> Fig8.run_b ~quick ()) $ quick_arg))
 
 let fig9_cmd =
   Cmd.v (Cmd.info "fig9" ~doc:"Fig. 9: query semantics")
-    Term.(const (fun quick -> Fig9.run ~quick ()) $ quick_arg)
+    (instrumented Term.(const (fun quick () -> Fig9.run ~quick ()) $ quick_arg))
 
 let fig10_cmd =
   Cmd.v (Cmd.info "fig10" ~doc:"Fig. 10: failover timeline")
-    Term.(const (fun scale -> Fig10.run ~scale ()) $ scale_arg)
+    (instrumented Term.(const (fun scale () -> Fig10.run ~scale ()) $ scale_arg))
 
 let table1_cmd =
   Cmd.v (Cmd.info "table1" ~doc:"Table 1: primitives per app")
-    Term.(const Table1.run $ const ())
+    (instrumented Term.(const (fun () () -> Table1.run ()) $ const ()))
 
 let overhead_cmd =
   Cmd.v (Cmd.info "overhead" ~doc:"§6.3 overhead breakdown")
-    Term.(const (fun quick -> Overhead.run ~quick ()) $ quick_arg)
+    (instrumented
+       Term.(const (fun quick () -> Overhead.run ~quick ()) $ quick_arg))
 
 let ablate_cmd =
   Cmd.v (Cmd.info "ablate" ~doc:"Design-choice ablations")
-    Term.(const (fun quick -> Ablate.run ~quick ()) $ quick_arg)
+    (instrumented Term.(const (fun quick () -> Ablate.run ~quick ()) $ quick_arg))
 
 let ycsb_cmd =
   Cmd.v (Cmd.info "ycsb" ~doc:"YCSB core workloads on the KV stores")
-    Term.(const (fun quick -> Ycsb.run ~quick ()) $ quick_arg)
+    (instrumented Term.(const (fun quick () -> Ycsb.run ~quick ()) $ quick_arg))
 
 let eve_cmd =
   Cmd.v
     (Cmd.info "eve" ~doc:"Rex vs execute-verify (Eve-style) comparison (§5)")
-    Term.(const (fun quick -> Eve_bench.run ~quick ()) $ quick_arg)
+    (instrumented
+       Term.(const (fun quick () -> Eve_bench.run ~quick ()) $ quick_arg))
 
 let chain_cmd =
   Cmd.v (Cmd.info "chain" ~doc:"Paxos vs chain replication agree stage (§7)")
-    Term.(const (fun quick -> Chain_bench.run ~quick ()) $ quick_arg)
+    (instrumented
+       Term.(const (fun quick () -> Chain_bench.run ~quick ()) $ quick_arg))
 
 let bechamel_cmd =
   Cmd.v (Cmd.info "bechamel" ~doc:"Wall-clock micro-benchmarks")
@@ -86,11 +119,11 @@ let all ~quick () =
   Chain_bench.run ~quick ();
   Bechamel_suite.run ()
 
-let all_cmd =
-  Cmd.v (Cmd.info "all" ~doc:"Every table and figure")
-    Term.(const (fun quick -> all ~quick ()) $ quick_arg)
+let all_term = instrumented Term.(const (fun quick () -> all ~quick ()) $ quick_arg)
 
-let default = Term.(const (fun quick -> all ~quick ()) $ quick_arg)
+let all_cmd = Cmd.v (Cmd.info "all" ~doc:"Every table and figure") all_term
+
+let default = all_term
 
 let () =
   exit

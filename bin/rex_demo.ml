@@ -33,9 +33,10 @@ let apps :
       fun () -> Workload.Mix.kv ~n_keys:10_000 ~read_ratio:0.5 () );
   ]
 
-let run app n threads seed kill_primary checkpoints =
+let run app n threads seed kill_primary checkpoints metrics_out trace_out =
   match List.find_opt (fun (k, _, _) -> k = app) apps with
   | None ->
+    (* unreachable: --app is validated by Arg.enum at parse time *)
     Printf.eprintf "unknown app %S; choose from: %s\n" app
       (String.concat ", " (List.map (fun (k, _, _) -> k) apps));
     exit 1
@@ -46,10 +47,11 @@ let run app n threads seed kill_primary checkpoints =
         ~replicas:[ 0; 1; 2 ] ()
     in
     let cluster = R.Cluster.create ~seed cfg (factory ()) in
+    let eng = R.Cluster.engine cluster in
+    if trace_out <> None then Obs.enable_tracing (Engine.obs eng) true;
     R.Cluster.start cluster;
     let primary = R.Cluster.await_primary cluster in
     Printf.printf "cluster up; primary = replica %d\n%!" (R.Server.node primary);
-    let eng = R.Cluster.engine cluster in
     let g = gen () in
     let rng = Rng.create (seed * 31) in
     let completed = ref 0 and dropped = ref 0 and launched = ref 0 in
@@ -129,6 +131,17 @@ let run app n threads seed kill_primary checkpoints =
             | None -> "")
         end)
       (R.Cluster.servers cluster);
+    (match metrics_out with
+    | Some path ->
+      Obs.Export.to_file ~path
+        (Obs.Export.metrics_json (Obs.registry (Engine.obs eng)));
+      Printf.printf "metrics written to %s\n" path
+    | None -> ());
+    (match trace_out with
+    | Some path ->
+      Obs.Export.to_file ~path (Obs.Export.chrome_trace (Obs.spans (Engine.obs eng)));
+      Printf.printf "trace written to %s\n" path
+    | None -> ());
     let digests =
       Array.to_list (R.Cluster.servers cluster)
       |> List.filter (fun s -> Engine.node_alive eng (R.Server.node s))
@@ -143,8 +156,12 @@ let run app n threads seed kill_primary checkpoints =
 
 open Cmdliner
 
+(* Validating at parse time makes an unknown app a usage error: rex-demo
+   exits non-zero and prints the choices instead of starting a cluster. *)
+let app_conv = Arg.enum (List.map (fun (k, _, _) -> (k, k)) apps)
+
 let app_arg =
-  Arg.(value & opt string "lockserver" & info [ "a"; "app" ] ~doc:"Application.")
+  Arg.(value & opt app_conv "lockserver" & info [ "a"; "app" ] ~doc:"Application.")
 
 let n_arg = Arg.(value & opt int 10_000 & info [ "n" ] ~doc:"Request count.")
 let threads_arg = Arg.(value & opt int 8 & info [ "threads" ] ~doc:"Workers.")
@@ -156,8 +173,25 @@ let kill_arg =
 let ckpt_arg =
   Arg.(value & flag & info [ "checkpoints" ] ~doc:"Periodic checkpoints.")
 
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:"Write the metrics registry to $(docv) as JSON.")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:"Collect tracing spans and write Chrome trace_event JSON to \
+              $(docv).")
+
 let () =
   let term =
-    Term.(const run $ app_arg $ n_arg $ threads_arg $ seed_arg $ kill_arg $ ckpt_arg)
+    Term.(
+      const run $ app_arg $ n_arg $ threads_arg $ seed_arg $ kill_arg
+      $ ckpt_arg $ metrics_arg $ trace_arg)
   in
   exit (Cmd.eval (Cmd.v (Cmd.info "rex-demo" ~doc:"Rex cluster playground") term))

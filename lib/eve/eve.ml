@@ -58,12 +58,14 @@ type t = {
   collected : (int, (int * string) list) Hashtbl.t;
   verdicts : (int, verdict) Hashtbl.t;
   mutable verdict_waiters : Engine.waker list;
-  (* stats *)
-  mutable st_requests : int;
-  mutable st_replies : int;
-  mutable st_batches : int;
-  mutable st_rollbacks : int;
-  mutable st_batched_reqs : int;
+  (* observability (subsystem "eve", labelled by node) *)
+  obs : Obs.t;
+  c_requests : Obs.Metric.counter;
+  c_replies : Obs.Metric.counter;
+  c_batches : Obs.Metric.counter;
+  c_rollbacks : Obs.Metric.counter;
+  c_batched_reqs : Obs.Metric.counter;
+  h_batch_size : Obs.Histogram.t;
 }
 
 let node t = t.node_id
@@ -71,14 +73,15 @@ let is_primary t = t.leader
 let app_digest t = t.app.R.App.digest ()
 
 let stats t =
+  let batches = Obs.Metric.value t.c_batches in
   {
-    requests_executed = t.st_requests;
-    replies_sent = t.st_replies;
-    batches = t.st_batches;
-    rollbacks = t.st_rollbacks;
+    requests_executed = Obs.Metric.value t.c_requests;
+    replies_sent = Obs.Metric.value t.c_replies;
+    batches;
+    rollbacks = Obs.Metric.value t.c_rollbacks;
     avg_batch =
-      (if t.st_batches = 0 then 0.
-       else float_of_int t.st_batched_reqs /. float_of_int t.st_batches);
+      (if batches = 0 then 0.
+       else float_of_int (Obs.Metric.value t.c_batched_reqs) /. float_of_int batches);
   }
 
 let encode_batch reqs =
@@ -236,7 +239,7 @@ let execute_parallel t (reqs : string array) =
                      (try t.app.R.App.execute ~request:reqs.(i) with
                      | Engine.Killed as e -> raise e
                      | _ -> "ERR:handler-exception");
-                   t.st_requests <- t.st_requests + 1;
+                   Obs.Metric.incr t.c_requests;
                    decr remaining;
                    if !remaining = 0 then Engine.wake w;
                    work ()
@@ -254,13 +257,15 @@ let execute_serial t (reqs : string array) =
         | Engine.Killed as e -> raise e
         | _ -> "ERR:handler-exception"
       in
-      t.st_requests <- t.st_requests + 1;
+      Obs.Metric.incr t.c_requests;
       r)
     reqs
 
 let process_batch t (instance, reqs) =
-  t.st_batches <- t.st_batches + 1;
-  t.st_batched_reqs <- t.st_batched_reqs + Array.length reqs;
+  Obs.Metric.incr t.c_batches;
+  Obs.Metric.add t.c_batched_reqs (Array.length reqs);
+  Obs.Histogram.observe t.h_batch_size (float_of_int (Array.length reqs));
+  let batch_start = Engine.now () in
   (* Snapshot for rollback (execute-verify requires marked state that can
      be checkpointed, compared and rolled back, §5). *)
   let snap = Codec.sink ~initial_capacity:4096 () in
@@ -278,17 +283,23 @@ let process_batch t (instance, reqs) =
     match verdict with
     | Ok_batch -> responses
     | Rollback ->
-      t.st_rollbacks <- t.st_rollbacks + 1;
+      Obs.Metric.incr t.c_rollbacks;
       t.app.R.App.read_checkpoint (Codec.source (Codec.contents snap));
       execute_serial t reqs
   in
+  let sp = Obs.spans t.obs in
+  if Obs.Span.enabled sp then
+    Obs.Span.complete sp ~cat:"eve" ~pid:t.node_id ~name:"batch"
+      ~ts:batch_start
+      ~dur:(Engine.now () -. batch_start)
+      ();
   (* Leader answers its clients once the batch outcome is final. *)
   match Hashtbl.find_opt t.inflight_cbs instance with
   | Some cbs when Array.length cbs = Array.length responses ->
     Hashtbl.remove t.inflight_cbs instance;
     Array.iteri
       (fun i cb ->
-        t.st_replies <- t.st_replies + 1;
+        Obs.Metric.incr t.c_replies;
         cb (Some responses.(i)))
       cbs
   | Some _ | None -> ()
@@ -364,6 +375,9 @@ let create net rpc cfg ~node ~paxos_store ~conflict_keys factory =
       "Eve.create: applications with background timers are not supported by \
        the execute-verify model (batch boundaries are the only \
        consistency-check points, paper §5)";
+  let obs = Engine.obs eng in
+  let labels = [ ("node", string_of_int node) ] in
+  let c name = Obs.counter obs ~subsystem:"eve" ~labels name in
   let t =
     {
       eng;
@@ -383,11 +397,13 @@ let create net rpc cfg ~node ~paxos_store ~conflict_keys factory =
       collected = Hashtbl.create 64;
       verdicts = Hashtbl.create 64;
       verdict_waiters = [];
-      st_requests = 0;
-      st_replies = 0;
-      st_batches = 0;
-      st_rollbacks = 0;
-      st_batched_reqs = 0;
+      obs;
+      c_requests = c "requests_executed";
+      c_replies = c "replies_sent";
+      c_batches = c "batches";
+      c_rollbacks = c "rollbacks";
+      c_batched_reqs = c "batched_requests";
+      h_batch_size = Obs.histogram obs ~subsystem:"eve" ~labels "batch_size";
     }
   in
   Net.register net ~node ~port:digest_port (fun ~src payload ->

@@ -1,0 +1,172 @@
+(* --- Minimal JSON emission (no parser dependency in the image) --- *)
+
+let json_escape buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let json_float f =
+  if Float.is_finite f then Printf.sprintf "%.12g" f else "0"
+
+let add_labels buf labels =
+  Buffer.add_string buf "{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      json_escape buf k;
+      Buffer.add_char buf ':';
+      json_escape buf v)
+    labels;
+  Buffer.add_char buf '}'
+
+let metric_object buf (k : Registry.key) inst =
+  Buffer.add_string buf "{\"subsystem\":";
+  json_escape buf k.Registry.subsystem;
+  Buffer.add_string buf ",\"name\":";
+  json_escape buf k.Registry.name;
+  Buffer.add_string buf ",\"labels\":";
+  add_labels buf k.Registry.labels;
+  (match inst with
+  | Registry.Counter c ->
+    Buffer.add_string buf
+      (Printf.sprintf ",\"type\":\"counter\",\"value\":%d" (Metric.value c))
+  | Registry.Gauge g ->
+    Buffer.add_string buf
+      (Printf.sprintf ",\"type\":\"gauge\",\"value\":%s"
+         (json_float (Metric.get g)))
+  | Registry.Histogram h ->
+    Buffer.add_string buf
+      (Printf.sprintf
+         ",\"type\":\"histogram\",\"count\":%d,\"sum\":%s,\"mean\":%s,\"min\":%s,\"p50\":%s,\"p90\":%s,\"p99\":%s,\"max\":%s"
+         (Histogram.count h)
+         (json_float (Histogram.sum h))
+         (json_float (Histogram.mean h))
+         (json_float (Histogram.min_seen h))
+         (json_float (Histogram.p50 h))
+         (json_float (Histogram.p90 h))
+         (json_float (Histogram.p99 h))
+         (json_float (Histogram.max_seen h))));
+  Buffer.add_char buf '}'
+
+let metrics_json reg =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "[";
+  let _ =
+    Registry.fold reg ~init:true ~f:(fun first k inst ->
+        if not first then Buffer.add_string buf ",\n";
+        metric_object buf k inst;
+        false)
+  in
+  Buffer.add_string buf "]\n";
+  Buffer.contents buf
+
+let metrics_jsonl reg =
+  let buf = Buffer.create 4096 in
+  Registry.fold reg ~init:() ~f:(fun () k inst ->
+      metric_object buf k inst;
+      Buffer.add_char buf '\n');
+  Buffer.contents buf
+
+(* --- Human-readable table --- *)
+
+let label_string labels =
+  if labels = [] then ""
+  else
+    "{"
+    ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) labels)
+    ^ "}"
+
+let table reg =
+  let rows =
+    Registry.fold reg ~init:[] ~f:(fun acc k inst ->
+        let name =
+          Printf.sprintf "%s/%s%s" k.Registry.subsystem k.Registry.name
+            (label_string k.Registry.labels)
+        in
+        let value =
+          match inst with
+          | Registry.Counter c -> Printf.sprintf "%d" (Metric.value c)
+          | Registry.Gauge g -> Printf.sprintf "%g" (Metric.get g)
+          | Registry.Histogram h ->
+            Printf.sprintf
+              "n=%d mean=%.3g p50=%.3g p90=%.3g p99=%.3g max=%.3g"
+              (Histogram.count h) (Histogram.mean h) (Histogram.p50 h)
+              (Histogram.p90 h) (Histogram.p99 h) (Histogram.max_seen h)
+        in
+        (name, value) :: acc)
+  in
+  let rows = List.rev rows in
+  let width =
+    List.fold_left (fun w (n, _) -> Stdlib.max w (String.length n)) 0 rows
+  in
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (n, v) ->
+      Buffer.add_string buf (Printf.sprintf "%-*s  %s\n" width n v))
+    rows;
+  Buffer.contents buf
+
+(* --- Chrome trace_event --- *)
+
+let chrome_trace col =
+  let buf = Buffer.create 65536 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  let evs = Span.events col in
+  (* Process-name metadata so the viewer labels node tracks. *)
+  let pids = List.sort_uniq compare (List.map (fun e -> e.Span.ev_pid) evs) in
+  let first = ref true in
+  let sep () =
+    if !first then first := false else Buffer.add_string buf ",\n"
+  in
+  List.iter
+    (fun pid ->
+      sep ();
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"args\":{\"name\":\"node %d\"}}"
+           pid pid))
+    pids;
+  List.iter
+    (fun (e : Span.event) ->
+      sep ();
+      Buffer.add_string buf "{\"name\":";
+      json_escape buf e.Span.ev_name;
+      if e.Span.ev_cat <> "" then begin
+        Buffer.add_string buf ",\"cat\":";
+        json_escape buf e.Span.ev_cat
+      end;
+      if e.Span.ev_instant then
+        Buffer.add_string buf ",\"ph\":\"i\",\"s\":\"t\""
+      else
+        Buffer.add_string buf
+          (Printf.sprintf ",\"ph\":\"X\",\"dur\":%s"
+             (json_float (e.Span.ev_dur *. 1e6)));
+      Buffer.add_string buf
+        (Printf.sprintf ",\"ts\":%s,\"pid\":%d,\"tid\":%d"
+           (json_float (e.Span.ev_ts *. 1e6))
+           e.Span.ev_pid e.Span.ev_tid);
+      if e.Span.ev_args <> [] then begin
+        Buffer.add_string buf ",\"args\":";
+        add_labels buf e.Span.ev_args
+      end;
+      Buffer.add_string buf "}")
+    evs;
+  Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.contents buf
+
+let to_file ~path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)

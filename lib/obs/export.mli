@@ -1,0 +1,24 @@
+(** Structured exporters: human-readable table, JSON (one document or one
+    object per line), and Chrome [trace_event] JSON.
+
+    The Chrome output loads directly in [chrome://tracing] or
+    [https://ui.perfetto.dev]: one process track per simulated node, one
+    thread track per slot/fiber, timestamps in virtual microseconds. *)
+
+val table : Registry.t -> string
+(** Aligned text table; histograms show count, mean, p50/p90/p99 and max. *)
+
+val metrics_json : Registry.t -> string
+(** A single JSON array of metric objects, e.g.
+    [{"subsystem":"paxos","name":"commit_latency","labels":{"node":"0"},
+      "type":"histogram","count":12,"p50":1.2e-3,...}]. *)
+
+val metrics_jsonl : Registry.t -> string
+(** The same objects, newline-delimited (one JSON document per metric). *)
+
+val chrome_trace : Span.collector -> string
+(** [{"traceEvents":[...],"displayTimeUnit":"ms"}] with ["X"] (complete)
+    and ["i"] (instant) events plus process-name metadata. *)
+
+val to_file : path:string -> string -> unit
+(** Write [contents] to [path] (truncating), creating it if needed. *)

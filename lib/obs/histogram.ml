@@ -1,0 +1,91 @@
+type t = {
+  bounds : float array;  (* bucket i covers [bounds.(i), bounds.(i+1)) *)
+  counts : int array;
+  mutable n : int;
+  mutable total : float;
+  mutable lo : float;
+  mutable hi : float;
+}
+
+let create ?(min_value = 1e-9) ?(growth = 1.189207115002721) ?(buckets = 208)
+    () =
+  if min_value <= 0. then invalid_arg "Histogram.create: min_value";
+  if growth <= 1. then invalid_arg "Histogram.create: growth";
+  if buckets < 1 then invalid_arg "Histogram.create: buckets";
+  {
+    bounds = Array.init (buckets + 1) (fun i -> min_value *. (growth ** float_of_int i));
+    counts = Array.make buckets 0;
+    n = 0;
+    total = 0.;
+    lo = infinity;
+    hi = neg_infinity;
+  }
+
+(* Largest i with bounds.(i) <= v, clamped to a valid bucket.  Using the
+   same precomputed bounds for indexing and for quantile answers keeps the
+   upper-bound guarantee exact (no log/exp round-trip mismatch). *)
+let index t v =
+  let n = Array.length t.counts in
+  if not (v >= t.bounds.(0)) then 0
+  else if v >= t.bounds.(n) then n - 1
+  else begin
+    let lo = ref 0 and hi = ref n in
+    (* invariant: bounds.(!lo) <= v < bounds.(!hi) *)
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if t.bounds.(mid) <= v then lo := mid else hi := mid
+    done;
+    !lo
+  end
+
+let observe t v =
+  let i = index t v in
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.n <- t.n + 1;
+  if Float.is_finite v then begin
+    t.total <- t.total +. v;
+    if v < t.lo then t.lo <- v;
+    if v > t.hi then t.hi <- v
+  end
+
+let count t = t.n
+let sum t = t.total
+let mean t = if t.n = 0 then 0. else t.total /. float_of_int t.n
+let min_seen t = if t.n = 0 || not (Float.is_finite t.lo) then 0. else t.lo
+let max_seen t = if t.n = 0 || not (Float.is_finite t.hi) then 0. else t.hi
+
+let quantile t q =
+  if t.n = 0 then 0.
+  else begin
+    let q = Float.max 0. (Float.min 1. q) in
+    let rank = Stdlib.max 1 (int_of_float (Float.ceil (q *. float_of_int t.n))) in
+    let buckets = Array.length t.counts in
+    let i = ref 0 and seen = ref t.counts.(0) in
+    while !seen < rank && !i < buckets - 1 do
+      Stdlib.incr i;
+      seen := !seen + t.counts.(!i)
+    done;
+    (* The top bucket also holds clamped outliers, whose nominal bound may
+       undershoot; the recorded max is the only sound upper bound there. *)
+    if !i = buckets - 1 then max_seen t
+    else Float.min t.bounds.(!i + 1) (max_seen t)
+  end
+
+let p50 t = quantile t 0.5
+let p90 t = quantile t 0.9
+let p99 t = quantile t 0.99
+
+let reset t =
+  Array.fill t.counts 0 (Array.length t.counts) 0;
+  t.n <- 0;
+  t.total <- 0.;
+  t.lo <- infinity;
+  t.hi <- neg_infinity
+
+let fold_buckets t ~init ~f =
+  let acc = ref init in
+  Array.iteri
+    (fun i c ->
+      if c > 0 then acc := f !acc ~lo:t.bounds.(i) ~hi:t.bounds.(i + 1) c)
+    t.counts;
+  !acc

@@ -1,0 +1,42 @@
+(** Log-bucketed histograms for latency-like positive samples.
+
+    Buckets grow geometrically ([growth] per bucket, default 2^¼ ≈ 1.19,
+    i.e. ≤ 19% relative quantile error), so a fixed 208-bucket table spans
+    nanoseconds to days.  Recording is O(log buckets) (a binary search
+    over precomputed bounds) with no allocation; quantile queries walk the
+    table.
+
+    Quantiles are {e upper bounds}: [quantile h q] returns a value that is
+    ≥ the true q-th sample quantile and ≤ growth × it (for samples inside
+    the bucket range) — the property tested by qcheck in
+    [test/test_obs.ml]. *)
+
+type t
+
+val create : ?min_value:float -> ?growth:float -> ?buckets:int -> unit -> t
+(** Defaults: [min_value] 1e-9 (virtual seconds), [growth] 2^0.25,
+    [buckets] 208.  Samples below [min_value] land in the first bucket;
+    samples beyond the top bound are clamped into the last. *)
+
+val observe : t -> float -> unit
+(** Negative and non-finite samples are counted in the first bucket's
+    population but never distort [max]/[sum]. *)
+
+val count : t -> int
+val sum : t -> float
+val mean : t -> float
+val min_seen : t -> float
+(** 0. when empty. *)
+
+val max_seen : t -> float
+
+val quantile : t -> float -> float
+(** [quantile h q] with [q] in [0,1]; 0. when empty.  Monotone in [q]. *)
+
+val p50 : t -> float
+val p90 : t -> float
+val p99 : t -> float
+val reset : t -> unit
+
+val fold_buckets : t -> init:'a -> f:('a -> lo:float -> hi:float -> int -> 'a) -> 'a
+(** Fold over non-empty buckets in increasing order, for exporters. *)

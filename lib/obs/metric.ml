@@ -1,0 +1,15 @@
+type counter = { mutable c : int }
+
+let counter () = { c = 0 }
+let incr m = m.c <- m.c + 1
+let add m n = m.c <- m.c + n
+let value m = m.c
+let reset m = m.c <- 0
+
+type gauge = { mutable g : float }
+
+let gauge () = { g = 0. }
+let set m v = m.g <- v
+let set_max m v = if v > m.g then m.g <- v
+let get m = m.g
+let reset_gauge m = m.g <- 0.

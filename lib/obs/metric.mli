@@ -1,0 +1,27 @@
+(** Scalar metrics: monotone counters and last-value gauges.
+
+    These are plain mutable cells — incrementing one costs the same as the
+    ad-hoc [mutable st_foo : int] record fields they replace, so hot paths
+    (one counter bump per recorded sync event) stay hot.  Identity and
+    naming live in {!Registry}; a handle obtained once can be bumped
+    forever without a lookup. *)
+
+type counter
+(** Monotone (except {!reset}) integer count of discrete occurrences. *)
+
+val counter : unit -> counter
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+val reset : counter -> unit
+
+type gauge
+(** Last-observed float value (queue depth, ratio, watermark). *)
+
+val gauge : unit -> gauge
+val set : gauge -> float -> unit
+val set_max : gauge -> float -> unit
+(** Keep the maximum of the current and the new value (high-watermark). *)
+
+val get : gauge -> float
+val reset_gauge : gauge -> unit

@@ -1,0 +1,28 @@
+module Metric = Metric
+module Histogram = Histogram
+module Registry = Registry
+module Span = Span
+module Export = Export
+
+type t = { reg : Registry.t; col : Span.collector }
+
+let create ?clock () =
+  { reg = Registry.create (); col = Span.create ?clock () }
+
+let set_clock t clock = Span.set_clock t.col clock
+let registry t = t.reg
+let spans t = t.col
+let enable_tracing t on = Span.set_enabled t.col on
+let tracing t = Span.enabled t.col
+let counter t = Registry.counter t.reg
+let gauge t = Registry.gauge t.reg
+
+let histogram t ~subsystem ?labels name =
+  Registry.histogram t.reg ~subsystem ?labels name
+
+let with_span t ?cat ?pid ?tid name f =
+  if not (Span.enabled t.col) then f ()
+  else begin
+    let sp = Span.start t.col ?cat ?pid ?tid name in
+    Fun.protect ~finally:(fun () -> Span.finish sp) f
+  end

@@ -1,0 +1,45 @@
+(** Unified observability context: one {!Registry.t} of metrics plus one
+    {!Span.collector} of virtual-time tracing spans, sharing a clock.
+
+    One [Obs.t] exists per simulation ([Sim.Engine] owns it); every layer
+    reaches it through its engine and registers instruments under its own
+    subsystem, labelled by node.  See DESIGN.md §3 and the README's
+    "Observability" section. *)
+
+module Metric = Metric
+module Histogram = Histogram
+module Registry = Registry
+module Span = Span
+module Export = Export
+
+type t
+
+val create : ?clock:(unit -> float) -> unit -> t
+val set_clock : t -> (unit -> float) -> unit
+(** Also re-clocks the span collector. *)
+
+val registry : t -> Registry.t
+val spans : t -> Span.collector
+
+val enable_tracing : t -> bool -> unit
+(** Span collection is off by default; metrics are always on. *)
+
+val tracing : t -> bool
+
+(** {1 Shortcuts} *)
+
+val counter :
+  t -> subsystem:string -> ?labels:(string * string) list -> string ->
+  Metric.counter
+
+val gauge :
+  t -> subsystem:string -> ?labels:(string * string) list -> string ->
+  Metric.gauge
+
+val histogram :
+  t -> subsystem:string -> ?labels:(string * string) list -> string ->
+  Histogram.t
+
+val with_span :
+  t -> ?cat:string -> ?pid:int -> ?tid:int -> string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a span (finished even on exceptions). *)

@@ -1,0 +1,76 @@
+type key = {
+  subsystem : string;
+  name : string;
+  labels : (string * string) list;
+}
+
+type instrument =
+  | Counter of Metric.counter
+  | Gauge of Metric.gauge
+  | Histogram of Histogram.t
+
+type t = { tbl : (key, instrument) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 64 }
+
+(* Canonical label form: sorted by key; a duplicate key keeps the last
+   binding the caller supplied (assoc-list update semantics). *)
+let canon labels =
+  let dedup =
+    List.fold_left
+      (fun acc (k, v) -> (k, v) :: List.remove_assoc k acc)
+      [] labels
+  in
+  List.sort compare dedup
+
+let key ~subsystem ~labels name = { subsystem; name; labels = canon labels }
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+let get t k ~make ~cast =
+  match Hashtbl.find_opt t.tbl k with
+  | Some inst -> (
+    match cast inst with
+    | Some v -> v
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Obs.Registry: %s/%s already registered as a %s"
+           k.subsystem k.name (kind_name inst)))
+  | None ->
+    let inst, v = make () in
+    Hashtbl.replace t.tbl k inst;
+    v
+
+let counter t ~subsystem ?(labels = []) name =
+  get t (key ~subsystem ~labels name)
+    ~make:(fun () ->
+      let c = Metric.counter () in
+      (Counter c, c))
+    ~cast:(function Counter c -> Some c | _ -> None)
+
+let gauge t ~subsystem ?(labels = []) name =
+  get t (key ~subsystem ~labels name)
+    ~make:(fun () ->
+      let g = Metric.gauge () in
+      (Gauge g, g))
+    ~cast:(function Gauge g -> Some g | _ -> None)
+
+let histogram t ~subsystem ?(labels = []) ?min_value ?growth ?buckets name =
+  get t (key ~subsystem ~labels name)
+    ~make:(fun () ->
+      let h = Histogram.create ?min_value ?growth ?buckets () in
+      (Histogram h, h))
+    ~cast:(function Histogram h -> Some h | _ -> None)
+
+let find t ~subsystem ?(labels = []) name =
+  Hashtbl.find_opt t.tbl (key ~subsystem ~labels name)
+
+let fold t ~init ~f =
+  Hashtbl.fold (fun k inst acc -> (k, inst) :: acc) t.tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.fold_left (fun acc (k, inst) -> f acc k inst) init
+
+let cardinality t = Hashtbl.length t.tbl

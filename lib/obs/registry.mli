@@ -1,0 +1,47 @@
+(** Per-node metric registry keyed by [(subsystem, name, labels)].
+
+    Every layer of the system asks the registry for its instruments once,
+    at construction time, and then bumps the returned handles directly —
+    the registry is never on a hot path.  Labels are canonicalized
+    (sorted, deduplicated by key) so [counter ~labels:[a; b]] and
+    [counter ~labels:[b; a]] return the same instrument; asking for an
+    existing key with a different instrument kind is a programming error
+    and raises [Invalid_argument]. *)
+
+type t
+
+type key = private {
+  subsystem : string;
+  name : string;
+  labels : (string * string) list;  (** canonical: sorted by label key *)
+}
+
+type instrument =
+  | Counter of Metric.counter
+  | Gauge of Metric.gauge
+  | Histogram of Histogram.t
+
+val create : unit -> t
+
+val counter :
+  t -> subsystem:string -> ?labels:(string * string) list -> string ->
+  Metric.counter
+
+val gauge :
+  t -> subsystem:string -> ?labels:(string * string) list -> string ->
+  Metric.gauge
+
+val histogram :
+  t -> subsystem:string -> ?labels:(string * string) list ->
+  ?min_value:float -> ?growth:float -> ?buckets:int -> string ->
+  Histogram.t
+(** The bucket layout is fixed by whoever registers the histogram first;
+    later callers get the existing instance. *)
+
+val find : t -> subsystem:string -> ?labels:(string * string) list ->
+  string -> instrument option
+
+val fold : t -> init:'a -> f:('a -> key -> instrument -> 'a) -> 'a
+(** Deterministic order: sorted by subsystem, then name, then labels. *)
+
+val cardinality : t -> int

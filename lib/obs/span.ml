@@ -1,0 +1,147 @@
+type event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_pid : int;
+  ev_tid : int;
+  ev_ts : float;
+  ev_dur : float;
+  ev_instant : bool;
+  ev_args : (string * string) list;
+}
+
+type collector = {
+  mutable on : bool;
+  mutable clock : unit -> float;
+  mutable events : event array;
+  mutable len : int;
+  limit : int;
+  mutable dropped_ : int;
+}
+
+let dummy_event =
+  {
+    ev_name = "";
+    ev_cat = "";
+    ev_pid = 0;
+    ev_tid = 0;
+    ev_ts = 0.;
+    ev_dur = 0.;
+    ev_instant = false;
+    ev_args = [];
+  }
+
+let create ?(clock = fun () -> 0.) ?(limit = 500_000) () =
+  { on = false; clock; events = [||]; len = 0; limit; dropped_ = 0 }
+
+let set_clock t clock = t.clock <- clock
+let set_enabled t on = t.on <- on
+let enabled t = t.on
+
+let push t ev =
+  if t.len >= t.limit then t.dropped_ <- t.dropped_ + 1
+  else begin
+    if t.len >= Array.length t.events then begin
+      let cap = Stdlib.max 256 (Stdlib.min t.limit (2 * Array.length t.events)) in
+      let grown = Array.make cap dummy_event in
+      Array.blit t.events 0 grown 0 t.len;
+      t.events <- grown
+    end;
+    t.events.(t.len) <- ev;
+    t.len <- t.len + 1
+  end
+
+type span = {
+  col : collector option;
+  sp_name : string;
+  sp_cat : string;
+  sp_pid : int;
+  sp_tid : int;
+  sp_ts : float;
+  mutable sp_args : (string * string) list;
+  mutable sp_done : bool;
+}
+
+let disabled_span =
+  {
+    col = None;
+    sp_name = "";
+    sp_cat = "";
+    sp_pid = 0;
+    sp_tid = 0;
+    sp_ts = 0.;
+    sp_args = [];
+    sp_done = true;
+  }
+
+let start t ?(cat = "") ?(pid = 0) ?(tid = 0) name =
+  if not t.on then disabled_span
+  else
+    {
+      col = Some t;
+      sp_name = name;
+      sp_cat = cat;
+      sp_pid = pid;
+      sp_tid = tid;
+      sp_ts = t.clock ();
+      sp_args = [];
+      sp_done = false;
+    }
+
+let annotate sp k v = if not sp.sp_done then sp.sp_args <- (k, v) :: sp.sp_args
+
+let finish sp =
+  match sp.col with
+  | None -> ()
+  | Some t ->
+    if not sp.sp_done then begin
+      sp.sp_done <- true;
+      push t
+        {
+          ev_name = sp.sp_name;
+          ev_cat = sp.sp_cat;
+          ev_pid = sp.sp_pid;
+          ev_tid = sp.sp_tid;
+          ev_ts = sp.sp_ts;
+          ev_dur = Float.max 0. (t.clock () -. sp.sp_ts);
+          ev_instant = false;
+          ev_args = List.rev sp.sp_args;
+        }
+    end
+
+let complete t ?(cat = "") ?(pid = 0) ?(tid = 0) ?(args = []) ~name ~ts ~dur
+    () =
+  if t.on then
+    push t
+      {
+        ev_name = name;
+        ev_cat = cat;
+        ev_pid = pid;
+        ev_tid = tid;
+        ev_ts = ts;
+        ev_dur = Float.max 0. dur;
+        ev_instant = false;
+        ev_args = args;
+      }
+
+let instant t ?(cat = "") ?(pid = 0) ?(tid = 0) ?(args = []) name =
+  if t.on then
+    push t
+      {
+        ev_name = name;
+        ev_cat = cat;
+        ev_pid = pid;
+        ev_tid = tid;
+        ev_ts = t.clock ();
+        ev_dur = 0.;
+        ev_instant = true;
+        ev_args = args;
+      }
+
+let events t = Array.to_list (Array.sub t.events 0 t.len)
+let length t = t.len
+let dropped t = t.dropped_
+
+let clear t =
+  t.events <- [||];
+  t.len <- 0;
+  t.dropped_ <- 0

@@ -1,0 +1,72 @@
+(** Virtual-time tracing spans, exportable as Chrome [trace_event] JSON.
+
+    A collector accumulates completed spans and instant events stamped
+    with the simulator's virtual clock.  Collection is {e off} by default:
+    when disabled, {!start} returns a no-op handle and every other entry
+    point is a single branch, so instrumented hot paths cost nothing in
+    ordinary test and benchmark runs.
+
+    Spans are nestable per fiber: callers tag events with [pid] (node) and
+    [tid] (slot or fiber id); the Chrome viewer reconstructs nesting from
+    containment of [ts, ts+dur] intervals on the same track, so handles
+    may simply be held across inner spans. *)
+
+type collector
+
+val create : ?clock:(unit -> float) -> ?limit:int -> unit -> collector
+(** [clock] returns virtual seconds (default: constant 0 until
+    {!set_clock}).  [limit] (default 500_000) caps retained events; once
+    full, further events are counted in {!dropped} instead of stored, so a
+    long benchmark cannot exhaust memory. *)
+
+val set_clock : collector -> (unit -> float) -> unit
+val set_enabled : collector -> bool -> unit
+val enabled : collector -> bool
+
+(** {1 Recording} *)
+
+type span
+
+val start :
+  collector -> ?cat:string -> ?pid:int -> ?tid:int -> string -> span
+(** Begin a span named [name] at the current virtual time.  Returns a
+    dummy when the collector is disabled. *)
+
+val annotate : span -> string -> string -> unit
+(** Attach a key/value argument (shown in the viewer's detail pane). *)
+
+val finish : span -> unit
+(** End the span at the current virtual time and retain it.  A span never
+    finished is simply not exported; finishing twice is harmless. *)
+
+val complete :
+  collector -> ?cat:string -> ?pid:int -> ?tid:int ->
+  ?args:(string * string) list -> name:string -> ts:float -> dur:float ->
+  unit -> unit
+(** Retain an already-measured interval (for call sites that know both
+    endpoints, e.g. a simulated work quantum). *)
+
+val instant :
+  collector -> ?cat:string -> ?pid:int -> ?tid:int ->
+  ?args:(string * string) list -> string -> unit
+(** A zero-duration marker at the current virtual time. *)
+
+(** {1 Reading (exporters)} *)
+
+type event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_pid : int;
+  ev_tid : int;
+  ev_ts : float;  (** virtual seconds *)
+  ev_dur : float;  (** seconds; 0. for instants *)
+  ev_instant : bool;
+  ev_args : (string * string) list;
+}
+
+val events : collector -> event list
+(** In completion order (the order durations became known). *)
+
+val length : collector -> int
+val dropped : collector -> int
+val clear : collector -> unit

@@ -39,6 +39,7 @@ type inflight = {
   fi_instance : int;
   fi_ballot : Ballot.t;
   fi_value : string;
+  fi_started : float;  (* proposal time, for the commit-latency histogram *)
   mutable fi_acks : int list;
   fi_recovery : bool;  (* re-proposal during leader takeover *)
 }
@@ -65,6 +66,12 @@ type t = {
   inflight : (int, inflight) Hashtbl.t;
   mutable delivered : int;
   mutable stopped : bool;
+  obs : Obs.t;
+  c_proposals : Obs.Metric.counter;
+  c_commits : Obs.Metric.counter;
+  c_acks : Obs.Metric.counter;
+  c_campaigns : Obs.Metric.counter;
+  h_commit : Obs.Histogram.t;
 }
 
 let majority t = (List.length t.cfg.peers / 2) + 1
@@ -149,11 +156,13 @@ let rec drive_next_proposal t =
 
 and start_accept t ~instance ~value ~recovery =
   Store.set_accepted t.st instance t.ballot value;
+  Obs.Metric.incr t.c_proposals;
   Hashtbl.replace t.inflight instance
     {
       fi_instance = instance;
       fi_ballot = t.ballot;
       fi_value = value;
+      fi_started = now t;
       fi_acks = [ t.cfg.me ];
       fi_recovery = recovery;
     };
@@ -172,6 +181,13 @@ and check_quorum t instance =
   match Hashtbl.find_opt t.inflight instance with
   | Some fi when List.length fi.fi_acks >= majority t ->
     Hashtbl.remove t.inflight instance;
+    Obs.Metric.incr t.c_commits;
+    let lat = now t -. fi.fi_started in
+    Obs.Histogram.observe t.h_commit lat;
+    let sp = Obs.spans t.obs in
+    if Obs.Span.enabled sp then
+      Obs.Span.complete sp ~cat:"paxos" ~pid:t.cfg.me ~name:"commit"
+        ~ts:fi.fi_started ~dur:lat ();
     Store.commit t.st fi.fi_instance fi.fi_value;
     broadcast t (Msg.Commit { instance = fi.fi_instance; value = fi.fi_value });
     if fi.fi_recovery then begin
@@ -184,6 +200,7 @@ and check_quorum t instance =
   | Some _ | None -> ()
 
 let campaign t =
+  Obs.Metric.incr t.c_campaigns;
   t.role <- Candidate;
   t.leader <- None;
   Hashtbl.reset t.inflight;
@@ -310,6 +327,7 @@ let handle t ~src msg =
         when Ballot.compare fi.fi_ballot ballot = 0
              && not (List.mem src fi.fi_acks) ->
         fi.fi_acks <- src :: fi.fi_acks;
+        Obs.Metric.incr t.c_acks;
         check_quorum t instance
       | Some _ | None -> ())
     | Msg.Commit { instance; value } ->
@@ -349,6 +367,8 @@ let handle t ~src msg =
 
 let create net cfg st cbs =
   let eng = Net.engine net in
+  let obs = Engine.obs eng in
+  let labels = [ ("node", string_of_int cfg.me) ] in
   let t =
     {
       net;
@@ -368,6 +388,12 @@ let create net cfg st cbs =
       inflight = Hashtbl.create 4;
       delivered = Store.committed_upto st;
       stopped = false;
+      obs;
+      c_proposals = Obs.counter obs ~subsystem:"paxos" ~labels "proposals";
+      c_commits = Obs.counter obs ~subsystem:"paxos" ~labels "commits";
+      c_acks = Obs.counter obs ~subsystem:"paxos" ~labels "accept_acks";
+      c_campaigns = Obs.counter obs ~subsystem:"paxos" ~labels "campaigns";
+      h_commit = Obs.histogram obs ~subsystem:"paxos" ~labels "commit_latency";
     }
   in
   Net.register net ~node:cfg.me ~port (fun ~src payload ->

@@ -47,10 +47,12 @@ type t = {
   mutable role_ : role;
   mutable gen : int;
   mutable rebuilding : bool;
-  (* run queue (primary) *)
-  queue : (string * (string option -> unit)) Queue.t;
+  (* run queue (primary); entries carry their submit time for the
+     request-latency histogram *)
+  queue : (string * float * (string option -> unit)) Queue.t;
   mutable queue_waiters : Engine.waker list;
-  mutable pending_replies : (Event.Id.t * string * (string option -> unit)) list;
+  mutable pending_replies :
+    (Event.Id.t * float * string * (string option -> unit)) list;
   (* consensus bookkeeping *)
   mutable proposed_cut : Trace.Cut.t;
   mutable committed_cut_ : Trace.Cut.t;
@@ -69,15 +71,21 @@ type t = {
   (* flow control *)
   flow_reports : (int, int * float) Hashtbl.t;
   mutable flow_waiters : Engine.waker list;
-  (* stats *)
-  mutable st_requests_executed : int;
-  mutable st_replies_sent : int;
-  mutable st_queries : int;
-  mutable st_proposals : int;
-  mutable st_proposal_bytes : int;
-  mutable st_request_bytes : int;
-  mutable st_ckpts : int;
-  mutable st_rollbacks : int;
+  (* observability (subsystem "rex", labelled by node) *)
+  obs : Obs.t;
+  c_requests : Obs.Metric.counter;
+  c_replies : Obs.Metric.counter;
+  c_queries : Obs.Metric.counter;
+  c_proposals : Obs.Metric.counter;
+  c_proposal_bytes : Obs.Metric.counter;
+  c_request_bytes : Obs.Metric.counter;
+  c_ckpts : Obs.Metric.counter;
+  c_ckpt_bytes : Obs.Metric.counter;
+  c_rollbacks : Obs.Metric.counter;
+  c_flow_stalls : Obs.Metric.counter;
+  h_req_lat_primary : Obs.Histogram.t;
+  h_req_lat_secondary : Obs.Histogram.t;
+  h_flow_stall : Obs.Histogram.t;
   mutable diverged : string option;
 }
 
@@ -118,16 +126,18 @@ let divergence_report t =
     Some (msg ^ "\n" ^ dot)
   | _ -> None
 
+(* Thin view over the registry counters so existing callers and tests keep
+   working; the registry itself is what the exporters walk. *)
 let stats t =
   {
-    requests_executed = t.st_requests_executed;
-    replies_sent = t.st_replies_sent;
-    queries_served = t.st_queries;
-    proposals_sent = t.st_proposals;
-    proposal_bytes = t.st_proposal_bytes;
-    request_payload_bytes = t.st_request_bytes;
-    checkpoints_written = t.st_ckpts;
-    rollbacks = t.st_rollbacks;
+    requests_executed = Obs.Metric.value t.c_requests;
+    replies_sent = Obs.Metric.value t.c_replies;
+    queries_served = Obs.Metric.value t.c_queries;
+    proposals_sent = Obs.Metric.value t.c_proposals;
+    proposal_bytes = Obs.Metric.value t.c_proposal_bytes;
+    request_payload_bytes = Obs.Metric.value t.c_request_bytes;
+    checkpoints_written = Obs.Metric.value t.c_ckpts;
+    rollbacks = Obs.Metric.value t.c_rollbacks;
   }
 
 let wake_all waiters = List.iter Engine.wake waiters
@@ -159,24 +169,36 @@ let wake_ckpt_done t =
 
 let active_slots t exec = t.cfg.Config.workers + Array.length exec.timers
 
+let req_latency t =
+  match t.role_ with
+  | Primary -> t.h_req_lat_primary
+  | Secondary -> t.h_req_lat_secondary
+
 let release_replies t =
   let ready, waiting =
     List.partition
-      (fun (id, _, _) -> Trace.Cut.includes t.committed_cut_ id)
+      (fun (id, _, _, _) -> Trace.Cut.includes t.committed_cut_ id)
       t.pending_replies
   in
   t.pending_replies <- waiting;
+  let now = Engine.clock t.eng in
+  let h = req_latency t in
   List.iter
-    (fun (_, resp, cb) ->
-      t.st_replies_sent <- t.st_replies_sent + 1;
+    (fun (_, t0, resp, cb) ->
+      Obs.Metric.incr t.c_replies;
+      Obs.Histogram.observe h (now -. t0);
+      let sp = Obs.spans t.obs in
+      if Obs.Span.enabled sp then
+        Obs.Span.complete sp ~cat:"rex" ~pid:t.node_id ~name:"request"
+          ~ts:t0 ~dur:(now -. t0) ();
       cb (Some resp))
     ready
 
 let drop_client_state t =
   let pending = t.pending_replies in
   t.pending_replies <- [];
-  List.iter (fun (_, _, cb) -> cb None) pending;
-  Queue.iter (fun (_, cb) -> cb None) t.queue;
+  List.iter (fun (_, _, _, cb) -> cb None) pending;
+  Queue.iter (fun (_, _, cb) -> cb None) t.queue;
   Queue.clear t.queue
 
 (* --- Flow control (paper §6.3: the primary waits for live secondaries) --- *)
@@ -206,6 +228,7 @@ let ckpt_arrive t exec seq =
     t.ckpt_arrived <- t.ckpt_arrived + 1;
     if t.ckpt_arrived >= active_slots t exec then begin
       (* Every slot is paused at its mark: the state is quiescent. *)
+      let ck_start = Engine.now () in
       let sink = Codec.sink ~initial_capacity:4096 () in
       exec.app.App.write_checkpoint sink;
       (* Serializing + writing the snapshot stalls this replica's replay,
@@ -226,7 +249,14 @@ let ckpt_arrive t exec seq =
       (match t.agree with
       | Some a -> a.Agreement.truncate_below pc.pc_instance
       | None -> ());
-      t.st_ckpts <- t.st_ckpts + 1;
+      Obs.Metric.incr t.c_ckpts;
+      Obs.Metric.add t.c_ckpt_bytes (String.length blob.app_bytes);
+      let sp = Obs.spans t.obs in
+      if Obs.Span.enabled sp then
+        Obs.Span.complete sp ~cat:"ckpt" ~pid:t.node_id ~name:"checkpoint"
+          ~ts:ck_start
+          ~dur:(Engine.now () -. ck_start)
+          ();
       t.ckpt_barrier <- None;
       t.ckpt_arrived <- 0;
       wake_ckpt_done t;
@@ -294,7 +324,15 @@ let rec pop_request t exec =
   else begin
     ckpt_pause_if_needed t exec;
     if not (flow_ok t exec) then begin
+      Obs.Metric.incr t.c_flow_stalls;
+      let t0 = Engine.now () in
       Engine.park (fun w -> t.flow_waiters <- w :: t.flow_waiters);
+      let stalled = Engine.now () -. t0 in
+      Obs.Histogram.observe t.h_flow_stall stalled;
+      let sp = Obs.spans t.obs in
+      if Obs.Span.enabled sp then
+        Obs.Span.complete sp ~cat:"rex" ~pid:t.node_id ~name:"flow_stall"
+          ~ts:t0 ~dur:stalled ();
       pop_request t exec
     end
     else
@@ -327,19 +365,26 @@ let response_digest resp =
 let record_iteration t exec =
   match pop_request t exec with
   | None -> ()
-  | Some (request, cb) ->
+  | Some (request, t0, cb) ->
     ignore
       (Runtime.record exec.rt ~kind:Event.Req_start ~resource:0
          ~payload:request []);
-    t.st_request_bytes <- t.st_request_bytes + String.length request;
+    Obs.Metric.add t.c_request_bytes (String.length request);
+    let exec_start = Engine.now () in
     let resp = execute_guarded t exec request in
     let src =
       Runtime.record exec.rt ~kind:Event.Req_end ~resource:0
         ~payload:(response_digest resp) []
     in
-    t.st_requests_executed <- t.st_requests_executed + 1;
+    Obs.Metric.incr t.c_requests;
+    let sp = Obs.spans t.obs in
+    if Obs.Span.enabled sp then
+      Obs.Span.complete sp ~cat:"rex" ~pid:t.node_id ~tid:(Engine.self ())
+        ~name:"execute" ~ts:exec_start
+        ~dur:(Engine.now () -. exec_start)
+        ();
     t.pending_replies <-
-      (Runtime.source_id src, resp, cb) :: t.pending_replies
+      (Runtime.source_id src, t0, resp, cb) :: t.pending_replies
 
 let replay_iteration t exec =
   match Runtime.await_next exec.rt with
@@ -375,7 +420,7 @@ let replay_iteration t exec =
         ignore
           (Runtime.record exec.rt ~kind:Event.Req_end ~resource:0
              ~payload:(response_digest resp) []));
-      t.st_requests_executed <- t.st_requests_executed + 1
+      Obs.Metric.incr t.c_requests
     | Event.Ckpt_mark ->
       Runtime.complete exec.rt e;
       ckpt_arrive t exec e.resource
@@ -530,9 +575,8 @@ let spawn_proposer t exec =
                  if agree.Agreement.propose encoded then begin
                    t.proposed_cut <- upto;
                    t.ckpt_pending_proposal <- None;
-                   t.st_proposals <- t.st_proposals + 1;
-                   t.st_proposal_bytes <-
-                     t.st_proposal_bytes + String.length encoded
+                   Obs.Metric.incr t.c_proposals;
+                   Obs.Metric.add t.c_proposal_bytes (String.length encoded)
                  end
                end
              end
@@ -647,7 +691,7 @@ let demote t ~reason =
   if t.role_ = Primary then begin
     Logs.info (fun m -> m "rex[%d]: demoting (%s)" t.node_id reason);
     t.role_ <- Secondary;
-    t.st_rollbacks <- t.st_rollbacks + 1;
+    Obs.Metric.incr t.c_rollbacks;
     t.gen <- t.gen + 1;
     (* invalidate old slots immediately *)
     drop_client_state t;
@@ -716,6 +760,9 @@ let on_committed t instance value =
 let create ?make_agreement net rpc cfg ~node ~paxos_store ~disk factory =
   let eng = Net.engine net in
   let slots = cfg.Config.workers + timer_slot_budget in
+  let obs = Engine.obs eng in
+  let labels = [ ("node", string_of_int node) ] in
+  let c name = Obs.counter obs ~subsystem:"rex" ~labels name in
   let t =
     {
       eng;
@@ -750,14 +797,27 @@ let create ?make_agreement net rpc cfg ~node ~paxos_store ~disk factory =
       ckpt_done_waiters = [];
       flow_reports = Hashtbl.create 8;
       flow_waiters = [];
-      st_requests_executed = 0;
-      st_replies_sent = 0;
-      st_queries = 0;
-      st_proposals = 0;
-      st_proposal_bytes = 0;
-      st_request_bytes = 0;
-      st_ckpts = 0;
-      st_rollbacks = 0;
+      obs;
+      c_requests = c "requests_executed";
+      c_replies = c "replies_sent";
+      c_queries = c "queries_served";
+      c_proposals = c "proposals_sent";
+      c_proposal_bytes = c "proposal_bytes";
+      c_request_bytes = c "request_payload_bytes";
+      c_ckpts = c "checkpoints_written";
+      c_ckpt_bytes = c "checkpoint_bytes";
+      c_rollbacks = c "rollbacks";
+      c_flow_stalls = c "flow_stalls";
+      h_req_lat_primary =
+        Obs.histogram obs ~subsystem:"rex"
+          ~labels:(("role", "primary") :: labels)
+          "request_latency";
+      h_req_lat_secondary =
+        Obs.histogram obs ~subsystem:"rex"
+          ~labels:(("role", "secondary") :: labels)
+          "request_latency";
+      h_flow_stall =
+        Obs.histogram obs ~subsystem:"rex" ~labels "flow_stall_time";
       diverged = None;
     }
   in
@@ -773,6 +833,7 @@ let create ?make_agreement net rpc cfg ~node ~paxos_store ~disk factory =
       else begin
         Queue.push
           ( request,
+            Engine.clock eng,
             function
             | Some resp -> reply (Client.encode_reply (Client.Ok_reply resp))
             | None -> reply (Client.encode_reply Client.Dropped) )
@@ -783,7 +844,7 @@ let create ?make_agreement net rpc cfg ~node ~paxos_store ~disk factory =
       match t.exec with
       | None -> Client.encode_reply Client.Dropped
       | Some exec ->
-        t.st_queries <- t.st_queries + 1;
+        Obs.Metric.incr t.c_queries;
         Client.encode_reply (Client.Ok_reply (exec.app.App.query ~request)));
   Rpc.serve rpc ~node ~port:fetch_ckpt_port (fun ~src:_ _ ->
       match Checkpoint.Disk.latest t.disk with
@@ -804,13 +865,13 @@ let create ?make_agreement net rpc cfg ~node ~paxos_store ~disk factory =
 let submit t request cb =
   if t.role_ <> Primary then cb None
   else begin
-    Queue.push (request, cb) t.queue;
+    Queue.push (request, Engine.clock t.eng, cb) t.queue;
     wake_queue t
   end
 
 let query t request =
   let exec = the_exec t in
-  t.st_queries <- t.st_queries + 1;
+  Obs.Metric.incr t.c_queries;
   exec.app.App.query ~request
 
 (* Fetch a fresher checkpoint from peers before first build (a rejoining

@@ -37,12 +37,14 @@ type t = {
   do_check_versions : bool;
   record_cost : float;
   replay_cost : float;
-  mutable st_events_recorded : int;
-  mutable st_edges_recorded : int;
-  mutable st_edges_reduced : int;
-  mutable st_events_replayed : int;
-  mutable st_waited_events : int;
-  mutable st_nondet : int;
+  obs : Obs.t;
+  c_recorded : Obs.Metric.counter;
+  c_edges : Obs.Metric.counter;
+  c_reduced : Obs.Metric.counter;
+  c_replayed : Obs.Metric.counter;
+  c_waited : Obs.Metric.counter;
+  c_nondet : Obs.Metric.counter;
+  h_replay_wait : Obs.Histogram.t;
 }
 
 (* Resource uid scheme: uids minted during initialization (no slot bound)
@@ -58,6 +60,12 @@ let create ?(reduce_edges = true) ?(partial_order = true)
     invalid_arg "Runtime.create: slots out of range";
   let sbd = Scoreboard.create ~slots in
   (match base with Some b -> Scoreboard.reset sbd b | None -> ());
+  let obs = Engine.obs eng in
+  (* Counters live in the engine's registry keyed by node, so a runtime
+     rebuilt on the same node (e.g. after promotion) keeps accumulating
+     into the same series rather than starting a parallel one. *)
+  let labels = [ ("node", string_of_int node) ] in
+  let c name = Obs.counter obs ~subsystem:"rexsync" ~labels name in
   {
     eng;
     node;
@@ -79,12 +87,14 @@ let create ?(reduce_edges = true) ?(partial_order = true)
     do_check_versions = check_versions;
     record_cost;
     replay_cost;
-    st_events_recorded = 0;
-    st_edges_recorded = 0;
-    st_edges_reduced = 0;
-    st_events_replayed = 0;
-    st_waited_events = 0;
-    st_nondet = 0;
+    obs;
+    c_recorded = c "events_recorded";
+    c_edges = c "edges_recorded";
+    c_reduced = c "edges_reduced";
+    c_replayed = c "events_replayed";
+    c_waited = c "waited_events";
+    c_nondet = c "nondet_recorded";
+    h_replay_wait = Obs.histogram obs ~subsystem:"rexsync" ~labels "replay_wait";
   }
 
 let engine t = t.eng
@@ -190,7 +200,7 @@ let record t ~kind ~resource ?(version = 0) ?(payload = "") srcs =
   let clock = Trace.slot_end t.tr slot + 1 in
   let id : Event.Id.t = { slot; clock } in
   Trace.append t.tr { Event.id; kind; resource; version; payload };
-  t.st_events_recorded <- t.st_events_recorded + 1;
+  Obs.Metric.incr t.c_recorded;
   let vc = t.vcs.(slot) in
   ignore (Vclock.tick vc slot);
   let seen = Hashtbl.create 4 in
@@ -198,10 +208,10 @@ let record t ~kind ~resource ?(version = 0) ?(payload = "") srcs =
     if src.sid.slot <> slot && not (Hashtbl.mem seen src.sid) then begin
       Hashtbl.replace seen src.sid ();
       if t.do_reduce_edges && Vclock.dominates vc src.sid then
-        t.st_edges_reduced <- t.st_edges_reduced + 1
+        Obs.Metric.incr t.c_reduced
       else begin
         Trace.add_edge t.tr ~src:src.sid ~dst:id;
-        t.st_edges_recorded <- t.st_edges_recorded + 1
+        Obs.Metric.incr t.c_edges
       end;
       Vclock.join vc src.svc
     end
@@ -270,10 +280,19 @@ let take t ~kinds ~resource =
         (resource_name t resource)
     else begin
       let parked = ref false in
+      let t0 = Engine.now () in
       List.iter
         (fun src -> if Scoreboard.wait_for t.sbd src then parked := true)
         (Trace.incoming t.tr e.id);
-      if !parked then t.st_waited_events <- t.st_waited_events + 1;
+      if !parked then begin
+        Obs.Metric.incr t.c_waited;
+        let waited = Engine.now () -. t0 in
+        Obs.Histogram.observe t.h_replay_wait waited;
+        let sp = Obs.spans t.obs in
+        if Obs.Span.enabled sp then
+          Obs.Span.complete sp ~cat:"rexsync" ~pid:t.node
+            ~tid:(Engine.self ()) ~name:"replay_wait" ~ts:t0 ~dur:waited ()
+      end;
       `Event e
     end
 
@@ -291,7 +310,7 @@ let complete t (e : Event.t) =
   (* Keep the slot's own vector-clock component in step with its clock so
      edge reduction stays sound after a replay→record switch. *)
   ignore (Vclock.tick t.vcs.(e.id.slot) e.id.slot);
-  t.st_events_replayed <- t.st_events_replayed + 1
+  Obs.Metric.incr t.c_replayed
 
 let executed_cut t = Scoreboard.cut t.sbd
 let recorded_cut t = Trace.end_cut t.tr
@@ -313,7 +332,7 @@ let rec nondet t f =
   | Native -> f ()
   | Record ->
     let v = f () in
-    t.st_nondet <- t.st_nondet + 1;
+    Obs.Metric.incr t.c_nondet;
     ignore (record t ~kind:Event.Nondet ~resource:0 ~payload:v []);
     v
   | Replay -> (
@@ -323,12 +342,14 @@ let rec nondet t f =
       complete t e;
       e.payload)
 
+(* Thin view over the registry counters (subsystem "rexsync", labelled by
+   node).  Cumulative per (engine, node), not per runtime instance. *)
 let stats t =
   {
-    events_recorded = t.st_events_recorded;
-    edges_recorded = t.st_edges_recorded;
-    edges_reduced = t.st_edges_reduced;
-    events_replayed = t.st_events_replayed;
-    waited_events = t.st_waited_events;
-    nondet_recorded = t.st_nondet;
+    events_recorded = Obs.Metric.value t.c_recorded;
+    edges_recorded = Obs.Metric.value t.c_edges;
+    edges_reduced = Obs.Metric.value t.c_reduced;
+    events_replayed = Obs.Metric.value t.c_replayed;
+    waited_events = Obs.Metric.value t.c_waited;
+    nondet_recorded = Obs.Metric.value t.c_nondet;
   }

@@ -24,11 +24,19 @@ type t = {
   alive : bool array;
   node_inc : int array;
   free_cores : int array;
-  cpu_wait : (fiber * float * (unit, unit) continuation) Queue.t array;
+  cpu_wait : (fiber * float * float * (unit, unit) continuation) Queue.t array;
+      (* (fiber, work duration, enqueue time, continuation) *)
   busy : float array;
   fibers : (tid, fiber) Hashtbl.t;
   mutable next_tid : int;
   mutable running : fiber option;
+  (* observability *)
+  obs : Obs.t;
+  g_ready : Obs.Metric.gauge;
+  g_ready_max : Obs.Metric.gauge;
+  c_dispatched : Obs.Metric.counter;
+  c_spawned : Obs.Metric.counter array;
+  h_cpu_wait : Obs.Histogram.t array;
 }
 
 type waker = { wt : t; wfiber : fiber; wgen : int; mutable fired : bool }
@@ -44,25 +52,44 @@ let create ?(seed = 42) ?(cores_per_node = 16) ~num_nodes () =
   if num_nodes <= 0 then invalid_arg "Engine.create: num_nodes";
   if cores_per_node <= 0 then invalid_arg "Engine.create: cores_per_node";
   let root = Rng.create seed in
-  {
-    time = 0.;
-    events = Pqueue.create ();
-    jitter_rng = Rng.split root;
-    root_rng = root;
-    nodes = num_nodes;
-    cores = cores_per_node;
-    alive = Array.make num_nodes true;
-    node_inc = Array.make num_nodes 0;
-    free_cores = Array.make num_nodes cores_per_node;
-    cpu_wait = Array.init num_nodes (fun _ -> Queue.create ());
-    busy = Array.make num_nodes 0.;
-    fibers = Hashtbl.create 64;
-    next_tid = 0;
-    running = None;
-  }
+  let obs = Obs.create () in
+  let node_label n = [ ("node", string_of_int n) ] in
+  let t =
+    {
+      time = 0.;
+      events = Pqueue.create ();
+      jitter_rng = Rng.split root;
+      root_rng = root;
+      nodes = num_nodes;
+      cores = cores_per_node;
+      alive = Array.make num_nodes true;
+      node_inc = Array.make num_nodes 0;
+      free_cores = Array.make num_nodes cores_per_node;
+      cpu_wait = Array.init num_nodes (fun _ -> Queue.create ());
+      busy = Array.make num_nodes 0.;
+      fibers = Hashtbl.create 64;
+      next_tid = 0;
+      running = None;
+      obs;
+      g_ready = Obs.gauge obs ~subsystem:"sim" "ready_events";
+      g_ready_max = Obs.gauge obs ~subsystem:"sim" "ready_events_max";
+      c_dispatched = Obs.counter obs ~subsystem:"sim" "events_dispatched";
+      c_spawned =
+        Array.init num_nodes (fun n ->
+            Obs.counter obs ~subsystem:"sim" ~labels:(node_label n)
+              "fibers_spawned");
+      h_cpu_wait =
+        Array.init num_nodes (fun n ->
+            Obs.histogram obs ~subsystem:"sim" ~labels:(node_label n)
+              "cpu_queue_wait");
+    }
+  in
+  Obs.set_clock obs (fun () -> t.time);
+  t
 
 let num_nodes t = t.nodes
 let cores_per_node t = t.cores
+let obs t = t.obs
 let rng t = t.root_rng
 let clock t = t.time
 let pending_events t = Pqueue.length t.events
@@ -98,10 +125,15 @@ let kill t fiber k =
    [E_work] effect; waiters queue FIFO per node. *)
 let rec start_work t fiber d k =
   let n = fiber.node in
+  let started = t.time in
   t.free_cores.(n) <- t.free_cores.(n) - 1;
   schedule t ~at:(jittered t (t.time +. d)) (fun () ->
       if fiber.inc = t.node_inc.(n) && t.alive.(n) then begin
         t.busy.(n) <- t.busy.(n) +. d;
+        let sp = Obs.spans t.obs in
+        if Obs.Span.enabled sp then
+          Obs.Span.complete sp ~cat:"work" ~pid:n ~tid:fiber.tid
+            ~name:fiber.name ~ts:started ~dur:d ();
         release_core t n;
         resume t fiber k ()
       end
@@ -114,8 +146,17 @@ and release_core t n =
   t.free_cores.(n) <- t.free_cores.(n) + 1;
   match Queue.take_opt t.cpu_wait.(n) with
   | None -> ()
-  | Some (fiber, d, k) ->
-    if valid t fiber then start_work t fiber d k else kill t fiber k
+  | Some (fiber, d, enq, k) ->
+    if valid t fiber then begin
+      let waited = t.time -. enq in
+      Obs.Histogram.observe t.h_cpu_wait.(n) waited;
+      let sp = Obs.spans t.obs in
+      if Obs.Span.enabled sp then
+        Obs.Span.complete sp ~cat:"cpu_wait" ~pid:n ~tid:fiber.tid
+          ~name:"cpu_wait" ~ts:enq ~dur:waited ();
+      start_work t fiber d k
+    end
+    else kill t fiber k
 
 let do_park t fiber register k =
   fiber.park_gen <- fiber.park_gen + 1;
@@ -145,7 +186,7 @@ let handler t fiber =
         (fun (k : (unit, unit) continuation) ->
           if not (valid t fiber) then discontinue k Killed
           else if t.free_cores.(fiber.node) > 0 then start_work t fiber d k
-          else Queue.push (fiber, d, k) t.cpu_wait.(fiber.node))
+          else Queue.push (fiber, d, t.time, k) t.cpu_wait.(fiber.node))
     | E_sleep d ->
       Some
         (fun (k : (unit, unit) continuation) ->
@@ -193,6 +234,7 @@ let spawn_fiber t ~node ~at ~name main =
     }
   in
   t.next_tid <- t.next_tid + 1;
+  Obs.Metric.incr t.c_spawned.(node);
   Hashtbl.replace t.fibers fiber.tid fiber;
   schedule t ~at:(jittered t at) (fun () ->
       if valid t fiber then exec_fiber t fiber main else fiber_done t fiber);
@@ -216,6 +258,7 @@ let spawn_immediate t ~node ?(name = "fiber") main =
     }
   in
   t.next_tid <- t.next_tid + 1;
+  Obs.Metric.incr t.c_spawned.(node);
   Hashtbl.replace t.fibers fiber.tid fiber;
   exec_fiber t fiber main
 
@@ -232,6 +275,10 @@ let run ?(until = infinity) t =
       | None -> ()
       | Some (at, cb) ->
         if at > t.time then t.time <- at;
+        Obs.Metric.incr t.c_dispatched;
+        let depth = float_of_int (Pqueue.length t.events) in
+        Obs.Metric.set t.g_ready depth;
+        Obs.Metric.set_max t.g_ready_max depth;
         cb ();
         loop ())
   in
@@ -244,7 +291,7 @@ let crash_node t n =
     t.free_cores.(n) <- t.cores;
     let waiting = Queue.create () in
     Queue.transfer t.cpu_wait.(n) waiting;
-    Queue.iter (fun (fiber, _, k) -> kill t fiber k) waiting;
+    Queue.iter (fun (fiber, _, _, k) -> kill t fiber k) waiting;
     let victims =
       Hashtbl.fold
         (fun _ fiber acc -> if fiber.node = n then fiber :: acc else acc)
@@ -271,6 +318,7 @@ let self_opt () =
   | fiber -> Some fiber.tid
   | exception Effect.Unhandled _ -> None
 let self_name () = (perform E_self).name
+let self_node () = (perform E_self).node
 let work d = perform (E_work d)
 let sleep d = perform (E_sleep d)
 let park register = perform (E_park register)

@@ -32,6 +32,14 @@ val cores_per_node : t -> int
 val rng : t -> Rng.t
 (** The root generator; [Rng.split] it for independent streams. *)
 
+val obs : t -> Obs.t
+(** The simulation's observability context.  The engine registers its own
+    instruments under subsystem ["sim"] (ready-queue depth, dispatched
+    events, per-node fiber spawns and CPU-queue waits) and, when tracing
+    is enabled via [Obs.enable_tracing], emits a span per [work] quantum
+    and per CPU-queue wait.  Higher layers (net, runtime, paxos, rex, eve)
+    hang their instruments off the same context. *)
+
 (** {1 Driving the simulation} *)
 
 val spawn : t -> node:int -> ?name:string -> (unit -> unit) -> tid
@@ -77,6 +85,9 @@ val self_opt : unit -> tid option
     raw {!schedule} callback). *)
 
 val self_name : unit -> string
+
+val self_node : unit -> int
+(** The node the calling fiber runs on. *)
 
 val work : float -> unit
 (** Consume [d] seconds of CPU on this fiber's node: waits for a free core,

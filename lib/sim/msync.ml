@@ -22,17 +22,35 @@ let pick_out rng l =
 module Mutex = struct
   type t = {
     rng : Rng.t;
+    obs : Obs.t;
+    h_wait : Obs.Histogram.t;
     mutable holder : Engine.tid option;
     mutable waiters : (Engine.tid * Engine.waker) list;
   }
 
-  let create eng = { rng = Rng.split (Engine.rng eng); holder = None; waiters = [] }
+  let create eng =
+    let obs = Engine.obs eng in
+    {
+      rng = Rng.split (Engine.rng eng);
+      obs;
+      h_wait = Obs.histogram obs ~subsystem:"sim" "lock_wait";
+      holder = None;
+      waiters = [];
+    }
 
   let lock m =
     let me = Engine.self () in
     match m.holder with
     | None -> m.holder <- Some me
-    | Some _ -> Engine.park (fun w -> m.waiters <- (me, w) :: m.waiters)
+    | Some _ ->
+      let t0 = Engine.now () in
+      Engine.park (fun w -> m.waiters <- (me, w) :: m.waiters);
+      let waited = Engine.now () -. t0 in
+      Obs.Histogram.observe m.h_wait waited;
+      let sp = Obs.spans m.obs in
+      if Obs.Span.enabled sp then
+        Obs.Span.complete sp ~cat:"lock" ~pid:(Engine.self_node ()) ~tid:me
+          ~name:"lock_wait" ~ts:t0 ~dur:waited ()
 
   let try_lock m =
     match m.holder with

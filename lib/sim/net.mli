@@ -35,9 +35,16 @@ val partition : t -> int -> int -> unit
 val heal : t -> int -> int -> unit
 val heal_all : t -> unit
 
-(** {1 Statistics} *)
+(** {1 Statistics}
+
+    Thin views over the engine's {!Obs} registry (subsystem ["net"]):
+    totals plus per-link ([src]/[dst]-labelled) and per-port counters are
+    registered there, so exporters see them without extra plumbing. *)
 
 val messages_sent : t -> int
 val bytes_sent : t -> int
+val messages_dropped : t -> int
+(** Messages lost to partitions or the random loss process. *)
+
 val bytes_sent_on_port : t -> string -> int
 val reset_stats : t -> unit
