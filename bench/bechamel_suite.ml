@@ -2,7 +2,11 @@
    OCaml implementation — one Test.make per core operation underlying the
    paper's tables and figures (trace recording for Fig. 7's record
    overhead, delta codec for the §6.3 byte counts, scoreboard and vclock
-   ops for replay cost, Paxos message codec for the agree stage). *)
+   ops for replay cost, Paxos message codec for the agree stage).
+
+   The trace-size series (1k/10k/100k) document the bounded-memory
+   claims: window extraction via a cursor and the steady-state
+   propose+compact cycle must not scale with accumulated history. *)
 
 open Bechamel
 open Toolkit
@@ -15,6 +19,20 @@ let mk_event slot clock : Event.t =
     version = clock;
     payload = "";
   }
+
+(* Round-robin events over 4 slots, one cross-slot edge per round. *)
+let build_trace n_events =
+  let t = Trace.create ~slots:4 () in
+  for c = 1 to n_events / 4 do
+    for s = 0 to 3 do
+      Trace.append t (mk_event s c)
+    done;
+    if c > 1 then
+      Trace.add_edge t ~src:{ slot = 0; clock = c - 1 } ~dst:{ slot = 1; clock = c }
+  done;
+  t
+
+let sizes = [ 1_000; 10_000; 100_000 ]
 
 let test_event_encode =
   Test.make ~name:"event encode (16B target)"
@@ -33,27 +51,9 @@ let test_event_decode =
 
 let test_trace_append =
   Test.make ~name:"trace append 1k events + edges"
-    (Staged.stage (fun () ->
-         let t = Trace.create ~slots:4 () in
-         for c = 1 to 250 do
-           for s = 0 to 3 do
-             Trace.append t (mk_event s c)
-           done;
-           if c > 1 then
-             Trace.add_edge t ~src:{ slot = 0; clock = c - 1 }
-               ~dst:{ slot = 1; clock = c }
-         done))
+    (Staged.stage (fun () -> ignore (build_trace 1_000)))
 
-let big_trace =
-  let t = Trace.create ~slots:4 () in
-  for c = 1 to 250 do
-    for s = 0 to 3 do
-      Trace.append t (mk_event s c)
-    done;
-    if c > 1 then
-      Trace.add_edge t ~src:{ slot = 0; clock = c - 1 } ~dst:{ slot = 1; clock = c }
-  done;
-  t
+let big_trace = build_trace 1_000
 
 let test_delta_roundtrip =
   Test.make ~name:"delta extract+encode+decode (1k events)"
@@ -85,10 +85,79 @@ let test_paxos_msg =
          in
          ignore (Paxos.Msg.decode (Paxos.Msg.encode m))))
 
-let test_last_consistent =
-  Test.make ~name:"last_consistent cut (1k events)"
+(* --- Trace-size series --- *)
+
+let tests_last_consistent =
+  List.map
+    (fun n ->
+      let t = build_trace n in
+      Test.make
+        ~name:(Printf.sprintf "last_consistent cut (%dk events)" (n / 1000))
+        (Staged.stage (fun () ->
+             ignore (Trace.last_consistent t (Trace.end_cut t)))))
+    sizes
+
+(* Extract a 100-event tail window from traces of increasing history:
+   the per-call binary search is the only history-dependent part. *)
+let window = 100
+
+let tail_base t =
+  let e = Trace.Cut.to_array (Trace.end_cut t) in
+  Trace.Cut.of_array (Array.map (fun w -> max 0 (w - (window / 4))) e)
+
+let tests_extract_tail =
+  List.map
+    (fun n ->
+      let t = build_trace n in
+      let base = tail_base t in
+      Test.make
+        ~name:
+          (Printf.sprintf "delta extract %d-event tail of %dk" window
+             (n / 1000))
+        (Staged.stage (fun () -> ignore (Trace.Delta.extract t ~base))))
+    sizes
+
+(* Apply the same tail window onto a fresh checkpoint-based receiver:
+   the replica-side cost of one committed delta. *)
+let tests_apply_window =
+  List.map
+    (fun n ->
+      let t = build_trace n in
+      let base = tail_base t in
+      let d = Trace.Delta.extract t ~base in
+      Test.make
+        ~name:
+          (Printf.sprintf "delta apply %d-event window (from %dk)" window
+             (n / 1000))
+        (Staged.stage (fun () ->
+             let recv = Trace.create ~base ~slots:4 () in
+             match Trace.Delta.apply recv d with
+             | Ok () -> ()
+             | Error msg -> failwith msg)))
+    sizes
+
+(* The primary's steady-state cycle: append a window, extract it through
+   the cursor, encode it, and compact behind the last "checkpoint".  The
+   trace stays bounded, so ns/run measures the per-window cost the
+   proposer actually pays — independent of how long the run has gone. *)
+let test_steady_state =
+  let t = build_trace 1_000 in
+  let cursor = Trace.Delta.cursor t ~base:(Trace.end_cut t) in
+  Test.make ~name:(Printf.sprintf "steady state: append %d + extract_next + compact" window)
     (Staged.stage (fun () ->
-         ignore (Trace.last_consistent big_trace (Trace.end_cut big_trace))))
+         let start = Trace.Cut.to_array (Trace.end_cut t) in
+         for i = 1 to window / 4 do
+           for s = 0 to 3 do
+             Trace.append t (mk_event s (start.(s) + i))
+           done;
+           Trace.add_edge t
+             ~src:{ slot = 0; clock = start.(0) + i }
+             ~dst:{ slot = 1; clock = start.(1) + i }
+         done;
+         let d = Trace.Delta.extract_next t cursor in
+         let b = Codec.counting_sink () in
+         Trace.Delta.write b d;
+         Trace.compact t ~upto:d.Trace.Delta.base))
 
 let tests =
   [
@@ -98,8 +167,9 @@ let tests =
     test_delta_roundtrip;
     test_vclock;
     test_paxos_msg;
-    test_last_consistent;
   ]
+  @ tests_last_consistent @ tests_extract_tail @ tests_apply_window
+  @ [ test_steady_state ]
 
 let run () =
   Printf.printf "\n== Bechamel wall-clock micro-benchmarks ==\n%!";

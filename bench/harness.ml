@@ -72,6 +72,9 @@ type result = {
   request_bytes_per_req : float;  (* client payload inside those bytes *)
   mean_latency : float;  (* submit -> committed reply, seconds *)
   p99_latency : float;
+  resident_events : int;  (* events held in the primary's trace at the end *)
+  resident_edges : int;
+  compactions : int;  (* times the primary's trace was compacted *)
 }
 
 let zero_result mode threads =
@@ -87,6 +90,9 @@ let zero_result mode threads =
     request_bytes_per_req = 0.;
     mean_latency = 0.;
     p99_latency = 0.;
+    resident_events = 0;
+    resident_edges = 0;
+    compactions = 0;
   }
 
 (* Pump the engine until [done_p] or the wall-deadline; returns false on
@@ -287,6 +293,7 @@ let run_rex ?(seed = 42) ?(cores = 16) ?net_latency ?(min_window = 0.)
       if Array.length lat = 0 then 0.
       else lat.(min (Array.length lat - 1) (Array.length lat * 99 / 100))
     in
+    let primary_trace = Rexsync.Runtime.trace (R.Server.runtime primary) in
     {
       mode = Rex;
       threads;
@@ -295,6 +302,9 @@ let run_rex ?(seed = 42) ?(cores = 16) ?net_latency ?(min_window = 0.)
          else float_of_int measure /. dt);
       mean_latency;
       p99_latency;
+      resident_events = Trace.event_count primary_trace;
+      resident_edges = Trace.edge_count primary_trace;
+      compactions = Trace.compactions primary_trace;
       waited_per_sec = float_of_int d_waited /. dt;
       events_per_req = per_req d_events;
       edges_per_req = per_req d_edges;

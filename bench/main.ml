@@ -82,9 +82,21 @@ let overhead_cmd =
     (instrumented
        Term.(const (fun quick () -> Overhead.run ~quick ()) $ quick_arg))
 
+let only_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "only" ]
+        ~doc:
+          "Run a single ablation section (reduction, partial-order, flow, \
+           pacing, pipeline, fsync, compaction).")
+
 let ablate_cmd =
   Cmd.v (Cmd.info "ablate" ~doc:"Design-choice ablations")
-    (instrumented Term.(const (fun quick () -> Ablate.run ~quick ()) $ quick_arg))
+    (instrumented
+       Term.(
+         const (fun quick only () -> Ablate.run ~quick ?only ())
+         $ quick_arg $ only_arg))
 
 let ycsb_cmd =
   Cmd.v (Cmd.info "ycsb" ~doc:"YCSB core workloads on the KV stores")

@@ -60,7 +60,7 @@ let run ?(quick = false) () =
   Printf.printf "\n== §6.3 overhead breakdown (16 threads) ==\n";
   Printf.printf
     "app\tnative/s\trecord/s\trec_ovh%%\trex/s\treplay_gap%%\tevents/req\t\
-     edges/req\treduced%%\tB/event\tlog_ovh%%\n%!";
+     edges/req\treduced%%\tB/event\tlog_ovh%%\tres_events\tres_edges\n%!";
   List.iter
     (fun (name, factory, gen, warmup, measure) ->
       let warmup = if quick then warmup / 2 else warmup in
@@ -91,12 +91,14 @@ let run ?(quick = false) () =
         else 0.
       in
       Printf.printf
-        "%s\t%.0f\t%.0f\t%.1f\t%.0f\t%.1f\t%.1f\t%.1f\t%.0f\t%.1f\t%.0f\n%!"
+        "%s\t%.0f\t%.0f\t%.1f\t%.0f\t%.1f\t%.1f\t%.1f\t%.0f\t%.1f\t%.0f\t%d\t\
+         %d\n%!"
         name native.Harness.throughput record_rate
         (pct record_rate native.Harness.throughput)
         rex.Harness.throughput
         (pct rex.Harness.throughput record_rate)
         rex.Harness.events_per_req rex.Harness.edges_per_req
         (100. *. rex.Harness.reduced_fraction)
-        bytes_per_event log_overhead)
+        bytes_per_event log_overhead rex.Harness.resident_events
+        rex.Harness.resident_edges)
     apps_to_measure

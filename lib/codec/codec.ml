@@ -2,36 +2,58 @@ exception Decode_error of string
 
 let decode_error fmt = Fmt.kstr (fun s -> raise (Decode_error s)) fmt
 
-type sink = Buffer.t
+(* A sink is either a real buffer or a byte counter: encoders written
+   against the sink API can be replayed in counting mode to compute a
+   wire size without allocating (or copying) the encoded string. *)
+type sink = Buf of Buffer.t | Count of { mutable n : int }
 
-let sink ?(initial_capacity = 256) () = Buffer.create initial_capacity
-let contents = Buffer.contents
-let length = Buffer.length
-let clear = Buffer.clear
+let sink ?(initial_capacity = 256) () = Buf (Buffer.create initial_capacity)
+let counting_sink () = Count { n = 0 }
 
-let write_byte b n = Buffer.add_char b (Char.chr (n land 0xff))
+let contents = function
+  | Buf b -> Buffer.contents b
+  | Count _ -> invalid_arg "Codec.contents: counting sink"
+
+let length = function Buf b -> Buffer.length b | Count c -> c.n
+let clear = function Buf b -> Buffer.clear b | Count c -> c.n <- 0
+
+let write_byte t n =
+  match t with
+  | Buf b -> Buffer.add_char b (Char.chr (n land 0xff))
+  | Count c -> c.n <- c.n + 1
+
 let write_bool b v = write_byte b (if v then 1 else 0)
+
+let rec uvarint_size n = if n < 0x80 then 1 else 1 + uvarint_size (n lsr 7)
 
 let rec write_uvarint b n =
   assert (n >= 0);
-  if n < 0x80 then write_byte b n
-  else begin
-    write_byte b (0x80 lor (n land 0x7f));
-    write_uvarint b (n lsr 7)
-  end
+  match b with
+  | Count c -> c.n <- c.n + uvarint_size n
+  | Buf _ ->
+    if n < 0x80 then write_byte b n
+    else begin
+      write_byte b (0x80 lor (n land 0x7f));
+      write_uvarint b (n lsr 7)
+    end
 
 (* Zig-zag maps small negative ints to small unsigned ints. *)
 let write_varint b n = write_uvarint b ((n lsl 1) lxor (n asr 62))
 
 let write_float b f =
-  let bits = Int64.bits_of_float f in
-  for i = 0 to 7 do
-    write_byte b (Int64.to_int (Int64.shift_right_logical bits (8 * i)))
-  done
+  match b with
+  | Count c -> c.n <- c.n + 8
+  | Buf _ ->
+    let bits = Int64.bits_of_float f in
+    for i = 0 to 7 do
+      write_byte b (Int64.to_int (Int64.shift_right_logical bits (8 * i)))
+    done
 
 let write_string b s =
   write_uvarint b (String.length s);
-  Buffer.add_string b s
+  match b with
+  | Buf buf -> Buffer.add_string buf s
+  | Count c -> c.n <- c.n + String.length s
 
 let write_list b f l =
   write_uvarint b (List.length l);
@@ -68,6 +90,10 @@ let read_byte s =
   let c = Char.code s.data.[s.pos] in
   s.pos <- s.pos + 1;
   c
+
+let peek_byte s =
+  if s.pos >= s.limit then decode_error "peek_byte: end of input";
+  Char.code s.data.[s.pos]
 
 let read_bool s =
   match read_byte s with

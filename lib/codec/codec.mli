@@ -15,6 +15,12 @@ exception Decode_error of string
 type sink
 
 val sink : ?initial_capacity:int -> unit -> sink
+
+val counting_sink : unit -> sink
+(** A sink that only counts bytes: run any encoder against it and read the
+    would-be wire size back with {!length}, without allocating the encoded
+    string.  {!contents} raises [Invalid_argument] on a counting sink. *)
+
 val contents : sink -> string
 val length : sink -> int
 val clear : sink -> unit
@@ -50,6 +56,10 @@ val remaining : source -> int
 val at_end : source -> bool
 
 val read_byte : source -> int
+
+val peek_byte : source -> int
+(** {!read_byte} without consuming — used for versioned-format dispatch. *)
+
 val read_bool : source -> bool
 val read_uvarint : source -> int
 val read_varint : source -> int

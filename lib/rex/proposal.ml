@@ -24,4 +24,7 @@ let read s =
 let encode t = Codec.encode (Fun.flip write) t
 let decode s = Codec.decode read s
 
-let wire_size t = String.length (encode t)
+let wire_size t =
+  let b = Codec.counting_sink () in
+  write b t;
+  Codec.length b

@@ -83,6 +83,7 @@ type t = {
   c_ckpt_bytes : Obs.Metric.counter;
   c_rollbacks : Obs.Metric.counter;
   c_flow_stalls : Obs.Metric.counter;
+  c_decode_errors : Obs.Metric.counter;
   h_req_lat_primary : Obs.Histogram.t;
   h_req_lat_secondary : Obs.Histogram.t;
   h_flow_stall : Obs.Histogram.t;
@@ -249,6 +250,11 @@ let ckpt_arrive t exec seq =
       (match t.agree with
       | Some a -> a.Agreement.truncate_below pc.pc_instance
       | None -> ());
+      (* The saved checkpoint subsumes everything at or below its cut:
+         drop that trace prefix too (the in-memory twin of the log
+         truncation above).  Every slot is parked at its mark, so the
+         cut is fully executed here. *)
+      Runtime.compact_trace exec.rt ~upto:pc.pc_cut;
       Obs.Metric.incr t.c_ckpts;
       Obs.Metric.add t.c_ckpt_bytes (String.length blob.app_bytes);
       let sp = Obs.spans t.obs in
@@ -555,6 +561,13 @@ let spawn_flow_reporter t exec =
 let spawn_proposer t exec =
   ignore
     (Engine.spawn t.eng ~node:t.node_id ~name:"rex.proposer" (fun () ->
+         (* Extraction cursor: the steady-state propose path costs
+            O(events and edges since the last proposal), independent of
+            how much trace has accumulated since the last checkpoint.
+            Recreated whenever its position disagrees with
+            [proposed_cut] — the first iteration, or after a failed
+            propose advanced the cursor without advancing the cut. *)
+         let cursor = ref None in
          while current t exec && t.role_ = Primary do
            Engine.sleep t.cfg.Config.propose_interval;
            wake_flow t;
@@ -562,14 +575,22 @@ let spawn_proposer t exec =
            if current t exec && t.role_ = Primary && not t.ckpt_flag then begin
              let agree = agreement t in
              if agree.Agreement.can_propose () then begin
-               let upto = Trace.end_cut (Runtime.trace exec.rt) in
+               let tr = Runtime.trace exec.rt in
+               let upto = Trace.end_cut tr in
                let ckpt = t.ckpt_pending_proposal in
                if (not (Trace.Cut.equal upto t.proposed_cut)) || ckpt <> None
                then begin
-                 let delta =
-                   Trace.Delta.extract (Runtime.trace exec.rt)
-                     ~base:t.proposed_cut ~upto
+                 let cur =
+                   match !cursor with
+                   | Some c
+                     when Trace.Cut.equal (Trace.Delta.cursor_base c)
+                            t.proposed_cut -> c
+                   | Some _ | None ->
+                     let c = Trace.Delta.cursor tr ~base:t.proposed_cut in
+                     cursor := Some c;
+                     c
                  in
+                 let delta = Trace.Delta.extract_next ~upto tr cur in
                  let prop = { Proposal.delta; ckpt } in
                  let encoded = Proposal.encode prop in
                  if agree.Agreement.propose encoded then begin
@@ -600,7 +621,11 @@ let spawn_ckpt_policy t exec =
 
 let apply_committed t exec instance value =
   match Proposal.decode value with
-  | exception Codec.Decode_error _ -> ()
+  | exception Codec.Decode_error msg ->
+    Obs.Metric.incr t.c_decode_errors;
+    Logs.warn (fun m ->
+        m "rex[%d]: dropping undecodable committed value at instance %d: %s"
+          t.node_id instance msg)
   | prop -> (
     t.committed_instance <- instance;
     match Trace.Delta.apply_overlapping (Runtime.trace exec.rt) prop.delta with
@@ -741,7 +766,12 @@ let on_committed t instance value =
     | Some exec ->
       if t.role_ = Primary then begin
         match Proposal.decode value with
-        | exception Codec.Decode_error _ -> ()
+        | exception Codec.Decode_error msg ->
+          Obs.Metric.incr t.c_decode_errors;
+          Logs.warn (fun m ->
+              m "rex[%d]: dropping undecodable committed value at instance \
+                 %d: %s"
+                t.node_id instance msg)
         | prop ->
           t.committed_instance <- instance;
           if Trace.Cut.leq prop.delta.upto (Runtime.recorded_cut exec.rt) then begin
@@ -754,6 +784,31 @@ let on_committed t instance value =
             demote t ~reason:"foreign commit observed"
       end
       else apply_committed t exec instance value
+
+(* A pushed checkpoint blob reaches the nodes that did not run the
+   barrier themselves — the primary above all, which otherwise never
+   truncates its log or compacts its trace and grows without bound.  Once
+   the blob is on our disk the history at or below its cut is recoverable
+   from it, so the log prefix and the trace prefix can both go. *)
+let absorb_pushed_ckpt t (blob : Checkpoint.t) =
+  let have =
+    match Checkpoint.Disk.latest t.disk with Some c -> c.seq | None -> 0
+  in
+  Checkpoint.Disk.save t.disk blob;
+  if blob.seq > have && not t.rebuilding then
+    match t.exec with
+    | None -> ()
+    | Some exec ->
+      (match t.agree with
+      | Some a -> a.Agreement.truncate_below blob.instance
+      | None -> ());
+      (* The primary must keep its base at or below the last proposed
+         cut: the next delta extraction starts there. *)
+      let upto =
+        if t.role_ = Primary then Trace.Cut.min blob.cut t.proposed_cut
+        else blob.cut
+      in
+      Runtime.compact_trace exec.rt ~upto
 
 (* --- Construction --- *)
 
@@ -808,6 +863,7 @@ let create ?make_agreement net rpc cfg ~node ~paxos_store ~disk factory =
       c_ckpt_bytes = c "checkpoint_bytes";
       c_rollbacks = c "rollbacks";
       c_flow_stalls = c "flow_stalls";
+      c_decode_errors = c "decode_errors";
       h_req_lat_primary =
         Obs.histogram obs ~subsystem:"rex"
           ~labels:(("role", "primary") :: labels)
@@ -852,7 +908,7 @@ let create ?make_agreement net rpc cfg ~node ~paxos_store ~disk factory =
       | None -> "");
   Net.register net ~node ~port:push_ckpt_port (fun ~src:_ payload ->
       match Checkpoint.decode payload with
-      | blob -> Checkpoint.Disk.save t.disk blob
+      | blob -> absorb_pushed_ckpt t blob
       | exception Codec.Decode_error _ -> ());
   Net.register net ~node ~port:flow_port (fun ~src payload ->
       (match Codec.read_uvarint (Codec.source payload) with

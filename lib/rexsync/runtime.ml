@@ -45,6 +45,10 @@ type t = {
   c_waited : Obs.Metric.counter;
   c_nondet : Obs.Metric.counter;
   h_replay_wait : Obs.Histogram.t;
+  c_compactions : Obs.Metric.counter;
+  g_resident_events : Obs.Metric.gauge;
+  g_resident_edges : Obs.Metric.gauge;
+  g_incoming_entries : Obs.Metric.gauge;
 }
 
 (* Resource uid scheme: uids minted during initialization (no slot bound)
@@ -66,6 +70,7 @@ let create ?(reduce_edges = true) ?(partial_order = true)
      into the same series rather than starting a parallel one. *)
   let labels = [ ("node", string_of_int node) ] in
   let c name = Obs.counter obs ~subsystem:"rexsync" ~labels name in
+  let tg name = Obs.gauge obs ~subsystem:"trace" ~labels name in
   {
     eng;
     node;
@@ -95,6 +100,10 @@ let create ?(reduce_edges = true) ?(partial_order = true)
     c_waited = c "waited_events";
     c_nondet = c "nondet_recorded";
     h_replay_wait = Obs.histogram obs ~subsystem:"rexsync" ~labels "replay_wait";
+    c_compactions = Obs.counter obs ~subsystem:"trace" ~labels "compactions";
+    g_resident_events = tg "resident_events";
+    g_resident_edges = tg "resident_edges";
+    g_incoming_entries = tg "incoming_entries";
   }
 
 let engine t = t.eng
@@ -105,6 +114,30 @@ let mode t = t.md
 let set_mode t m = t.md <- m
 let reduce_edges t = t.do_reduce_edges
 let partial_order t = t.do_partial_order
+
+(* --- Trace residency and compaction --- *)
+
+let refresh_trace_gauges t =
+  Obs.Metric.set t.g_resident_events (float_of_int (Trace.event_count t.tr));
+  Obs.Metric.set t.g_resident_edges (float_of_int (Trace.edge_count t.tr));
+  Obs.Metric.set t.g_incoming_entries
+    (float_of_int (Trace.incoming_entries t.tr))
+
+let compact_trace t ~upto =
+  (* Clamp to what this replica has actually recorded — and, while
+     replaying, executed: a replayer must never lose events its
+     scoreboard has not passed.  A lagging replica compacts as far as is
+     safe now and finishes the job at the next stable checkpoint. *)
+  let safe = Trace.Cut.min upto (Trace.end_cut t.tr) in
+  let safe =
+    match t.md with
+    | Replay -> Trace.Cut.min safe (Scoreboard.cut t.sbd)
+    | Record | Native -> safe
+  in
+  let before = Trace.compactions t.tr in
+  Trace.compact t.tr ~upto:safe;
+  if Trace.compactions t.tr <> before then Obs.Metric.incr t.c_compactions;
+  refresh_trace_gauges t
 
 (* --- Fiber binding --- *)
 
@@ -217,6 +250,7 @@ let record t ~kind ~resource ?(version = 0) ?(payload = "") srcs =
     end
   in
   List.iter add_src srcs;
+  refresh_trace_gauges t;
   let src = { sid = id; svc = Vclock.copy vc } in
   (* Model the instruction overhead of logging an event (paper §6.3:
      recording costs the primary <= 5%).  Charged after the append so the
@@ -227,6 +261,9 @@ let record t ~kind ~resource ?(version = 0) ?(payload = "") srcs =
 (* --- Replay path --- *)
 
 let feed_progress t =
+  (* The trace just grew (a committed delta was applied); keep the
+     residency gauges current on replicas that never record. *)
+  refresh_trace_gauges t;
   let ws = t.feed_waiters in
   t.feed_waiters <- [];
   List.iter Engine.wake ws

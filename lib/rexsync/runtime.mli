@@ -152,8 +152,26 @@ val interrupt_replay : t -> unit
 
 val resume_replay : t -> unit
 val executed_cut : t -> Trace.Cut.t
+
 val recorded_cut : t -> Trace.Cut.t
 (** End of the recorded trace ({!Trace.end_cut} of {!trace}). *)
+
+(** {1 Trace memory bounds} *)
+
+val compact_trace : t -> upto:Trace.Cut.t -> unit
+(** Reclaim trace memory below a stable checkpoint cut (see
+    {!Trace.compact}).  The cut is clamped to what this replica has
+    recorded — and, in replay mode, executed — so calling with a cut the
+    replica has not fully caught up to performs a partial compaction
+    rather than corrupting replay.  Updates the [trace/*] residency
+    gauges and the [trace/compactions] counter. *)
+
+val refresh_trace_gauges : t -> unit
+(** Re-export the resident event / edge / incoming-index sizes as
+    [trace/resident_events], [trace/resident_edges] and
+    [trace/incoming_entries] gauges (labelled by node).  Called
+    internally on record, feed and compaction; exposed for harnesses
+    that sample at other times. *)
 
 (** {1 Nondeterministic functions} *)
 

@@ -129,7 +129,22 @@ let read s =
   let payload = Codec.read_string s in
   { id; kind; resource; version; payload }
 
+(* Body-only codec for slot-grouped containers (the v1 delta wire format):
+   the id is implied by position, saving its 2-4 bytes per event. *)
+let write_body b e =
+  Codec.write_byte b (kind_tag e.kind);
+  Codec.write_uvarint b e.resource;
+  Codec.write_uvarint b e.version;
+  Codec.write_string b e.payload
+
+let read_body s ~slot ~clock =
+  let kind = kind_of_tag (Codec.read_byte s) in
+  let resource = Codec.read_uvarint s in
+  let version = Codec.read_uvarint s in
+  let payload = Codec.read_string s in
+  { id = { Id.slot; clock }; kind; resource; version; payload }
+
 let wire_size e =
-  let b = Codec.sink ~initial_capacity:32 () in
+  let b = Codec.counting_sink () in
   write b e;
   Codec.length b

@@ -53,6 +53,12 @@ val pp : t Fmt.t
 val write : Codec.sink -> t -> unit
 val read : Codec.source -> t
 
+val write_body : Codec.sink -> t -> unit
+(** Encode everything but the id, for slot-grouped containers where the id
+    is implied by position (the compact delta wire format). *)
+
+val read_body : Codec.source -> slot:int -> clock:int -> t
+
 val wire_size : t -> int
 (** Encoded size in bytes — reproduces the paper's "each synchronization
     event adds around 16 bytes to the trace" measurement. *)

@@ -34,10 +34,15 @@ type slot_data = {
 type t = {
   base : int array;
       (* clocks at or below the base are before this trace object's
-         horizon (a checkpoint cut); their events are not materialized *)
+         horizon (a checkpoint cut); their events are not materialized.
+         Advanced in place by [compact]. *)
   slot_data : slot_data array;
   incoming_tbl : (int * int, Event.Id.t list) Hashtbl.t;
+  mutable n_events : int;
   mutable n_edges : int;
+  mutable n_compactions : int;
+      (* bumped by [compact]; extraction cursors use it to notice that
+         vec indices shifted under them *)
 }
 
 let create ?base ~slots () =
@@ -54,7 +59,9 @@ let create ?base ~slots () =
     slot_data =
       Array.init slots (fun _ -> { events = Vec.create (); edges = Vec.create () });
     incoming_tbl = Hashtbl.create 256;
+    n_events = 0;
     n_edges = 0;
+    n_compactions = 0;
   }
 
 let num_slots t = Array.length t.slot_data
@@ -68,7 +75,8 @@ let append t (e : Event.t) =
     invalid_arg
       (Printf.sprintf "Trace.append: clock %d in slot %d, expected %d"
          e.id.clock s (slot_end t s + 1));
-  Vec.push t.slot_data.(s).events e
+  Vec.push t.slot_data.(s).events e;
+  t.n_events <- t.n_events + 1
 
 (* A source may predate the trace's horizon: the event itself is gone (a
    checkpoint subsumed it) but referring to it in an edge is legal — a
@@ -107,10 +115,10 @@ let incoming t (id : Event.Id.t) =
 
 let end_cut t = Array.init (num_slots t) (slot_end t)
 
-let event_count t =
-  Array.fold_left (fun acc sd -> acc + Vec.length sd.events) 0 t.slot_data
-
+let event_count t = t.n_events
 let edge_count t = t.n_edges
+let incoming_entries t = Hashtbl.length t.incoming_tbl
+let compactions t = t.n_compactions
 
 let iter_events t f =
   Array.iter (fun sd -> Vec.iter f sd.events) t.slot_data
@@ -158,6 +166,42 @@ let edge_lower_bound edges wm =
   in
   bs 0 n
 
+(* Drop everything at or below [upto] in place: a checkpoint at that cut
+   subsumes those events, and edges pointing below the new horizon are
+   trivially satisfied during replay (see [valid_src]).  Watermarks below
+   the current base are clamped, so compacting with a stale cut is a
+   no-op rather than an error — a lagging replica compacts as far as it
+   safely can now and catches up at the next checkpoint. *)
+let compact t ~upto =
+  if Cut.slots upto <> num_slots t then invalid_arg "Trace.compact: cut arity";
+  if not (Cut.leq upto (end_cut t)) then
+    invalid_arg "Trace.compact: cut beyond trace end";
+  let dropped = ref false in
+  for s = 0 to num_slots t - 1 do
+    let wm = Stdlib.max (Cut.watermark upto s) t.base.(s) in
+    let sd = t.slot_data.(s) in
+    let n_ev = wm - t.base.(s) in
+    if n_ev > 0 then begin
+      Vec.drop_front sd.events n_ev;
+      t.n_events <- t.n_events - n_ev;
+      (* All edges into a given destination share one table entry, and all
+         of them drop together (same destination clock), so removing the
+         key once per dropped edge is exact. *)
+      let n_ed = edge_lower_bound sd.edges wm in
+      if n_ed > 0 then begin
+        for i = 0 to n_ed - 1 do
+          let _, (dst : Event.Id.t) = Vec.get sd.edges i in
+          Hashtbl.remove t.incoming_tbl (dst.slot, dst.clock)
+        done;
+        Vec.drop_front sd.edges n_ed;
+        t.n_edges <- t.n_edges - n_ed
+      end;
+      t.base.(s) <- wm;
+      dropped := true
+    end
+  done;
+  if !dropped then t.n_compactions <- t.n_compactions + 1
+
 let is_prefix t ~of_ =
   num_slots t = num_slots of_
   && t.base = of_.base
@@ -196,30 +240,103 @@ module Delta = struct
     let upto = Option.value upto ~default:(end_cut tr) in
     if not (Cut.leq base upto) || not (Cut.leq upto (end_cut tr)) then
       invalid_arg "Delta.extract: cuts out of range";
-    if not (Cut.leq (base_cut tr) base) then
+    if not (Cut.leq tr.base base) then
       invalid_arg "Delta.extract: base below trace horizon";
+    (* Cons in reverse traversal order — slots and indices descending — so
+       the result is ascending with no intermediate lists. *)
     let events = ref [] in
     let edges = ref [] in
     for s = num_slots tr - 1 downto 0 do
       let sd = tr.slot_data.(s) in
       let lo = Cut.watermark base s - tr.base.(s)
       and hi = Cut.watermark upto s - tr.base.(s) in
-      let evs = ref [] in
-      for i = lo to hi - 1 do
-        evs := Vec.get sd.events i :: !evs
+      for i = hi - 1 downto lo do
+        events := Vec.get sd.events i :: !events
       done;
-      events := List.rev_append !evs !events;
-      let eds = ref [] in
       (* Edge slicing is by absolute destination clock, not vec index —
          the two differ on a trace with a checkpoint base. *)
       let e_lo = edge_lower_bound sd.edges (Cut.watermark base s)
       and e_hi = edge_lower_bound sd.edges (Cut.watermark upto s) in
-      for i = e_lo to e_hi - 1 do
-        eds := Vec.get sd.edges i :: !eds
-      done;
-      edges := List.rev_append !eds !edges
+      for i = e_hi - 1 downto e_lo do
+        edges := Vec.get sd.edges i :: !edges
+      done
     done;
     { base; upto; events = !events; edges = !edges }
+
+  (* A cursor remembers where the previous extraction stopped — the cut
+     and, crucially, the per-slot vec index of the first unconsumed edge —
+     so the steady-state proposer pays O(new events + new edges) per
+     interval instead of re-binary-searching a history that grows without
+     bound between checkpoints. *)
+  type cursor = {
+    mutable cur_base : int array;  (* where the next extraction starts *)
+    cur_edge_idx : int array;  (* per-slot index of first unconsumed edge *)
+    mutable cur_gen : int;  (* trace compaction generation for the indices *)
+  }
+
+  let cursor (tr : trace) ~base =
+    if Cut.slots base <> num_slots tr then invalid_arg "Delta.cursor: arity";
+    if not (Cut.leq tr.base base) then
+      invalid_arg "Delta.cursor: base below trace horizon";
+    if not (Cut.leq base (end_cut tr)) then
+      invalid_arg "Delta.cursor: base beyond trace end";
+    {
+      cur_base = Cut.to_array base;
+      cur_edge_idx =
+        Array.init (num_slots tr) (fun s ->
+            edge_lower_bound tr.slot_data.(s).edges (Cut.watermark base s));
+      cur_gen = tr.n_compactions;
+    }
+
+  let cursor_base c = Array.copy c.cur_base
+
+  let extract_next ?upto (tr : trace) (c : cursor) =
+    let slots = num_slots tr in
+    if Array.length c.cur_base <> slots then
+      invalid_arg "Delta.extract_next: arity";
+    let base = c.cur_base in
+    if not (Cut.leq tr.base base) then
+      invalid_arg "Delta.extract_next: cursor base below trace horizon";
+    let upto = Option.value upto ~default:(end_cut tr) in
+    if not (Cut.leq base upto) || not (Cut.leq upto (end_cut tr)) then
+      invalid_arg "Delta.extract_next: cuts out of range";
+    if c.cur_gen <> tr.n_compactions then begin
+      (* A compaction shifted the vec indices under us (at most once per
+         checkpoint); re-derive edge positions from the absolute clocks. *)
+      for s = 0 to slots - 1 do
+        c.cur_edge_idx.(s) <- edge_lower_bound tr.slot_data.(s).edges base.(s)
+      done;
+      c.cur_gen <- tr.n_compactions
+    end;
+    let events = ref [] in
+    let edges = ref [] in
+    let stops = Array.make slots 0 in
+    for s = slots - 1 downto 0 do
+      let sd = tr.slot_data.(s) in
+      let lo = base.(s) - tr.base.(s)
+      and hi = Cut.watermark upto s - tr.base.(s) in
+      for i = hi - 1 downto lo do
+        events := Vec.get sd.events i :: !events
+      done;
+      (* Walk forward from the cached index: O(edges in this delta), no
+         search over the accumulated history. *)
+      let wm = Cut.watermark upto s in
+      let n = Vec.length sd.edges in
+      let j = ref c.cur_edge_idx.(s) in
+      while !j < n && (snd (Vec.get sd.edges !j)).Event.Id.clock <= wm do
+        incr j
+      done;
+      stops.(s) <- !j;
+      for i = !j - 1 downto c.cur_edge_idx.(s) do
+        edges := Vec.get sd.edges i :: !edges
+      done
+    done;
+    let d =
+      { base = Array.copy base; upto; events = !events; edges = !edges }
+    in
+    c.cur_base <- Cut.to_array upto;
+    Array.blit stops 0 c.cur_edge_idx 0 slots;
+    d
 
   let is_empty d = d.events = [] && d.edges = []
 
@@ -315,17 +432,81 @@ module Delta = struct
         Ok ()
     end
 
-  let write b d =
-    Cut.write b d.base;
-    Cut.write b d.upto;
-    Codec.write_list b Event.write d.events;
-    Codec.write_list b
-      (fun b (src, dst) ->
-        Event.Id.write b src;
-        Event.Id.write b dst)
-      d.edges
+  (* Wire format v1 (magic 0xD7): slot-grouped with implied ids.
 
-  let read s =
+       0xD7
+       base cut
+       per slot s: uvarint (upto(s) - base(s))
+       per slot s: that many event bodies, clocks implied contiguous
+       per slot s: uvarint edge count, then for each edge whose dst is s:
+         uvarint dst-clock delta (from the previous dst; first from base(s))
+         uvarint src slot
+         varint  (dst clock - src clock)
+
+     Ids are never spelled out: event ids follow from position, edge
+     destination clocks are deltas along the nondecreasing per-slot order,
+     and source clocks ride as small signed offsets from their destination
+     (causal edges point backwards a short causal distance, not a short
+     absolute clock).
+
+     The legacy v0 format (base cut, upto cut, explicit-id event list,
+     explicit-endpoint edge list) begins with the base cut's slot-count
+     uvarint, which can collide with the magic only for >= 87 slots —
+     far above the runtime's slot cap — so [read] dispatches on the first
+     byte and still accepts v0 streams from older nodes. *)
+
+  let magic_v1 = 0xd7
+
+  let write b d =
+    let slots = Cut.slots d.base in
+    if Cut.slots d.upto <> slots then invalid_arg "Delta.write: cut arity";
+    Codec.write_byte b magic_v1;
+    Cut.write b d.base;
+    for s = 0 to slots - 1 do
+      let n = Cut.watermark d.upto s - Cut.watermark d.base s in
+      if n < 0 then invalid_arg "Delta.write: upto below base";
+      Codec.write_uvarint b n
+    done;
+    let next = Array.init slots (fun s -> Cut.watermark d.base s + 1) in
+    let ev_by_slot = Array.make slots [] in
+    List.iter
+      (fun (e : Event.t) ->
+        let s = e.id.slot in
+        if s < 0 || s >= slots then invalid_arg "Delta.write: bad event slot";
+        if e.id.clock <> next.(s) then
+          invalid_arg "Delta.write: events not contiguous";
+        next.(s) <- next.(s) + 1;
+        ev_by_slot.(s) <- e :: ev_by_slot.(s))
+      d.events;
+    for s = 0 to slots - 1 do
+      if next.(s) <> Cut.watermark d.upto s + 1 then
+        invalid_arg "Delta.write: events do not reach the upto cut";
+      List.iter (Event.write_body b) (List.rev ev_by_slot.(s))
+    done;
+    let ed_by_slot = Array.make slots [] in
+    let ed_count = Array.make slots 0 in
+    List.iter
+      (fun ((_, (dst : Event.Id.t)) as e) ->
+        let s = dst.slot in
+        if s < 0 || s >= slots then invalid_arg "Delta.write: bad edge slot";
+        ed_by_slot.(s) <- e :: ed_by_slot.(s);
+        ed_count.(s) <- ed_count.(s) + 1)
+      d.edges;
+    for s = 0 to slots - 1 do
+      Codec.write_uvarint b ed_count.(s);
+      let prev = ref (Cut.watermark d.base s) in
+      List.iter
+        (fun ((src : Event.Id.t), (dst : Event.Id.t)) ->
+          let dd = dst.clock - !prev in
+          if dd < 0 then invalid_arg "Delta.write: edge dst clocks decreasing";
+          Codec.write_uvarint b dd;
+          prev := dst.clock;
+          Codec.write_uvarint b src.slot;
+          Codec.write_varint b (dst.clock - src.clock))
+        (List.rev ed_by_slot.(s))
+    done
+
+  let read_v0 s =
     let base = Cut.read s in
     let upto = Cut.read s in
     let events = Codec.read_list s Event.read in
@@ -337,8 +518,47 @@ module Delta = struct
     in
     { base; upto; events; edges }
 
+  let read_v1 s =
+    let base = Cut.read s in
+    let slots = Cut.slots base in
+    let counts = Array.make slots 0 in
+    for sl = 0 to slots - 1 do
+      counts.(sl) <- Codec.read_uvarint s
+    done;
+    let upto = Array.mapi (fun sl b -> b + counts.(sl)) base in
+    let events = ref [] in
+    for sl = 0 to slots - 1 do
+      let b = Cut.watermark base sl in
+      for i = 1 to counts.(sl) do
+        events := Event.read_body s ~slot:sl ~clock:(b + i) :: !events
+      done
+    done;
+    let edges = ref [] in
+    for sl = 0 to slots - 1 do
+      let n = Codec.read_uvarint s in
+      let prev = ref (Cut.watermark base sl) in
+      for _ = 1 to n do
+        let dd = Codec.read_uvarint s in
+        prev := !prev + dd;
+        let src_slot = Codec.read_uvarint s in
+        let diff = Codec.read_varint s in
+        edges :=
+          ( { Event.Id.slot = src_slot; clock = !prev - diff },
+            { Event.Id.slot = sl; clock = !prev } )
+          :: !edges
+      done
+    done;
+    { base; upto; events = List.rev !events; edges = List.rev !edges }
+
+  let read s =
+    if Codec.peek_byte s = magic_v1 then begin
+      ignore (Codec.read_byte s : int);
+      read_v1 s
+    end
+    else read_v0 s
+
   let wire_size d =
-    let b = Codec.sink () in
+    let b = Codec.counting_sink () in
     write b d;
     Codec.length b
 end

@@ -65,11 +65,46 @@ val incoming : t -> Event.Id.t -> Event.Id.t list
 (** Sources of edges into this event (possibly not yet in the trace). *)
 
 val end_cut : t -> Cut.t
+
 val event_count : t -> int
+(** Resident (materialized) events — O(1); excludes anything compacted
+    away below the base. *)
+
 val edge_count : t -> int
+(** Resident edges — O(1). *)
+
+val incoming_entries : t -> int
+(** Number of live entries in the incoming-edge index — O(1); with
+    {!event_count} and {!edge_count} this is the trace's resident-memory
+    footprint, exported as gauges by the runtime. *)
+
 val iter_events : t -> (Event.t -> unit) -> unit
 val iter_edges : t -> (src:Event.Id.t -> dst:Event.Id.t -> unit) -> unit
 val pp : t Fmt.t
+
+(** {1 Compaction} *)
+
+val compact : t -> upto:Cut.t -> unit
+(** [compact t ~upto] drops, in place, every event and edge whose
+    destination lies at or below [upto], and advances the trace's base to
+    (the per-slot maximum of the old base and) [upto].  Call it with a
+    stable checkpoint cut — one every replica has executed and persisted —
+    and the trace's resident size becomes O(window since last checkpoint)
+    instead of O(history).
+
+    Edges from below the new base into live events remain, and remain
+    legal: a replayer's scoreboard starts at the base, so such sources
+    count as already executed.  Per-slot watermarks below the current
+    base are clamped (compacting with a stale or partly-stale cut is a
+    partial compaction, not an error).  Raises [Invalid_argument] if the
+    cut has the wrong arity or lies beyond the trace end.  [upto] should
+    be a consistent cut the replica has fully executed; compacting beyond
+    either breaks replay. *)
+
+val compactions : t -> int
+(** How many calls to {!compact} actually dropped something (the
+    compaction generation; extraction cursors key their cached indices
+    on it). *)
 
 (** {1 Cut algebra} *)
 
@@ -99,7 +134,30 @@ module Delta : sig
   val extract : ?upto:Cut.t -> trace -> base:Cut.t -> t
   (** Everything appended after [base], up to [upto] (default: the current
       end).  [upto] must be a consistent cut, or the delta will fail to
-      apply. *)
+      apply.  Costs a binary search per slot over the resident edge vecs;
+      for the repeated steady-state extraction on the proposer path use a
+      {!cursor}. *)
+
+  type cursor
+  (** Incremental-extraction state: remembers where the previous
+      extraction stopped so the next one touches only the new window.
+      Tied to the trace it was created from; surviving a {!compact} of
+      that trace is handled internally (indices are re-derived), but the
+      cursor's base must stay at or above the trace's base — create
+      cursors from cuts the compactor is guaranteed not to pass, such as
+      the proposer's proposed cut. *)
+
+  val cursor : trace -> base:Cut.t -> cursor
+  (** A cursor positioned at [base].  Raises [Invalid_argument] if [base]
+      is below the trace's horizon or beyond its end. *)
+
+  val cursor_base : cursor -> Cut.t
+  (** The cut the next {!extract_next} will use as its delta base. *)
+
+  val extract_next : ?upto:Cut.t -> trace -> cursor -> t
+  (** Like {!extract} with [base = cursor_base c], in O(events + edges of
+      the returned delta) — no per-call search over the accumulated
+      history.  Advances the cursor to [upto] (default: the trace end). *)
 
   val apply : trace -> t -> (unit, string) result
   (** Append the delta; fails (leaving the trace unchanged) unless
@@ -111,7 +169,21 @@ module Delta : sig
       error (the trace may then be partly extended). *)
 
   val is_empty : t -> bool
+
   val write : Codec.sink -> t -> unit
+  (** Compact wire format (v1): events grouped by slot with ids implied by
+      position, edge clocks delta-encoded.  Only well-formed deltas (as
+      {!extract} produces: per-slot contiguous events reaching [upto],
+      per-slot nondecreasing edge destinations) can be written; raises
+      [Invalid_argument] otherwise. *)
+
   val read : Codec.source -> t
+  (** Decodes both the v1 format and the legacy explicit-id v0 format
+      (dispatching on the leading magic byte), so deltas written by older
+      nodes still apply.  v1 decoding normalizes event and edge order to
+      slot-ascending, which is how {!extract} emits them. *)
+
   val wire_size : t -> int
+  (** Encoded size in bytes, computed with a counting sink — no buffer is
+      materialized. *)
 end

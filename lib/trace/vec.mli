@@ -6,6 +6,12 @@ val create : unit -> 'a t
 val length : 'a t -> int
 val get : 'a t -> int -> 'a
 val push : 'a t -> 'a -> unit
+
+val drop_front : 'a t -> int -> unit
+(** [drop_front v n] removes the first [n] elements in place (indices
+    shift down by [n]).  Shrinks the backing array when three quarters
+    empty; dropped elements are unreferenced either way. *)
+
 val iter : ('a -> unit) -> 'a t -> unit
 val iter_from : int -> ('a -> unit) -> 'a t -> unit
 (** [iter_from i f v] applies [f] to elements [i .. length-1]. *)

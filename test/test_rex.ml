@@ -381,6 +381,64 @@ let checkpoint_gc_truncates () =
   in
   Alcotest.(check bool) "log below checkpoint collected" true truncated
 
+(* Bounded memory: under periodic checkpoints every replica compacts its
+   trace in place, so the resident event count stays well below the
+   cumulative history; and a failover after compaction still converges —
+   the dropped prefix was genuinely dead. *)
+let compaction_bounds_trace () =
+  let cluster =
+    R.Cluster.create ~seed:61
+      (cfg ~checkpoint_interval:(Some 0.2) ())
+      (test_app ())
+  in
+  R.Cluster.start cluster;
+  let primary = R.Cluster.await_primary cluster in
+  let eng = R.Cluster.engine cluster in
+  let done_ = ref 0 in
+  (* Several load bursts with checkpoint intervals between them. *)
+  for round = 1 to 6 do
+    ignore
+      (Engine.spawn eng ~node:(R.Server.node primary) (fun () ->
+           for i = 1 to 100 do
+             R.Server.submit primary
+               (Printf.sprintf "INC h%d" ((round + i) mod 7))
+               (fun _ -> incr done_)
+           done));
+    R.Cluster.run_for cluster 0.7
+  done;
+  Alcotest.(check int) "load done" 600 !done_;
+  Array.iter
+    (fun s ->
+      let tr = Rexsync.Runtime.trace (R.Server.runtime s) in
+      (* Clocks are absolute, so the end cut measures cumulative history
+         while [event_count] measures what is still resident. *)
+      let total =
+        Array.fold_left ( + ) 0 (Trace.Cut.to_array (Trace.end_cut tr))
+      in
+      let resident = Trace.event_count tr in
+      let name what = Printf.sprintf "replica %d %s" (R.Server.node s) what in
+      Alcotest.(check bool) (name "compacted") true (Trace.compactions tr > 0);
+      Alcotest.(check bool)
+        (name (Printf.sprintf "bounded (%d resident of %d)" resident total))
+        true
+        (2 * resident < total))
+    (R.Cluster.servers cluster);
+  (* Fail over onto a compacted secondary: it must serve from its
+     checkpoint + retained window alone. *)
+  R.Cluster.crash cluster (R.Server.node primary);
+  R.Cluster.run_for cluster 1.0;
+  let cl = R.Cluster.client cluster in
+  let results =
+    drive_requests cl
+      (List.init 30 (fun i -> Printf.sprintf "INC h%d" (i mod 7)))
+      eng (R.Cluster.client_node cluster)
+  in
+  Alcotest.(check bool) "service resumed after compaction" true
+    (List.exists (fun (_, r) -> r <> None) results);
+  quiesce cluster;
+  R.Cluster.check_no_divergence cluster;
+  check_digests_equal "digests converge after compacted failover" cluster
+
 (* Divergence reports embed a rendered trace window. *)
 let divergence_report_renders () =
   let buggy : R.App.factory =
@@ -431,6 +489,7 @@ let suite =
   @ [
       Alcotest.test_case "client redirect" `Quick client_redirects;
       Alcotest.test_case "checkpoint GC truncates" `Quick checkpoint_gc_truncates;
+      Alcotest.test_case "compaction bounds trace" `Quick compaction_bounds_trace;
       Alcotest.test_case "divergence report renders" `Quick divergence_report_renders;
     ]
 

@@ -386,4 +386,251 @@ let render_suite =
     Alcotest.test_case "render window bounded" `Quick render_window_bounded;
   ]
 
-let suite = suite @ render_suite
+(* --- In-place compaction --- *)
+
+let compact_keeps_spanning_edges () =
+  let t = Trace.create ~slots:2 () in
+  for c = 1 to 4 do
+    Trace.append t (mk_event 0 c)
+  done;
+  for c = 1 to 4 do
+    Trace.append t (mk_event 1 c)
+  done;
+  (* One edge entirely below the cut, one spanning it, one entirely above. *)
+  Trace.add_edge t ~src:(id 0 1) ~dst:(id 1 1);
+  Trace.add_edge t ~src:(id 0 2) ~dst:(id 1 3);
+  Trace.add_edge t ~src:(id 0 4) ~dst:(id 1 4);
+  let cut = Trace.Cut.of_array [| 2; 2 |] in
+  Trace.compact t ~upto:cut;
+  Alcotest.(check (array int)) "base advanced" [| 2; 2 |]
+    (Trace.Cut.to_array (Trace.base_cut t));
+  Alcotest.(check int) "events dropped" 4 (Trace.event_count t);
+  Alcotest.(check int) "below-cut edge dropped" 2 (Trace.edge_count t);
+  Alcotest.(check int) "incoming index follows" 2 (Trace.incoming_entries t);
+  Alcotest.(check bool) "compacted event gone" true (Trace.find t (id 1 1) = None);
+  Alcotest.(check bool) "live event stays" true (Trace.find t (id 1 3) <> None);
+  (* The spanning edge survives with its pre-horizon source. *)
+  Alcotest.(check bool) "spanning edge" true
+    (List.exists (fun s -> Event.Id.equal s (id 0 2)) (Trace.incoming t (id 1 3)));
+  (* Extraction from the new horizon ships it, and a checkpoint-based
+     mirror accepts it. *)
+  let d = Trace.Delta.extract t ~base:cut in
+  Alcotest.(check int) "delta events" 4 (List.length d.Trace.Delta.events);
+  Alcotest.(check int) "delta edges" 2 (List.length d.Trace.Delta.edges);
+  let m = Trace.create ~base:cut ~slots:2 () in
+  (match Trace.Delta.apply m d with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "mirror edges" 2 (Trace.edge_count m)
+
+let compact_to_empty_and_continue () =
+  let t = fig2_trace () in
+  Trace.compact t ~upto:(Trace.end_cut t);
+  Alcotest.(check int) "no events" 0 (Trace.event_count t);
+  Alcotest.(check int) "no edges" 0 (Trace.edge_count t);
+  Alcotest.(check int) "no incoming" 0 (Trace.incoming_entries t);
+  (* Appending continues at the same absolute clocks as if nothing
+     happened. *)
+  Trace.append t (mk_event 0 3);
+  Trace.append t (mk_event 1 3);
+  Trace.add_edge t ~src:(id 0 3) ~dst:(id 1 3);
+  (* Pre-horizon sources remain legal after compaction. *)
+  Trace.append t (mk_event 1 4);
+  Trace.add_edge t ~src:(id 0 2) ~dst:(id 1 4);
+  Alcotest.(check (array int)) "end grows on" [| 3; 4 |]
+    (Trace.Cut.to_array (Trace.end_cut t));
+  let d = Trace.Delta.extract t ~base:(Trace.base_cut t) in
+  Alcotest.(check int) "post-compaction delta" 3 (List.length d.Trace.Delta.events)
+
+let compact_repeated_and_rejects () =
+  let t = fig2_trace () in
+  let cut = Trace.Cut.of_array [| 1; 1 |] in
+  Trace.compact t ~upto:cut;
+  let gen1 = Trace.compactions t in
+  Alcotest.(check int) "one compaction" 1 gen1;
+  (* Same cut again: nothing to drop, generation unchanged. *)
+  Trace.compact t ~upto:cut;
+  Alcotest.(check int) "idempotent" gen1 (Trace.compactions t);
+  (* A stale (lower) cut is clamped, not an error. *)
+  Trace.compact t ~upto:(Trace.Cut.zero ~slots:2);
+  Alcotest.(check int) "stale cut no-op" gen1 (Trace.compactions t);
+  Alcotest.(check int) "events kept" 2 (Trace.event_count t);
+  (match Trace.compact t ~upto:(Trace.Cut.of_array [| 9; 9 |]) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "cut beyond end must be rejected");
+  match Trace.compact t ~upto:(Trace.Cut.of_array [| 1 |]) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "arity mismatch must be rejected"
+
+let cursor_matches_extract () =
+  let t = Trace.create ~slots:2 () in
+  let cur = Trace.Delta.cursor t ~base:(Trace.end_cut t) in
+  let step_and_check n =
+    let base = Trace.Delta.cursor_base cur in
+    let d_plain = Trace.Delta.extract t ~base in
+    let d_cur = Trace.Delta.extract_next t cur in
+    Alcotest.(check bool)
+      (Printf.sprintf "step %d: cursor delta equals plain extract" n)
+      true (d_plain = d_cur)
+  in
+  Trace.append t (mk_event 0 1);
+  Trace.append t (mk_event 1 1);
+  Trace.add_edge t ~src:(id 0 1) ~dst:(id 1 1);
+  step_and_check 1;
+  Trace.append t (mk_event 0 2);
+  Trace.append t (mk_event 1 2);
+  Trace.add_edge t ~src:(id 0 2) ~dst:(id 1 2);
+  step_and_check 2;
+  (* Empty window. *)
+  step_and_check 3;
+  (* A compaction invalidates the cached indices; the cursor must
+     re-derive them transparently. *)
+  Trace.append t (mk_event 0 3);
+  Trace.append t (mk_event 1 3);
+  Trace.add_edge t ~src:(id 0 3) ~dst:(id 1 3);
+  Trace.compact t ~upto:(Trace.Cut.of_array [| 2; 2 |]);
+  step_and_check 4;
+  Alcotest.(check (array int)) "cursor at end" [| 3; 3 |]
+    (Trace.Cut.to_array (Trace.Delta.cursor_base cur))
+
+(* Compaction must be invisible to everything above the horizon: the same
+   trace with and without a mid-point compaction extracts identical deltas
+   and replays to the same end. *)
+let prop_compaction_invisible =
+  QCheck.Test.make ~name:"compaction is invisible above the horizon" ~count:100
+    (QCheck.make random_trace_gen) (fun spec ->
+      let control = build_random_trace spec in
+      let compacted = build_random_trace spec in
+      let mid =
+        Trace.Cut.of_array
+          (Array.map (fun w -> w / 2) (Trace.Cut.to_array (Trace.end_cut control)))
+      in
+      Trace.compact compacted ~upto:mid;
+      let d_control = Trace.Delta.extract control ~base:mid in
+      let d_compacted = Trace.Delta.extract compacted ~base:mid in
+      (* Same delta, same wire bytes, and a checkpoint-based replica built
+         from it converges to the same trace end. *)
+      d_control = d_compacted
+      && Codec.encode (Fun.flip Trace.Delta.write) d_control
+         = Codec.encode (Fun.flip Trace.Delta.write) d_compacted
+      &&
+      let m = Trace.create ~base:mid ~slots:(Trace.num_slots control) () in
+      match Trace.Delta.apply m d_compacted with
+      | Error _ -> false
+      | Ok () ->
+        Trace.Cut.equal (Trace.end_cut m) (Trace.end_cut control)
+        && Trace.edge_count m = Trace.edge_count compacted)
+
+let prop_cursor_matches_extract =
+  QCheck.Test.make ~name:"cursor extraction equals one-shot extraction"
+    ~count:100 (QCheck.make random_trace_gen) (fun spec ->
+      let t = build_random_trace spec in
+      let mid =
+        Trace.Cut.of_array
+          (Array.map (fun w -> w / 2) (Trace.Cut.to_array (Trace.end_cut t)))
+      in
+      let cur = Trace.Delta.cursor t ~base:mid in
+      let d1 = Trace.Delta.extract_next t cur in
+      d1 = Trace.Delta.extract t ~base:mid
+      && Trace.Delta.is_empty (Trace.Delta.extract_next t cur))
+
+let compaction_suite =
+  [
+    Alcotest.test_case "compact keeps spanning edges" `Quick
+      compact_keeps_spanning_edges;
+    Alcotest.test_case "compact to empty + continue" `Quick
+      compact_to_empty_and_continue;
+    Alcotest.test_case "compact repeated + rejects" `Quick
+      compact_repeated_and_rejects;
+    Alcotest.test_case "cursor matches extract" `Quick cursor_matches_extract;
+    QCheck_alcotest.to_alcotest prop_compaction_invisible;
+    QCheck_alcotest.to_alcotest prop_cursor_matches_extract;
+  ]
+
+(* --- Delta wire format: v1 compactness and v0 compatibility --- *)
+
+(* Re-emit exactly what the pre-v1 writer produced: explicit cuts, events
+   with explicit ids, edges as id pairs. *)
+let encode_legacy_v0 (d : Trace.Delta.t) =
+  let b = Codec.sink () in
+  Trace.Cut.write b d.Trace.Delta.base;
+  Trace.Cut.write b d.Trace.Delta.upto;
+  Codec.write_list b Event.write d.Trace.Delta.events;
+  Codec.write_list b
+    (fun b (src, dst) ->
+      Event.Id.write b src;
+      Event.Id.write b dst)
+    d.Trace.Delta.edges;
+  Codec.contents b
+
+let legacy_v0_still_decodes () =
+  let t = fig2_trace () in
+  let d = Trace.Delta.extract t ~base:(Trace.Cut.zero ~slots:2) in
+  let d' = Codec.decode Trace.Delta.read (encode_legacy_v0 d) in
+  Alcotest.(check bool) "v0 bytes decode to the same delta" true (d = d')
+
+let v1_beats_v0_size () =
+  let t = Trace.create ~slots:3 () in
+  for c = 1 to 50 do
+    for s = 0 to 2 do
+      Trace.append t (mk_event s c ~resource:(c mod 7) ~version:c)
+    done;
+    if c > 1 then Trace.add_edge t ~src:(id 0 (c - 1)) ~dst:(id 1 c)
+  done;
+  let d = Trace.Delta.extract t ~base:(Trace.Cut.zero ~slots:3) in
+  let v1 = Trace.Delta.wire_size d in
+  let v0 = String.length (encode_legacy_v0 d) in
+  Alcotest.(check bool)
+    (Printf.sprintf "v1 %dB < v0 %dB" v1 v0)
+    true (v1 < v0);
+  (* The §6.3 target: under 16 bytes per synchronization event. *)
+  let per_event = float_of_int v1 /. float_of_int (List.length d.Trace.Delta.events) in
+  Alcotest.(check bool)
+    (Printf.sprintf "%.1f B/event < 16" per_event)
+    true (per_event < 16.)
+
+let wire_size_matches_encoding () =
+  let t = fig2_trace () in
+  let d = Trace.Delta.extract t ~base:(Trace.Cut.zero ~slots:2) in
+  Alcotest.(check int) "delta counting sink exact"
+    (String.length (Codec.encode (Fun.flip Trace.Delta.write) d))
+    (Trace.Delta.wire_size d);
+  let e = mk_event 3 17 ~kind:Event.Try_fail ~resource:42 ~version:7 ~payload:"xy" in
+  Alcotest.(check int) "event counting sink exact"
+    (String.length (Codec.encode (Fun.flip Event.write) e))
+    (Event.wire_size e)
+
+let prop_v1_roundtrip_structural =
+  QCheck.Test.make ~name:"v1 delta codec roundtrips structurally" ~count:200
+    (QCheck.make random_trace_gen) (fun spec ->
+      let t = build_random_trace spec in
+      let mid =
+        Trace.Cut.of_array
+          (Array.map (fun w -> w / 2) (Trace.Cut.to_array (Trace.end_cut t)))
+      in
+      let check base =
+        let d = Trace.Delta.extract t ~base in
+        let encoded = Codec.encode (Fun.flip Trace.Delta.write) d in
+        d = Codec.decode Trace.Delta.read encoded
+        && String.length encoded = Trace.Delta.wire_size d
+      in
+      check (Trace.Cut.zero ~slots:(Trace.num_slots t)) && check mid)
+
+let prop_v0_v1_agree =
+  QCheck.Test.make ~name:"legacy v0 bytes decode to the same delta" ~count:200
+    (QCheck.make random_trace_gen) (fun spec ->
+      let t = build_random_trace spec in
+      let d = Trace.Delta.extract t ~base:(Trace.Cut.zero ~slots:(Trace.num_slots t)) in
+      Codec.decode Trace.Delta.read (encode_legacy_v0 d) = d)
+
+let codec_suite =
+  [
+    Alcotest.test_case "legacy v0 still decodes" `Quick legacy_v0_still_decodes;
+    Alcotest.test_case "v1 smaller than v0, <16B/event" `Quick v1_beats_v0_size;
+    Alcotest.test_case "counting sink sizes exact" `Quick
+      wire_size_matches_encoding;
+    QCheck_alcotest.to_alcotest prop_v1_roundtrip_structural;
+    QCheck_alcotest.to_alcotest prop_v0_v1_agree;
+  ]
+
+let suite = suite @ render_suite @ compaction_suite @ codec_suite
