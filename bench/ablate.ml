@@ -90,8 +90,8 @@ let run_pipeline ~quick () =
       List.iter
         (fun depth ->
           let cfg =
-            R.Config.make ~workers:threads ~propose_interval:2e-4
-              ~pipeline_depth:depth ~replicas:[ 0; 1; 2 ] ()
+            R.Cluster.config ~workers:threads ~propose_interval:2e-4
+              ~pipeline_depth:depth ()
           in
           let r =
             Harness.run_rex ~net_latency ~min_window:0.03 ~threads ~config:cfg
@@ -119,9 +119,8 @@ let run_sync_latency ~quick () =
       List.iter
         (fun depth ->
           let cfg =
-            R.Config.make ~workers:threads ~propose_interval:2e-4
-              ~pipeline_depth:depth ~paxos_sync_latency:sync
-              ~replicas:[ 0; 1; 2 ] ()
+            R.Cluster.config ~workers:threads ~propose_interval:2e-4
+              ~pipeline_depth:depth ~paxos_sync_latency:sync ()
           in
           let r =
             Harness.run_rex ~min_window:0.03 ~threads ~config:cfg
@@ -142,8 +141,7 @@ let run_pacing ~quick () =
   List.iter
     (fun interval ->
       let cfg =
-        R.Config.make ~workers:threads ~propose_interval:interval
-          ~replicas:[ 0; 1; 2 ] ()
+        R.Cluster.config ~workers:threads ~propose_interval:interval ()
       in
       let r =
         rex_with cfg
@@ -164,14 +162,13 @@ let run_pacing ~quick () =
 let run_compaction ~quick () =
   Printf.printf "\n== Ablation 7: trace compaction (lock server, periodic checkpoints) ==\n";
   let cfg =
-    R.Config.make ~workers:8 ~propose_interval:2e-4
+    R.Cluster.config ~workers:8 ~propose_interval:2e-4
       ~checkpoint_interval:(Some (if quick then 0.02 else 0.05))
-      ~replicas:[ 0; 1; 2 ] ()
+      ()
   in
   let cluster =
-    R.Cluster.create ~seed:7 ~cores_per_node:16 cfg (Apps.Lock_server.factory ())
+    R.Cluster.launch ~seed:7 ~cores_per_node:16 cfg (Apps.Lock_server.factory ())
   in
-  R.Cluster.start cluster;
   let primary = R.Cluster.await_primary cluster in
   let eng = R.Cluster.engine cluster in
   let gen = Workload.Mix.lock_server ~n_files:100_000 in
@@ -226,6 +223,9 @@ let sections ~quick =
     ("fsync", run_sync_latency ~quick);
     ("compaction", run_compaction ~quick);
   ]
+
+let section_names = List.map fst (sections ~quick:false)
+(* the CLI validates --only against this list at parse time *)
 
 let run ?(quick = false) ?only () =
   let secs = sections ~quick in

@@ -14,17 +14,15 @@ let run ?(scale = 0.1) () =
   let ckpt1 = 10. *. s and ckpt2 = 60. *. s in
   let kill_at = 71. *. s and restart_at = 91. *. s in
   let cfg =
-    R.Config.make ~workers:8 ~propose_interval:2e-4
+    R.Cluster.config ~workers:8 ~propose_interval:2e-4
       ~election_timeout:(2.0 *. s) ~heartbeat_period:(0.4 *. s)
       ~flow_staleness:(2.0 *. s) ~flow_window:4000
-      ~ckpt_byte_cost:(4e-7 *. s) ~replicas:[ 0; 1; 2 ] ()
+      ~ckpt_byte_cost:(4e-7 *. s) ()
   in
   let cluster =
-    R.Cluster.create ~seed:101 ~cores_per_node:16 cfg
+    R.Cluster.launch ~seed:101 ~cores_per_node:16 cfg
       (Apps.Thumbnail.factory ~compute_cost:(3e-3 *. s) ())
   in
-  R.Cluster.start cluster;
-  ignore (R.Cluster.await_primary cluster);
   let eng = R.Cluster.engine cluster in
   let t0 = Engine.clock eng in
   (* Saturating driver that follows the primary across failovers. *)

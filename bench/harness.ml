@@ -156,10 +156,10 @@ let run_native ?(seed = 42) ~cores ~threads ~factory ~gen ~warmup ~measure () =
 
 (* --- Rex: 3-replica cluster, measuring committed replies. --- *)
 
-let rex_config ?(checkpoint_interval = None) ?(reduce_edges = true)
-    ?(partial_order = true) ?(flow_window = 20_000) ~threads () =
-  R.Config.make ~workers:threads ~propose_interval:2e-4 ~checkpoint_interval
-    ~flow_window ~reduce_edges ~partial_order ~replicas:[ 0; 1; 2 ] ()
+let rex_config ?checkpoint_interval ?reduce_edges ?partial_order ?flow_window
+    ~threads () =
+  R.Cluster.config ~workers:threads ~propose_interval:2e-4
+    ?checkpoint_interval ?reduce_edges ?partial_order ?flow_window ()
 
 let run_rex ?(seed = 42) ?(cores = 16) ?net_latency ?(min_window = 0.)
     ?agreement ?config ~threads ~factory ~gen ~warmup ~measure () =
@@ -167,12 +167,11 @@ let run_rex ?(seed = 42) ?(cores = 16) ?net_latency ?(min_window = 0.)
     match config with Some c -> c | None -> rex_config ~threads ()
   in
   let cluster =
-    R.Cluster.create ~seed ~cores_per_node:cores ?net_latency ?agreement cfg
-      factory
+    R.Cluster.launch ~seed ~cores_per_node:cores ?net_latency ?agreement
+      ~before_start:(fun c -> arm_tracing (R.Cluster.engine c))
+      cfg factory
   in
   let eng = R.Cluster.engine cluster in
-  arm_tracing eng;
-  R.Cluster.start cluster;
   let primary = R.Cluster.await_primary cluster in
   let secondary =
     Array.to_list (R.Cluster.servers cluster)

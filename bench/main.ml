@@ -82,14 +82,17 @@ let overhead_cmd =
     (instrumented
        Term.(const (fun quick () -> Overhead.run ~quick ()) $ quick_arg))
 
+(* Validated at parse time: an unknown section name is a usage error
+   (non-zero exit) instead of silently running nothing. *)
 let only_arg =
+  let section = Arg.enum (List.map (fun s -> (s, s)) Ablate.section_names) in
   Arg.(
     value
-    & opt (some string) None
+    & opt (some section) None
     & info [ "only" ]
         ~doc:
-          "Run a single ablation section (reduction, partial-order, flow, \
-           pacing, pipeline, fsync, compaction).")
+          (Printf.sprintf "Run a single ablation section, one of %s."
+             (String.concat ", " Ablate.section_names)))
 
 let ablate_cmd =
   Cmd.v (Cmd.info "ablate" ~doc:"Design-choice ablations")
@@ -97,6 +100,57 @@ let ablate_cmd =
        Term.(
          const (fun quick only () -> Ablate.run ~quick ?only ())
          $ quick_arg $ only_arg))
+
+(* Shard-sweep values are validated at parse time too: a malformed or
+   out-of-range count exits non-zero with usage. *)
+let shard_list_conv =
+  let parse s =
+    let parts = String.split_on_char ',' s in
+    let counts =
+      List.filter_map
+        (fun p ->
+          match int_of_string_opt (String.trim p) with
+          | Some v when v >= 1 && v <= 64 -> Some v
+          | Some _ | None -> None)
+        parts
+    in
+    if List.length counts = List.length parts && counts <> [] then Ok counts
+    else
+      Error
+        (`Msg
+           (Printf.sprintf
+              "invalid shard sweep %S (expected comma-separated counts in \
+               1..64, e.g. 1,2,4,8)"
+              s))
+  in
+  let print ppf l =
+    Format.pp_print_string ppf (String.concat "," (List.map string_of_int l))
+  in
+  Arg.conv (parse, print)
+
+let shards_arg =
+  Arg.(
+    value
+    & opt shard_list_conv [ 1; 2; 4; 8 ]
+    & info [ "shards" ] ~docv:"N,N,..."
+        ~doc:"Shard counts to sweep (default 1,2,4,8).")
+
+let shard_app_arg =
+  Arg.(
+    value
+    & opt (enum (List.map (fun s -> (s, s)) Shard_bench.app_names)) "leveldb"
+    & info [ "a"; "app" ]
+        ~doc:
+          (Printf.sprintf "Key/value application to shard, one of %s."
+             (String.concat ", " Shard_bench.app_names)))
+
+let shard_cmd =
+  let run quick shards app () = Shard_bench.run ~quick ~shards ~app () in
+  Cmd.v
+    (Cmd.info "shard"
+       ~doc:"Scale-out: shard count x key skew sweep, plus shard failover")
+    (instrumented
+       Term.(const run $ quick_arg $ shards_arg $ shard_app_arg))
 
 let ycsb_cmd =
   Cmd.v (Cmd.info "ycsb" ~doc:"YCSB core workloads on the KV stores")
@@ -129,6 +183,7 @@ let all ~quick () =
   Eve_bench.run ~quick ();
   Ycsb.run ~quick ();
   Chain_bench.run ~quick ();
+  Shard_bench.run ~quick ();
   Bechamel_suite.run ()
 
 let all_term = instrumented Term.(const (fun quick () -> all ~quick ()) $ quick_arg)
@@ -155,6 +210,7 @@ let () =
             eve_cmd;
             ycsb_cmd;
             chain_cmd;
+            shard_cmd;
             bechamel_cmd;
             all_cmd;
           ]))

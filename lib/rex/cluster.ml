@@ -6,13 +6,82 @@ type t = {
   rpc_ : Rpc.t;
   cfg : Config.t;
   factory : App.factory;
-  servers_ : Server.t array;
+  replica_nodes : int array;
+  servers_ : Server.t array; (* parallel to [replica_nodes] *)
   stores : Paxos.Store.t array;
   disks : Checkpoint.Disk.t array;
   make_agreement :
     (Server.t -> Agreement.callbacks -> Agreement.t) option;
   first_client_node : int;
 }
+
+let index_of t node =
+  let n = Array.length t.replica_nodes in
+  let rec go i =
+    if i >= n then
+      invalid_arg (Printf.sprintf "Cluster: node %d hosts no replica" node)
+    else if t.replica_nodes.(i) = node then i
+    else go (i + 1)
+  in
+  go 0
+
+(* Shared construction: wire one replica group into an existing
+   engine/network/RPC fabric.  [Config.replicas] holds absolute node ids,
+   which need not start at 0 — a sharded fleet packs many groups into one
+   simulation with disjoint id ranges. *)
+let create_in ?(agreement = `Paxos) ?vm_node ~client_node net rpc cfg factory =
+  let eng = Net.engine net in
+  let replica_nodes = Array.of_list cfg.Config.replicas in
+  let n = Array.length replica_nodes in
+  Array.iter
+    (fun node ->
+      if node < 0 || node >= Engine.num_nodes eng then
+        invalid_arg
+          (Printf.sprintf "Cluster.create_in: replica node %d outside engine"
+             node))
+    replica_nodes;
+  let stores = Array.init n (fun _ -> Paxos.Store.create ()) in
+  let disks = Array.init n (fun _ -> Checkpoint.Disk.create ()) in
+  let index_of_node node =
+    let rec go i =
+      if i >= n then invalid_arg "Cluster: unknown replica node"
+      else if replica_nodes.(i) = node then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  let make_agreement =
+    match agreement with
+    | `Paxos -> None
+    | `Chain ->
+      (* the view manager lives on a node the benchmarks never crash:
+         the client node unless the caller picks another *)
+      let vm_node = Option.value vm_node ~default:client_node in
+      Chain.view_manager net ~node:vm_node ~replicas:cfg.Config.replicas ();
+      Some
+        (fun srv cbs ->
+          Chain.make net ~node:(Server.node srv) ~vm_node
+            ~store:stores.(index_of_node (Server.node srv))
+            cbs)
+  in
+  let servers_ =
+    Array.init n (fun i ->
+        Server.create ?make_agreement net rpc cfg ~node:replica_nodes.(i)
+          ~paxos_store:stores.(i) ~disk:disks.(i) factory)
+  in
+  {
+    eng;
+    net_ = net;
+    rpc_ = rpc;
+    cfg;
+    factory;
+    replica_nodes;
+    servers_;
+    stores;
+    disks;
+    make_agreement;
+    first_client_node = client_node;
+  }
 
 let create ?(seed = 7) ?(cores_per_node = 16) ?(extra_nodes = 1)
     ?(net_latency = 50e-6) ?(agreement = `Paxos) cfg factory =
@@ -24,44 +93,14 @@ let create ?(seed = 7) ?(cores_per_node = 16) ?(extra_nodes = 1)
   in
   let net_ = Net.create ~base_latency:net_latency eng in
   let rpc_ = Rpc.create net_ in
-  let stores = Array.init n (fun _ -> Paxos.Store.create ()) in
-  let disks = Array.init n (fun _ -> Checkpoint.Disk.create ()) in
-  let make_agreement =
-    match agreement with
-    | `Paxos -> None
-    | `Chain ->
-      (* the view manager lives on the first extra node, which the
-         benchmarks never crash *)
-      let vm_node = n in
-      Chain.view_manager net_ ~node:vm_node ~replicas:cfg.Config.replicas ();
-      Some
-        (fun srv cbs ->
-          Chain.make net_ ~node:(Server.node srv) ~vm_node
-            ~store:stores.(Server.node srv) cbs)
-  in
-  let servers_ =
-    Array.init n (fun i ->
-        Server.create ?make_agreement net_ rpc_ cfg ~node:i
-          ~paxos_store:stores.(i) ~disk:disks.(i) factory)
-  in
-  {
-    eng;
-    net_;
-    rpc_;
-    cfg;
-    factory;
-    servers_;
-    stores;
-    disks;
-    make_agreement;
-    first_client_node = n;
-  }
+  create_in ~agreement ~vm_node:n ~client_node:n net_ rpc_ cfg factory
 
 let engine t = t.eng
 let net t = t.net_
 let rpc t = t.rpc_
-let server t i = t.servers_.(i)
+let server t node = t.servers_.(index_of t node)
 let servers t = t.servers_
+let replica_nodes t = Array.to_list t.replica_nodes
 let client_node t = t.first_client_node
 let start t = Array.iter Server.start t.servers_
 let run ?until t = Engine.run ?until t.eng
@@ -87,12 +126,15 @@ let await_primary ?(limit = 30.) t =
   in
   go ()
 
-let crash t i = Engine.crash_node t.eng i
+let crash t node =
+  ignore (index_of t node);
+  Engine.crash_node t.eng node
 
-let restart t i =
-  Engine.restart_node t.eng i;
+let restart t node =
+  let i = index_of t node in
+  Engine.restart_node t.eng node;
   let s =
-    Server.create ?make_agreement:t.make_agreement t.net_ t.rpc_ t.cfg ~node:i
+    Server.create ?make_agreement:t.make_agreement t.net_ t.rpc_ t.cfg ~node
       ~paxos_store:t.stores.(i) ~disk:t.disks.(i) t.factory
   in
   t.servers_.(i) <- s;
@@ -108,3 +150,25 @@ let check_no_divergence t =
         | Some msg -> failwith ("replica diverged: " ^ msg)
         | None -> ())
     t.servers_
+
+(* --- Builder: the config/launch plumbing every bench used to copy --- *)
+
+let config ?(n_replicas = 3) ?workers ?propose_interval
+    ?(checkpoint_interval = None) ?flow_window ?flow_report_interval
+    ?flow_staleness ?heartbeat_period ?election_timeout ?reduce_edges
+    ?partial_order ?check_versions ?record_cost ?replay_cost ?ckpt_byte_cost
+    ?pipeline_depth ?paxos_sync_latency () =
+  if n_replicas <= 0 then invalid_arg "Cluster.config: n_replicas";
+  Config.make ?workers ?propose_interval ~checkpoint_interval ?flow_window
+    ?flow_report_interval ?flow_staleness ?heartbeat_period ?election_timeout
+    ?reduce_edges ?partial_order ?check_versions ?record_cost ?replay_cost
+    ?ckpt_byte_cost ?pipeline_depth ?paxos_sync_latency
+    ~replicas:(List.init n_replicas Fun.id) ()
+
+let launch ?seed ?cores_per_node ?extra_nodes ?net_latency ?agreement ?limit
+    ?(before_start = fun _ -> ()) cfg factory =
+  let t = create ?seed ?cores_per_node ?extra_nodes ?net_latency ?agreement cfg factory in
+  before_start t;
+  start t;
+  ignore (await_primary ?limit t);
+  t

@@ -1,7 +1,14 @@
 (** Harness for a whole Rex deployment inside one simulation: engine,
     network, RPC, the replica group, and the per-node durable state
     (Paxos store + checkpoint disk) that survives crash/restart.  Used by
-    tests, benchmarks and examples. *)
+    tests, benchmarks and examples.
+
+    Two ways to build one:
+    - {!create} owns the simulation: it makes a fresh engine whose nodes
+      [0 .. n-1] host the replicas;
+    - {!create_in} wires a group into an existing engine/network/RPC
+      fabric at arbitrary node ids, so several independent groups (a
+      sharded fleet, see [lib/shard]) share one virtual clock. *)
 
 type t
 
@@ -20,13 +27,32 @@ val create :
     stage: multi-instance Paxos (default) or chain replication
     (paper §7). *)
 
+val create_in :
+  ?agreement:[ `Paxos | `Chain ] ->
+  ?vm_node:int ->
+  client_node:int ->
+  Sim.Net.t ->
+  Sim.Rpc.t ->
+  Config.t ->
+  App.factory ->
+  t
+(** Build the group inside the given fabric.  [Config.replicas] holds
+    absolute node ids (any subset of the engine's nodes); [client_node]
+    is where {!client} is homed, and hosts the [`Chain] view manager
+    unless [vm_node] overrides it. *)
+
 val engine : t -> Sim.Engine.t
 val net : t -> Sim.Net.t
 val rpc : t -> Sim.Rpc.t
+
 val server : t -> int -> Server.t
+(** By replica {e node id} (raises [Invalid_argument] for non-replicas). *)
+
 val servers : t -> Server.t array
+val replica_nodes : t -> int list
+
 val client_node : t -> int
-(** First non-replica node. *)
+(** The node {!client} is homed on. *)
 
 val start : t -> unit
 val run : ?until:float -> t -> unit
@@ -51,3 +77,46 @@ val client : t -> Client.t
 
 val check_no_divergence : t -> unit
 (** Raises [Failure] if any live replica detected divergence. *)
+
+(** {1 Builder}
+
+    The construction plumbing shared by the benches, the demo binary and
+    the sharded fleet, so they stop copy-pasting it. *)
+
+val config :
+  ?n_replicas:int ->
+  ?workers:int ->
+  ?propose_interval:float ->
+  ?checkpoint_interval:float option ->
+  ?flow_window:int ->
+  ?flow_report_interval:float ->
+  ?flow_staleness:float ->
+  ?heartbeat_period:float ->
+  ?election_timeout:float ->
+  ?reduce_edges:bool ->
+  ?partial_order:bool ->
+  ?check_versions:bool ->
+  ?record_cost:float ->
+  ?replay_cost:float ->
+  ?ckpt_byte_cost:float ->
+  ?pipeline_depth:int ->
+  ?paxos_sync_latency:float ->
+  unit ->
+  Config.t
+(** A {!Config.t} over replicas [0 .. n_replicas-1] (default 3), with
+    every other knob forwarded to {!Config.make}. *)
+
+val launch :
+  ?seed:int ->
+  ?cores_per_node:int ->
+  ?extra_nodes:int ->
+  ?net_latency:float ->
+  ?agreement:[ `Paxos | `Chain ] ->
+  ?limit:float ->
+  ?before_start:(t -> unit) ->
+  Config.t ->
+  App.factory ->
+  t
+(** [create] + [start] + [await_primary] in one step: returns a running
+    cluster with a primary elected.  [before_start] runs between
+    construction and start (e.g. to enable tracing on the engine). *)

@@ -1,0 +1,140 @@
+open Sim
+module R = Rex_core
+
+type t = {
+  eng : Engine.t;
+  net_ : Net.t;
+  rpc_ : Rpc.t;
+  map_ : Shard_map.t;
+  clusters_ : R.Cluster.t array;
+  client_node_ : int;
+  mutable router_ : Router.t option;
+}
+
+let default_config ~group:_ ~replicas =
+  R.Config.make ~workers:8 ~propose_interval:2e-4 ~replicas ()
+
+let create ?(seed = 7) ?(cores_per_node = 16) ?(net_latency = 50e-6)
+    ?(vnodes = 64) ?(replicas_per_group = 3) ?(extra_nodes = 1)
+    ?(config = default_config) ~groups:n_groups make_factory =
+  if n_groups <= 0 then invalid_arg "Fleet.create: groups";
+  if replicas_per_group <= 0 then invalid_arg "Fleet.create: replicas_per_group";
+  if extra_nodes < 1 then invalid_arg "Fleet.create: extra_nodes";
+  let n_replica_nodes = n_groups * replicas_per_group in
+  let eng =
+    Engine.create ~seed ~cores_per_node
+      ~num_nodes:(n_replica_nodes + extra_nodes) ()
+  in
+  let net_ = Net.create ~base_latency:net_latency eng in
+  let rpc_ = Rpc.create net_ in
+  let client_node_ = n_replica_nodes in
+  let map_ = Shard_map.create ~vnodes ~groups:(List.init n_groups Fun.id) () in
+  let clusters_ =
+    Array.init n_groups (fun g ->
+        (* disjoint node-id ranges: group g owns
+           [g*r .. g*r + r-1] of the shared engine *)
+        let replicas =
+          List.init replicas_per_group (fun i -> (g * replicas_per_group) + i)
+        in
+        let cfg = config ~group:g ~replicas in
+        if cfg.R.Config.replicas <> replicas then
+          invalid_arg "Fleet.create: config must keep the assigned replicas";
+        R.Cluster.create_in ~client_node:client_node_ net_ rpc_ cfg
+          (make_factory ~map:map_ ~group:g))
+  in
+  { eng; net_; rpc_; map_; clusters_; client_node_; router_ = None }
+
+let engine t = t.eng
+let net t = t.net_
+let rpc t = t.rpc_
+let map t = t.map_
+let n_groups t = Array.length t.clusters_
+let clusters t = t.clusters_
+
+let cluster t g =
+  if g < 0 || g >= Array.length t.clusters_ then
+    invalid_arg (Printf.sprintf "Fleet.cluster: no group %d" g);
+  t.clusters_.(g)
+
+let client_node t = t.client_node_
+let start t = Array.iter R.Cluster.start t.clusters_
+let run ?until t = Engine.run ?until t.eng
+let run_for t d = Engine.run ~until:(Engine.clock t.eng +. d) t.eng
+
+let primary t g = R.Cluster.primary (cluster t g)
+
+let await_primaries ?(limit = 30.) t =
+  let deadline = Engine.clock t.eng +. limit in
+  let all_led () =
+    Array.for_all (fun c -> R.Cluster.primary c <> None) t.clusters_
+  in
+  while not (all_led ()) do
+    if Engine.clock t.eng >= deadline then
+      failwith "Fleet.await_primaries: a group has no primary";
+    run_for t 0.05
+  done
+
+let router t =
+  match t.router_ with
+  | Some r -> r
+  | None ->
+    let groups =
+      Array.to_list t.clusters_
+      |> List.mapi (fun g c -> (g, R.Cluster.replica_nodes c))
+    in
+    let r =
+      Router.create t.net_ t.rpc_ ~me:t.client_node_ ~map:t.map_ ~groups
+    in
+    t.router_ <- Some r;
+    r
+
+let crash_primary t g =
+  match primary t g with
+  | None -> None
+  | Some s ->
+    let node = R.Server.node s in
+    R.Cluster.crash (cluster t g) node;
+    Some node
+
+let group_of_node t node =
+  let r =
+    match t.clusters_ with
+    | [||] -> invalid_arg "Fleet.group_of_node: empty fleet"
+    | cs -> List.length (R.Cluster.replica_nodes cs.(0))
+  in
+  let g = node / r in
+  if g < 0 || g >= Array.length t.clusters_ then
+    invalid_arg (Printf.sprintf "Fleet.group_of_node: node %d" node);
+  g
+
+let restart t node = R.Cluster.restart (cluster t (group_of_node t node)) node
+
+(* Replies sent by the group so far: the committed-throughput series the
+   scale-out bench samples.  Registry-backed counters survive server
+   rebuilds, so the sum is monotone across crash/restart. *)
+let replies t g =
+  Array.fold_left
+    (fun acc s -> acc + (R.Server.stats s).R.Server.replies_sent)
+    0
+    (R.Cluster.servers (cluster t g))
+
+let total_replies t =
+  let acc = ref 0 in
+  for g = 0 to n_groups t - 1 do
+    acc := !acc + replies t g
+  done;
+  !acc
+
+let check_no_divergence t = Array.iter R.Cluster.check_no_divergence t.clusters_
+
+let digests t g =
+  Array.to_list (R.Cluster.servers (cluster t g))
+  |> List.filter (fun s -> Engine.node_alive t.eng (R.Server.node s))
+  |> List.map R.Server.app_digest
+
+let converged t =
+  let ok g =
+    match digests t g with [] -> false | d :: rest -> List.for_all (( = ) d) rest
+  in
+  let rec go g = g >= n_groups t || (ok g && go (g + 1)) in
+  go 0

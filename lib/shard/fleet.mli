@@ -1,0 +1,72 @@
+(** A fleet of independent Rex replica groups in one simulation.
+
+    N {!Rex_core.Cluster}s share a single {!Sim.Engine} (one virtual
+    clock, one seed), a network and an RPC fabric, with disjoint node-id
+    ranges: group [g] owns nodes [g*r .. g*r + r - 1], the client/router
+    node comes after every replica.  Cross-shard load, key skew and
+    per-shard failover therefore compose deterministically — kill one
+    group's primary and the other groups' virtual-time throughput is
+    untouched while that group elects a new leader.
+
+    Each group runs the application factory wrapped however the caller
+    chooses (typically {!Partition.factory}); routing happens in
+    {!Router}. *)
+
+type t
+
+val create :
+  ?seed:int ->
+  ?cores_per_node:int ->
+  ?net_latency:float ->
+  ?vnodes:int ->
+  ?replicas_per_group:int ->
+  ?extra_nodes:int ->
+  ?config:(group:int -> replicas:int list -> Rex_core.Config.t) ->
+  groups:int ->
+  (map:Shard_map.t -> group:int -> Rex_core.App.factory) ->
+  t
+(** Defaults: 3 replicas per group, 64 virtual nodes per group on the
+    ring, 1 extra (client) node.  [config] may tune each group's
+    {!Rex_core.Config.t} but must keep the replica list it is given. *)
+
+val engine : t -> Sim.Engine.t
+val net : t -> Sim.Net.t
+val rpc : t -> Sim.Rpc.t
+val map : t -> Shard_map.t
+val n_groups : t -> int
+val cluster : t -> int -> Rex_core.Cluster.t
+val clusters : t -> Rex_core.Cluster.t array
+val client_node : t -> int
+
+val start : t -> unit
+val run : ?until:float -> t -> unit
+val run_for : t -> float -> unit
+
+val await_primaries : ?limit:float -> t -> unit
+(** Run until every group has a primary (raises [Failure] after [limit]
+    virtual seconds, default 30). *)
+
+val router : t -> Router.t
+(** The fleet's routing client, homed on {!client_node} (created on
+    first use, then shared). *)
+
+val primary : t -> int -> Rex_core.Server.t option
+
+val crash_primary : t -> int -> int option
+(** Crash group [g]'s current primary; returns the node id killed. *)
+
+val restart : t -> int -> unit
+(** Restart a crashed replica node (its group is inferred). *)
+
+val replies : t -> int -> int
+(** Committed replies sent by group [g] so far (monotone across
+    crash/restart). *)
+
+val total_replies : t -> int
+val check_no_divergence : t -> unit
+
+val digests : t -> int -> string list
+(** App digests of group [g]'s live replicas. *)
+
+val converged : t -> bool
+(** Every group's live replicas agree on their digest. *)

@@ -1,0 +1,51 @@
+module R = Rex_core
+
+(* Key = second whitespace-separated token, which holds for every
+   request grammar in lib/apps ("SET <key> ...", "GET <key>",
+   "THUMB <img> ...", "RENEW <file>", "WRITE <file> ..."). *)
+let default_key_of request =
+  match String.index_opt request ' ' with
+  | None -> None
+  | Some i -> (
+    let rest = String.sub request (i + 1) (String.length request - i - 1) in
+    match String.index_opt rest ' ' with
+    | None -> if rest = "" then None else Some rest
+    | Some j -> Some (String.sub rest 0 j))
+
+let wrong_shard = "ERR:wrong-shard"
+
+let factory ?(key_of = default_key_of) ~map ~group (base : R.App.factory) :
+    R.App.factory =
+ fun api ->
+  let app = base api in
+  let obs = Sim.Engine.obs (Rexsync.Runtime.engine (R.Api.runtime api)) in
+  let c_misrouted =
+    Obs.counter obs ~subsystem:"shard"
+      ~labels:[ ("group", string_of_int group) ]
+      "misrouted"
+  in
+  let owned request =
+    match key_of request with
+    | None -> true (* unkeyed requests are legal everywhere *)
+    | Some key -> Shard_map.group_of map key = group
+  in
+  let execute ~request =
+    if owned request then app.R.App.execute ~request
+    else begin
+      Obs.Metric.incr c_misrouted;
+      wrong_shard
+    end
+  in
+  let query ~request =
+    if owned request then app.R.App.query ~request
+    else begin
+      Obs.Metric.incr c_misrouted;
+      wrong_shard
+    end
+  in
+  {
+    app with
+    R.App.name = Printf.sprintf "%s@shard%d" app.R.App.name group;
+    execute;
+    query;
+  }

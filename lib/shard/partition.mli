@@ -1,0 +1,23 @@
+(** Key-partitioned application adapter.
+
+    Wraps any {!Rex_core.App.factory} for use inside one shard of a
+    fleet: requests whose key does not route to this group (by the
+    fleet's {!Shard_map}) are rejected with ["ERR:wrong-shard"] and
+    counted on the ["shard"/"misrouted"] counter instead of silently
+    polluting the replica state.  With well-behaved routers the counter
+    stays at zero; it is the observability net that catches a stale or
+    disagreeing map. *)
+
+val default_key_of : string -> string option
+(** Second whitespace-separated token — the key position of every
+    request grammar in [lib/apps]. *)
+
+val wrong_shard : string
+(** The rejection response, ["ERR:wrong-shard"]. *)
+
+val factory :
+  ?key_of:(string -> string option) ->
+  map:Shard_map.t ->
+  group:int ->
+  Rex_core.App.factory ->
+  Rex_core.App.factory

@@ -1,0 +1,264 @@
+open Sim
+module R = Rex_core
+
+type group_state = {
+  g_id : int;
+  nodes : int array;
+  mutable guess : int; (* index into nodes: believed leader *)
+  c_routed : Obs.Metric.counter;
+  c_redirects : Obs.Metric.counter;
+  c_retries : Obs.Metric.counter;
+  c_failures : Obs.Metric.counter;
+  h_latency : Obs.Histogram.t;
+  mutable routed_ok : int;
+}
+
+type t = {
+  eng : Engine.t;
+  rpc : Rpc.t;
+  me : int;
+  mutable map : Shard_map.t;
+  groups : (int, group_state) Hashtbl.t;
+  c_requests : Obs.Metric.counter;
+  c_hops : Obs.Metric.counter;
+  g_imbalance : Obs.Metric.gauge;
+  mutable since_gauge : int;
+}
+
+type stats = {
+  requests : int;
+  hops : int;
+  redirects : int;
+  retries : int;
+  failures : int;
+}
+
+let create net rpc ~me ~map ~groups =
+  let eng = Net.engine net in
+  let obs = Engine.obs eng in
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (g_id, nodes) ->
+      if nodes = [] then invalid_arg "Router.create: empty group";
+      let labels = [ ("group", string_of_int g_id) ] in
+      Hashtbl.replace tbl g_id
+        {
+          g_id;
+          nodes = Array.of_list nodes;
+          guess = 0;
+          c_routed = Obs.counter obs ~subsystem:"shard" ~labels "routed";
+          c_redirects = Obs.counter obs ~subsystem:"shard" ~labels "redirects";
+          c_retries = Obs.counter obs ~subsystem:"shard" ~labels "retries";
+          c_failures = Obs.counter obs ~subsystem:"shard" ~labels "failures";
+          h_latency =
+            Obs.histogram obs ~subsystem:"shard" ~labels "request_latency";
+          routed_ok = 0;
+        })
+    groups;
+  List.iter
+    (fun g ->
+      if not (Hashtbl.mem tbl g) then
+        invalid_arg (Printf.sprintf "Router.create: map group %d has no replicas" g))
+    (Shard_map.groups map);
+  {
+    eng;
+    rpc;
+    me;
+    map;
+    groups = tbl;
+    c_requests = Obs.counter obs ~subsystem:"shard" "router_requests";
+    c_hops = Obs.counter obs ~subsystem:"shard" "router_hops";
+    g_imbalance = Obs.gauge obs ~subsystem:"shard" "imbalance_milli";
+    since_gauge = 0;
+  }
+
+let map t = t.map
+
+let set_map t m =
+  List.iter
+    (fun g ->
+      if not (Hashtbl.mem t.groups g) then
+        invalid_arg (Printf.sprintf "Router.set_map: group %d has no replicas" g))
+    (Shard_map.groups m);
+  t.map <- m
+
+let group_of t key = Shard_map.group_of t.map key
+
+let state t group =
+  match Hashtbl.find_opt t.groups group with
+  | Some g -> g
+  | None -> invalid_arg (Printf.sprintf "Router: unknown group %d" group)
+
+let leader_hint t ~group =
+  let g = state t group in
+  g.nodes.(g.guess)
+
+let routed_ok t ~group = (state t group).routed_ok
+
+(* max/mean of successfully routed requests across groups; 1.0 = even. *)
+let imbalance t =
+  let n = Hashtbl.length t.groups in
+  if n = 0 then 1.0
+  else begin
+    let total = ref 0 and worst = ref 0 in
+    Hashtbl.iter
+      (fun _ g ->
+        total := !total + g.routed_ok;
+        worst := max !worst g.routed_ok)
+      t.groups;
+    if !total = 0 then 1.0
+    else float_of_int (!worst * n) /. float_of_int !total
+  end
+
+let note_success t g dt =
+  g.routed_ok <- g.routed_ok + 1;
+  Obs.Histogram.observe g.h_latency dt;
+  t.since_gauge <- t.since_gauge + 1;
+  if t.since_gauge >= 64 then begin
+    t.since_gauge <- 0;
+    Obs.Metric.set t.g_imbalance (1000. *. imbalance t)
+  end
+
+let rotate g = g.guess <- (g.guess + 1) mod Array.length g.nodes
+
+let point_at g node =
+  Array.iteri (fun i n -> if n = node then g.guess <- i) g.nodes
+
+(* Backoff between attempts: give elections a moment instead of
+   hammering the next guess; doubles up to a cap. *)
+let backoff0 = 2e-3
+let backoff_cap = 40e-3
+
+let call_group ?(retries = 8) ?(timeout = 0.1) t ~group request =
+  let g = state t group in
+  Obs.Metric.incr t.c_requests;
+  Obs.Metric.incr g.c_routed;
+  let t0 = Engine.clock t.eng in
+  let rec go tries backoff =
+    if tries = 0 then begin
+      Obs.Metric.incr g.c_failures;
+      None
+    end
+    else begin
+      Obs.Metric.incr t.c_hops;
+      match
+        Rpc.call t.rpc ~src:t.me ~dst:g.nodes.(g.guess)
+          ~port:R.Client.client_port ~timeout request
+      with
+      | None ->
+        (* timeout: dead node or stalled group *)
+        Obs.Metric.incr g.c_retries;
+        rotate g;
+        Engine.sleep backoff;
+        go (tries - 1) (Float.min (2. *. backoff) backoff_cap)
+      | Some reply -> (
+        match R.Client.decode_reply reply with
+        | R.Client.Ok_reply resp ->
+          note_success t g (Engine.clock t.eng -. t0);
+          Some resp
+        | R.Client.Dropped ->
+          Obs.Metric.incr g.c_retries;
+          rotate g;
+          Engine.sleep backoff;
+          go (tries - 1) (Float.min (2. *. backoff) backoff_cap)
+        | R.Client.Not_leader hint ->
+          Obs.Metric.incr g.c_redirects;
+          (match hint with Some h -> point_at g h | None -> rotate g);
+          Engine.sleep backoff0;
+          go (tries - 1) backoff)
+    end
+  in
+  go retries backoff0
+
+let call ?retries ?timeout t ~key request =
+  call_group ?retries ?timeout t ~group:(group_of t key) request
+
+let query_group ?(timeout = 0.1) t ~group request =
+  let g = state t group in
+  match
+    Rpc.call t.rpc ~src:t.me ~dst:g.nodes.(g.guess)
+      ~port:R.Client.query_port ~timeout request
+  with
+  | None -> None
+  | Some reply -> (
+    match R.Client.decode_reply reply with
+    | R.Client.Ok_reply resp -> Some resp
+    | R.Client.Not_leader _ | R.Client.Dropped -> None)
+
+let query ?timeout t ~key request =
+  query_group ?timeout t ~group:(group_of t key) request
+
+(* --- Scatter-gather multi-key fan-out --- *)
+
+type outcome = Reply of string | Failed of { group : int }
+
+type multi = {
+  outcomes : (string * outcome) array; (* input order: (key, outcome) *)
+  failed_groups : int list; (* sorted, distinct *)
+}
+
+let multi_ok m =
+  Array.for_all (function _, Reply _ -> true | _ -> false) m.outcomes
+
+let multi_call ?retries ?timeout t reqs =
+  match reqs with
+  | [] -> { outcomes = [||]; failed_groups = [] }
+  | _ ->
+    let reqs = Array.of_list reqs in
+    (* Partition the batch by target group, preserving input order
+       within each group (per-group requests stay FIFO on one fiber). *)
+    let by_group = Hashtbl.create 8 in
+    Array.iteri
+      (fun i (key, req) ->
+        let g = group_of t key in
+        let prev = Option.value (Hashtbl.find_opt by_group g) ~default:[] in
+        Hashtbl.replace by_group g ((i, req) :: prev))
+      reqs;
+    let outcomes =
+      Array.map (fun (key, _) -> (key, Failed { group = group_of t key })) reqs
+    in
+    let remaining = ref (Hashtbl.length by_group) in
+    let parent = ref None in
+    Hashtbl.iter
+      (fun g items ->
+        let items = List.rev items in
+        ignore
+          (Engine.spawn t.eng ~node:t.me ~name:"shard.fanout" (fun () ->
+               List.iter
+                 (fun (i, req) ->
+                   match call_group ?retries ?timeout t ~group:g req with
+                   | Some resp ->
+                     outcomes.(i) <- (fst outcomes.(i), Reply resp)
+                   | None -> ())
+                 items;
+               decr remaining;
+               if !remaining = 0 then
+                 match !parent with Some w -> Engine.wake w | None -> ())))
+      by_group;
+    while !remaining > 0 do
+      Engine.park (fun w -> parent := Some w)
+    done;
+    let failed_groups =
+      Array.to_list outcomes
+      |> List.filter_map (function
+           | _, Failed { group } -> Some group
+           | _, Reply _ -> None)
+      |> List.sort_uniq compare
+    in
+    { outcomes; failed_groups }
+
+let stats t =
+  let redirects = ref 0 and retries = ref 0 and failures = ref 0 in
+  Hashtbl.iter
+    (fun _ g ->
+      redirects := !redirects + Obs.Metric.value g.c_redirects;
+      retries := !retries + Obs.Metric.value g.c_retries;
+      failures := !failures + Obs.Metric.value g.c_failures)
+    t.groups;
+  {
+    requests = Obs.Metric.value t.c_requests;
+    hops = Obs.Metric.value t.c_hops;
+    redirects = !redirects;
+    retries = !retries;
+    failures = !failures;
+  }

@@ -34,6 +34,14 @@ let kv ?(n_keys = 1_000_000) ?(value_len = 100) ?(read_ratio = 0.5)
     if Sim.Rng.float rng 1.0 < read_ratio then Printf.sprintf "GET %s" k
     else Printf.sprintf "SET %s %s" k (Keygen.value rng value_len)
 
+let kv_keyed ?(n_keys = 1_000_000) ?(value_len = 100) ?(read_ratio = 0.5)
+    ?(theta = 0.5) () =
+  let zipf = Zipf.create ~n:n_keys ~theta in
+  fun rng ->
+    let k = Keygen.key (Zipf.sample zipf rng) in
+    if Sim.Rng.float rng 1.0 < read_ratio then (k, Printf.sprintf "GET %s" k)
+    else (k, Printf.sprintf "SET %s %s" k (Keygen.value rng value_len))
+
 let kv_read_only ?(n_keys = 1_000_000) ?(theta = 0.5) () =
   let zipf = Zipf.create ~n:n_keys ~theta in
   fun rng -> Printf.sprintf "GET %s" (Keygen.key (Zipf.sample zipf rng))
