@@ -1,0 +1,248 @@
+(* Dedup-under-faults smoke: drive a non-idempotent counter through each
+   stack (Rex, SMR, Eve) from retrying clients while the network drops
+   messages and the leader is killed mid-run, then check the exactly-once
+   contract: every acknowledged request executed once, so the responses
+   of n "INC" requests are a permutation of 1..n and the final counter is
+   exactly n on every surviving replica.
+
+   Prints one row per stack (requests, retry hops, dup_hits, evictions,
+   sessions, final count) and exits non-zero on any double execution,
+   lost request, or divergence — CI runs `dedup --quick`. *)
+
+open Sim
+module R = Rex_core
+
+(* The counter must be guarded by a Rex lock: on the Rex stack requests
+   execute concurrently and the recorded lock order is what makes replay
+   (and hence the response values) deterministic.  SMR and Eve run the
+   same factory through the native synchronization path. *)
+let counter_factory () : R.App.factory =
+ fun api ->
+  let n = ref 0 in
+  let lock = R.Api.lock api "ctr" in
+  {
+    R.App.name = "ctr";
+    execute =
+      (fun ~request:_ ->
+        Rexsync.Lock.with_lock lock (fun () ->
+            incr n;
+            string_of_int !n));
+    query = (fun ~request:_ -> string_of_int !n);
+    write_checkpoint = (fun sink -> Codec.write_uvarint sink !n);
+    read_checkpoint = (fun src -> n := Codec.read_uvarint src);
+    digest = (fun () -> string_of_int !n);
+  }
+
+type row = {
+  stack : string;
+  total : int;
+  completed : int;
+  exactly_once : bool;
+  dup_hits : int;
+  evictions : int;
+  sessions : int;
+  final : string;
+}
+
+let check ~stack ~total ~results ~dup_hits ~evictions ~sessions ~final =
+  let values =
+    List.filter_map (Option.map int_of_string) !results |> List.sort compare
+  in
+  let exactly_once =
+    List.length !results = total
+    && values = List.init total (fun i -> i + 1)
+    && final = string_of_int total
+  in
+  {
+    stack;
+    total;
+    completed = List.length values;
+    exactly_once;
+    dup_hits = dup_hits ();
+    evictions = evictions ();
+    sessions = sessions ();
+    final;
+  }
+
+(* Four fibers share one client (and thus one session identity) and
+   drain the request list with generous retries. *)
+let drive ~eng ~node ~cl ~total =
+  let results = ref [] and remaining = ref total in
+  let pending = ref (List.init total (fun i -> i)) in
+  for _ = 1 to 4 do
+    ignore
+      (Engine.spawn eng ~node ~name:"dedup-client" (fun () ->
+           let rec loop () =
+             match !pending with
+             | [] -> ()
+             | _ :: rest ->
+               pending := rest;
+               let resp = R.Client.call ~retries:2000 cl "INC" in
+               results := resp :: !results;
+               decr remaining;
+               loop ()
+           in
+           loop ()))
+  done;
+  (results, remaining)
+
+let pump eng remaining ~deadline =
+  let rec go () =
+    Engine.run ~until:(Engine.clock eng +. 0.5) eng;
+    if !remaining > 0 && Engine.clock eng < deadline then go ()
+  in
+  go ()
+
+let rex_run ~total ~seed =
+  let cluster =
+    R.Cluster.create ~seed
+      (R.Config.make ~workers:4 ~replicas:[ 0; 1; 2 ] ())
+      (counter_factory ())
+  in
+  R.Cluster.start cluster;
+  let primary = R.Cluster.await_primary cluster in
+  let eng = R.Cluster.engine cluster in
+  let net = R.Cluster.net cluster in
+  Net.set_drop_probability net 0.08;
+  let results, remaining =
+    drive ~eng ~node:(R.Cluster.client_node cluster)
+      ~cl:(R.Cluster.client cluster) ~total
+  in
+  Engine.run ~until:(Engine.clock eng +. 0.5) eng;
+  R.Cluster.crash cluster (R.Server.node primary);
+  pump eng remaining ~deadline:(Engine.clock eng +. 180.);
+  Net.set_drop_probability net 0.;
+  pump eng remaining ~deadline:(Engine.clock eng +. 90.);
+  R.Cluster.check_no_divergence cluster;
+  R.Cluster.run_for cluster 1.0;
+  let servers = Array.to_list (R.Cluster.servers cluster) in
+  let live =
+    List.filter (fun s -> Engine.node_alive eng (R.Server.node s)) servers
+  in
+  let sum f = List.fold_left (fun a s -> a + f (R.Server.session_table s)) 0 in
+  check ~stack:"rex" ~total ~results
+    ~dup_hits:(fun () -> sum R.Session.Table.dup_hits servers)
+    ~evictions:(fun () -> sum R.Session.Table.evictions servers)
+    ~sessions:(fun () ->
+      List.fold_left
+        (fun a s -> max a (R.Session.Table.sessions (R.Server.session_table s)))
+        0 servers)
+    ~final:
+      (match live with
+      | s :: _ -> R.Server.query s "GET"
+      | [] -> "no-live-replica")
+
+let smr_run ~total ~seed =
+  let eng = Engine.create ~seed ~cores_per_node:8 ~num_nodes:4 () in
+  let net = Net.create eng in
+  let rpc = Rpc.create net in
+  let config = R.Config.make ~workers:1 ~replicas:[ 0; 1; 2 ] () in
+  let servers =
+    Array.init 3 (fun i ->
+        Smr.create net rpc config ~node:i ~paxos_store:(Paxos.Store.create ())
+          (counter_factory ()))
+  in
+  Array.iter Smr.start servers;
+  Engine.run ~until:1.0 eng;
+  let leader =
+    match Array.find_opt Smr.is_primary servers with
+    | Some s -> s
+    | None -> failwith "smr: no leader elected"
+  in
+  Net.set_drop_probability net 0.08;
+  let cl = R.Client.create rpc ~me:3 ~replicas:[ 0; 1; 2 ] in
+  let results, remaining = drive ~eng ~node:3 ~cl ~total in
+  Engine.run ~until:(Engine.clock eng +. 0.5) eng;
+  Engine.crash_node eng (Smr.node leader);
+  pump eng remaining ~deadline:(Engine.clock eng +. 180.);
+  Net.set_drop_probability net 0.;
+  pump eng remaining ~deadline:(Engine.clock eng +. 90.);
+  Engine.run ~until:(Engine.clock eng +. 2.) eng;
+  let all = Array.to_list servers in
+  let live = List.filter (fun s -> Engine.node_alive eng (Smr.node s)) all in
+  let sum f = List.fold_left (fun a s -> a + f (Smr.session_table s)) 0 in
+  check ~stack:"smr" ~total ~results
+    ~dup_hits:(fun () -> sum R.Session.Table.dup_hits all)
+    ~evictions:(fun () -> sum R.Session.Table.evictions all)
+    ~sessions:(fun () ->
+      List.fold_left
+        (fun a s -> max a (R.Session.Table.sessions (Smr.session_table s)))
+        0 all)
+    ~final:
+      (match live with
+      | s :: _ -> Smr.query s "GET"
+      | [] -> "no-live-replica")
+
+let eve_run ~total ~seed =
+  let eng = Engine.create ~seed ~cores_per_node:8 ~num_nodes:4 () in
+  let net = Net.create eng in
+  let rpc = Rpc.create net in
+  let cfg = Eve.default_config ~workers:4 ~replicas:[ 0; 1; 2 ] () in
+  let servers =
+    Array.init 3 (fun i ->
+        Eve.create net rpc cfg ~node:i ~paxos_store:(Paxos.Store.create ())
+          ~conflict_keys:(fun _ -> [ "k" ])
+          (counter_factory ()))
+  in
+  Array.iter Eve.start servers;
+  Engine.run ~until:1.0 eng;
+  let leader =
+    match Array.find_opt Eve.is_primary servers with
+    | Some s -> s
+    | None -> failwith "eve: no leader elected"
+  in
+  Net.set_drop_probability net 0.08;
+  let cl = R.Client.create rpc ~me:3 ~replicas:[ 0; 1; 2 ] in
+  let results, remaining = drive ~eng ~node:3 ~cl ~total in
+  Engine.run ~until:(Engine.clock eng +. 0.5) eng;
+  Engine.crash_node eng (Eve.node leader);
+  pump eng remaining ~deadline:(Engine.clock eng +. 180.);
+  Net.set_drop_probability net 0.;
+  pump eng remaining ~deadline:(Engine.clock eng +. 90.);
+  Engine.run ~until:(Engine.clock eng +. 2.) eng;
+  let all = Array.to_list servers in
+  let live = List.filter (fun s -> Engine.node_alive eng (Eve.node s)) all in
+  let sum f = List.fold_left (fun a s -> a + f (Eve.session_table s)) 0 all in
+  check ~stack:"eve" ~total ~results
+    ~dup_hits:(fun () -> sum R.Session.Table.dup_hits)
+    ~evictions:(fun () -> sum R.Session.Table.evictions)
+    ~sessions:(fun () ->
+      List.fold_left
+        (fun a s -> max a (R.Session.Table.sessions (Eve.session_table s)))
+        0 all)
+    ~final:
+      (match live with
+      | s :: _ -> Eve.query s "GET"
+      | [] -> "no-live-replica")
+
+let run ?(quick = false) () =
+  let total = if quick then 40 else 200 in
+  print_endline "";
+  print_endline
+    "== Exactly-once under faults (8% drops + leader kill, retrying \
+     clients) ==";
+  Printf.printf "%-6s %9s %10s %9s %10s %9s %8s  %s\n" "stack" "requests"
+    "completed" "dup_hits" "evictions" "sessions" "final" "verdict";
+  let rows =
+    [
+      rex_run ~total ~seed:4242;
+      smr_run ~total ~seed:4243;
+      eve_run ~total ~seed:4244;
+    ]
+  in
+  let ok = ref true in
+  List.iter
+    (fun r ->
+      if not r.exactly_once then ok := false;
+      if r.dup_hits = 0 then ok := false;
+      Printf.printf "%-6s %9d %10d %9d %10d %9d %8s  %s\n" r.stack r.total
+        r.completed r.dup_hits r.evictions r.sessions r.final
+        (if r.exactly_once && r.dup_hits > 0 then "exactly-once"
+         else "DOUBLE-EXECUTION"))
+    rows;
+  if not !ok then begin
+    prerr_endline
+      "dedup smoke FAILED: a retried request was re-executed (or no \
+       duplicate was ever produced to intercept)";
+    exit 1
+  end

@@ -167,6 +167,15 @@ let chain_cmd =
     (instrumented
        Term.(const (fun quick () -> Chain_bench.run ~quick ()) $ quick_arg))
 
+let dedup_cmd =
+  Cmd.v
+    (Cmd.info "dedup"
+       ~doc:
+         "Exactly-once smoke: retried requests under faults on all three \
+          stacks")
+    (instrumented
+       Term.(const (fun quick () -> Dedup_smoke.run ~quick ()) $ quick_arg))
+
 let bechamel_cmd =
   Cmd.v (Cmd.info "bechamel" ~doc:"Wall-clock micro-benchmarks")
     Term.(const Bechamel_suite.run $ const ())
@@ -184,6 +193,7 @@ let all ~quick () =
   Ycsb.run ~quick ();
   Chain_bench.run ~quick ();
   Shard_bench.run ~quick ();
+  Dedup_smoke.run ~quick ();
   Bechamel_suite.run ()
 
 let all_term = instrumented Term.(const (fun quick () -> all ~quick ()) $ quick_arg)
@@ -211,6 +221,7 @@ let () =
             ycsb_cmd;
             chain_cmd;
             shard_cmd;
+            dedup_cmd;
             bechamel_cmd;
             all_cmd;
           ]))

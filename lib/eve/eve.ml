@@ -42,7 +42,8 @@ type t = {
   cfg : config;
   node_id : int;
   pstore : Paxos.Store.t;
-  app : R.App.t;
+  app : R.App.t;  (* session-wrapped: see [create] *)
+  session : R.Session.Table.t;
   conflict_keys : string -> string list;
   rng : Rng.t;
   mutable pax : Paxos.Replica.t option;
@@ -70,6 +71,7 @@ type t = {
 
 let node t = t.node_id
 let is_primary t = t.leader
+let session_table t = t.session
 let app_digest t = t.app.R.App.digest ()
 
 let stats t =
@@ -84,12 +86,8 @@ let stats t =
        else float_of_int (Obs.Metric.value t.c_batched_reqs) /. float_of_int batches);
   }
 
-let encode_batch reqs =
-  Codec.encode (fun l b -> Codec.write_list b Codec.write_string l)
-    (Array.to_list reqs)
-
-let decode_batch v =
-  Array.of_list (Codec.decode (fun s -> Codec.read_list s Codec.read_string) v)
+let encode_batch reqs = R.Frontend.encode_batch (Array.to_list reqs)
+let decode_batch v = Array.of_list (R.Frontend.decode_batch v)
 
 let wake_all ws = List.iter Engine.wake ws
 
@@ -369,7 +367,23 @@ let create net rpc cfg ~node ~paxos_store ~conflict_keys factory =
   let eng = Net.engine net in
   let rt = Rexsync.Runtime.create eng ~node ~slots:1 in
   let api = R.Api.make rt in
-  let app = factory api in
+  let session =
+    R.Session.Table.create (Engine.obs eng) ~stack:"eve" ~node ()
+  in
+  (* Batches execute their requests in parallel, so two retries of the
+     same request inside one batch would race the duplicate check.  The
+     per-client conflict key below keeps a client's requests in distinct
+     batches, and batches are processed serially — which makes the
+     in-execute check deterministic, mirroring the SMR argument. *)
+  let app = R.Session.wrap ~table:session ~dedup_in_execute:true (factory api) in
+  let conflict_keys req =
+    match R.Session.Envelope.decode req with
+    | Some e ->
+      ("\x00session:" ^ string_of_int e.R.Session.Envelope.client)
+      :: conflict_keys e.R.Session.Envelope.payload
+    | None -> conflict_keys req
+    | exception Codec.Decode_error _ -> conflict_keys req
+  in
   if R.Api.seal api <> [] then
     invalid_arg
       "Eve.create: applications with background timers are not supported by \
@@ -386,6 +400,7 @@ let create net rpc cfg ~node ~paxos_store ~conflict_keys factory =
       node_id = node;
       pstore = paxos_store;
       app;
+      session;
       conflict_keys;
       rng = Rng.split (Engine.rng eng);
       pax = None;
@@ -410,24 +425,17 @@ let create net rpc cfg ~node ~paxos_store ~conflict_keys factory =
       on_digest t ~src payload);
   Net.register net ~node ~port:verdict_port (fun ~src:_ payload ->
       on_verdict t payload);
-  Rpc.serve_async rpc ~node ~port:R.Client.client_port
-    (fun ~src:_ request ~reply ->
-      if not t.leader then
-        reply
-          (R.Client.encode_reply
-             (R.Client.Not_leader
-                (match t.pax with
-                | Some p -> Paxos.Replica.leader_hint p
-                | None -> None)))
-      else
-        Queue.push
-          ( request,
-            function
-            | Some resp -> reply (R.Client.encode_reply (R.Client.Ok_reply resp))
-            | None -> reply (R.Client.encode_reply R.Client.Dropped) )
-          t.pending);
-  Rpc.serve rpc ~node ~port:R.Client.query_port (fun ~src:_ request ->
-      R.Client.encode_reply (R.Client.Ok_reply (t.app.R.App.query ~request)));
+  R.Frontend.register rpc ~node ~table:session
+    {
+      R.Frontend.is_leader = (fun () -> t.leader);
+      leader_hint =
+        (fun () ->
+          match t.pax with
+          | Some p -> Paxos.Replica.leader_hint p
+          | None -> None);
+      enqueue = (fun request cb -> Queue.push (request, cb) t.pending);
+      query = (fun request -> Some (t.app.R.App.query ~request));
+    };
   t
 
 let start t =
@@ -456,7 +464,15 @@ let start t =
           if t.leader then begin
             t.leader <- false;
             Queue.iter (fun (_, cb) -> cb None) t.pending;
-            Queue.clear t.pending
+            Queue.clear t.pending;
+            (* Batches we proposed may still commit, but a deposed
+               leader no longer answers for them: fire their callbacks
+               now so the frontend releases its in-flight entries and
+               client retries can be served by the new leader. *)
+            Hashtbl.iter
+              (fun _ cbs -> Array.iter (fun cb -> cb None) cbs)
+              t.inflight_cbs;
+            Hashtbl.reset t.inflight_cbs
           end);
     }
   in

@@ -64,6 +64,10 @@ val create :
 val start : t -> unit
 val node : t -> int
 val is_primary : t -> bool
+
+val session_table : t -> Rex_core.Session.Table.t
+(** The replica's client-session table (see {!Rex_core.Session}). *)
+
 val submit : t -> string -> (string option -> unit) -> unit
 val query : t -> string -> string
 val app_digest : t -> string

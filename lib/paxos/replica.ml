@@ -421,18 +421,36 @@ let start t =
              tally_promises t
            end
          done));
-  (* Leader heartbeats. *)
+  (* Leader heartbeats.  Also retransmits Accepts for instances that have
+     been open longer than a heartbeat period: the initial broadcast is
+     the only other send, so on a lossy network a dropped Accept (or
+     Accepted ack) would otherwise wedge the instance forever — and with
+     [max_inflight = 1] wedge the whole proposer behind it.  Acceptors
+     treat a repeat Accept idempotently and re-ack; [fi_acks] dedups. *)
   ignore
     (Engine.spawn eng ~node:t.cfg.me ~name:"paxos.heartbeat" (fun () ->
          while not t.stopped do
            Engine.sleep t.cfg.heartbeat_period;
-           if (not t.stopped) && t.role = Leader then
+           if (not t.stopped) && t.role = Leader then begin
              broadcast t
                (Msg.Heartbeat
                   {
                     ballot = t.ballot;
                     committed_upto = Store.committed_upto t.st;
-                  })
+                  });
+             Hashtbl.iter
+               (fun _ fi ->
+                 if now t -. fi.fi_started >= t.cfg.heartbeat_period then
+                   broadcast t
+                     (Msg.Accept
+                        {
+                          ballot = fi.fi_ballot;
+                          instance = fi.fi_instance;
+                          value = fi.fi_value;
+                          prior = [];
+                        }))
+               t.inflight
+           end
          done))
 
 let stop t = t.stopped <- true

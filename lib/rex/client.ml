@@ -32,11 +32,16 @@ type t = {
   me : int;
   replicas : int array;
   mutable guess : int;  (* index into replicas *)
+  uid : int;  (* session identity: allocated once per client endpoint *)
+  mutable next_seq : int;
 }
 
 let create rpc ~me ~replicas =
   if replicas = [] then invalid_arg "Client.create";
-  { rpc; me; replicas = Array.of_list replicas; guess = 0 }
+  let uid = Engine.fresh_uid (Net.engine (Rpc.net rpc)) in
+  { rpc; me; replicas = Array.of_list replicas; guess = 0; uid; next_seq = 0 }
+
+let client_id t = t.uid
 
 let leader_guess t = t.replicas.(t.guess)
 
@@ -46,12 +51,22 @@ let point_at t node =
 let rotate t = t.guess <- (t.guess + 1) mod Array.length t.replicas
 
 let call ?(retries = 8) ?(timeout = 0.1) t request =
+  (* One (client, seq) identity per logical request, minted here and
+     reused verbatim on every retry below — the replicas' session tables
+     key their exactly-once guarantee on it.  A fresh [call] with the
+     same payload is a new logical request. *)
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  let envelope =
+    Session.Envelope.encode
+      { Session.Envelope.client = t.uid; seq; payload = request }
+  in
   let rec go tries =
     if tries = 0 then None
     else
       match
         Rpc.call t.rpc ~src:t.me ~dst:(leader_guess t) ~port:client_port
-          ~timeout request
+          ~timeout envelope
       with
       | None ->
         rotate t;
@@ -71,10 +86,19 @@ let call ?(retries = 8) ?(timeout = 0.1) t request =
   go retries
 
 let query ?on ?(timeout = 0.1) t request =
+  let ask dst =
+    match Rpc.call t.rpc ~src:t.me ~dst ~port:query_port ~timeout request with
+    | None -> None
+    | Some reply -> Some (decode_reply reply)
+  in
   let dst = Option.value on ~default:(leader_guess t) in
-  match Rpc.call t.rpc ~src:t.me ~dst ~port:query_port ~timeout request with
+  match ask dst with
   | None -> None
-  | Some reply -> (
-    match decode_reply reply with
-    | Ok_reply resp -> Some resp
-    | Not_leader _ | Dropped -> None)
+  | Some (Ok_reply resp) -> Some resp
+  | Some Dropped -> None
+  | Some (Not_leader hint) -> (
+    (* Follow the redirect once instead of discarding the hint. *)
+    (match hint with Some h -> point_at t h | None -> rotate t);
+    match ask (leader_guess t) with
+    | Some (Ok_reply resp) -> Some resp
+    | Some (Not_leader _ | Dropped) | None -> None)

@@ -12,14 +12,22 @@ val query_port : string
 type t
 
 val create : Sim.Rpc.t -> me:int -> replicas:int list -> t
+(** Allocates a session identity ({!client_id}) from the simulation
+    engine; every {!call} is tagged with it so replicas can deduplicate
+    retries (see {!Session}). *)
+
+val client_id : t -> int
 
 val call : ?retries:int -> ?timeout:float -> t -> string -> string option
 (** Submit an update request; follows leader hints and retries on
-    timeout.  [None] after exhausting retries.  At-least-once semantics:
-    a request may execute even when [None] is returned. *)
+    timeout.  [None] after exhausting retries.  The request travels in a
+    {!Session.Envelope} whose [(client, seq)] identity is reused on
+    every retry, so an acknowledged request executed exactly once; only
+    a [None] return leaves at-most-once ambiguity (the request may or
+    may not have executed). *)
 
 val query : ?on:int -> ?timeout:float -> t -> string -> string option
 (** Read-only request on a chosen replica (default: the believed
-    leader). *)
+    leader).  Follows a [Not_leader] hint once before giving up. *)
 
 val leader_guess : t -> int

@@ -1,0 +1,131 @@
+open Sim
+
+type backend = {
+  is_leader : unit -> bool;
+  leader_hint : unit -> int option;
+  enqueue : string -> (string option -> unit) -> unit;
+  query : string -> string option;
+}
+
+let register rpc ~node ~table backend =
+  (* Logical requests currently in flight: from enqueue until the
+     backend's commit/drop callback.  A retry that lands here joins the
+     original instead of consulting the reply cache — the cache may hold
+     a speculative (executed but uncommitted) reply that must not be
+     released yet. *)
+  let inflight : (int * int, (string option -> unit) list ref) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  Rpc.serve_async rpc ~node ~port:Client.client_port
+    (fun ~src:_ request ~reply ->
+      let answer r = reply (Client.encode_reply r) in
+      let finish = function
+        | Some resp -> answer (Client.Ok_reply resp)
+        | None -> answer Client.Dropped
+      in
+      if not (backend.is_leader ()) then
+        answer (Client.Not_leader (backend.leader_hint ()))
+      else
+        match Session.Envelope.decode request with
+        | exception Codec.Decode_error _ -> answer Client.Dropped
+        | None -> backend.enqueue request finish
+        | Some { Session.Envelope.client; seq; payload = _ } -> (
+          let key = (client, seq) in
+          match Hashtbl.find_opt inflight key with
+          | Some joiners ->
+            Session.Table.note_dup table;
+            joiners := finish :: !joiners
+          | None -> (
+            match Session.Table.lookup table ~client ~seq with
+            | Session.Table.Hit resp ->
+              Session.Table.note_dup table;
+              answer (Client.Ok_reply resp)
+            | Session.Table.Stale ->
+              Session.Table.note_dup table;
+              answer Client.Dropped
+            | Session.Table.Miss ->
+              let joiners = ref [ finish ] in
+              Hashtbl.replace inflight key joiners;
+              backend.enqueue request (fun result ->
+                  Hashtbl.remove inflight key;
+                  List.iter (fun f -> f result) !joiners))));
+  Rpc.serve rpc ~node ~port:Client.query_port (fun ~src:_ request ->
+      Client.encode_reply
+        (match backend.query request with
+        | Some resp -> Client.Ok_reply resp
+        | None ->
+          if backend.is_leader () then Client.Dropped
+          else Client.Not_leader (backend.leader_hint ())))
+
+let encode_batch reqs =
+  Codec.encode (fun l b -> Codec.write_list b Codec.write_string l) reqs
+
+let decode_batch v =
+  Codec.decode (fun s -> Codec.read_list s Codec.read_string) v
+
+module Flow = struct
+  type t = {
+    eng : Engine.t;
+    window : int;
+    staleness : float;
+    reports : (int, int * float) Hashtbl.t;
+    mutable waiters : Engine.waker list;
+  }
+
+  let create eng ~window ~staleness =
+    { eng; window; staleness; reports = Hashtbl.create 8; waiters = [] }
+
+  let wake t =
+    let ws = t.waiters in
+    t.waiters <- [];
+    List.iter Engine.wake ws
+
+  let note t ~src ~count =
+    Hashtbl.replace t.reports src (count, Engine.clock t.eng);
+    wake t
+
+  let ok t ~mine =
+    let now = Engine.clock t.eng in
+    let slow =
+      Hashtbl.fold
+        (fun _ (count, at) acc ->
+          if now -. at <= t.staleness then
+            Some (match acc with None -> count | Some m -> min m count)
+          else acc)
+        t.reports None
+    in
+    match slow with None -> true | Some s -> mine - s <= t.window
+
+  let park t = Engine.park (fun w -> t.waiters <- w :: t.waiters)
+  let reset t = Hashtbl.reset t.reports
+end
+
+module Replies = struct
+  type entry = {
+    id : Event.Id.t;
+    t0 : float;
+    resp : string;
+    cb : string option -> unit;
+  }
+
+  type t = { mutable pending : entry list }
+
+  let create () = { pending = [] }
+
+  let add t ~id ~t0 ~resp ~cb =
+    t.pending <- { id; t0; resp; cb } :: t.pending
+
+  let release t ~upto =
+    let ready, waiting =
+      List.partition (fun e -> Trace.Cut.includes upto e.id) t.pending
+    in
+    t.pending <- waiting;
+    List.map (fun e -> (e.t0, e.resp, e.cb)) ready
+
+  let drop t =
+    let all = t.pending in
+    t.pending <- [];
+    List.map (fun e -> (e.t0, e.resp, e.cb)) all
+
+  let length t = List.length t.pending
+end

@@ -1,0 +1,99 @@
+(** The shared client-facing frontend: one implementation of RPC
+    registration, envelope decoding, [Not_leader] redirection, duplicate
+    short-circuiting and reply emission, used by all three replication
+    stacks (Rex, SMR, Eve).
+
+    Before this layer each stack hand-rolled its own intake handler; the
+    three copies agreed on the wire format by luck and none of them knew
+    about request identity.  The frontend owns the protocol surface —
+    stacks supply a small {!backend} vtable and get identical client
+    semantics, including exactly-once for enveloped requests (via a
+    {!Session.Table.t} that the stack also threads through its execution
+    path with {!Session.wrap}). *)
+
+open Sim
+
+type backend = {
+  is_leader : unit -> bool;
+  leader_hint : unit -> int option;
+  enqueue : string -> (string option -> unit) -> unit;
+      (** Hand a (still-enveloped) update request to the stack's run
+          queue.  The callback must fire exactly once: [Some response]
+          when the request's effect is durable (committed/verified), or
+          [None] when a role change dropped it. *)
+  query : string -> string option;
+      (** Serve a read-only request, or [None] when this replica cannot
+          (not started / not leader, per stack policy). *)
+}
+
+val register :
+  Rpc.t -> node:int -> table:Session.Table.t -> backend -> unit
+(** Register the {!Client.client_port} and {!Client.query_port} services
+    on [node].  Intake pipeline for enveloped requests:
+
+    + not leader → [Not_leader] with the backend's hint;
+    + a retry of a request currently {e in flight} joins the original's
+      callback list (one execution, every retry answered on commit) —
+      checked before the session table so an executed-but-uncommitted
+      request is never answered early from the cache;
+    + a retry of a {e committed} request → cached reply, no execution
+      ([frontend/dup_hits]);
+    + otherwise enqueue, remembering the in-flight entry until the
+      backend's callback fires.
+
+    Raw (non-enveloped) requests skip the dedup steps.  Malformed
+    envelopes answer [Dropped]. *)
+
+val encode_batch : string list -> string
+val decode_batch : string -> string list
+(** The batch wire format shared by the SMR and Eve proposers (formerly
+    duplicated in both). Raises {!Codec.Decode_error} on malformed
+    input. *)
+
+(** Flow-control bookkeeping (paper §6.3): secondaries report executed
+    counts; the primary stalls intake when the slowest live secondary
+    falls more than [window] events behind.  Extracted from the Rex
+    server so the frontend owns everything between the wire and the run
+    queue. *)
+module Flow : sig
+  type t
+
+  val create : Engine.t -> window:int -> staleness:float -> t
+  val note : t -> src:int -> count:int -> unit
+  (** Record a secondary's progress report and wake parked fibers. *)
+
+  val ok : t -> mine:int -> bool
+  (** May the primary (at [mine] recorded events) admit more work? *)
+
+  val park : t -> unit
+  (** Park the calling fiber until the next {!note}/{!wake}. *)
+
+  val wake : t -> unit
+  val reset : t -> unit
+end
+
+(** Commit-gated reply release: responses computed speculatively on the
+    Rex primary wait here until the trace cut containing their request
+    commits.  Extracted from the Rex server's reply block. *)
+module Replies : sig
+  type t
+
+  val create : unit -> t
+
+  val add :
+    t -> id:Event.Id.t -> t0:float -> resp:string ->
+    cb:(string option -> unit) -> unit
+  (** [t0] is the request's submit time, reported back by {!release} for
+      latency accounting. *)
+
+  val release :
+    t -> upto:Trace.Cut.t ->
+    (float * string * (string option -> unit)) list
+  (** Detach and return the entries whose event the cut [upto] includes;
+      the caller fires their callbacks (and owns metric emission). *)
+
+  val drop : t -> (float * string * (string option -> unit)) list
+  (** Detach everything — a demotion dropping speculative replies. *)
+
+  val length : t -> int
+end

@@ -51,8 +51,10 @@ type t = {
      request-latency histogram *)
   queue : (string * float * (string option -> unit)) Queue.t;
   mutable queue_waiters : Engine.waker list;
-  mutable pending_replies :
-    (Event.Id.t * float * string * (string option -> unit)) list;
+  replies : Frontend.Replies.t;
+  (* client sessions: replicated via the execution path (Session.wrap),
+     consulted at intake by the frontend *)
+  session : Session.Table.t;
   (* consensus bookkeeping *)
   mutable proposed_cut : Trace.Cut.t;
   mutable committed_cut_ : Trace.Cut.t;
@@ -68,9 +70,14 @@ type t = {
   mutable ckpt_barrier : pending_ckpt option;
   mutable ckpt_arrived : int;
   mutable ckpt_done_waiters : Engine.waker list;
+  (* committed_upto at the last pushed-checkpoint absorption; two
+     consecutive blobs with no progress below the blob's base mean the
+     entries we still need were GC'd cluster-wide and we must rebuild
+     from the blob instead of waiting for a Learn that can never
+     succeed. *)
+  mutable ckpt_push_upto : int;
   (* flow control *)
-  flow_reports : (int, int * float) Hashtbl.t;
-  mutable flow_waiters : Engine.waker list;
+  flow : Frontend.Flow.t;
   (* observability (subsystem "rex", labelled by node) *)
   obs : Obs.t;
   c_requests : Obs.Metric.counter;
@@ -91,6 +98,7 @@ type t = {
 }
 
 let node t = t.node_id
+let session_table t = t.session
 let role t = t.role_
 let is_primary t = t.role_ = Primary
 let committed_cut t = t.committed_cut_
@@ -148,10 +156,7 @@ let wake_queue t =
   t.queue_waiters <- [];
   wake_all ws
 
-let wake_flow t =
-  let ws = t.flow_waiters in
-  t.flow_waiters <- [];
-  wake_all ws
+let wake_flow t = Frontend.Flow.wake t.flow
 
 let wake_ckpt_resume t =
   let ws = t.ckpt_resume_waiters in
@@ -176,16 +181,11 @@ let req_latency t =
   | Secondary -> t.h_req_lat_secondary
 
 let release_replies t =
-  let ready, waiting =
-    List.partition
-      (fun (id, _, _, _) -> Trace.Cut.includes t.committed_cut_ id)
-      t.pending_replies
-  in
-  t.pending_replies <- waiting;
+  let ready = Frontend.Replies.release t.replies ~upto:t.committed_cut_ in
   let now = Engine.clock t.eng in
   let h = req_latency t in
   List.iter
-    (fun (_, t0, resp, cb) ->
+    (fun (t0, resp, cb) ->
       Obs.Metric.incr t.c_replies;
       Obs.Histogram.observe h (now -. t0);
       let sp = Obs.spans t.obs in
@@ -196,9 +196,7 @@ let release_replies t =
     ready
 
 let drop_client_state t =
-  let pending = t.pending_replies in
-  t.pending_replies <- [];
-  List.iter (fun (_, _, _, cb) -> cb None) pending;
+  List.iter (fun (_, _, cb) -> cb None) (Frontend.Replies.drop t.replies);
   Queue.iter (fun (_, _, cb) -> cb None) t.queue;
   Queue.clear t.queue
 
@@ -208,18 +206,7 @@ let flow_ok t exec =
   let mine =
     Array.fold_left ( + ) 0 (Trace.Cut.to_array (Runtime.recorded_cut exec.rt))
   in
-  let now = Engine.clock t.eng in
-  let slow =
-    Hashtbl.fold
-      (fun _ (count, at) acc ->
-        if now -. at <= t.cfg.Config.flow_staleness then
-          Some (match acc with None -> count | Some m -> min m count)
-        else acc)
-      t.flow_reports None
-  in
-  match slow with
-  | None -> true
-  | Some s -> mine - s <= t.cfg.Config.flow_window
+  Frontend.Flow.ok t.flow ~mine
 
 (* --- Checkpoint: secondary barrier --- *)
 
@@ -332,7 +319,7 @@ let rec pop_request t exec =
     if not (flow_ok t exec) then begin
       Obs.Metric.incr t.c_flow_stalls;
       let t0 = Engine.now () in
-      Engine.park (fun w -> t.flow_waiters <- w :: t.flow_waiters);
+      Frontend.Flow.park t.flow;
       let stalled = Engine.now () -. t0 in
       Obs.Histogram.observe t.h_flow_stall stalled;
       let sp = Obs.spans t.obs in
@@ -389,8 +376,7 @@ let record_iteration t exec =
         ~name:"execute" ~ts:exec_start
         ~dur:(Engine.now () -. exec_start)
         ();
-    t.pending_replies <-
-      (Runtime.source_id src, t0, resp, cb) :: t.pending_replies
+    Frontend.Replies.add t.replies ~id:(Runtime.source_id src) ~t0 ~resp ~cb
 
 let replay_iteration t exec =
   match Runtime.await_next exec.rt with
@@ -676,7 +662,16 @@ let build_exec t =
   in
   Runtime.set_mode rt Runtime.Replay;
   let api = Api.make rt in
-  let app = t.factory api in
+  (* The session table is part of the replicated state this context is
+     about to rebuild: start empty and let the checkpoint (below) and
+     committed-trace replay repopulate it.  [dedup_in_execute] stays off
+     for Rex — replay must re-execute exactly what was recorded; the
+     frontend's intake check suffices because promotion replays the
+     committed trace to its end before accepting requests. *)
+  Session.Table.clear t.session;
+  let app =
+    Session.wrap ~table:t.session ~dedup_in_execute:false (t.factory api)
+  in
   let timers = Array.of_list (Api.seal api) in
   if Array.length timers > timer_slot_budget then
     invalid_arg "Rex.Server: too many timers (budget is 8)";
@@ -752,7 +747,7 @@ let promote t =
              Runtime.feed_progress exec.rt;
              t.role_ <- Primary;
              t.proposed_cut <- Runtime.recorded_cut exec.rt;
-             Hashtbl.reset t.flow_reports;
+             Frontend.Flow.reset t.flow;
              spawn_proposer t exec;
              spawn_ckpt_policy t exec;
              Logs.info (fun m -> m "rex[%d]: promoted to primary" t.node_id)
@@ -799,16 +794,49 @@ let absorb_pushed_ckpt t (blob : Checkpoint.t) =
     match t.exec with
     | None -> ()
     | Some exec ->
-      (match t.agree with
-      | Some a -> a.Agreement.truncate_below blob.instance
-      | None -> ());
-      (* The primary must keep its base at or below the last proposed
-         cut: the next delta extraction starts there. *)
-      let upto =
-        if t.role_ = Primary then Trace.Cut.min blob.cut t.proposed_cut
-        else blob.cut
+      let upto_now =
+        match t.agree with
+        | Some a -> a.Agreement.committed_upto ()
+        | None -> 0
       in
-      Runtime.compact_trace exec.rt ~upto
+      (* Everyone truncates below the newest blob's base, so a rejoiner
+         whose commit point sits below that horizon may be waiting for
+         log entries that no longer exist on any replica.  A healthy but
+         lagging secondary still makes progress between blobs; one that
+         absorbed the previous blob without moving is provably wedged —
+         rebuild it from the blob we just saved (the §3.3 fast-forward
+         path) rather than truncating under a Learn that can never be
+         answered. *)
+      let stuck =
+        t.role_ = Secondary
+        && upto_now < blob.instance - 1
+        && upto_now <= t.ckpt_push_upto
+      in
+      t.ckpt_push_upto <- upto_now;
+      if stuck then begin
+        Logs.info (fun m ->
+            m "rex[%d]: behind GC horizon (committed %d < blob base %d), \
+               rebuilding from pushed checkpoint"
+              t.node_id upto_now blob.instance);
+        t.gen <- t.gen + 1;
+        drop_client_state t;
+        t.rebuilding <- true;
+        ignore
+          (Engine.spawn t.eng ~node:t.node_id ~name:"rex.ckpt-rejoin"
+             (fun () -> ignore (build_exec t)))
+      end
+      else begin
+        (match t.agree with
+        | Some a -> a.Agreement.truncate_below blob.instance
+        | None -> ());
+        (* The primary must keep its base at or below the last proposed
+           cut: the next delta extraction starts there. *)
+        let upto =
+          if t.role_ = Primary then Trace.Cut.min blob.cut t.proposed_cut
+          else blob.cut
+        in
+        Runtime.compact_trace exec.rt ~upto
+      end
 
 (* --- Construction --- *)
 
@@ -837,7 +865,9 @@ let create ?make_agreement net rpc cfg ~node ~paxos_store ~disk factory =
       rebuilding = false;
       queue = Queue.create ();
       queue_waiters = [];
-      pending_replies = [];
+      replies = Frontend.Replies.create ();
+      session =
+        Session.Table.create obs ~stack:"rex" ~node ();
       proposed_cut = Trace.Cut.zero ~slots;
       committed_cut_ = Trace.Cut.zero ~slots;
       committed_instance = 0;
@@ -850,8 +880,10 @@ let create ?make_agreement net rpc cfg ~node ~paxos_store ~disk factory =
       ckpt_barrier = None;
       ckpt_arrived = 0;
       ckpt_done_waiters = [];
-      flow_reports = Hashtbl.create 8;
-      flow_waiters = [];
+      ckpt_push_upto = -1;
+      flow =
+        Frontend.Flow.create eng ~window:cfg.Config.flow_window
+          ~staleness:cfg.Config.flow_staleness;
       obs;
       c_requests = c "requests_executed";
       c_replies = c "replies_sent";
@@ -877,31 +909,27 @@ let create ?make_agreement net rpc cfg ~node ~paxos_store ~disk factory =
       diverged = None;
     }
   in
-  (* Client-facing services. *)
-  Rpc.serve_async rpc ~node ~port:Client.client_port (fun ~src:_ request ~reply ->
-      if t.role_ <> Primary then
-        reply
-          (Client.encode_reply
-             (Client.Not_leader
-                (match t.agree with
-                | Some a -> a.Agreement.leader_hint ()
-                | None -> None)))
-      else begin
-        Queue.push
-          ( request,
-            Engine.clock eng,
-            function
-            | Some resp -> reply (Client.encode_reply (Client.Ok_reply resp))
-            | None -> reply (Client.encode_reply Client.Dropped) )
-          t.queue;
-        wake_queue t
-      end);
-  Rpc.serve rpc ~node ~port:Client.query_port (fun ~src:_ request ->
-      match t.exec with
-      | None -> Client.encode_reply Client.Dropped
-      | Some exec ->
-        Obs.Metric.incr t.c_queries;
-        Client.encode_reply (Client.Ok_reply (exec.app.App.query ~request)));
+  (* Client-facing services, shared with the SMR and Eve stacks. *)
+  Frontend.register rpc ~node ~table:t.session
+    {
+      Frontend.is_leader = (fun () -> t.role_ = Primary);
+      leader_hint =
+        (fun () ->
+          match t.agree with
+          | Some a -> a.Agreement.leader_hint ()
+          | None -> None);
+      enqueue =
+        (fun request cb ->
+          Queue.push (request, Engine.clock eng, cb) t.queue;
+          wake_queue t);
+      query =
+        (fun request ->
+          match t.exec with
+          | None -> None
+          | Some exec ->
+            Obs.Metric.incr t.c_queries;
+            Some (exec.app.App.query ~request));
+    };
   Rpc.serve rpc ~node ~port:fetch_ckpt_port (fun ~src:_ _ ->
       match Checkpoint.Disk.latest t.disk with
       | Some c -> Checkpoint.encode c
@@ -911,11 +939,9 @@ let create ?make_agreement net rpc cfg ~node ~paxos_store ~disk factory =
       | blob -> absorb_pushed_ckpt t blob
       | exception Codec.Decode_error _ -> ());
   Net.register net ~node ~port:flow_port (fun ~src payload ->
-      (match Codec.read_uvarint (Codec.source payload) with
-      | count ->
-        Hashtbl.replace t.flow_reports src (count, Engine.clock eng)
+      match Codec.read_uvarint (Codec.source payload) with
+      | count -> Frontend.Flow.note t.flow ~src ~count
       | exception Codec.Decode_error _ -> ());
-      wake_flow t);
   t
 
 let submit t request cb =

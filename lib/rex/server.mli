@@ -54,6 +54,11 @@ val create :
 val start : t -> unit
 
 val node : t -> int
+
+val session_table : t -> Session.Table.t
+(** The replica's client-session table (replicated via {!Session.wrap};
+    exposed for tests and tooling). *)
+
 val role : t -> role
 val is_primary : t -> bool
 

@@ -1,0 +1,192 @@
+module Envelope = struct
+  type t = { client : int; seq : int; payload : string }
+
+  let magic = 0xE5
+
+  let encode { client; seq; payload } =
+    Codec.encode
+      (fun () b ->
+        Codec.write_byte b magic;
+        Codec.write_uvarint b client;
+        Codec.write_uvarint b seq;
+        Codec.write_string b payload)
+      ()
+
+  let decode s =
+    if String.length s = 0 || Char.code s.[0] <> magic then None
+    else
+      Some
+        (Codec.decode
+           (fun src ->
+             let (_ : int) = Codec.read_byte src in
+             let client = Codec.read_uvarint src in
+             let seq = Codec.read_uvarint src in
+             let payload = Codec.read_string src in
+             { client; seq; payload })
+           s)
+end
+
+module Table = struct
+  type entry = {
+    mutable last_seq : int;
+    mutable replies : (int * string) list; (* sorted by seq, descending *)
+  }
+
+  type t = {
+    window : int;
+    sessions : (int, entry) Hashtbl.t;
+    c_dup : Obs.Metric.counter;
+    c_evict : Obs.Metric.counter;
+    g_sessions : Obs.Metric.gauge;
+  }
+
+  type lookup = Hit of string | Stale | Miss
+
+  let create ?(window = 64) obs ~stack ~node () =
+    if window <= 0 then invalid_arg "Session.Table.create: window";
+    let labels = [ ("stack", stack); ("node", string_of_int node) ] in
+    {
+      window;
+      sessions = Hashtbl.create 64;
+      c_dup = Obs.counter obs ~subsystem:"frontend" ~labels "dup_hits";
+      c_evict = Obs.counter obs ~subsystem:"frontend" ~labels "cache_evictions";
+      g_sessions = Obs.gauge obs ~subsystem:"frontend" ~labels "sessions";
+    }
+
+  (* An executed seq missing from the cache was evicted, which requires
+     at least [window] distinct higher executed seqs, so [last_seq >= seq
+     + window].  Conversely a seq within [window] of [last_seq] that is
+     absent was never executed (a concurrency gap: a slower request whose
+     later-seq siblings committed first) and must execute now — NOT be
+     refused as stale.  Hence the cutoff below, and the requirement that
+     [window] exceed a client's concurrent in-flight requests. *)
+  let lookup t ~client ~seq =
+    match Hashtbl.find_opt t.sessions client with
+    | None -> Miss
+    | Some e -> (
+      match List.assoc_opt seq e.replies with
+      | Some reply -> Hit reply
+      | None -> if seq <= e.last_seq - t.window then Stale else Miss)
+
+  let entry t client =
+    match Hashtbl.find_opt t.sessions client with
+    | Some e -> e
+    | None ->
+      let e = { last_seq = -1; replies = [] } in
+      Hashtbl.replace t.sessions client e;
+      Obs.Metric.set t.g_sessions (float_of_int (Hashtbl.length t.sessions));
+      e
+
+  (* Insert preserving descending-seq order.  Replay on a recovering
+     replica can apply records of distinct requests in any order, so this
+     must be a commutative merge, not an append. *)
+  let insert_sorted seq reply l =
+    let rec go = function
+      | [] -> [ (seq, reply) ]
+      | (s, _) :: _ as rest when seq > s -> (seq, reply) :: rest
+      | (s, _) :: rest when seq = s -> (s, reply) :: rest
+      | p :: rest -> p :: go rest
+    in
+    go l
+
+  let record t ~client ~seq ~reply =
+    let e = entry t client in
+    if seq > e.last_seq then e.last_seq <- seq;
+    let replies = insert_sorted seq reply e.replies in
+    let rec keep n = function
+      | [] -> []
+      | _ :: _ when n = 0 -> []
+      | x :: rest -> x :: keep (n - 1) rest
+    in
+    let kept = keep t.window replies in
+    let dropped = List.length replies - List.length kept in
+    if dropped > 0 then Obs.Metric.add t.c_evict dropped;
+    e.replies <- kept
+
+  let note_dup t = Obs.Metric.incr t.c_dup
+
+  let clear t =
+    Hashtbl.reset t.sessions;
+    Obs.Metric.set t.g_sessions 0.
+
+  let dump t =
+    Hashtbl.fold
+      (fun client e acc -> (client, e.last_seq, e.replies) :: acc)
+      t.sessions []
+    |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+
+  let write sink t =
+    let rows = dump t in
+    Codec.write_list sink
+      (fun b (client, last_seq, replies) ->
+        Codec.write_uvarint b client;
+        Codec.write_varint b last_seq;
+        Codec.write_list b
+          (fun b (seq, reply) ->
+            Codec.write_uvarint b seq;
+            Codec.write_string b reply)
+          replies)
+      rows
+
+  let read src t =
+    let rows =
+      Codec.read_list src (fun s ->
+          let client = Codec.read_uvarint s in
+          let last_seq = Codec.read_varint s in
+          let replies =
+            Codec.read_list s (fun s ->
+                let seq = Codec.read_uvarint s in
+                let reply = Codec.read_string s in
+                (seq, reply))
+          in
+          (client, last_seq, replies))
+    in
+    Hashtbl.reset t.sessions;
+    List.iter
+      (fun (client, last_seq, replies) ->
+        Hashtbl.replace t.sessions client { last_seq; replies })
+      rows;
+    Obs.Metric.set t.g_sessions (float_of_int (Hashtbl.length t.sessions))
+
+  let digest t =
+    let b = Codec.sink () in
+    write b t;
+    string_of_int (Hashtbl.hash (Codec.contents b))
+
+  let sessions t = Hashtbl.length t.sessions
+  let dup_hits t = Obs.Metric.value t.c_dup
+  let evictions t = Obs.Metric.value t.c_evict
+  let window t = t.window
+end
+
+let wrap ~table ~dedup_in_execute (app : App.t) : App.t =
+  let execute ~request =
+    match Envelope.decode request with
+    | None -> app.App.execute ~request
+    | Some { Envelope.client; seq; payload } ->
+      let fresh () =
+        let reply = app.App.execute ~request:payload in
+        Table.record table ~client ~seq ~reply;
+        reply
+      in
+      if not dedup_in_execute then fresh ()
+      else (
+        match Table.lookup table ~client ~seq with
+        | Table.Hit reply ->
+          Table.note_dup table;
+          reply
+        | Table.Stale ->
+          Table.note_dup table;
+          "ERR:duplicate-evicted"
+        | Table.Miss -> fresh ())
+  in
+  let write_checkpoint sink =
+    Table.write sink table;
+    app.App.write_checkpoint sink
+  in
+  let read_checkpoint src =
+    Table.read src table;
+    app.App.read_checkpoint src
+  in
+  let digest () = app.App.digest () ^ "#s" ^ Table.digest table in
+  { app with App.execute; write_checkpoint; read_checkpoint; digest }

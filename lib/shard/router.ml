@@ -17,6 +17,8 @@ type t = {
   eng : Engine.t;
   rpc : Rpc.t;
   me : int;
+  uid : int;  (* session identity, shared across all groups *)
+  mutable next_seq : int;
   mutable map : Shard_map.t;
   groups : (int, group_state) Hashtbl.t;
   c_requests : Obs.Metric.counter;
@@ -64,6 +66,8 @@ let create net rpc ~me ~map ~groups =
     eng;
     rpc;
     me;
+    uid = Engine.fresh_uid eng;
+    next_seq = 0;
     map;
     groups = tbl;
     c_requests = Obs.counter obs ~subsystem:"shard" "router_requests";
@@ -133,6 +137,22 @@ let call_group ?(retries = 8) ?(timeout = 0.1) t ~group request =
   let g = state t group in
   Obs.Metric.incr t.c_requests;
   Obs.Metric.incr g.c_routed;
+  (* One session identity per logical request, reused verbatim on every
+     retry below: the group's replicas deduplicate on it (exactly-once
+     for acknowledged requests).  The seq counter is shared across
+     groups; per-group gaps are fine — the session table tracks seqs,
+     not contiguity. *)
+  let envelope =
+    R.Session.Envelope.encode
+      {
+        R.Session.Envelope.client = t.uid;
+        seq =
+          (let s = t.next_seq in
+           t.next_seq <- s + 1;
+           s);
+        payload = request;
+      }
+  in
   let t0 = Engine.clock t.eng in
   let rec go tries backoff =
     if tries = 0 then begin
@@ -143,7 +163,7 @@ let call_group ?(retries = 8) ?(timeout = 0.1) t ~group request =
       Obs.Metric.incr t.c_hops;
       match
         Rpc.call t.rpc ~src:t.me ~dst:g.nodes.(g.guess)
-          ~port:R.Client.client_port ~timeout request
+          ~port:R.Client.client_port ~timeout envelope
       with
       | None ->
         (* timeout: dead node or stalled group *)

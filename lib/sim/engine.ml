@@ -29,6 +29,7 @@ type t = {
   busy : float array;
   fibers : (tid, fiber) Hashtbl.t;
   mutable next_tid : int;
+  mutable next_uid : int;
   mutable running : fiber option;
   (* observability *)
   obs : Obs.t;
@@ -69,6 +70,7 @@ let create ?(seed = 42) ?(cores_per_node = 16) ~num_nodes () =
       busy = Array.make num_nodes 0.;
       fibers = Hashtbl.create 64;
       next_tid = 0;
+      next_uid = 0;
       running = None;
       obs;
       g_ready = Obs.gauge obs ~subsystem:"sim" "ready_events";
@@ -89,6 +91,11 @@ let create ?(seed = 42) ?(cores_per_node = 16) ~num_nodes () =
 
 let num_nodes t = t.nodes
 let cores_per_node t = t.cores
+
+let fresh_uid t =
+  let uid = t.next_uid in
+  t.next_uid <- uid + 1;
+  uid
 let obs t = t.obs
 let rng t = t.root_rng
 let clock t = t.time

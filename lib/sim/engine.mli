@@ -29,6 +29,13 @@ val create : ?seed:int -> ?cores_per_node:int -> num_nodes:int -> unit -> t
 
 val num_nodes : t -> int
 val cores_per_node : t -> int
+
+val fresh_uid : t -> int
+(** Engine-scoped monotone id allocator.  Deterministic for a given seed
+    and program order — used for client session identities, where a
+    process-global counter would leak state across simulations and break
+    per-seed reproducibility. *)
+
 val rng : t -> Rng.t
 (** The root generator; [Rng.split] it for independent streams. *)
 

@@ -43,6 +43,8 @@ let serve_async t ~node ~port handler =
       in
       handler ~src body ~reply)
 
+let net t = t.net
+
 let serve t ~node ~port handler =
   serve_async t ~node ~port (fun ~src body ~reply -> reply (handler ~src body))
 

@@ -7,6 +7,7 @@
 type t
 
 val create : Net.t -> t
+val net : t -> Net.t
 
 val serve : t -> node:int -> port:string -> (src:int -> string -> string) -> unit
 (** Register a service; the handler's return value is the reply. *)

@@ -20,7 +20,8 @@ type t = {
   cfg : R.Config.t;
   node_id : int;
   pstore : Paxos.Store.t;
-  app : R.App.t;
+  app : R.App.t;  (* session-wrapped: see [create] *)
+  session : R.Session.Table.t;
   timers : R.Api.timer_spec array;
   mutable pax : Paxos.Replica.t option;
   mutable leader : bool;
@@ -39,6 +40,7 @@ type t = {
 
 let node t = t.node_id
 let is_primary t = t.leader
+let session_table t = t.session
 let app_digest t = t.app.R.App.digest ()
 let executed_requests t = t.st_requests
 
@@ -51,8 +53,8 @@ let stats t =
     proposal_bytes = t.st_proposal_bytes;
   }
 
-let encode_batch reqs = Codec.encode (fun l b -> Codec.write_list b Codec.write_string l) reqs
-let decode_batch v = Codec.decode (fun s -> Codec.read_list s Codec.read_string) v
+let encode_batch = R.Frontend.encode_batch
+let decode_batch = R.Frontend.decode_batch
 
 let wake_executor t =
   let ws = t.exec_waiters in
@@ -177,7 +179,14 @@ let create net rpc cfg ~node ~paxos_store factory =
   (* The app's wrappers run native: no fiber is ever bound to a slot. *)
   let rt = Rexsync.Runtime.create eng ~node ~slots:1 in
   let api = R.Api.make rt in
-  let app = factory api in
+  let session =
+    R.Session.Table.create (Engine.obs eng) ~stack:"smr" ~node ()
+  in
+  (* Serial execution is identical on every replica, so the in-execute
+     duplicate check is deterministic here — it catches retries that
+     slipped past intake on a freshly elected leader whose executor is
+     still catching up on earlier instances. *)
+  let app = R.Session.wrap ~table:session ~dedup_in_execute:true (factory api) in
   let timers = Array.of_list (R.Api.seal api) in
   let t =
     {
@@ -187,6 +196,7 @@ let create net rpc cfg ~node ~paxos_store factory =
       node_id = node;
       pstore = paxos_store;
       app;
+      session;
       timers;
       pax = None;
       leader = false;
@@ -202,26 +212,20 @@ let create net rpc cfg ~node ~paxos_store factory =
       st_proposal_bytes = 0;
     }
   in
-  Rpc.serve_async rpc ~node ~port:R.Client.client_port
-    (fun ~src:_ request ~reply ->
-      if not t.leader then
-        reply
-          (R.Client.encode_reply
-             (R.Client.Not_leader
-                (match t.pax with
-                | Some p -> Paxos.Replica.leader_hint p
-                | None -> None)))
-      else
-        Queue.push
-          ( request,
-            function
-            | Some resp ->
-              reply (R.Client.encode_reply (R.Client.Ok_reply resp))
-            | None -> reply (R.Client.encode_reply R.Client.Dropped) )
-          t.queue);
-  Rpc.serve rpc ~node ~port:R.Client.query_port (fun ~src:_ request ->
-      t.st_queries <- t.st_queries + 1;
-      R.Client.encode_reply (R.Client.Ok_reply (t.app.R.App.query ~request)));
+  R.Frontend.register rpc ~node ~table:session
+    {
+      R.Frontend.is_leader = (fun () -> t.leader);
+      leader_hint =
+        (fun () ->
+          match t.pax with
+          | Some p -> Paxos.Replica.leader_hint p
+          | None -> None);
+      enqueue = (fun request cb -> Queue.push (request, cb) t.queue);
+      query =
+        (fun request ->
+          t.st_queries <- t.st_queries + 1;
+          Some (t.app.R.App.query ~request));
+    };
   t
 
 let start t =

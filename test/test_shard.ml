@@ -98,6 +98,13 @@ let prop_minimal_remap_remove =
    answer [Not_leader (Some leader)], the leader echoes the request.
    Node [-1] means "no leader anywhere" (everyone redirects with no
    hint); a crashed node times out instead. *)
+(* The router wraps requests in session envelopes; fake replicas unwrap
+   to echo the logical payload like a real frontend would. *)
+let payload_of req =
+  match R.Session.Envelope.decode req with
+  | Some e -> e.R.Session.Envelope.payload
+  | None -> req
+
 let make_scripted_group () =
   let eng = Engine.create ~seed:11 ~num_nodes:4 () in
   let net = Net.create eng in
@@ -106,7 +113,7 @@ let make_scripted_group () =
   for node = 0 to 2 do
     Rpc.serve rpc ~node ~port:R.Client.client_port (fun ~src:_ req ->
         R.Client.encode_reply
-          (if !leader = node then R.Client.Ok_reply ("done:" ^ req)
+          (if !leader = node then R.Client.Ok_reply ("done:" ^ payload_of req)
            else R.Client.Not_leader (if !leader < 0 then None else Some !leader)))
   done;
   let map = Map_.create ~groups:[ 0 ] () in
@@ -175,7 +182,7 @@ let test_multi_call_partial_failure () =
   for node = 0 to 2 do
     Rpc.serve rpc ~node ~port:R.Client.client_port (fun ~src:_ req ->
         R.Client.encode_reply
-          (if node = 0 then R.Client.Ok_reply ("done:" ^ req)
+          (if node = 0 then R.Client.Ok_reply ("done:" ^ payload_of req)
            else R.Client.Not_leader (Some 0)))
   done;
   let map = Map_.create ~groups:[ 0; 1 ] () in
