@@ -201,16 +201,10 @@ let run_compaction ~quick () =
   let compactions = Trace.compactions tr in
   Printf.printf "peak resident %d of %d recorded, %d compactions\n%!" !peak
     total compactions;
-  if compactions = 0 then begin
-    Printf.printf "FAIL: no trace compaction happened\n%!";
-    exit 1
-  end;
-  if 2 * !peak >= total then begin
-    Printf.printf
-      "FAIL: resident trace not bounded (peak %d vs %d recorded)\n%!"
+  if compactions = 0 then Harness.fail "FAIL: no trace compaction happened";
+  if 2 * !peak >= total then
+    Harness.fail "FAIL: resident trace not bounded (peak %d vs %d recorded)"
       !peak total;
-    exit 1
-  end;
   Printf.printf "OK: resident trace bounded by checkpoint window\n%!"
 
 let sections ~quick =

@@ -44,7 +44,7 @@ type row = {
   final : string;
 }
 
-let check ~stack ~total ~results ~dup_hits ~evictions ~sessions ~final =
+let mk_row ~stack ~total ~results ~dup_hits ~evictions ~sessions ~final =
   let values =
     List.filter_map (Option.map int_of_string) !results |> List.sort compare
   in
@@ -65,10 +65,18 @@ let check ~stack ~total ~results ~dup_hits ~evictions ~sessions ~final =
   }
 
 (* Four fibers share one client (and thus one session identity) and
-   drain the request list with generous retries. *)
-let drive ~eng ~node ~cl ~total =
+   drain the request list with generous retries.  With [history] the
+   calls are recorded for the linearizability check (--check). *)
+let drive ~eng ~node ~cl ?history ~total () =
   let results = ref [] and remaining = ref total in
   let pending = ref (List.init total (fun i -> i)) in
+  let call () =
+    match history with
+    | None -> R.Client.call ~retries:2000 cl "INC"
+    | Some h ->
+      Check.History.record h ~client:(R.Client.client_id cl) ~request:"INC"
+        (fun () -> R.Client.call ~retries:2000 cl "INC")
+  in
   for _ = 1 to 4 do
     ignore
       (Engine.spawn eng ~node ~name:"dedup-client" (fun () ->
@@ -77,7 +85,7 @@ let drive ~eng ~node ~cl ~total =
              | [] -> ()
              | _ :: rest ->
                pending := rest;
-               let resp = R.Client.call ~retries:2000 cl "INC" in
+               let resp = call () in
                results := resp :: !results;
                decr remaining;
                loop ()
@@ -86,6 +94,22 @@ let drive ~eng ~node ~cl ~total =
   done;
   (results, remaining)
 
+(* The --check verdict: the recorded history must linearize against the
+   counter spec.  The dedup smoke's own permutation check looks at final
+   values only; this one also constrains every intermediate response. *)
+let lin_verdict ~stack h =
+  Check.History.resolve h;
+  let res = Check.Lin.check Check.Spec.counter (Check.History.entries h) in
+  (match res.Check.Lin.verdict with
+  | Check.Lin.Linearizable -> ()
+  | Check.Lin.Non_linearizable w ->
+    Harness.fail "dedup --check (%s): history NOT linearizable: %s" stack
+      (String.concat "; " w)
+  | Check.Lin.Limit ->
+    Harness.fail "dedup --check (%s): checker ran out of budget" stack);
+  Printf.printf "   %-6s %s\n%!" stack
+    (Format.asprintf "%a" Check.Lin.pp_result res)
+
 let pump eng remaining ~deadline =
   let rec go () =
     Engine.run ~until:(Engine.clock eng +. 0.5) eng;
@@ -93,7 +117,7 @@ let pump eng remaining ~deadline =
   in
   go ()
 
-let rex_run ~total ~seed =
+let rex_run ~total ~seed ~check =
   let cluster =
     R.Cluster.create ~seed
       (R.Config.make ~workers:4 ~replicas:[ 0; 1; 2 ] ())
@@ -103,10 +127,20 @@ let rex_run ~total ~seed =
   let primary = R.Cluster.await_primary cluster in
   let eng = R.Cluster.engine cluster in
   let net = R.Cluster.net cluster in
+  let history =
+    if not check then None
+    else begin
+      let h = Check.History.create eng in
+      Array.iter
+        (fun s -> Check.History.wire h [ R.Server.frontend s ])
+        (R.Cluster.servers cluster);
+      Some h
+    end
+  in
   Net.set_drop_probability net 0.08;
   let results, remaining =
     drive ~eng ~node:(R.Cluster.client_node cluster)
-      ~cl:(R.Cluster.client cluster) ~total
+      ~cl:(R.Cluster.client cluster) ?history ~total ()
   in
   Engine.run ~until:(Engine.clock eng +. 0.5) eng;
   R.Cluster.crash cluster (R.Server.node primary);
@@ -119,8 +153,9 @@ let rex_run ~total ~seed =
   let live =
     List.filter (fun s -> Engine.node_alive eng (R.Server.node s)) servers
   in
+  Option.iter (fun h -> lin_verdict ~stack:"rex" h) history;
   let sum f = List.fold_left (fun a s -> a + f (R.Server.session_table s)) 0 in
-  check ~stack:"rex" ~total ~results
+  mk_row ~stack:"rex" ~total ~results
     ~dup_hits:(fun () -> sum R.Session.Table.dup_hits servers)
     ~evictions:(fun () -> sum R.Session.Table.evictions servers)
     ~sessions:(fun () ->
@@ -132,7 +167,7 @@ let rex_run ~total ~seed =
       | s :: _ -> R.Server.query s "GET"
       | [] -> "no-live-replica")
 
-let smr_run ~total ~seed =
+let smr_run ~total ~seed ~check =
   let eng = Engine.create ~seed ~cores_per_node:8 ~num_nodes:4 () in
   let net = Net.create eng in
   let rpc = Rpc.create net in
@@ -141,6 +176,14 @@ let smr_run ~total ~seed =
     Array.init 3 (fun i ->
         Smr.create net rpc config ~node:i ~paxos_store:(Paxos.Store.create ())
           (counter_factory ()))
+  in
+  let history =
+    if not check then None
+    else begin
+      let h = Check.History.create eng in
+      Check.History.wire h (List.map Smr.frontend (Array.to_list servers));
+      Some h
+    end
   in
   Array.iter Smr.start servers;
   Engine.run ~until:1.0 eng;
@@ -151,7 +194,7 @@ let smr_run ~total ~seed =
   in
   Net.set_drop_probability net 0.08;
   let cl = R.Client.create rpc ~me:3 ~replicas:[ 0; 1; 2 ] in
-  let results, remaining = drive ~eng ~node:3 ~cl ~total in
+  let results, remaining = drive ~eng ~node:3 ~cl ?history ~total () in
   Engine.run ~until:(Engine.clock eng +. 0.5) eng;
   Engine.crash_node eng (Smr.node leader);
   pump eng remaining ~deadline:(Engine.clock eng +. 180.);
@@ -160,8 +203,9 @@ let smr_run ~total ~seed =
   Engine.run ~until:(Engine.clock eng +. 2.) eng;
   let all = Array.to_list servers in
   let live = List.filter (fun s -> Engine.node_alive eng (Smr.node s)) all in
+  Option.iter (fun h -> lin_verdict ~stack:"smr" h) history;
   let sum f = List.fold_left (fun a s -> a + f (Smr.session_table s)) 0 in
-  check ~stack:"smr" ~total ~results
+  mk_row ~stack:"smr" ~total ~results
     ~dup_hits:(fun () -> sum R.Session.Table.dup_hits all)
     ~evictions:(fun () -> sum R.Session.Table.evictions all)
     ~sessions:(fun () ->
@@ -173,7 +217,7 @@ let smr_run ~total ~seed =
       | s :: _ -> Smr.query s "GET"
       | [] -> "no-live-replica")
 
-let eve_run ~total ~seed =
+let eve_run ~total ~seed ~check =
   let eng = Engine.create ~seed ~cores_per_node:8 ~num_nodes:4 () in
   let net = Net.create eng in
   let rpc = Rpc.create net in
@@ -184,6 +228,14 @@ let eve_run ~total ~seed =
           ~conflict_keys:(fun _ -> [ "k" ])
           (counter_factory ()))
   in
+  let history =
+    if not check then None
+    else begin
+      let h = Check.History.create eng in
+      Check.History.wire h (List.map Eve.frontend (Array.to_list servers));
+      Some h
+    end
+  in
   Array.iter Eve.start servers;
   Engine.run ~until:1.0 eng;
   let leader =
@@ -193,7 +245,7 @@ let eve_run ~total ~seed =
   in
   Net.set_drop_probability net 0.08;
   let cl = R.Client.create rpc ~me:3 ~replicas:[ 0; 1; 2 ] in
-  let results, remaining = drive ~eng ~node:3 ~cl ~total in
+  let results, remaining = drive ~eng ~node:3 ~cl ?history ~total () in
   Engine.run ~until:(Engine.clock eng +. 0.5) eng;
   Engine.crash_node eng (Eve.node leader);
   pump eng remaining ~deadline:(Engine.clock eng +. 180.);
@@ -202,8 +254,9 @@ let eve_run ~total ~seed =
   Engine.run ~until:(Engine.clock eng +. 2.) eng;
   let all = Array.to_list servers in
   let live = List.filter (fun s -> Engine.node_alive eng (Eve.node s)) all in
+  Option.iter (fun h -> lin_verdict ~stack:"eve" h) history;
   let sum f = List.fold_left (fun a s -> a + f (Eve.session_table s)) 0 all in
-  check ~stack:"eve" ~total ~results
+  mk_row ~stack:"eve" ~total ~results
     ~dup_hits:(fun () -> sum R.Session.Table.dup_hits)
     ~evictions:(fun () -> sum R.Session.Table.evictions)
     ~sessions:(fun () ->
@@ -215,19 +268,21 @@ let eve_run ~total ~seed =
       | s :: _ -> Eve.query s "GET"
       | [] -> "no-live-replica")
 
-let run ?(quick = false) () =
+let run ?(quick = false) ?(check = false) () =
   let total = if quick then 40 else 200 in
   print_endline "";
   print_endline
     "== Exactly-once under faults (8% drops + leader kill, retrying \
      clients) ==";
+  if check then
+    print_endline "   (--check: histories recorded, linearizability asserted)";
   Printf.printf "%-6s %9s %10s %9s %10s %9s %8s  %s\n" "stack" "requests"
     "completed" "dup_hits" "evictions" "sessions" "final" "verdict";
   let rows =
     [
-      rex_run ~total ~seed:4242;
-      smr_run ~total ~seed:4243;
-      eve_run ~total ~seed:4244;
+      rex_run ~total ~seed:4242 ~check;
+      smr_run ~total ~seed:4243 ~check;
+      eve_run ~total ~seed:4244 ~check;
     ]
   in
   let ok = ref true in
@@ -240,9 +295,7 @@ let run ?(quick = false) () =
         (if r.exactly_once && r.dup_hits > 0 then "exactly-once"
          else "DOUBLE-EXECUTION"))
     rows;
-  if not !ok then begin
-    prerr_endline
+  if not !ok then
+    Harness.fail
       "dedup smoke FAILED: a retried request was re-executed (or no \
-       duplicate was ever produced to intercept)";
-    exit 1
-  end
+       duplicate was ever produced to intercept)"

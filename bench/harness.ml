@@ -6,6 +6,13 @@
 open Sim
 module R = Rex_core
 
+exception Failed of string
+(* A smoke assertion inside a bench failed.  Raised (not [exit 1]) so the
+   same assertions run under `dune runtest` as tier-1 tests; the CLI
+   entry point catches it and exits non-zero. *)
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Failed s)) fmt
+
 type mode = Native | Rex | Rsm
 
 let mode_name = function Native -> "native" | Rex -> "Rex" | Rsm -> "RSM"

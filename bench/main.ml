@@ -7,6 +7,7 @@
    traced run, viewable in chrome://tracing or ui.perfetto.dev). *)
 
 open Cmdliner
+open Bench_lib
 
 let quick_arg =
   Arg.(value & flag & info [ "quick" ] ~doc:"Run scaled-down workloads.")
@@ -43,11 +44,17 @@ let trace_arg =
            $(docv).")
 
 (* Wrap a thunk-valued term so that the metrics/trace sinks are armed
-   before the benchmark runs and flushed after it finishes. *)
+   before the benchmark runs and flushed after it finishes.  A smoke
+   assertion failure (Harness.Failed) prints and exits non-zero — the
+   same assertions raise so `dune runtest` can catch them in-process. *)
 let instrumented (term : (unit -> unit) Term.t) =
   let wrap metrics trace run =
     Harness.set_outputs ~metrics ~trace;
-    run ();
+    (try run ()
+     with Harness.Failed msg ->
+       Harness.flush_outputs ();
+       prerr_endline msg;
+       exit 1);
     Harness.flush_outputs ()
   in
   Term.(const wrap $ metrics_arg $ trace_arg $ term)
@@ -144,13 +151,23 @@ let shard_app_arg =
           (Printf.sprintf "Key/value application to shard, one of %s."
              (String.concat ", " Shard_bench.app_names)))
 
+(* --check records every client call and asserts the resulting history
+   is linearizable (lib/check), on top of the benchmark's own checks. *)
+let check_flag =
+  Arg.(
+    value & flag
+    & info [ "check" ]
+        ~doc:"Record client histories and assert linearizability (lib/check).")
+
 let shard_cmd =
-  let run quick shards app () = Shard_bench.run ~quick ~shards ~app () in
+  let run quick shards app check () =
+    Shard_bench.run ~quick ~shards ~app ~check ()
+  in
   Cmd.v
     (Cmd.info "shard"
        ~doc:"Scale-out: shard count x key skew sweep, plus shard failover")
     (instrumented
-       Term.(const run $ quick_arg $ shards_arg $ shard_app_arg))
+       Term.(const run $ quick_arg $ shards_arg $ shard_app_arg $ check_flag))
 
 let ycsb_cmd =
   Cmd.v (Cmd.info "ycsb" ~doc:"YCSB core workloads on the KV stores")
@@ -174,7 +191,70 @@ let dedup_cmd =
          "Exactly-once smoke: retried requests under faults on all three \
           stacks")
     (instrumented
-       Term.(const (fun quick () -> Dedup_smoke.run ~quick ()) $ quick_arg))
+       Term.(
+         const (fun quick check () -> Dedup_smoke.run ~quick ~check ())
+         $ quick_arg $ check_flag))
+
+(* --- `check`: the fault-schedule explorer + linearizability sweep. --- *)
+
+let check_cmd =
+  let stack_arg =
+    Arg.(
+      value & opt string "rex"
+      & info [ "stack" ]
+          ~doc:"Stack under test: rex, smr, eve, shard, or all.")
+  in
+  let capp_arg =
+    Arg.(
+      value & opt string "kv"
+      & info [ "a"; "app" ] ~doc:"Application spec: kv, counter, or all.")
+  in
+  let nemesis_arg =
+    Arg.(
+      value & opt string "mixed"
+      & info [ "nemesis" ]
+          ~doc:
+            "Fault profile: crash, partition, drop, skew, leader, mixed, or \
+             all.")
+  in
+  let seeds_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "seeds" ] ~doc:"Number of seeded schedules per combination.")
+  in
+  let base_seed_arg =
+    Arg.(
+      value & opt int 1000
+      & info [ "seed" ] ~doc:"First seed of the sweep (seeds are consecutive).")
+  in
+  let dedup_off_arg =
+    Arg.(
+      value & flag
+      & info [ "dedup-off" ]
+          ~doc:
+            "Defeat request dedup in the client (retries mint fresh request \
+             ids) and assert the checker catches the double executions.")
+  in
+  let repro_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "repro-out" ] ~docv:"FILE"
+          ~doc:"Write the minimal reproducer of the first failure to $(docv).")
+  in
+  let run quick stack app nemesis seeds base_seed dedup_off repro_out () =
+    Check_bench.run ~quick ~stack ~app ~nemesis ~seeds ~base_seed ~dedup_off
+      ?repro_out ()
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Fault-schedule explorer: seeded nemesis schedules + linearizability \
+          checker over the recorded client histories")
+    (instrumented
+       Term.(
+         const run $ quick_arg $ stack_arg $ capp_arg $ nemesis_arg $ seeds_arg
+         $ base_seed_arg $ dedup_off_arg $ repro_out_arg))
 
 let bechamel_cmd =
   Cmd.v (Cmd.info "bechamel" ~doc:"Wall-clock micro-benchmarks")
@@ -222,6 +302,7 @@ let () =
             chain_cmd;
             shard_cmd;
             dedup_cmd;
+            check_cmd;
             bechamel_cmd;
             all_cmd;
           ]))

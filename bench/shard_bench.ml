@@ -66,10 +66,23 @@ type point = {
   per_shard : int array;  (* replies over the whole run *)
 }
 
-let run_point ~quick ~app ~shards ~theta ~seed =
+let run_point ~quick ~app ~shards ~theta ~seed ~check =
   let fleet = make_fleet ~app ~shards ~seed () in
   let eng = Fleet.engine fleet in
   let router = Fleet.router fleet in
+  let history =
+    if not check then None
+    else begin
+      let h = Check.History.create eng in
+      Array.iter
+        (fun c ->
+          Array.iter
+            (fun s -> Check.History.wire h [ R.Server.frontend s ])
+            (R.Cluster.servers c))
+        (Fleet.clusters fleet);
+      Some h
+    end
+  in
   let gen = Workload.Mix.kv_keyed ~n_keys:20_000 ~read_ratio:0.5 ~theta () in
   let rng = Rng.create (seed + 17) in
   let n = (if quick then 1200 else 5000) * shards in
@@ -96,7 +109,14 @@ let run_point ~quick ~app ~shards ~theta ~seed =
            while !launched < n do
              incr launched;
              let key, request = gen rng in
-             (match Router.call router ~key request with
+             let call () = Router.call router ~key request in
+             let resp =
+               match history with
+               | None -> call ()
+               | Some h ->
+                 Check.History.record h ~client:d ~request call
+             in
+             (match resp with
              | Some _ -> incr completed
              | None -> incr dropped);
              note_done ()
@@ -111,28 +131,37 @@ let run_point ~quick ~app ~shards ~theta ~seed =
   Harness.note_run
     ~label:(Printf.sprintf "shard-%s-s%d-z%.2f" app shards theta)
     eng;
-  if !completed + !dropped < n || not !warm_hit then begin
-    Printf.printf "FAIL: shard sweep point (%d shards, theta %.2f) timed out \
-                   (%d/%d done)\n%!"
+  if !completed + !dropped < n || not !warm_hit then
+    Harness.fail
+      "FAIL: shard sweep point (%d shards, theta %.2f) timed out (%d/%d done)"
       shards theta (!completed + !dropped) n;
-    exit 1
-  end;
   let per_shard = Array.init shards (Fleet.replies fleet) in
   Array.iteri
     (fun g r ->
-      if r = 0 then begin
-        Printf.printf
-          "FAIL: shard %d committed nothing (%d shards, theta %.2f)\n%!" g
-          shards theta;
-        exit 1
-      end)
+      if r = 0 then
+        Harness.fail "FAIL: shard %d committed nothing (%d shards, theta %.2f)"
+          g shards theta)
     per_shard;
   Fleet.run_for fleet 1.0;
   Fleet.check_no_divergence fleet;
-  if not (Fleet.converged fleet) then begin
-    Printf.printf "FAIL: a shard's replicas did not converge\n%!";
-    exit 1
-  end;
+  if not (Fleet.converged fleet) then
+    Harness.fail "FAIL: a shard's replicas did not converge";
+  Option.iter
+    (fun h ->
+      Check.History.resolve h;
+      let res =
+        Check.Lin.check Check.Spec.register (Check.History.entries h)
+      in
+      match res.Check.Lin.verdict with
+      | Check.Lin.Linearizable ->
+        Printf.printf "   check: %s\n%!"
+          (Format.asprintf "%a" Check.Lin.pp_result res)
+      | Check.Lin.Non_linearizable w ->
+        Harness.fail "shard --check: history NOT linearizable: %s"
+          (String.concat "; " w)
+      | Check.Lin.Limit ->
+        Harness.fail "shard --check: checker ran out of budget")
+    history;
   let st = Router.stats router in
   {
     shards;
@@ -144,7 +173,7 @@ let run_point ~quick ~app ~shards ~theta ~seed =
     per_shard;
   }
 
-let print_sweep ~quick ~app ~shards ~theta ~seed =
+let print_sweep ~quick ~app ~shards ~theta ~seed ~check =
   Printf.printf "\n-- key skew: %s (zipf theta %.2f) --\n"
     (if theta = 0. then "uniform" else "hotspot")
     theta;
@@ -153,7 +182,7 @@ let print_sweep ~quick ~app ~shards ~theta ~seed =
   let base = ref None in
   List.iter
     (fun s ->
-      let p = run_point ~quick ~app ~shards:s ~theta ~seed in
+      let p = run_point ~quick ~app ~shards:s ~theta ~seed ~check in
       let speedup =
         match !base with
         | None ->
@@ -245,23 +274,27 @@ let run_failover ~quick ~app ~shards ~seed =
     "router during failover: %d requests, %d redirects, %d retries, %d \
      failures\n"
     st.Router.requests st.Router.redirects st.Router.retries st.Router.failures;
-  if !others_min <= 0. then begin
-    Printf.printf
-      "FAIL: a surviving shard stalled while shard 0 was electing\n%!";
-    exit 1
-  end;
+  if !others_min <= 0. then
+    Harness.fail "FAIL: a surviving shard stalled while shard 0 was electing";
   Printf.printf
     "OK: surviving shards stayed above %.0f req/s through the outage\n%!"
     !others_min
 
-let run ?(quick = false) ?(shards = [ 1; 2; 4; 8 ]) ?(app = "leveldb") () =
+let run ?(quick = false) ?(shards = [ 1; 2; 4; 8 ]) ?(app = "leveldb")
+    ?(check = false) () =
   let seed = 7 in
+  if check && app = "memcache" then
+    Harness.fail
+      "shard --check: memcache is not register-conformant (STORED/DELETED \
+       responses, eviction) — use leveldb or kyoto";
   Printf.printf
     "\n== Shard scale-out: %s over %s shards, 3 replicas each, 128 closed-loop \
      clients ==\n"
     app
     (String.concat "/" (List.map string_of_int shards));
-  List.iter (fun theta -> print_sweep ~quick ~app ~shards ~theta ~seed)
+  if check then
+    print_endline "   (--check: histories recorded, linearizability asserted)";
+  List.iter (fun theta -> print_sweep ~quick ~app ~shards ~theta ~seed ~check)
     [ 0.0; 0.99 ];
   let max_shards = List.fold_left max 1 shards in
   if max_shards < 2 then

@@ -1,0 +1,226 @@
+type verdict = Linearizable | Non_linearizable of string list | Limit
+
+type result = {
+  verdict : verdict;
+  checked_ops : int;
+  dropped_ambiguous_reads : int;
+  skipped_unrecognized : int;
+  partitions : int;
+  configs_explored : int;
+}
+
+(* One operation, preprocessed for the search. *)
+type op = {
+  req : string;
+  expected : string option;  (* None: any response acceptable *)
+  must : bool;  (* must appear in the linearization *)
+  t_inv : float;
+  t_ret : float;  (* infinity when the return never happened *)
+}
+
+(* Dancing-links node in the event list. *)
+type node = {
+  op : int;
+  is_ret : bool;
+  mutable prev : node option;
+  mutable next : node option;
+}
+
+let unlink n =
+  (match n.prev with Some p -> p.next <- n.next | None -> ());
+  match n.next with Some s -> s.prev <- n.prev | None -> ()
+
+let relink n =
+  (match n.prev with Some p -> p.next <- Some n | None -> ());
+  match n.next with Some s -> s.prev <- Some n | None -> ()
+
+exception Out_of_steps
+
+(* Check one partition.  Returns [Ok configs] or [Error (witness, configs)]. *)
+let check_partition ~steps ~max_steps (model : Spec.t) (ops : op array) =
+  let n = Array.length ops in
+  if n = 0 then Ok 0
+  else begin
+    (* Event list: invokes and (for must ops) returns, time-ordered,
+       invokes before returns on ties so a response observed at the same
+       instant as another op's invoke is treated as concurrent. *)
+    let events = ref [] in
+    Array.iteri
+      (fun i o ->
+        events := (o.t_inv, false, i) :: !events;
+        if o.must && o.t_ret < Float.infinity then
+          events := (o.t_ret, true, i) :: !events)
+      ops;
+    let events =
+      List.sort
+        (fun (t1, r1, i1) (t2, r2, i2) ->
+          match compare t1 t2 with
+          | 0 -> ( match compare r1 r2 with 0 -> compare i1 i2 | c -> c)
+          | c -> c)
+        !events
+    in
+    let head = { op = -1; is_ret = false; prev = None; next = None } in
+    let inv_node = Array.make n head and ret_node = Array.make n None in
+    let tail =
+      List.fold_left
+        (fun at (_, is_ret, i) ->
+          let nd = { op = i; is_ret; prev = Some at; next = None } in
+          at.next <- Some nd;
+          if is_ret then ret_node.(i) <- Some nd else inv_node.(i) <- nd;
+          nd)
+        head events
+    in
+    ignore tail;
+    let lin = Bytes.make ((n + 7) / 8) '\000' in
+    let set_bit i =
+      let b = Char.code (Bytes.get lin (i lsr 3)) in
+      Bytes.set lin (i lsr 3) (Char.chr (b lor (1 lsl (i land 7))))
+    and clear_bit i =
+      let b = Char.code (Bytes.get lin (i lsr 3)) in
+      Bytes.set lin (i lsr 3) (Char.chr (b land lnot (1 lsl (i land 7))))
+    in
+    let cache : (string, unit) Hashtbl.t = Hashtbl.create 4096 in
+    let remaining_must =
+      ref (Array.fold_left (fun a o -> if o.must then a + 1 else a) 0 ops)
+    in
+    let state = ref model.Spec.init in
+    let stack : (int * string) list ref = ref [] in
+    let entry = ref head.next in
+    let failed = ref false in
+    while !remaining_must > 0 && not !failed do
+      incr steps;
+      if !steps > max_steps then raise Out_of_steps;
+      match !entry with
+      | None | Some { is_ret = true; _ } -> (
+        (* End of list, or blocked on the return of an op we have not
+           linearized: undo the most recent choice and scan on past
+           it. *)
+        match !stack with
+        | [] -> failed := true
+        | (i, prev_state) :: rest ->
+          stack := rest;
+          Option.iter relink ret_node.(i);
+          relink inv_node.(i);
+          clear_bit i;
+          if ops.(i).must then incr remaining_must;
+          state := prev_state;
+          entry := inv_node.(i).next)
+      | Some nd ->
+        let i = nd.op in
+        let o = ops.(i) in
+        let advance () = entry := nd.next in
+        (match model.Spec.apply !state o.req with
+        | None -> advance ()  (* unrecognized: filtered earlier *)
+        | Some (state', resp) ->
+          let resp_ok =
+            match o.expected with None -> true | Some r -> r = resp
+          in
+          if not resp_ok then advance ()
+          else begin
+            set_bit i;
+            let key = Bytes.to_string lin ^ "\000" ^ state' in
+            if Hashtbl.mem cache key then begin
+              clear_bit i;
+              advance ()
+            end
+            else begin
+              Hashtbl.add cache key ();
+              stack := (i, !state) :: !stack;
+              unlink inv_node.(i);
+              Option.iter unlink ret_node.(i);
+              if o.must then decr remaining_must;
+              state := state';
+              entry := head.next
+            end
+          end)
+    done;
+    if !failed then Error (Hashtbl.length cache) else Ok (Hashtbl.length cache)
+  end
+
+let default_max_steps = 5_000_000
+
+let check ?(max_steps = default_max_steps) (model : Spec.t) entries =
+  let skipped = ref 0 and dropped_reads = ref 0 and checked = ref 0 in
+  (* Partition by model key. *)
+  let parts : (string, op list ref) Hashtbl.t = Hashtbl.create 16 in
+  let add key op =
+    match Hashtbl.find_opt parts key with
+    | Some l -> l := op :: !l
+    | None -> Hashtbl.replace parts key (ref [ op ])
+  in
+  List.iter
+    (fun (e : History.entry) ->
+      match model.Spec.apply model.Spec.init e.request with
+      | None -> incr skipped
+      | Some _ -> (
+        let key = Option.value (model.Spec.key_of e.request) ~default:"" in
+        match e.fate with
+        | History.Returned r ->
+          incr checked;
+          add key
+            { req = e.request; expected = Some r; must = true;
+              t_inv = e.invoke; t_ret = e.return_ }
+        | History.Resolved r ->
+          incr checked;
+          add key
+            { req = e.request; expected = Some r; must = true;
+              t_inv = e.invoke; t_ret = Float.infinity }
+        | History.Timed_out ->
+          if model.Spec.is_read e.request then incr dropped_reads
+          else begin
+            incr checked;
+            add key
+              { req = e.request; expected = None; must = false;
+                t_inv = e.invoke; t_ret = Float.infinity }
+          end))
+    entries;
+  let keys =
+    Hashtbl.fold (fun k _ acc -> k :: acc) parts [] |> List.sort compare
+  in
+  let steps = ref 0 in
+  let configs = ref 0 in
+  let witnesses = ref [] in
+  let limited = ref false in
+  List.iter
+    (fun k ->
+      if not !limited then
+        let ops = Array.of_list (List.rev !(Hashtbl.find parts k)) in
+        match check_partition ~steps ~max_steps model ops with
+        | Ok c -> configs := !configs + c
+        | Error c ->
+          configs := !configs + c;
+          let label = if k = "" then model.Spec.name else k in
+          witnesses :=
+            Printf.sprintf
+              "partition %S: no linearization of %d ops exists" label
+              (Array.length ops)
+            :: !witnesses
+        | exception Out_of_steps -> limited := true)
+    keys;
+  let verdict =
+    if !limited then Limit
+    else if !witnesses = [] then Linearizable
+    else Non_linearizable (List.rev !witnesses)
+  in
+  {
+    verdict;
+    checked_ops = !checked;
+    dropped_ambiguous_reads = !dropped_reads;
+    skipped_unrecognized = !skipped;
+    partitions = List.length keys;
+    configs_explored = !configs;
+  }
+
+let pp_result ppf r =
+  let v =
+    match r.verdict with
+    | Linearizable -> "linearizable"
+    | Non_linearizable w ->
+      Printf.sprintf "NON-LINEARIZABLE (%d partition%s)" (List.length w)
+        (if List.length w = 1 then "" else "s")
+    | Limit -> "UNDECIDED (step budget exhausted)"
+  in
+  Format.fprintf ppf
+    "%s: %d ops over %d partitions, %d configs explored (%d ambiguous reads dropped, %d unrecognized skipped)"
+    v r.checked_ops r.partitions r.configs_explored r.dropped_ambiguous_reads
+    r.skipped_unrecognized

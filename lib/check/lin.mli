@@ -1,0 +1,36 @@
+(** Wing–Gill linearizability checker over recorded histories, in the
+    style of Knossos / porcupine: a backtracking search over the "next
+    operation to linearize", pruned by a memoized configuration cache
+    (set of linearized ops × model state) and made tractable by checking
+    each partition of commuting operations independently.
+
+    Ambiguity handling (see {!History.fate}):
+    - [Returned r]: must linearize between invoke and return, and the
+      model must produce exactly [r];
+    - [Resolved r]: did execute but the client never saw it — must
+      linearize some time after invoke (return +∞), response must be [r];
+    - [Timed_out] writes: may or may not have executed — free to
+      linearize (any time after invoke, any response) or to be omitted;
+    - [Timed_out] reads: vacuous (no effect, no observed value) —
+      dropped before the search. *)
+
+type verdict =
+  | Linearizable
+  | Non_linearizable of string list
+      (** one human-readable witness message per failed partition *)
+  | Limit  (** search budget exhausted before a decision *)
+
+type result = {
+  verdict : verdict;
+  checked_ops : int;  (** ops the search actually constrained *)
+  dropped_ambiguous_reads : int;
+  skipped_unrecognized : int;  (** requests the model does not know *)
+  partitions : int;
+  configs_explored : int;  (** distinct configurations memoized *)
+}
+
+val check : ?max_steps:int -> Spec.t -> History.entry list -> result
+(** [max_steps] bounds total search iterations across all partitions
+    (default 5_000_000 — far above anything a passing history needs). *)
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,157 @@
+open Sim
+
+type kind =
+  | Crash of int
+  | Kill_leader
+  | Isolate of int
+  | Drop of float
+  | Slow of float
+
+type fault = { kind : kind; at : float; dur : float }
+type schedule = { horizon : float; faults : fault list }
+
+type profile = Crashes | Partitions | Drops | Clock_skew | Leader_kills | Mixed
+
+let profiles =
+  [
+    ("crash", Crashes);
+    ("partition", Partitions);
+    ("drop", Drops);
+    ("skew", Clock_skew);
+    ("leader", Leader_kills);
+    ("mixed", Mixed);
+  ]
+
+let profile_of_string s = List.assoc_opt s profiles
+let profile_name p = fst (List.find (fun (_, q) -> q = p) profiles)
+
+let generate rng profile ~nodes ~allow_restart ~horizon =
+  let n_faults = 2 + Rng.int rng 3 in
+  (* One fault per disjoint time window: a fault's outage ends before the
+     next one begins, so a 2f+1 group never loses two nodes at once. *)
+  let window = horizon /. float_of_int n_faults in
+  let crash_budget = ref (if allow_restart then max_int else 1) in
+  let crash_kind victim =
+    if !crash_budget > 0 then begin
+      decr crash_budget;
+      match victim with Some v -> Crash v | None -> Kill_leader
+    end
+    else Isolate (match victim with Some v -> v | None -> Rng.pick rng nodes)
+  in
+  let faults =
+    List.init n_faults (fun i ->
+        let base = float_of_int i *. window in
+        let at = base +. (window *. (0.15 +. Rng.float rng 0.4)) in
+        let dur = window *. (0.2 +. Rng.float rng 0.35) in
+        let kind =
+          match profile with
+          | Crashes -> crash_kind (Some (Rng.pick rng nodes))
+          | Leader_kills -> crash_kind None
+          | Partitions -> Isolate (Rng.pick rng nodes)
+          | Drops -> Drop (0.05 +. Rng.float rng 0.25)
+          | Clock_skew -> Slow (2. +. Rng.float rng 6.)
+          | Mixed -> (
+            match Rng.int rng 5 with
+            | 0 -> crash_kind (Some (Rng.pick rng nodes))
+            | 1 -> crash_kind None
+            | 2 -> Isolate (Rng.pick rng nodes)
+            | 3 -> Drop (0.05 +. Rng.float rng 0.25)
+            | _ -> Slow (2. +. Rng.float rng 6.))
+        in
+        { kind; at; dur })
+  in
+  { horizon; faults }
+
+let fault_to_string f =
+  let kind =
+    match f.kind with
+    | Crash v -> Printf.sprintf "crash(%d)" v
+    | Kill_leader -> "kill-leader"
+    | Isolate v -> Printf.sprintf "isolate(%d)" v
+    | Drop p -> Printf.sprintf "drop(p=%.3f)" p
+    | Slow x -> Printf.sprintf "slow(x%.2f)" x
+  in
+  Printf.sprintf "t=%.3f +%.3f %s" f.at f.dur kind
+
+let describe s =
+  Printf.sprintf "horizon=%.3f, %d faults" s.horizon (List.length s.faults)
+  :: List.map fault_to_string s.faults
+
+let without s i =
+  { s with faults = List.filteri (fun j _ -> j <> i) s.faults }
+
+type target = {
+  net : Net.t;
+  nodes : int list;
+  others : int list;
+  crash : int -> unit;
+  restart : (int -> unit) option;
+  leader : unit -> int option;
+  mutable down : int list;
+}
+
+type action = { at : float; what : string; run : unit -> unit }
+
+let do_crash t v =
+  if not (List.mem v t.down) then begin
+    t.crash v;
+    t.down <- v :: t.down
+  end
+
+let do_restart t v =
+  match t.restart with
+  | Some restart when List.mem v t.down ->
+    restart v;
+    t.down <- List.filter (fun n -> n <> v) t.down
+  | _ -> ()
+
+let actions t schedule =
+  let acts = ref [] in
+  let add at what run = acts := { at; what; run } :: !acts in
+  List.iter
+    (fun (f : fault) ->
+      let t_end = f.at +. f.dur in
+      match f.kind with
+      | Crash v ->
+        add f.at (Printf.sprintf "crash %d" v) (fun () -> do_crash t v);
+        if t.restart <> None then
+          add t_end (Printf.sprintf "restart %d" v) (fun () -> do_restart t v)
+      | Kill_leader ->
+        let victim = ref None in
+        add f.at "kill leader" (fun () ->
+            match t.leader () with
+            | Some l when not (List.mem l t.down) ->
+              victim := Some l;
+              do_crash t l
+            | _ -> ());
+        if t.restart <> None then
+          add t_end "restart killed leader" (fun () ->
+              match !victim with
+              | Some v ->
+                victim := None;
+                do_restart t v
+              | None -> ())
+      | Isolate v ->
+        let peers () =
+          List.filter (fun n -> n <> v) (t.nodes @ t.others)
+        in
+        add f.at (Printf.sprintf "isolate %d" v) (fun () ->
+            List.iter (fun p -> Net.partition t.net v p) (peers ()));
+        add t_end (Printf.sprintf "reconnect %d" v) (fun () ->
+            List.iter (fun p -> Net.heal t.net v p) (peers ()))
+      | Drop p ->
+        add f.at (Printf.sprintf "drop p=%.3f" p) (fun () ->
+            Net.set_drop_probability t.net p);
+        add t_end "drop off" (fun () -> Net.set_drop_probability t.net 0.)
+      | Slow x ->
+        add f.at (Printf.sprintf "slow x%.2f" x) (fun () ->
+            Net.set_latency_factor t.net x);
+        add t_end "slow off" (fun () -> Net.set_latency_factor t.net 1.))
+    schedule.faults;
+  List.stable_sort (fun a b -> compare a.at b.at) (List.rev !acts)
+
+let cure t =
+  Net.heal_all t.net;
+  Net.set_drop_probability t.net 0.;
+  Net.set_latency_factor t.net 1.;
+  List.iter (fun v -> do_restart t v) t.down

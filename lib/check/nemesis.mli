@@ -1,0 +1,65 @@
+(** Fault-schedule generation, application and shrinking.
+
+    A schedule is a small list of timed faults drawn from the primitives
+    the simulator and cluster harnesses already expose — crash/restart,
+    leader kill, network isolation, message loss, latency inflation
+    (clock skew / reordering) — generated from a seed so any run can be
+    replayed bit-for-bit.  The runner interleaves the resulting timed
+    {!action}s with the client workload; on a failed check it shrinks the
+    schedule by dropping faults one at a time and replaying. *)
+
+type kind =
+  | Crash of int  (** crash the node; restarts after [dur] when possible *)
+  | Kill_leader  (** crash whoever is primary at fire time *)
+  | Isolate of int  (** partition the node from everyone for [dur] *)
+  | Drop of float  (** message loss probability for [dur] *)
+  | Slow of float  (** latency × factor for [dur]: skew and reordering *)
+
+type fault = { kind : kind; at : float; dur : float }
+
+type schedule = { horizon : float; faults : fault list }
+(** Faults fire inside [\[0, horizon)]; the runner heals everything at
+    [horizon] and lets the workload drain. *)
+
+type profile = Crashes | Partitions | Drops | Clock_skew | Leader_kills | Mixed
+
+val profiles : (string * profile) list
+val profile_of_string : string -> profile option
+val profile_name : profile -> string
+
+val generate :
+  Sim.Rng.t -> profile -> nodes:int list -> allow_restart:bool ->
+  horizon:float -> schedule
+(** 2–4 faults in disjoint time windows (so compounded outages never
+    exceed one node at a time by construction).  With
+    [allow_restart:false] (stacks without a recovery path) at most one
+    crash is generated and it is permanent; further crash draws degrade
+    to isolations. *)
+
+val describe : schedule -> string list
+val fault_to_string : fault -> string
+
+val without : schedule -> int -> schedule
+(** Drop the i-th fault (shrinking step). *)
+
+(** How to apply faults to a concrete deployment. *)
+type target = {
+  net : Sim.Net.t;
+  nodes : int list;  (** replica node ids *)
+  others : int list;  (** client/router nodes sharing the fabric *)
+  crash : int -> unit;
+  restart : (int -> unit) option;  (** [None]: crashes are permanent *)
+  leader : unit -> int option;
+  mutable down : int list;
+      (** bookkeeping maintained by the actions; start it at [[]] *)
+}
+
+type action = { at : float; what : string; run : unit -> unit }
+
+val actions : target -> schedule -> action list
+(** Timed actions, sorted; the caller fires each once the virtual clock
+    passes [at]. *)
+
+val cure : target -> unit
+(** Heal all partitions, stop message loss, restore latency, restart
+    every crashed node (when the target can) — run at the horizon. *)

@@ -1,0 +1,60 @@
+type t = {
+  name : string;
+  init : string;
+  key_of : string -> string option;
+  apply : string -> string -> (string * string) option;
+  is_read : string -> bool;
+}
+
+let words s = String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
+
+(* Register state: "N" = absent, "A<value>" = present with <value>.  The
+   prefix byte keeps the empty value distinguishable from absence. *)
+let register =
+  let key_of req =
+    match words req with
+    | [ "SET"; k; _ ] | [ "GET"; k ] | [ "DEL"; k ] -> Some k
+    | _ -> None
+  in
+  let apply state req =
+    match words req with
+    | [ "SET"; _; v ] -> Some ("A" ^ v, "OK")
+    | [ "DEL"; _ ] -> Some ("N", "OK")
+    | [ "GET"; _ ] ->
+      let resp =
+        if state = "N" then "NOTFOUND"
+        else String.sub state 1 (String.length state - 1)
+      in
+      Some (state, resp)
+    | _ -> None
+  in
+  let is_read req =
+    match words req with [ "GET"; _ ] -> true | _ -> false
+  in
+  { name = "register"; init = "N"; key_of; apply; is_read }
+
+let counter =
+  let apply state req =
+    let n = int_of_string state in
+    if String.length req >= 3 && String.sub req 0 3 = "INC" then
+      let n' = n + 1 in
+      Some (string_of_int n', string_of_int n')
+    else if req = "GET" || String.length req >= 4 && String.sub req 0 4 = "GET "
+    then Some (state, string_of_int n)
+    else None
+  in
+  let is_read req = String.length req >= 3 && String.sub req 0 3 = "GET" in
+  {
+    name = "counter";
+    init = "0";
+    key_of = (fun _ -> None);
+    apply;
+    is_read;
+  }
+
+let of_string = function
+  | "register" | "kv" -> Some register
+  | "counter" -> Some counter
+  | _ -> None
+
+let name t = t.name

@@ -1,0 +1,48 @@
+(** Sequential specifications the linearizability checker tests histories
+    against.
+
+    A model is a deterministic sequential machine over string requests and
+    string responses — the same wire-level requests the replicated apps
+    execute.  State is kept {e serialized} (a plain [string]) because the
+    checker memoizes visited configurations keyed on it; models must
+    therefore serialize canonically (equal states ⇒ equal strings). *)
+
+type t = {
+  name : string;
+  init : string;  (** serialized initial state (of one partition) *)
+  key_of : string -> string option;
+      (** Partition key of a request, if the model is partitionable: ops on
+          different keys commute, so each key is checked independently
+          (Wing–Gill is exponential in concurrent ops).  [None] puts the
+          request in the single unnamed partition. *)
+  apply : string -> string -> (string * string) option;
+      (** [apply state request] is [Some (state', response)], or [None] if
+          the model does not recognise the request (such entries are
+          skipped by the checker and counted). *)
+  is_read : string -> bool;
+      (** Read-only requests: a timed-out read imposes no constraint on
+          the history and is dropped outright (it neither changed state
+          nor revealed any). *)
+}
+
+val register : t
+(** Per-key read/write register over the kv wire format used by the
+    bundled stores ([lib/apps] kyoto / leveldb):
+    ["SET k v"] → ["OK"], ["GET k"] → value or ["NOTFOUND"],
+    ["DEL k"] → ["OK"].  Partitioned by key. *)
+
+val counter : t
+(** Single shared counter matching the counter app used by the dedup
+    smoke and the check runner: any request starting with ["INC"]
+    increments and returns the new value; ["GET"] returns the current
+    value.  (The suffix after ["INC"] is an idempotency tag the app
+    ignores — it makes every logical increment's payload unique so the
+    history recorder can resolve the fate of timed-out requests.)
+    Unpartitioned. *)
+
+val of_string : string -> t option
+val name : t -> string
+
+val words : string -> string list
+(** Whitespace-split, empty tokens dropped — the request grammar all the
+    bundled apps share. *)

@@ -47,6 +47,7 @@ type t = {
   conflict_keys : string -> string list;
   rng : Rng.t;
   mutable pax : Paxos.Replica.t option;
+  mutable front : R.Frontend.t option;
   mutable leader : bool;
   (* leader: intake and per-batch callbacks *)
   pending : (string * (string option -> unit)) Queue.t;
@@ -72,6 +73,12 @@ type t = {
 let node t = t.node_id
 let is_primary t = t.leader
 let session_table t = t.session
+
+let frontend t =
+  match t.front with
+  | Some f -> f
+  | None -> invalid_arg "Eve.frontend: not registered"
+
 let app_digest t = t.app.R.App.digest ()
 
 let stats t =
@@ -404,6 +411,7 @@ let create net rpc cfg ~node ~paxos_store ~conflict_keys factory =
       conflict_keys;
       rng = Rng.split (Engine.rng eng);
       pax = None;
+      front = None;
       leader = false;
       pending = Queue.create ();
       inflight_cbs = Hashtbl.create 16;
@@ -425,17 +433,19 @@ let create net rpc cfg ~node ~paxos_store ~conflict_keys factory =
       on_digest t ~src payload);
   Net.register net ~node ~port:verdict_port (fun ~src:_ payload ->
       on_verdict t payload);
-  R.Frontend.register rpc ~node ~table:session
-    {
-      R.Frontend.is_leader = (fun () -> t.leader);
-      leader_hint =
-        (fun () ->
-          match t.pax with
-          | Some p -> Paxos.Replica.leader_hint p
-          | None -> None);
-      enqueue = (fun request cb -> Queue.push (request, cb) t.pending);
-      query = (fun request -> Some (t.app.R.App.query ~request));
-    };
+  t.front <-
+    Some
+      (R.Frontend.register rpc ~node ~table:session
+         {
+           R.Frontend.is_leader = (fun () -> t.leader);
+           leader_hint =
+             (fun () ->
+               match t.pax with
+               | Some p -> Paxos.Replica.leader_hint p
+               | None -> None);
+           enqueue = (fun request cb -> Queue.push (request, cb) t.pending);
+           query = (fun request -> Some (t.app.R.App.query ~request));
+         });
   t
 
 let start t =

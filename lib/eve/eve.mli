@@ -68,6 +68,9 @@ val is_primary : t -> bool
 val session_table : t -> Rex_core.Session.Table.t
 (** The replica's client-session table (see {!Rex_core.Session}). *)
 
+val frontend : t -> Rex_core.Frontend.t
+(** The replica's client-facing frontend, for history taps. *)
+
 val submit : t -> string -> (string option -> unit) -> unit
 val query : t -> string -> string
 val app_digest : t -> string

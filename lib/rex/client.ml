@@ -42,6 +42,7 @@ let create rpc ~me ~replicas =
   { rpc; me; replicas = Array.of_list replicas; guess = 0; uid; next_seq = 0 }
 
 let client_id t = t.uid
+let peek_seq t = t.next_seq
 
 let leader_guess t = t.replicas.(t.guess)
 

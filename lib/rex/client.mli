@@ -18,6 +18,13 @@ val create : Sim.Rpc.t -> me:int -> replicas:int list -> t
 
 val client_id : t -> int
 
+val peek_seq : t -> int
+(** The sequence number the next {!call} will stamp on its envelope.
+    [(client_id, peek_seq)] therefore names the upcoming request before
+    it is sent — the history recorder (lib/check) uses this to correlate
+    a client-side timeout with the frontend tap events that reveal the
+    request's fate. *)
+
 val call : ?retries:int -> ?timeout:float -> t -> string -> string option
 (** Submit an update request; follows leader hints and retries on
     timeout.  [None] after exhausting retries.  The request travels in a

@@ -7,7 +7,20 @@ type backend = {
   query : string -> string option;
 }
 
+type tap_event =
+  | Tap_enqueue of { client : int; seq : int; payload : string }
+  | Tap_commit of { client : int; seq : int; payload : string; response : string }
+  | Tap_dup of { client : int; seq : int; payload : string; response : string }
+  | Tap_drop of { client : int; seq : int }
+
+type t = { node : int; mutable tap : (tap_event -> unit) option }
+
+let set_tap t tap = t.tap <- tap
+let node t = t.node
+
 let register rpc ~node ~table backend =
+  let t = { node; tap = None } in
+  let tap ev = match t.tap with None -> () | Some f -> f ev in
   (* Logical requests currently in flight: from enqueue until the
      backend's commit/drop callback.  A retry that lands here joins the
      original instead of consulting the reply cache — the cache may hold
@@ -29,7 +42,7 @@ let register rpc ~node ~table backend =
         match Session.Envelope.decode request with
         | exception Codec.Decode_error _ -> answer Client.Dropped
         | None -> backend.enqueue request finish
-        | Some { Session.Envelope.client; seq; payload = _ } -> (
+        | Some { Session.Envelope.client; seq; payload } -> (
           let key = (client, seq) in
           match Hashtbl.find_opt inflight key with
           | Some joiners ->
@@ -39,15 +52,22 @@ let register rpc ~node ~table backend =
             match Session.Table.lookup table ~client ~seq with
             | Session.Table.Hit resp ->
               Session.Table.note_dup table;
+              tap (Tap_dup { client; seq; payload; response = resp });
               answer (Client.Ok_reply resp)
             | Session.Table.Stale ->
               Session.Table.note_dup table;
+              tap (Tap_drop { client; seq });
               answer Client.Dropped
             | Session.Table.Miss ->
               let joiners = ref [ finish ] in
               Hashtbl.replace inflight key joiners;
+              tap (Tap_enqueue { client; seq; payload });
               backend.enqueue request (fun result ->
                   Hashtbl.remove inflight key;
+                  (match result with
+                  | Some response ->
+                    tap (Tap_commit { client; seq; payload; response })
+                  | None -> tap (Tap_drop { client; seq }));
                   List.iter (fun f -> f result) !joiners))));
   Rpc.serve rpc ~node ~port:Client.query_port (fun ~src:_ request ->
       Client.encode_reply
@@ -55,7 +75,8 @@ let register rpc ~node ~table backend =
         | Some resp -> Client.Ok_reply resp
         | None ->
           if backend.is_leader () then Client.Dropped
-          else Client.Not_leader (backend.leader_hint ())))
+          else Client.Not_leader (backend.leader_hint ())));
+  t
 
 let encode_batch reqs =
   Codec.encode (fun l b -> Codec.write_list b Codec.write_string l) reqs

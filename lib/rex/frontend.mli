@@ -26,8 +26,30 @@ type backend = {
           (not started / not leader, per stack policy). *)
 }
 
+type t
+(** Handle on a registered frontend, for attaching history taps. *)
+
+(** What a history tap observes at the protocol surface, keyed by the
+    envelope's [(client, seq)] request identity.  [Tap_commit] fires when
+    the backend reports the request durable — the authoritative "this
+    request took effect" signal that lets a checker resolve the fate of a
+    client-side timeout (see [lib/check]). *)
+type tap_event =
+  | Tap_enqueue of { client : int; seq : int; payload : string }
+  | Tap_commit of { client : int; seq : int; payload : string; response : string }
+  | Tap_dup of { client : int; seq : int; payload : string; response : string }
+      (** A retry answered from the session table's reply cache. *)
+  | Tap_drop of { client : int; seq : int }
+      (** Answered [Dropped]: stale retry, or a role change discarded it. *)
+
+val set_tap : t -> (tap_event -> unit) option -> unit
+(** At most one tap per frontend; [None] detaches.  The tap must not
+    block (it runs inside the intake handler and commit callbacks). *)
+
+val node : t -> int
+
 val register :
-  Rpc.t -> node:int -> table:Session.Table.t -> backend -> unit
+  Rpc.t -> node:int -> table:Session.Table.t -> backend -> t
 (** Register the {!Client.client_port} and {!Client.query_port} services
     on [node].  Intake pipeline for enveloped requests:
 

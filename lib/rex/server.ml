@@ -52,6 +52,8 @@ type t = {
   queue : (string * float * (string option -> unit)) Queue.t;
   mutable queue_waiters : Engine.waker list;
   replies : Frontend.Replies.t;
+  (* client-facing protocol surface; carried for history taps (lib/check) *)
+  mutable front : Frontend.t option;
   (* client sessions: replicated via the execution path (Session.wrap),
      consulted at intake by the frontend *)
   session : Session.Table.t;
@@ -99,6 +101,11 @@ type t = {
 
 let node t = t.node_id
 let session_table t = t.session
+
+let frontend t =
+  match t.front with
+  | Some f -> f
+  | None -> invalid_arg "Server.frontend: not registered"
 let role t = t.role_
 let is_primary t = t.role_ = Primary
 let committed_cut t = t.committed_cut_
@@ -866,6 +873,7 @@ let create ?make_agreement net rpc cfg ~node ~paxos_store ~disk factory =
       queue = Queue.create ();
       queue_waiters = [];
       replies = Frontend.Replies.create ();
+      front = None;
       session =
         Session.Table.create obs ~stack:"rex" ~node ();
       proposed_cut = Trace.Cut.zero ~slots;
@@ -910,7 +918,9 @@ let create ?make_agreement net rpc cfg ~node ~paxos_store ~disk factory =
     }
   in
   (* Client-facing services, shared with the SMR and Eve stacks. *)
-  Frontend.register rpc ~node ~table:t.session
+  t.front <-
+    Some
+      (Frontend.register rpc ~node ~table:t.session
     {
       Frontend.is_leader = (fun () -> t.role_ = Primary);
       leader_hint =
@@ -929,7 +939,7 @@ let create ?make_agreement net rpc cfg ~node ~paxos_store ~disk factory =
           | Some exec ->
             Obs.Metric.incr t.c_queries;
             Some (exec.app.App.query ~request));
-    };
+    });
   Rpc.serve rpc ~node ~port:fetch_ckpt_port (fun ~src:_ _ ->
       match Checkpoint.Disk.latest t.disk with
       | Some c -> Checkpoint.encode c

@@ -59,6 +59,10 @@ val session_table : t -> Session.Table.t
 (** The replica's client-session table (replicated via {!Session.wrap};
     exposed for tests and tooling). *)
 
+val frontend : t -> Frontend.t
+(** The replica's client-facing frontend, for attaching history taps
+    ({!Frontend.set_tap}, used by [lib/check]). *)
+
 val role : t -> role
 val is_primary : t -> bool
 

@@ -11,6 +11,7 @@ type t = {
   rng : Rng.t;
   base_latency : float;
   jitter_mean : float;
+  mutable latency_factor : float;
   handlers : (int * string, handler) Hashtbl.t;
   last_delivery : (int * int, float) Hashtbl.t;
   blocked : (int * int, unit) Hashtbl.t;
@@ -29,6 +30,7 @@ let create ?(base_latency = 50e-6) ?(jitter_mean = 20e-6) eng =
     rng = Rng.split (Engine.rng eng);
     base_latency;
     jitter_mean;
+    latency_factor = 1.;
     handlers = Hashtbl.create 32;
     last_delivery = Hashtbl.create 32;
     blocked = Hashtbl.create 8;
@@ -43,6 +45,12 @@ let create ?(base_latency = 50e-6) ?(jitter_mean = 20e-6) eng =
 let engine t = t.eng
 let register t ~node ~port h = Hashtbl.replace t.handlers (node, port) h
 let set_drop_probability t p = t.drop_probability <- p
+
+let set_latency_factor t f =
+  if f <= 0. then invalid_arg "Net.set_latency_factor";
+  t.latency_factor <- f
+
+let latency_factor t = t.latency_factor
 
 let link t ~src ~dst =
   match Hashtbl.find_opt t.links (src, dst) with
@@ -117,7 +125,10 @@ let send t ~src ~dst ~port payload =
     Obs.Metric.incr l.l_drops
   end
   else begin
-    let latency = t.base_latency +. Rng.exponential t.rng ~mean:t.jitter_mean in
+    let latency =
+      t.latency_factor
+      *. (t.base_latency +. Rng.exponential t.rng ~mean:t.jitter_mean)
+    in
     let sent = Engine.clock t.eng in
     let arrival = sent +. latency in
     (* FIFO per directed pair: never deliver before an earlier message. *)

@@ -29,6 +29,16 @@ val send : t -> src:int -> dst:int -> port:string -> string -> unit
 (** {1 Fault injection} *)
 
 val set_drop_probability : t -> float -> unit
+
+val set_latency_factor : t -> float -> unit
+(** Multiply every subsequent delivery's latency (base and jitter) by
+    this factor — the nemesis knob for slow links and message reordering
+    (a larger jitter reorders more messages across directed pairs).
+    1.0 restores normal service; raises [Invalid_argument] if the factor
+    is not positive. *)
+
+val latency_factor : t -> float
+
 val partition : t -> int -> int -> unit
 (** Symmetric: blocks both directions. *)
 

@@ -24,6 +24,7 @@ type t = {
   session : R.Session.Table.t;
   timers : R.Api.timer_spec array;
   mutable pax : Paxos.Replica.t option;
+  mutable front : R.Frontend.t option;
   mutable leader : bool;
   mutable leader_epoch : int;
   queue : (string * (string option -> unit)) Queue.t;
@@ -41,6 +42,11 @@ type t = {
 let node t = t.node_id
 let is_primary t = t.leader
 let session_table t = t.session
+
+let frontend t =
+  match t.front with
+  | Some f -> f
+  | None -> invalid_arg "Smr.frontend: not registered"
 let app_digest t = t.app.R.App.digest ()
 let executed_requests t = t.st_requests
 
@@ -199,6 +205,7 @@ let create net rpc cfg ~node ~paxos_store factory =
       session;
       timers;
       pax = None;
+      front = None;
       leader = false;
       leader_epoch = 0;
       queue = Queue.create ();
@@ -212,20 +219,22 @@ let create net rpc cfg ~node ~paxos_store factory =
       st_proposal_bytes = 0;
     }
   in
-  R.Frontend.register rpc ~node ~table:session
-    {
-      R.Frontend.is_leader = (fun () -> t.leader);
-      leader_hint =
-        (fun () ->
-          match t.pax with
-          | Some p -> Paxos.Replica.leader_hint p
-          | None -> None);
-      enqueue = (fun request cb -> Queue.push (request, cb) t.queue);
-      query =
-        (fun request ->
-          t.st_queries <- t.st_queries + 1;
-          Some (t.app.R.App.query ~request));
-    };
+  t.front <-
+    Some
+      (R.Frontend.register rpc ~node ~table:session
+         {
+           R.Frontend.is_leader = (fun () -> t.leader);
+           leader_hint =
+             (fun () ->
+               match t.pax with
+               | Some p -> Paxos.Replica.leader_hint p
+               | None -> None);
+           enqueue = (fun request cb -> Queue.push (request, cb) t.queue);
+           query =
+             (fun request ->
+               t.st_queries <- t.st_queries + 1;
+               Some (t.app.R.App.query ~request));
+         });
   t
 
 let start t =

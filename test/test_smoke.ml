@@ -1,0 +1,31 @@
+(* Tier-1 wrappers around the bench smokes.  These used to run only as
+   CI shell steps (`main.exe dedup --quick` etc.); linking them through
+   bench_lib makes `dune runtest` execute the same assertions
+   in-process, so a failure localizes to a named test case instead of a
+   red CI job.  The benches signal failure with [Harness.Failed]. *)
+
+let smoke f () =
+  try f () with Bench_lib.Harness.Failed msg -> Alcotest.fail msg
+
+let dedup () = Bench_lib.Dedup_smoke.run ~quick:true ~check:true ()
+
+let shard () =
+  Bench_lib.Shard_bench.run ~quick:true ~shards:[ 1; 2 ] ~app:"leveldb" ()
+
+let compaction () = Bench_lib.Ablate.run ~quick:true ~only:"compaction" ()
+
+let check_sweep () =
+  Bench_lib.Check_bench.run ~quick:true ~stack:"rex" ~app:"kv"
+    ~nemesis:"partition" ~seeds:5 ()
+
+let suite =
+  [
+    Alcotest.test_case "dedup exactly-once under faults (quick)" `Slow
+      (smoke dedup);
+    Alcotest.test_case "shard scale-out + failover (quick)" `Slow
+      (smoke shard);
+    Alcotest.test_case "trace compaction ablation (quick)" `Slow
+      (smoke compaction);
+    Alcotest.test_case "check sweep rex/kv/partition (quick)" `Slow
+      (smoke check_sweep);
+  ]
