@@ -42,16 +42,19 @@ let tracing_requested () = !trace_path <> None
 let arm_tracing eng =
   if tracing_requested () then Obs.enable_tracing (Engine.obs eng) true
 
-let note_run ~label eng =
-  let obs = Engine.obs eng in
+(* Generalized over (obs, time) so the domains backend — which has no
+   engine, only a wall clock — can export runs through the same sink. *)
+let note_run_obs ~label ~time obs =
   if !metrics_path <> None then
     run_docs :=
-      Printf.sprintf "{\"run\":%S,\"time\":%.9g,\"metrics\":%s}" label
-        (Engine.clock eng)
+      Printf.sprintf "{\"run\":%S,\"time\":%.9g,\"metrics\":%s}" label time
         (Obs.Export.metrics_json (Obs.registry obs))
       :: !run_docs;
   if Obs.tracing obs && Obs.Span.length (Obs.spans obs) > 0 then
     last_trace := Some (Obs.spans obs)
+
+let note_run ~label eng =
+  note_run_obs ~label ~time:(Engine.clock eng) (Engine.obs eng)
 
 let flush_outputs () =
   (match !metrics_path with
@@ -118,7 +121,7 @@ let pump eng ~done_p ~virtual_deadline =
 let run_native ?(seed = 42) ~cores ~threads ~factory ~gen ~warmup ~measure () =
   let eng = Engine.create ~seed ~cores_per_node:cores ~num_nodes:1 () in
   arm_tracing eng;
-  let rt = Rexsync.Runtime.create eng ~node:0 ~slots:1 in
+  let rt = Rexsync.Runtime.create (Par.Backend.of_sim eng) ~node:0 ~slots:1 in
   let api = R.Api.make rt in
   let app : R.App.t = factory api in
   let timers = R.Api.seal api in

@@ -64,13 +64,46 @@ let fig7_cmd =
   Cmd.v (Cmd.info "fig7" ~doc:"Fig. 7: application throughput vs threads")
     (instrumented Term.(const run $ quick_arg $ app_arg))
 
+(* Validated at parse time (Arg.enum): an unknown backend is a usage
+   error.  `sim` replays the figure on the deterministic simulator;
+   `domains` reruns the execution-stage grid on real OCaml 5 domains
+   (lib/par) with wall-clock timing. *)
+let backend_arg =
+  Arg.(
+    value
+    & opt (enum [ ("sim", `Sim); ("domains", `Domains) ]) `Sim
+    & info [ "backend" ]
+        ~doc:
+          "Execution backend: $(b,sim) (virtual time, replicated cluster) \
+           or $(b,domains) (real OCaml 5 domains, execution stage only).")
+
 let fig8a_cmd =
+  let run quick backend () =
+    match backend with
+    | `Sim -> Fig8.run_a ~quick ()
+    | `Domains -> Par_bench.run_a_domains ~quick ()
+  in
   Cmd.v (Cmd.info "fig8a" ~doc:"Fig. 8a: lock granularity")
-    (instrumented Term.(const (fun quick () -> Fig8.run_a ~quick ()) $ quick_arg))
+    (instrumented Term.(const run $ quick_arg $ backend_arg))
 
 let fig8b_cmd =
+  let run quick backend () =
+    match backend with
+    | `Sim -> Fig8.run_b ~quick ()
+    | `Domains -> Par_bench.run_b_domains ~quick ()
+  in
   Cmd.v (Cmd.info "fig8b" ~doc:"Fig. 8b: lock contention, native vs Rex")
-    (instrumented Term.(const (fun quick () -> Fig8.run_b ~quick ()) $ quick_arg))
+    (instrumented Term.(const run $ quick_arg $ backend_arg))
+
+let par_cmd =
+  Cmd.v
+    (Cmd.info "par"
+       ~doc:
+         "Execution stage on the real-parallel domains backend vs the \
+          simulator: worker scaling, null-exec record overhead, lock \
+          contention, pool utilization")
+    (instrumented
+       Term.(const (fun quick () -> Par_bench.run ~quick ()) $ quick_arg))
 
 let fig9_cmd =
   Cmd.v (Cmd.info "fig9" ~doc:"Fig. 9: query semantics")
@@ -274,6 +307,7 @@ let all ~quick () =
   Chain_bench.run ~quick ();
   Shard_bench.run ~quick ();
   Dedup_smoke.run ~quick ();
+  Par_bench.run ~quick ();
   Bechamel_suite.run ()
 
 let all_term = instrumented Term.(const (fun quick () -> all ~quick ()) $ quick_arg)
@@ -303,6 +337,7 @@ let () =
             shard_cmd;
             dedup_cmd;
             check_cmd;
+            par_cmd;
             bechamel_cmd;
             all_cmd;
           ]))

@@ -1,0 +1,323 @@
+(* `par`: the execution stage of one replica on the real-parallel
+   domains backend (lib/par), side by side with the same workload on the
+   deterministic simulator.
+
+   The domains backend has no network and no fault injection, so what it
+   can rerun is the paper's Fig. 8 question — how fast worker threads
+   record (or natively run) the synchronization-heavy execution stage —
+   with real OCaml 5 domains and wall-clock time where the simulator
+   charges virtual time.  Three sweeps:
+
+     - scaling:    workers 1..8, fixed contention (Fig. 8 x-axis)
+     - null-exec:  empty critical sections — pure record-path overhead
+     - contention: lock-pool size 1..64 at fixed workers (Fig. 8b shape)
+
+   Every domains point asserts its per-lock counters equal the simulator
+   run's (the lock index is drawn from a per-worker seeded rng, and the
+   counters commute, so the totals are interleaving-independent).
+
+   Wall-clock numbers depend on the machine; on a single hardware core
+   the domains sweep measures oversubscription overhead, not speedup —
+   the harness prints the core count so the output is honest. *)
+
+open Sim
+
+(* Workload shared by both backends: each request spins [compute]
+   seconds of Engine.work, a [frac] fraction of it inside one lock drawn
+   from a pool of [locks] (contention probability 1/locks), mirroring
+   bench/fig8.ml's micro app without the surrounding cluster. *)
+
+type point = {
+  throughput : float;  (* requests per (wall | virtual) second *)
+  elapsed : float;
+  events_per_req : float;  (* recorded sync events per request *)
+  counters : int array;  (* per-lock totals, for cross-backend equality *)
+}
+
+let worker_body rt pool counters ~rng ~ops ~locks ~frac ~compute ~slot =
+  (match slot with
+  | Some s -> Rexsync.Runtime.bind_slot rt s
+  | None -> ());
+  for _ = 1 to ops do
+    let i = Rng.int rng locks in
+    Engine.work (compute *. (1. -. frac));
+    Rexsync.Lock.with_lock pool.(i) (fun () ->
+        Engine.work (compute *. frac);
+        counters.(i) <- counters.(i) + 1)
+  done;
+  match slot with Some _ -> Rexsync.Runtime.unbind_slot rt | None -> ()
+
+let make_locks rt locks =
+  Array.init locks (fun i -> Rexsync.Lock.create rt (Printf.sprintf "micro%d" i))
+
+(* One point on the domains backend.  [record] binds each worker to a
+   slot (record path); without it the fibers stay unbound and take the
+   native path through the same Par.Sync mutexes. *)
+let domains_point ?(seed = 42) ?(record = true) ~domains ~workers ~locks ~frac
+    ~compute ~ops ~label () =
+  let d = Par.Domains.create ~seed ~domains () in
+  let rt = Rexsync.Runtime.create (Par.Domains.backend d) ~node:0 ~slots:workers in
+  let pool = make_locks rt locks in
+  let counters = Array.make locks 0 in
+  let t0 = Par.Domains.now d in
+  for w = 0 to workers - 1 do
+    Par.Domains.spawn d ~node:0 ~name:(Printf.sprintf "worker%d" w) (fun () ->
+        let rng = Rng.create (seed + (w * 7919)) in
+        worker_body rt pool counters ~rng ~ops ~locks ~frac ~compute
+          ~slot:(if record then Some w else None))
+  done;
+  Par.Domains.join d;
+  let dt = Par.Domains.now d -. t0 in
+  let stats = Rexsync.Runtime.stats rt in
+  Harness.note_run_obs ~label ~time:(Par.Domains.now d) (Par.Domains.obs d);
+  Par.Domains.shutdown d;
+  let total = workers * ops in
+  if Array.fold_left ( + ) 0 counters <> total then
+    Harness.fail "par %s: lost increments (%d/%d)" label
+      (Array.fold_left ( + ) 0 counters)
+      total;
+  {
+    throughput = float_of_int total /. dt;
+    elapsed = dt;
+    events_per_req =
+      float_of_int stats.Rexsync.Runtime.events_recorded /. float_of_int total;
+    counters;
+  }
+
+(* The identical workload on the simulator (virtual time). *)
+let sim_point ?(seed = 42) ?(record = true) ~workers ~locks ~frac ~compute ~ops
+    ~label () =
+  let eng = Engine.create ~seed ~cores_per_node:workers ~num_nodes:1 () in
+  let rt = Rexsync.Runtime.create (Par.Backend.of_sim eng) ~node:0 ~slots:workers in
+  let pool = make_locks rt locks in
+  let counters = Array.make locks 0 in
+  let finished = ref 0 in
+  let t0 = Engine.clock eng in
+  for w = 0 to workers - 1 do
+    ignore
+      (Engine.spawn eng ~node:0 ~name:(Printf.sprintf "worker%d" w) (fun () ->
+           let rng = Rng.create (seed + (w * 7919)) in
+           worker_body rt pool counters ~rng ~ops ~locks ~frac ~compute
+             ~slot:(if record then Some w else None);
+           incr finished))
+  done;
+  if
+    not
+      (Harness.pump eng ~done_p:(fun () -> !finished = workers)
+         ~virtual_deadline:3600.)
+  then Harness.fail "par %s: simulator run did not finish" label;
+  let dt = Engine.clock eng -. t0 in
+  let stats = Rexsync.Runtime.stats rt in
+  Harness.note_run ~label eng;
+  let total = workers * ops in
+  {
+    throughput = float_of_int total /. dt;
+    elapsed = dt;
+    events_per_req =
+      float_of_int stats.Rexsync.Runtime.events_recorded /. float_of_int total;
+    counters;
+  }
+
+let check_equal ~label (dom : point) (sim : point) =
+  if dom.counters <> sim.counters then
+    Harness.fail
+      "par %s: domains and simulator disagree on per-lock counters" label
+
+(* Pool-level metrics of the most recent domains run, read back from its
+   registry before shutdown.  Re-created per call because each backend
+   owns a fresh Obs.t. *)
+let pool_metrics d =
+  let obs = Par.Domains.obs d in
+  let tasks =
+    Obs.Metric.value (Obs.counter obs ~subsystem:"par" "pool_tasks")
+  in
+  let depth_max =
+    Obs.Metric.get (Obs.gauge obs ~subsystem:"par" "queue_depth_max")
+  in
+  let busy = ref 0. in
+  for i = 0 to Par.Domains.domains d - 1 do
+    busy :=
+      !busy
+      +. Obs.Metric.get
+           (Obs.gauge obs ~subsystem:"par"
+              ~labels:[ ("domain", string_of_int i) ]
+              "domain_busy")
+  done;
+  (tasks, depth_max, !busy)
+
+let fmt_units r =
+  if r >= 1e6 then Printf.sprintf "%.2fM" (r /. 1e6)
+  else if r >= 1e3 then Printf.sprintf "%.1fk" (r /. 1e3)
+  else Printf.sprintf "%.0f" r
+
+let hw_cores () = Domain.recommended_domain_count ()
+
+let run ?(quick = false) () =
+  let cores = hw_cores () in
+  Printf.printf
+    "\n== par: execution stage on real domains vs the simulator ==\n";
+  Printf.printf
+    "machine: %d hardware core%s; domains numbers are wall-clock, sim \
+     numbers are virtual time\n%!"
+    cores
+    (if cores = 1 then " (sweep measures oversubscription, not speedup)"
+     else "s");
+  let compute = if quick then 50e-6 else 100e-6 in
+  let ops = if quick then 100 else 400 in
+
+  (* --- Fig. 8-style worker scaling --- *)
+  let sweep = if quick then [ 1; 2; 4 ] else [ 1; 2; 4; 8 ] in
+  Printf.printf
+    "\n-- scaling: %d ops/worker, %.0f us/req, 10%%/req in 1-of-16 locks --\n"
+    ops (compute *. 1e6);
+  Printf.printf "workers\tdomains\twall_s\tsim\tvirt_s\tevents/req\n%!";
+  List.iter
+    (fun w ->
+      let label = Printf.sprintf "par-scale-w%d" w in
+      let dom =
+        domains_point ~domains:(min w cores) ~workers:w ~locks:16 ~frac:0.1
+          ~compute ~ops ~label:(label ^ "-domains") ()
+      in
+      let sim =
+        sim_point ~workers:w ~locks:16 ~frac:0.1 ~compute ~ops
+          ~label:(label ^ "-sim") ()
+      in
+      check_equal ~label dom sim;
+      Printf.printf "%d\t%s\t%.3f\t%s\t%.3f\t%.1f\n%!" w
+        (fmt_units dom.throughput) dom.elapsed (fmt_units sim.throughput)
+        sim.elapsed dom.events_per_req)
+    sweep;
+
+  (* --- Null execution: record-path overhead with empty sections --- *)
+  let nops = if quick then 2_000 else 10_000 in
+  Printf.printf
+    "\n-- null-exec: %d lock/unlock pairs, no compute (record-path cost) --\n"
+    nops;
+  Printf.printf "mode\tdomains\tsim\n%!";
+  List.iter
+    (fun (mode, record) ->
+      let dom =
+        domains_point ~record ~domains:1 ~workers:1 ~locks:1 ~frac:1.0
+          ~compute:0. ~ops:nops
+          ~label:(Printf.sprintf "par-null-%s-domains" mode)
+          ()
+      in
+      let sim =
+        sim_point ~record ~workers:1 ~locks:1 ~frac:1.0 ~compute:0. ~ops:nops
+          ~label:(Printf.sprintf "par-null-%s-sim" mode)
+          ()
+      in
+      check_equal ~label:("null-" ^ mode) dom sim;
+      Printf.printf "%s\t%s/s\t%s/s\n%!" mode (fmt_units dom.throughput)
+        (fmt_units sim.throughput))
+    [ ("native", false); ("record", true) ];
+
+  (* --- Lock contention at fixed workers (Fig. 8b shape) --- *)
+  let workers = 4 in
+  let cops = if quick then 100 else 300 in
+  Printf.printf
+    "\n-- contention: %d workers, 50%% of %.0f us/req inside 1-of-L locks --\n"
+    workers (compute *. 1e6);
+  Printf.printf "locks\tp\tdomains\tsim\tevents/req\n%!";
+  List.iter
+    (fun locks ->
+      let label = Printf.sprintf "par-cont-l%d" locks in
+      let dom =
+        domains_point ~domains:(min workers cores) ~workers ~locks ~frac:0.5
+          ~compute ~ops:cops ~label:(label ^ "-domains") ()
+      in
+      let sim =
+        sim_point ~workers ~locks ~frac:0.5 ~compute ~ops:cops
+          ~label:(label ^ "-sim") ()
+      in
+      check_equal ~label dom sim;
+      Printf.printf "%d\t%.3f\t%s\t%s\t%.1f\n%!" locks
+        (1. /. float_of_int locks)
+        (fmt_units dom.throughput) (fmt_units sim.throughput)
+        dom.events_per_req)
+    [ 1; 4; 16; 64 ];
+
+  (* --- Pool utilization of one instrumented run --- *)
+  let d = Par.Domains.create ~seed:42 ~domains:(min 4 (max 2 cores)) () in
+  let rt = Rexsync.Runtime.create (Par.Domains.backend d) ~node:0 ~slots:4 in
+  let pool = make_locks rt 16 in
+  let counters = Array.make 16 0 in
+  let t0 = Par.Domains.now d in
+  for w = 0 to 3 do
+    Par.Domains.spawn d ~node:0 ~name:(Printf.sprintf "util%d" w) (fun () ->
+        let rng = Rng.create (42 + (w * 7919)) in
+        worker_body rt pool counters ~rng ~ops ~locks:16 ~frac:0.1 ~compute
+          ~slot:(Some w))
+  done;
+  Par.Domains.join d;
+  let dt = Par.Domains.now d -. t0 in
+  let tasks, depth_max, busy = pool_metrics d in
+  Harness.note_run_obs ~label:"par-util" ~time:(Par.Domains.now d)
+    (Par.Domains.obs d);
+  Par.Domains.shutdown d;
+  Printf.printf
+    "\n-- pool: %d domains, %d tasks, max queue depth %.0f, busy %.3fs \
+     over %.3fs wall => utilization %.0f%%\n%!"
+    (Par.Domains.domains d) tasks depth_max busy dt
+    (100. *. busy /. (dt *. float_of_int (Par.Domains.domains d)))
+
+(* --- Fig. 8 grids rerun on the domains backend (--backend domains).
+
+   The full Fig. 8 runs a replicated Rex cluster, which needs the
+   simulated network; the domains variants rerun the same
+   contention-grid workload for the execution stage only (record mode,
+   no consensus), with compute scaled from the paper's 10 ms to 100 us
+   so a grid point costs milliseconds of real CPU, not seconds. --- *)
+
+let fig8_compute = 100e-6
+
+let fig8_domains_point ~quick ~frac ~locks ~record () =
+  let cores = hw_cores () in
+  let workers = 4 in
+  let ops = if quick then 60 else 200 in
+  let dom =
+    domains_point ~record ~domains:(min workers cores) ~workers ~locks ~frac
+      ~compute:fig8_compute ~ops
+      ~label:
+        (Printf.sprintf "fig8-domains-f%g-l%d-%s" frac locks
+           (if record then "record" else "native"))
+      ()
+  in
+  dom.throughput
+
+let run_a_domains ?(quick = false) () =
+  Printf.printf
+    "\n== Fig. 8(a) on domains: record-mode throughput vs contention ==\n";
+  Printf.printf
+    "(execution stage only, %d hw cores, compute scaled to %.0f us)\n"
+    (hw_cores ()) (fig8_compute *. 1e6);
+  Printf.printf "contention_p\tf=10%%\tf=60%%\tf=80%%\tf=100%%\n%!";
+  List.iter
+    (fun p ->
+      let locks = max 1 (int_of_float (1. /. p)) in
+      let row =
+        List.map
+          (fun frac ->
+            Harness.fmt_rate
+              (fig8_domains_point ~quick ~frac ~locks ~record:true ()))
+          [ 0.1; 0.6; 0.8; 1.0 ]
+      in
+      Printf.printf "%g\t%s\n%!" p (String.concat "\t" row))
+    [ 0.001; 0.01; 0.05; 0.1 ]
+
+let run_b_domains ?(quick = false) () =
+  Printf.printf
+    "\n== Fig. 8(b) on domains: native vs record, 10%% of compute in locks \
+     ==\n";
+  Printf.printf
+    "(execution stage only, %d hw cores, compute scaled to %.0f us)\n"
+    (hw_cores ()) (fig8_compute *. 1e6);
+  Printf.printf "contention_p\tnative\trecord\n%!";
+  List.iter
+    (fun p ->
+      let locks = max 1 (int_of_float (1. /. p)) in
+      let native = fig8_domains_point ~quick ~frac:0.1 ~locks ~record:false () in
+      let record = fig8_domains_point ~quick ~frac:0.1 ~locks ~record:true () in
+      Printf.printf "%g\t%s\t%s\n%!" p (Harness.fmt_rate native)
+        (Harness.fmt_rate record))
+    [ 0.001; 0.01; 0.05; 0.1; 0.2; 0.5; 1.0 ]

@@ -51,6 +51,69 @@ let export eng metrics_out trace_out =
     Printf.printf "trace written to %s\n" path
   | None -> ()
 
+(* --- Single machine on real domains (--backend domains) ---
+
+   The domains backend has no simulated network, so there is no cluster:
+   this mode runs ONE machine's execution stage — the chosen app behind
+   the record-mode runtime, [threads] worker fibers on a pool of real
+   OCaml 5 domains — and reports wall-clock throughput, the recorded
+   trace volume and the final digest.  It is the live demo of what
+   `bench par` measures. *)
+
+let run_on_domains ~factory ~gen ~n ~threads ~seed ~metrics_out =
+  let d = Par.Domains.create ~seed () in
+  Printf.printf "domains backend up: %d worker domain(s), %d fibers\n%!"
+    (Par.Domains.domains d) threads;
+  let rt = Rexsync.Runtime.create (Par.Domains.backend d) ~node:0 ~slots:threads in
+  let api = R.Api.make rt in
+  let app : R.App.t = factory () api in
+  let timers = R.Api.seal api in
+  let remaining = Atomic.make threads in
+  (* Timer fibers run unbound (native path) and exit once the workers
+     are done, so [join] terminates. *)
+  List.iter
+    (fun (spec : R.Api.timer_spec) ->
+      Par.Domains.spawn d ~node:0 ~name:spec.R.Api.t_name (fun () ->
+          while Atomic.get remaining > 0 do
+            Engine.sleep spec.R.Api.t_interval;
+            if Atomic.get remaining > 0 then spec.R.Api.t_callback ()
+          done))
+    timers;
+  let per = n / threads in
+  let t0 = Par.Domains.now d in
+  for w = 0 to threads - 1 do
+    Par.Domains.spawn d ~node:0
+      ~name:(Printf.sprintf "worker%d" w)
+      (fun () ->
+        Rexsync.Runtime.bind_slot rt w;
+        let g = gen () in
+        let rng = Rng.create ((seed * 31) + w) in
+        for _ = 1 to per do
+          ignore (app.R.App.execute ~request:(g rng))
+        done;
+        Rexsync.Runtime.unbind_slot rt;
+        Atomic.decr remaining)
+  done;
+  Par.Domains.join d;
+  let dt = Par.Domains.now d -. t0 in
+  let st = Rexsync.Runtime.stats rt in
+  let total = per * threads in
+  Printf.printf
+    "\n%d requests executed in %.3f wall s => %.0f req/s\n\
+     recorded %d events, %d edges (%d reduced); digest %s\n"
+    total dt
+    (float_of_int total /. dt)
+    st.Rexsync.Runtime.events_recorded st.Rexsync.Runtime.edges_recorded
+    st.Rexsync.Runtime.edges_reduced
+    (app.R.App.digest ());
+  (match metrics_out with
+  | Some path ->
+    Obs.Export.to_file ~path
+      (Obs.Export.metrics_json (Obs.registry (Par.Domains.obs d)));
+    Printf.printf "metrics written to %s\n" path
+  | None -> ());
+  Par.Domains.shutdown d
+
 (* --- Single replica group (the original demo) --- *)
 
 let run_single ~factory ~gen ~n ~threads ~seed ~kill_primary ~checkpoints
@@ -258,7 +321,7 @@ let run_sharded ~shards ~factory ~gen ~n ~threads ~seed ~kill_primary
     exit 1
   end
 
-let run app n threads seed shards kill_primary checkpoints metrics_out
+let run app n threads seed shards backend kill_primary checkpoints metrics_out
     trace_out =
   match List.find_opt (fun (k, _, _) -> k = app) apps with
   | None ->
@@ -267,7 +330,14 @@ let run app n threads seed shards kill_primary checkpoints metrics_out
       (String.concat ", " (List.map (fun (k, _, _) -> k) apps));
     exit 1
   | Some (_, factory, gen) ->
-    if shards <= 1 then
+    if backend = `Domains then begin
+      if shards > 1 || kill_primary || checkpoints || trace_out <> None then
+        prerr_endline
+          "note: --shards/--kill-primary/--checkpoints/--trace-out need the \
+           simulated cluster and are ignored with --backend domains";
+      run_on_domains ~factory ~gen ~n ~threads ~seed ~metrics_out
+    end
+    else if shards <= 1 then
       run_single ~factory ~gen ~n ~threads ~seed ~kill_primary ~checkpoints
         ~metrics_out ~trace_out
     else
@@ -303,6 +373,19 @@ let shards_arg =
     & info [ "shards" ]
         ~doc:"Replica groups; > 1 runs a consistent-hash-routed fleet.")
 
+(* Parse-time validated like --app: an unknown backend is a usage error. *)
+let backend_conv = Arg.enum [ ("sim", `Sim); ("domains", `Domains) ]
+
+let backend_arg =
+  Arg.(
+    value & opt backend_conv `Sim
+    & info [ "backend" ]
+        ~doc:
+          "Execution backend: $(b,sim) runs the replicated cluster in the \
+           deterministic simulator; $(b,domains) runs one machine's \
+           execution stage on real OCaml 5 domains (wall-clock, no \
+           replication).")
+
 let kill_arg =
   Arg.(value & flag & info [ "kill-primary" ] ~doc:"Crash the primary mid-run.")
 
@@ -328,6 +411,6 @@ let () =
   let term =
     Term.(
       const run $ app_arg $ n_arg $ threads_arg $ seed_arg $ shards_arg
-      $ kill_arg $ ckpt_arg $ metrics_arg $ trace_arg)
+      $ backend_arg $ kill_arg $ ckpt_arg $ metrics_arg $ trace_arg)
   in
   exit (Cmd.eval (Cmd.v (Cmd.info "rex-demo" ~doc:"Rex cluster playground") term))

@@ -2,8 +2,8 @@ module R = Rex_core
 
 let factory ?(n_files = 64) ?disk () : R.App.factory =
  fun api ->
-  let eng = Rexsync.Runtime.engine (R.Api.runtime api) in
-  let disk = match disk with Some d -> d | None -> Sim_disk.create eng in
+  let bk = Rexsync.Runtime.backend (R.Api.runtime api) in
+  let disk = match disk with Some d -> d | None -> Sim_disk.create bk in
   let file_locks =
     Array.init n_files (fun i -> R.Api.lock api (Printf.sprintf "fs.file%d" i))
   in

@@ -3,27 +3,27 @@ open Sim
 type t = {
   seek_time : float;
   bandwidth : float;
-  ncq : Msync.Sem.t;
-  transfer : Msync.Mutex.t;
+  ncq : Par.Backend.sem;
+  transfer : Par.Backend.mutex;
   mutable completed : int;
 }
 
-let create ?(seek_time = 4.5e-3) ?(bandwidth = 200e6) ?(queue_depth = 5) eng =
+let create ?(seek_time = 4.5e-3) ?(bandwidth = 200e6) ?(queue_depth = 5) bk =
   {
     seek_time;
     bandwidth;
-    ncq = Msync.Sem.create eng queue_depth;
-    transfer = Msync.Mutex.create eng;
+    ncq = Par.Backend.sem bk queue_depth;
+    transfer = Par.Backend.mutex bk;
     completed = 0;
   }
 
 let io t ~bytes_len =
-  Msync.Sem.acquire t.ncq;
+  t.ncq.s_acquire ();
   Engine.sleep t.seek_time;
-  Msync.Sem.release t.ncq;
-  Msync.Mutex.lock t.transfer;
+  t.ncq.s_release ();
+  t.transfer.m_lock ();
   Engine.sleep (float_of_int bytes_len /. t.bandwidth);
-  Msync.Mutex.unlock t.transfer;
+  t.transfer.m_unlock ();
   t.completed <- t.completed + 1
 
 let ios_completed t = t.completed

@@ -14,7 +14,7 @@ type t
 
 val create :
   ?seek_time:float -> ?bandwidth:float -> ?queue_depth:int ->
-  Sim.Engine.t -> t
+  Par.Backend.t -> t
 (** Defaults: 4.5 ms seek, 200 MB/s, depth 5. *)
 
 val io : t -> bytes_len:int -> unit

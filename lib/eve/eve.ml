@@ -372,7 +372,7 @@ let spawn_mixer t =
 
 let create net rpc cfg ~node ~paxos_store ~conflict_keys factory =
   let eng = Net.engine net in
-  let rt = Rexsync.Runtime.create eng ~node ~slots:1 in
+  let rt = Rexsync.Runtime.create (Par.Backend.of_sim eng) ~node ~slots:1 in
   let api = R.Api.make rt in
   let session =
     R.Session.Table.create (Engine.obs eng) ~stack:"eve" ~node ()

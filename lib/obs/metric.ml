@@ -1,15 +1,24 @@
-type counter = { mutable c : int }
+(* Atomic cells so instruments stay coherent when bumped from several
+   domains at once (the lib/par real-parallel backend); on the
+   single-domain simulator an uncontended atomic costs within a few
+   nanoseconds of the plain mutable field it replaces. *)
 
-let counter () = { c = 0 }
-let incr m = m.c <- m.c + 1
-let add m n = m.c <- m.c + n
-let value m = m.c
-let reset m = m.c <- 0
+type counter = int Atomic.t
 
-type gauge = { mutable g : float }
+let counter () = Atomic.make 0
+let incr m = Atomic.incr m
+let add m n = ignore (Atomic.fetch_and_add m n)
+let value m = Atomic.get m
+let reset m = Atomic.set m 0
 
-let gauge () = { g = 0. }
-let set m v = m.g <- v
-let set_max m v = if v > m.g then m.g <- v
-let get m = m.g
-let reset_gauge m = m.g <- 0.
+type gauge = float Atomic.t
+
+let gauge () = Atomic.make 0.
+let set m v = Atomic.set m v
+
+let rec set_max m v =
+  let cur = Atomic.get m in
+  if v > cur && not (Atomic.compare_and_set m cur v) then set_max m v
+
+let get m = Atomic.get m
+let reset_gauge m = Atomic.set m 0.

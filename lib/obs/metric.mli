@@ -1,10 +1,11 @@
 (** Scalar metrics: monotone counters and last-value gauges.
 
-    These are plain mutable cells — incrementing one costs the same as the
-    ad-hoc [mutable st_foo : int] record fields they replace, so hot paths
-    (one counter bump per recorded sync event) stay hot.  Identity and
-    naming live in {!Registry}; a handle obtained once can be bumped
-    forever without a lookup. *)
+    These are single atomic cells — cheap enough that hot paths (one
+    counter bump per recorded sync event) stay hot on the single-domain
+    simulator, and coherent when bumped concurrently from the real
+    OCaml 5 domains of the [lib/par] backend.  Identity and naming live
+    in {!Registry}; a handle obtained once can be bumped forever without
+    a lookup. *)
 
 type counter
 (** Monotone (except {!reset}) integer count of discrete occurrences. *)

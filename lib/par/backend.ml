@@ -1,0 +1,160 @@
+open Sim
+
+(* The concrete synchronization objects are uniform closure records so a
+   [Rexsync] wrapper holds "a mutex of whatever backend built it" with no
+   functor plumbing at every use site.  [mutex_repr] lets a condition
+   variable recover the underlying primitive of a mutex from its own
+   backend ([Msync.Cond.wait] and [Sync.Cond.wait] both need it), and
+   makes cross-backend mixing a loud error instead of a hang. *)
+
+type mutex_repr = ..
+
+type mutex = {
+  m_lock : unit -> unit;
+  m_try_lock : unit -> bool;
+  m_unlock : unit -> unit;
+  m_locked : unit -> bool;
+  m_repr : mutex_repr;
+}
+
+type cond = {
+  c_wait : mutex -> unit;
+  c_signal : unit -> unit;
+  c_broadcast : unit -> unit;
+}
+
+type rwlock = {
+  rw_rd_lock : unit -> unit;
+  rw_rd_unlock : unit -> unit;
+  rw_wr_lock : unit -> unit;
+  rw_wr_unlock : unit -> unit;
+}
+
+type sem = {
+  s_acquire : unit -> unit;
+  s_try_acquire : unit -> bool;
+  s_release : unit -> unit;
+  s_value : unit -> int;
+}
+
+module type S = sig
+  type t
+
+  val name : string
+
+  val deterministic : bool
+  (** Whether two runs from the same seed interleave identically.  A
+      deterministic backend needs no cross-domain serialization: the
+      record/replay [Guard] collapses to a no-op. *)
+
+  val spawn : t -> node:int -> name:string -> (unit -> unit) -> unit
+  val mutex : t -> mutex
+  val cond : t -> cond
+  val rwlock : t -> rwlock
+  val sem : t -> int -> sem
+
+  val rng_split : t -> Rng.t
+  (** Split an independent stream off the backend's root generator.
+      Callable from any domain (the backend serializes the split). *)
+
+  val fresh_uid : t -> int
+  val obs : t -> Obs.t
+
+  val clock : t -> float
+  (** Current time (virtual or wall), readable outside fibers. *)
+
+  val guard : t -> Guard.t option
+  val sim_engine : t -> Engine.t option
+end
+
+type t = B : (module S with type t = 'a) * 'a -> t
+
+let name (B ((module M), x)) = ignore x; M.name
+let deterministic (B ((module M), _)) = M.deterministic
+let spawn (B ((module M), x)) ~node ~name main = M.spawn x ~node ~name main
+let mutex (B ((module M), x)) = M.mutex x
+let cond (B ((module M), x)) = M.cond x
+let rwlock (B ((module M), x)) = M.rwlock x
+let sem (B ((module M), x)) n = M.sem x n
+let rng_split (B ((module M), x)) = M.rng_split x
+let fresh_uid (B ((module M), x)) = M.fresh_uid x
+let obs (B ((module M), x)) = M.obs x
+let clock (B ((module M), x)) = M.clock x
+let guard (B ((module M), x)) = M.guard x
+let sim_engine (B ((module M), x)) = M.sim_engine x
+
+let sim_engine_exn b =
+  match sim_engine b with
+  | Some eng -> eng
+  | None ->
+    invalid_arg
+      (Printf.sprintf
+         "Par.Backend: the %s backend has no simulator engine (this code \
+          path is sim-only)"
+         (name b))
+
+let guarded b f = match guard b with None -> f () | Some g -> Guard.with_ g f
+
+(* --- The simulator as a backend --- *)
+
+type mutex_repr += Sim_mutex of Msync.Mutex.t
+
+let cross_backend () =
+  invalid_arg "Par.Backend: condition and mutex come from different backends"
+
+module Sim_backend = struct
+  type t = Engine.t
+
+  let name = "sim"
+  let deterministic = true
+  let spawn eng ~node ~name main = ignore (Engine.spawn eng ~node ~name main)
+
+  let mutex eng =
+    let real = Msync.Mutex.create eng in
+    {
+      m_lock = (fun () -> Msync.Mutex.lock real);
+      m_try_lock = (fun () -> Msync.Mutex.try_lock real);
+      m_unlock = (fun () -> Msync.Mutex.unlock real);
+      m_locked = (fun () -> Msync.Mutex.locked real);
+      m_repr = Sim_mutex real;
+    }
+
+  let cond eng =
+    let real = Msync.Cond.create eng in
+    {
+      c_wait =
+        (fun m ->
+          match m.m_repr with
+          | Sim_mutex r -> Msync.Cond.wait real r
+          | _ -> cross_backend ());
+      c_signal = (fun () -> Msync.Cond.signal real);
+      c_broadcast = (fun () -> Msync.Cond.broadcast real);
+    }
+
+  let rwlock eng =
+    let real = Msync.Rwlock.create eng in
+    {
+      rw_rd_lock = (fun () -> Msync.Rwlock.rd_lock real);
+      rw_rd_unlock = (fun () -> Msync.Rwlock.rd_unlock real);
+      rw_wr_lock = (fun () -> Msync.Rwlock.wr_lock real);
+      rw_wr_unlock = (fun () -> Msync.Rwlock.wr_unlock real);
+    }
+
+  let sem eng permits =
+    let real = Msync.Sem.create eng permits in
+    {
+      s_acquire = (fun () -> Msync.Sem.acquire real);
+      s_try_acquire = (fun () -> Msync.Sem.try_acquire real);
+      s_release = (fun () -> Msync.Sem.release real);
+      s_value = (fun () -> Msync.Sem.value real);
+    }
+
+  let rng_split eng = Rng.split (Engine.rng eng)
+  let fresh_uid = Engine.fresh_uid
+  let obs = Engine.obs
+  let clock = Engine.clock
+  let guard _ = None
+  let sim_engine eng = Some eng
+end
+
+let of_sim eng = B ((module Sim_backend), eng)

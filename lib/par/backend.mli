@@ -1,0 +1,110 @@
+(** The execution backend behind the stacks: what [Rexsync.Runtime] and
+    everything above it consume from "the engine", abstracted so the same
+    record/replay machinery runs on the deterministic simulator or on
+    real OCaml 5 domains ([Domains], DESIGN.md §10).
+
+    The split follows the effect protocol ([Sim.Engine.Protocol]):
+    {e contextual} operations performed from inside a fiber
+    ([Engine.now], [work], [sleep], [park], [yield], [self]) are effects
+    handled by whichever backend runs the fiber and need no handle at
+    all; {e creation-scoped} operations — spawning fibers, creating
+    synchronization objects, splitting rng streams, minting uids — go
+    through a {!t} handle. *)
+
+type mutex_repr = ..
+
+type mutex = {
+  m_lock : unit -> unit;
+  m_try_lock : unit -> bool;
+  m_unlock : unit -> unit;
+  m_locked : unit -> bool;
+  m_repr : mutex_repr;
+}
+(** A backend's native blocking mutex as a uniform closure record
+    ([Msync.Mutex] on sim, [Par.Sync.Mutex] on domains). *)
+
+type cond = {
+  c_wait : mutex -> unit;
+      (** Raises [Invalid_argument] if the mutex belongs to another
+          backend. *)
+  c_signal : unit -> unit;
+  c_broadcast : unit -> unit;
+}
+
+type rwlock = {
+  rw_rd_lock : unit -> unit;
+  rw_rd_unlock : unit -> unit;
+  rw_wr_lock : unit -> unit;
+  rw_wr_unlock : unit -> unit;
+}
+
+type sem = {
+  s_acquire : unit -> unit;
+  s_try_acquire : unit -> bool;
+  s_release : unit -> unit;
+  s_value : unit -> int;
+}
+
+(** What a backend implements. *)
+module type S = sig
+  type t
+
+  val name : string
+
+  val deterministic : bool
+  (** Whether two runs from the same seed interleave identically.  A
+      deterministic backend needs no cross-domain serialization: the
+      record/replay [Guard] collapses to a no-op. *)
+
+  val spawn : t -> node:int -> name:string -> (unit -> unit) -> unit
+  val mutex : t -> mutex
+  val cond : t -> cond
+  val rwlock : t -> rwlock
+  val sem : t -> int -> sem
+
+  val rng_split : t -> Sim.Rng.t
+  (** Split an independent stream off the backend's root generator.
+      Callable from any domain (the backend serializes the split). *)
+
+  val fresh_uid : t -> int
+  val obs : t -> Obs.t
+
+  val clock : t -> float
+  (** Current time (virtual or wall), readable outside fibers. *)
+
+  val guard : t -> Guard.t option
+  val sim_engine : t -> Sim.Engine.t option
+end
+
+type t = B : (module S with type t = 'a) * 'a -> t
+(** A packed backend instance. *)
+
+val name : t -> string
+val deterministic : t -> bool
+val spawn : t -> node:int -> name:string -> (unit -> unit) -> unit
+val mutex : t -> mutex
+val cond : t -> cond
+val rwlock : t -> rwlock
+val sem : t -> int -> sem
+val rng_split : t -> Sim.Rng.t
+val fresh_uid : t -> int
+val obs : t -> Obs.t
+val clock : t -> float
+val guard : t -> Guard.t option
+
+val guarded : t -> (unit -> 'a) -> 'a
+(** Run [f] under the backend's guard; a plain call when the backend is
+    deterministic.  See {!Guard.with_} for what must not happen inside. *)
+
+val sim_engine : t -> Sim.Engine.t option
+
+val sim_engine_exn : t -> Sim.Engine.t
+(** The simulator engine, for sim-only code paths (networked consensus,
+    fault injection).  Raises [Invalid_argument] on other backends. *)
+
+(** The simulator instance. *)
+module Sim_backend : S with type t = Sim.Engine.t
+
+type mutex_repr += Sim_mutex of Sim.Msync.Mutex.t
+
+val of_sim : Sim.Engine.t -> t

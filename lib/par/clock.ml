@@ -1,0 +1,18 @@
+type t = { t0 : float }
+
+let create () = { t0 = Unix.gettimeofday () }
+
+let now c = Unix.gettimeofday () -. c.t0
+
+(* Model [Engine.work]'s "hold a CPU core for d seconds" by actually
+   holding the core: a calibrated spin, not a sleep, so a work-heavy
+   fiber contends for real CPU exactly as the simulated one contends for
+   virtual cores.  [cpu_relax] keeps the spin polite to hyperthread
+   siblings. *)
+let spin_for c d =
+  if d > 0. then begin
+    let deadline = now c +. d in
+    while now c < deadline do
+      Domain.cpu_relax ()
+    done
+  end

@@ -1,0 +1,14 @@
+(** Wall-clock time for the domains backend, zeroed at backend creation
+    so that readings are comparable with the simulator's virtual time
+    (both start at 0). *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Seconds since [create]. *)
+
+val spin_for : t -> float -> unit
+(** Busy-hold the calling core for the given duration — the wall-clock
+    realization of [Engine.work]. *)

@@ -1,0 +1,170 @@
+module RawM = Stdlib.Mutex
+open Sim
+module P = Engine.Protocol
+
+type t = {
+  pool : Pool.t;
+  clock : Clock.t;
+  obs : Obs.t;
+  rng : Rng.t;  (* under [rng_m]: split from any domain, never drawn raw *)
+  rng_m : RawM.t;
+  uid : int Atomic.t;
+  next_tid : int Atomic.t;
+  live : int Atomic.t;
+  fin_m : RawM.t;
+  fin_c : Condition.t;
+  mutable first_exn : exn option;  (* under [fin_m] *)
+  g : Guard.t;
+  c_fibers : Obs.Metric.counter;
+  g_live : Obs.Metric.gauge;
+}
+
+let create ?(seed = 42) ?domains () =
+  let domains =
+    match domains with Some d -> d | None -> Domain.recommended_domain_count ()
+  in
+  let obs = Obs.create () in
+  let clock = Clock.create () in
+  Obs.set_clock obs (fun () -> Clock.now clock);
+  let pool = Pool.create ~obs ~clock ~domains () in
+  {
+    pool;
+    clock;
+    obs;
+    rng = Rng.create seed;
+    rng_m = RawM.create ();
+    uid = Atomic.make 0;
+    next_tid = Atomic.make 0;
+    live = Atomic.make 0;
+    fin_m = RawM.create ();
+    fin_c = Condition.create ();
+    first_exn = None;
+    g = Guard.create ();
+    c_fibers = Obs.counter obs ~subsystem:"par" "fibers_spawned";
+    g_live = Obs.gauge obs ~subsystem:"par" "fibers_live";
+  }
+
+let obs t = t.obs
+let pool t = t.pool
+let domains t = Pool.size t.pool
+let now t = Clock.now t.clock
+
+let fiber_finished t =
+  Obs.Metric.set t.g_live (float_of_int (Atomic.get t.live - 1));
+  if Atomic.fetch_and_add t.live (-1) = 1 then begin
+    (* last fiber out: wake any joiner *)
+    RawM.lock t.fin_m;
+    Condition.broadcast t.fin_c;
+    RawM.unlock t.fin_m
+  end
+
+let fiber_raised t e =
+  RawM.lock t.fin_m;
+  if t.first_exn = None then t.first_exn <- Some e;
+  RawM.unlock t.fin_m
+
+let sched t =
+  {
+    Fiber.pool = t.pool;
+    clock = t.clock;
+    on_done = (fun () -> fiber_finished t);
+    on_exn = (fun e -> fiber_raised t e);
+  }
+
+let spawn t ~node ?(name = "fiber") main =
+  Atomic.incr t.live;
+  Obs.Metric.incr t.c_fibers;
+  Obs.Metric.set t.g_live (float_of_int (Atomic.get t.live));
+  let info =
+    {
+      P.fi_tid = Atomic.fetch_and_add t.next_tid 1;
+      fi_node = node;
+      fi_name = name;
+    }
+  in
+  Fiber.spawn (sched t) info main
+
+let join t =
+  RawM.lock t.fin_m;
+  while Atomic.get t.live > 0 do
+    Condition.wait t.fin_c t.fin_m
+  done;
+  let e = t.first_exn in
+  t.first_exn <- None;
+  RawM.unlock t.fin_m;
+  (match Pool.first_exn t.pool with
+  | Some e -> raise e  (* a task escaped the fiber handler: backend bug *)
+  | None -> ());
+  match e with Some e -> raise e | None -> ()
+
+let shutdown t = Pool.shutdown t.pool
+
+let run t main =
+  spawn t ~node:0 ~name:"main" main;
+  join t
+
+(* --- As a Backend --- *)
+
+type Backend.mutex_repr += Par_mutex of Sync.Mutex.t
+
+module Backend_impl = struct
+  type nonrec t = t
+
+  let name = "domains"
+  let deterministic = false
+  let spawn t ~node ~name main = spawn t ~node ~name main
+
+  let mutex _ =
+    let real = Sync.Mutex.create () in
+    {
+      Backend.m_lock = (fun () -> Sync.Mutex.lock real);
+      m_try_lock = (fun () -> Sync.Mutex.try_lock real);
+      m_unlock = (fun () -> Sync.Mutex.unlock real);
+      m_locked = (fun () -> Sync.Mutex.locked real);
+      m_repr = Par_mutex real;
+    }
+
+  let cond _ =
+    let real = Sync.Cond.create () in
+    {
+      Backend.c_wait =
+        (fun (m : Backend.mutex) ->
+          match m.m_repr with
+          | Par_mutex r -> Sync.Cond.wait real r
+          | _ ->
+            invalid_arg
+              "Par.Backend: condition and mutex come from different backends");
+      c_signal = (fun () -> Sync.Cond.signal real);
+      c_broadcast = (fun () -> Sync.Cond.broadcast real);
+    }
+
+  let rwlock _ =
+    let real = Sync.Rwlock.create () in
+    {
+      Backend.rw_rd_lock = (fun () -> Sync.Rwlock.rd_lock real);
+      rw_rd_unlock = (fun () -> Sync.Rwlock.rd_unlock real);
+      rw_wr_lock = (fun () -> Sync.Rwlock.wr_lock real);
+      rw_wr_unlock = (fun () -> Sync.Rwlock.wr_unlock real);
+    }
+
+  let sem _ permits =
+    let real = Sync.Sem.create permits in
+    {
+      Backend.s_acquire = (fun () -> Sync.Sem.acquire real);
+      s_try_acquire = (fun () -> Sync.Sem.try_acquire real);
+      s_release = (fun () -> Sync.Sem.release real);
+      s_value = (fun () -> Sync.Sem.value real);
+    }
+
+  let rng_split t =
+    RawM.lock t.rng_m;
+    Fun.protect ~finally:(fun () -> RawM.unlock t.rng_m) (fun () -> Rng.split t.rng)
+
+  let fresh_uid t = Atomic.fetch_and_add t.uid 1
+  let obs t = t.obs
+  let clock t = Clock.now t.clock
+  let guard t = Some t.g
+  let sim_engine _ = None
+end
+
+let backend t = Backend.B ((module Backend_impl), t)

@@ -1,0 +1,40 @@
+(** The real-parallel backend: fibers multiplexed onto a fixed {!Pool}
+    of OCaml 5 domains, wall-clock time, FIFO {!Sync} primitives.
+
+    What it deliberately does not have (DESIGN.md §10): virtual time,
+    fault injection ([crash_node]) and the simulated network — consensus
+    between replicas stays on the simulator.  This backend exists for
+    the paper's Fig. 8 question: how fast the {e execution} stage of one
+    replica runs when its worker threads are real. *)
+
+type t
+
+val create : ?seed:int -> ?domains:int -> unit -> t
+(** [domains] defaults to [Domain.recommended_domain_count].  [seed]
+    seeds the root rng handed out via [Backend.rng_split]. *)
+
+val spawn : t -> node:int -> ?name:string -> (unit -> unit) -> unit
+(** Start a fiber on the pool.  [node] is a label (all fibers share the
+    one pool — a backend models a single machine). *)
+
+val join : t -> unit
+(** Block (from outside any fiber) until every spawned fiber finished.
+    Re-raises the first exception any fiber died with. *)
+
+val run : t -> (unit -> unit) -> unit
+(** [spawn] + [join]. *)
+
+val shutdown : t -> unit
+(** Join the pool's domains.  The backend is unusable afterwards. *)
+
+val obs : t -> Obs.t
+val pool : t -> Pool.t
+val domains : t -> int
+val now : t -> float
+
+val backend : t -> Backend.t
+(** This instance packed as a [Backend.t]. *)
+
+module Backend_impl : Backend.S with type t = t
+
+type Backend.mutex_repr += Par_mutex of Sync.Mutex.t

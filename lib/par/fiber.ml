@@ -1,0 +1,57 @@
+open Effect.Deep
+module P = Sim.Engine.Protocol
+
+type sched = {
+  pool : Pool.t;
+  clock : Clock.t;
+  on_done : unit -> unit;
+  on_exn : exn -> unit;
+}
+
+(* The domains-side handler for the shared fiber protocol.  A fiber is a
+   chain of pool tasks: it starts as one, and every suspension point
+   (park, sleep, yield) re-enters the queue as a fresh task when woken —
+   possibly on a different domain, which is why fibers must not cache
+   domain-local state across effects.  [E_work] holds the current core
+   by spinning (no suspension), mirroring the simulator's "a fiber owns
+   a core for the duration of [work]". *)
+let handler sched info =
+  let resubmit (k : (unit, unit) continuation) =
+    Pool.submit sched.pool (fun () -> continue k ())
+  in
+  let effc : type a. a Effect.t -> ((a, unit) continuation -> unit) option =
+    function
+    | P.E_now ->
+      Some (fun (k : (float, unit) continuation) -> continue k (Clock.now sched.clock))
+    | P.E_self -> Some (fun (k : (P.fiber_info, unit) continuation) -> continue k info)
+    | P.E_work d ->
+      Some
+        (fun (k : (unit, unit) continuation) ->
+          Clock.spin_for sched.clock d;
+          continue k ())
+    | P.E_sleep d ->
+      Some
+        (fun (k : (unit, unit) continuation) ->
+          Pool.submit_after sched.pool ~delay:d (fun () -> continue k ()))
+    | P.E_park register ->
+      Some
+        (fun (k : (unit, unit) continuation) ->
+          register (P.make_waker (fun () -> resubmit k)))
+    | P.E_yield ->
+      Some
+        (fun (k : (unit, unit) continuation) ->
+          (* go to the back of the shared queue, letting peers run *)
+          resubmit k)
+    | _ -> None
+  in
+  {
+    retc = (fun () -> sched.on_done ());
+    exnc =
+      (fun e ->
+        sched.on_exn e;
+        sched.on_done ());
+    effc;
+  }
+
+let spawn sched info main =
+  Pool.submit sched.pool (fun () -> match_with main () (handler sched info))

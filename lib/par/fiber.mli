@@ -1,0 +1,17 @@
+(** Effect-handler fibers mapped onto a {!Pool} of real domains.
+
+    Handles the same [Sim.Engine.Protocol] effects as the simulator, so
+    fiber code written against [Engine.now]/[work]/[sleep]/[park]/
+    [yield]/[self] runs unchanged.  Differences from the simulator:
+    time is wall-clock, [work] spins the core instead of advancing
+    virtual time, and the interleaving comes from the OS scheduler
+    rather than a seed. *)
+
+type sched = {
+  pool : Pool.t;
+  clock : Clock.t;
+  on_done : unit -> unit;  (** fiber finished (normally or by exception) *)
+  on_exn : exn -> unit;  (** called before [on_done] when the fiber raised *)
+}
+
+val spawn : sched -> Sim.Engine.Protocol.fiber_info -> (unit -> unit) -> unit

@@ -1,0 +1,31 @@
+type t = {
+  m : Mutex.t;
+  mutable owner : int;  (* domain id, or -1 when free *)
+  mutable depth : int;
+}
+
+let none = -1
+
+let create () = { m = Mutex.create (); owner = none; depth = 0 }
+
+(* Reentrancy is tracked by domain, which is sound because guarded
+   sections never perform fiber effects: a fiber inside one cannot
+   suspend, so it cannot migrate off its domain, and no other fiber can
+   run on that domain until the section exits. *)
+let with_ g f =
+  let me = (Domain.self () :> int) in
+  if g.owner = me then begin
+    g.depth <- g.depth + 1;
+    Fun.protect ~finally:(fun () -> g.depth <- g.depth - 1) f
+  end
+  else begin
+    Mutex.lock g.m;
+    g.owner <- me;
+    g.depth <- 1;
+    Fun.protect
+      ~finally:(fun () ->
+        g.depth <- 0;
+        g.owner <- none;
+        Mutex.unlock g.m)
+      f
+  end

@@ -1,0 +1,21 @@
+(** A reentrant mutual-exclusion guard serializing the record/replay
+    bookkeeping of [Rexsync.Runtime] when fibers run on real domains.
+
+    The simulator needs no guard (one domain, fibers switch only at
+    effect points), so deterministic backends expose [None] and every
+    [with_] collapses to a plain call.  On the domains backend the guard
+    is a coarse lock around trace, vector-clock, scoreboard and wrapper
+    bookkeeping — the same policy as the paper's C++ runtime, which
+    serialized appends to the shared log.
+
+    Guarded sections must not perform blocking fiber effects
+    ([park]/[sleep]/[yield] or lock acquisition); [work] is safe because
+    the domains backend spins it in place. *)
+
+type t
+
+val create : unit -> t
+
+val with_ : t -> (unit -> 'a) -> 'a
+(** Run [f] holding the guard.  Reentrant: nested [with_] from the same
+    domain proceeds immediately. *)

@@ -1,0 +1,33 @@
+(** A fixed pool of OCaml 5 domains draining a shared task queue — the
+    domains backend's analogue of the simulator event loop.  One pool
+    per backend; its size is the real-parallelism budget (defaults to
+    [Domain.recommended_domain_count], i.e. the machine's cores).
+
+    Registers metrics under subsystem ["par"]: [pool_tasks] (tasks
+    executed), [queue_depth] / [queue_depth_max] (run-queue length), and
+    a per-domain [domain_busy] gauge of cumulative seconds spent running
+    tasks (busy ÷ wall-clock = utilization). *)
+
+type t
+
+val create : obs:Obs.t -> clock:Clock.t -> domains:int -> unit -> t
+
+val size : t -> int
+(** Number of worker domains. *)
+
+val submit : t -> (unit -> unit) -> unit
+(** Enqueue a task; callable from any domain (including pool workers).
+    Raises [Invalid_argument] after {!shutdown}. *)
+
+val submit_after : t -> delay:float -> (unit -> unit) -> unit
+(** Enqueue a task once [delay] seconds of wall-clock have passed
+    (millisecond firing granularity — see the timer-wheel comment). *)
+
+val first_exn : t -> exn option
+(** First exception that escaped a task, if any.  Fiber exceptions are
+    routed through [Fiber]'s handler and never reach this; a non-[None]
+    value indicates a backend bug. *)
+
+val shutdown : t -> unit
+(** Stop the timer, let workers drain the queue, join all domains.
+    Timers still pending are dropped. *)

@@ -1,0 +1,265 @@
+module RawM = Stdlib.Mutex
+module Engine = Sim.Engine
+
+(* Fiber-level blocking primitives for the domains backend, mirroring
+   [Sim.Msync]'s semantics (direct hand-off on release; ownership errors
+   raise [Invalid_argument]; the rwlock batches readers and does not
+   starve writers).  One deliberate difference: where Msync picks a
+   random waiter (the seeded nondeterminism Rex records), these queues
+   are FIFO — on real domains the OS scheduler supplies the
+   nondeterminism, in which order waiters reach the queue at all.
+
+   A fiber migrates between pool domains across suspension points, so a
+   stdlib [Mutex] cannot be the fiber-level lock (unlocking from a
+   thread other than the locker is undefined).  Each primitive instead
+   keeps explicit holder/waiter state under a short-lived raw spinlock
+   of its own.  Park-register callbacks run in scheduler context on the
+   fiber's current domain, where taking that raw lock is safe but
+   performing effects is not — hence the [~me] plumbing: the caller's
+   tid is captured before parking. *)
+
+module Mutex = struct
+  type t = {
+    m : RawM.t;
+    mutable holder : Engine.tid option;
+    waiters : (Engine.tid * Engine.Protocol.waker) Queue.t;
+  }
+
+  let create () = { m = RawM.create (); holder = None; waiters = Queue.create () }
+
+  let try_lock_as t me =
+    RawM.lock t.m;
+    let got = t.holder = None in
+    if got then t.holder <- Some me;
+    RawM.unlock t.m;
+    got
+
+  let try_lock t = try_lock_as t (Engine.self ())
+
+  let lock t =
+    let me = Engine.self () in
+    if not (try_lock_as t me) then
+      Engine.park (fun w ->
+          RawM.lock t.m;
+          if t.holder = None then begin
+            t.holder <- Some me;
+            RawM.unlock t.m;
+            Engine.wake w
+          end
+          else begin
+            Queue.push (me, w) t.waiters;
+            RawM.unlock t.m
+          end)
+
+  (* Direct hand-off: the next waiter becomes the holder before it is
+     woken, so no barging fiber can sneak in between. *)
+  let unlock_as t me =
+    RawM.lock t.m;
+    (match t.holder with
+    | Some h when h = me -> ()
+    | _ ->
+      RawM.unlock t.m;
+      invalid_arg "Par.Sync.Mutex.unlock: calling fiber does not hold the lock");
+    match Queue.take_opt t.waiters with
+    | Some (tid, w) ->
+      t.holder <- Some tid;
+      RawM.unlock t.m;
+      Engine.wake w
+    | None ->
+      t.holder <- None;
+      RawM.unlock t.m
+
+  let unlock t = unlock_as t (Engine.self ())
+
+  let locked t =
+    RawM.lock t.m;
+    let l = t.holder <> None in
+    RawM.unlock t.m;
+    l
+
+  let holder t =
+    RawM.lock t.m;
+    let h = t.holder in
+    RawM.unlock t.m;
+    h
+end
+
+module Cond = struct
+  type t = { m : RawM.t; waiters : Engine.Protocol.waker Queue.t }
+
+  let create () = { m = RawM.create (); waiters = Queue.create () }
+
+  let wait t (mu : Mutex.t) =
+    let me = Engine.self () in
+    Engine.park (fun w ->
+        (* Enqueue before releasing the mutex: a signaller that runs
+           between the two already sees this waiter. *)
+        RawM.lock t.m;
+        Queue.push w t.waiters;
+        RawM.unlock t.m;
+        Mutex.unlock_as mu me);
+    Mutex.lock mu
+
+  let signal t =
+    RawM.lock t.m;
+    let w = Queue.take_opt t.waiters in
+    RawM.unlock t.m;
+    Option.iter Engine.wake w
+
+  let broadcast t =
+    RawM.lock t.m;
+    let ws = Queue.fold (fun acc w -> w :: acc) [] t.waiters in
+    Queue.clear t.waiters;
+    RawM.unlock t.m;
+    List.iter Engine.wake (List.rev ws)
+end
+
+module Rwlock = struct
+  type t = {
+    m : RawM.t;
+    mutable writer : Engine.tid option;
+    mutable readers : int;
+    wr_waiters : (Engine.tid * Engine.Protocol.waker) Queue.t;
+    rd_waiters : Engine.Protocol.waker Queue.t;
+  }
+
+  let create () =
+    {
+      m = RawM.create ();
+      writer = None;
+      readers = 0;
+      wr_waiters = Queue.create ();
+      rd_waiters = Queue.create ();
+    }
+
+  (* Readers barge only while no writer holds or waits (as in Msync);
+     when a writer releases into waiting readers, the whole batch is
+     admitted at once, then the next writer gets its turn. *)
+  let rd_lock t =
+    Engine.park (fun w ->
+        RawM.lock t.m;
+        if t.writer = None && Queue.is_empty t.wr_waiters then begin
+          t.readers <- t.readers + 1;
+          RawM.unlock t.m;
+          Engine.wake w
+        end
+        else begin
+          Queue.push w t.rd_waiters;
+          RawM.unlock t.m
+        end)
+
+  let rd_unlock t =
+    RawM.lock t.m;
+    if t.readers <= 0 then begin
+      RawM.unlock t.m;
+      invalid_arg "Par.Sync.Rwlock.rd_unlock: no reader holds the lock"
+    end;
+    t.readers <- t.readers - 1;
+    if t.readers = 0 && t.writer = None then begin
+      match Queue.take_opt t.wr_waiters with
+      | Some (tid, w) ->
+        t.writer <- Some tid;
+        RawM.unlock t.m;
+        Engine.wake w
+      | None -> RawM.unlock t.m
+    end
+    else RawM.unlock t.m
+
+  let wr_lock t =
+    let me = Engine.self () in
+    Engine.park (fun w ->
+        RawM.lock t.m;
+        if t.writer = None && t.readers = 0 then begin
+          t.writer <- Some me;
+          RawM.unlock t.m;
+          Engine.wake w
+        end
+        else begin
+          Queue.push (me, w) t.wr_waiters;
+          RawM.unlock t.m
+        end)
+
+  let wr_unlock t =
+    let me = Engine.self () in
+    RawM.lock t.m;
+    (match t.writer with
+    | Some h when h = me -> ()
+    | _ ->
+      RawM.unlock t.m;
+      invalid_arg "Par.Sync.Rwlock.wr_unlock: calling fiber is not the writer");
+    t.writer <- None;
+    if not (Queue.is_empty t.rd_waiters) then begin
+      let ws = Queue.fold (fun acc w -> w :: acc) [] t.rd_waiters in
+      Queue.clear t.rd_waiters;
+      t.readers <- List.length ws;
+      RawM.unlock t.m;
+      List.iter Engine.wake (List.rev ws)
+    end
+    else
+      match Queue.take_opt t.wr_waiters with
+      | Some (tid, w) ->
+        t.writer <- Some tid;
+        RawM.unlock t.m;
+        Engine.wake w
+      | None -> RawM.unlock t.m
+
+  let holders t =
+    RawM.lock t.m;
+    let h =
+      match t.writer with
+      | Some tid -> `Writer tid
+      | None -> if t.readers > 0 then `Readers t.readers else `Free
+    in
+    RawM.unlock t.m;
+    h
+end
+
+module Sem = struct
+  type t = {
+    m : RawM.t;
+    mutable permits : int;
+    waiters : Engine.Protocol.waker Queue.t;
+  }
+
+  let create permits =
+    if permits < 0 then invalid_arg "Par.Sync.Sem.create";
+    { m = RawM.create (); permits; waiters = Queue.create () }
+
+  let acquire t =
+    Engine.park (fun w ->
+        RawM.lock t.m;
+        if t.permits > 0 then begin
+          t.permits <- t.permits - 1;
+          RawM.unlock t.m;
+          Engine.wake w
+        end
+        else begin
+          Queue.push w t.waiters;
+          RawM.unlock t.m
+        end)
+
+  let try_acquire t =
+    RawM.lock t.m;
+    let got = t.permits > 0 in
+    if got then t.permits <- t.permits - 1;
+    RawM.unlock t.m;
+    got
+
+  (* Hand-off: a released permit goes straight to the oldest waiter
+     rather than back into [permits], so a barger cannot overtake it. *)
+  let release t =
+    RawM.lock t.m;
+    match Queue.take_opt t.waiters with
+    | Some w ->
+      RawM.unlock t.m;
+      Engine.wake w
+    | None ->
+      t.permits <- t.permits + 1;
+      RawM.unlock t.m
+
+  let value t =
+    RawM.lock t.m;
+    let v = t.permits in
+    RawM.unlock t.m;
+    v
+end

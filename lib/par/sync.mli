@@ -1,0 +1,58 @@
+(** Fiber-level blocking synchronization for the domains backend.
+
+    Same contracts as [Sim.Msync] (see that mli): direct hand-off on
+    release, [Invalid_argument] on ownership misuse, reader batching
+    without writer starvation.  Contended hand-off order is FIFO rather
+    than Msync's seeded random pick: on real hardware the OS scheduler
+    supplies the nondeterminism Rex records — in which order contenders
+    reach the wait queue.
+
+    All blocking operations must run inside a fiber (they park). *)
+
+module Mutex : sig
+  type t
+
+  val create : unit -> t
+  val lock : t -> unit
+  val try_lock : t -> bool
+
+  val unlock : t -> unit
+  (** Raises [Invalid_argument] if the calling fiber does not hold it. *)
+
+  val locked : t -> bool
+  val holder : t -> Sim.Engine.tid option
+end
+
+module Cond : sig
+  type t
+
+  val create : unit -> t
+
+  val wait : t -> Mutex.t -> unit
+  (** Atomically releases the mutex and parks; re-acquires before
+      returning.  The caller must hold the mutex. *)
+
+  val signal : t -> unit
+  val broadcast : t -> unit
+end
+
+module Rwlock : sig
+  type t
+
+  val create : unit -> t
+  val rd_lock : t -> unit
+  val wr_lock : t -> unit
+  val rd_unlock : t -> unit
+  val wr_unlock : t -> unit
+  val holders : t -> [ `Free | `Readers of int | `Writer of Sim.Engine.tid ]
+end
+
+module Sem : sig
+  type t
+
+  val create : int -> t
+  val acquire : t -> unit
+  val try_acquire : t -> bool
+  val release : t -> unit
+  val value : t -> int
+end

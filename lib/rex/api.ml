@@ -14,7 +14,7 @@ let make rt =
     rt;
     timers = [];
     sealed = false;
-    time_rng = Rng.split (Engine.rng (Rexsync.Runtime.engine rt));
+    time_rng = Par.Backend.rng_split (Rexsync.Runtime.backend rt);
   }
 
 let seal t =
@@ -38,7 +38,12 @@ let nondet t f = Rexsync.Runtime.nondet t.rt f
 let nondet_int t f =
   int_of_string (Rexsync.Runtime.nondet t.rt (fun () -> string_of_int (f ())))
 
-let random_int t bound = nondet_int t (fun () -> Rng.int t.time_rng bound)
+(* The draw mutates the shared generator: guarded so that concurrent
+   callers on real domains do not tear it (the drawn value is recorded
+   as a nondet event, so determinism does not depend on the draw). *)
+let random_int t bound =
+  nondet_int t (fun () ->
+      Rexsync.Runtime.guarded t.rt (fun () -> Rng.int t.time_rng bound))
 
 let virtual_now t =
   float_of_string (Rexsync.Runtime.nondet t.rt (fun () -> Fmt.str "%h" (Engine.now ())))

@@ -664,7 +664,7 @@ let build_exec t =
       ~partial_order:t.cfg.Config.partial_order
       ~check_versions:t.cfg.Config.check_versions
       ~record_cost:t.cfg.Config.record_cost
-      ~replay_cost:t.cfg.Config.replay_cost ?base t.eng ~node:t.node_id
+      ~replay_cost:t.cfg.Config.replay_cost ?base (Par.Backend.of_sim t.eng) ~node:t.node_id
       ~slots:t.slots
   in
   Runtime.set_mode rt Runtime.Replay;

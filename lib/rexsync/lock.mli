@@ -30,7 +30,7 @@ val with_lock : t -> (unit -> 'a) -> 'a
    variable's resource, without touching the real mutex. *)
 
 val runtime : t -> Runtime.t
-val real_mutex : t -> Sim.Msync.Mutex.t
+val real_mutex : t -> Par.Backend.mutex
 
 val record_release_as :
   t -> kind:Event.kind -> resource:int -> Runtime.source

@@ -17,7 +17,10 @@ type stats = {
 }
 
 type t = {
-  eng : Engine.t;
+  bk : Par.Backend.t;
+  guard : Par.Guard.t option;
+      (* cached from [bk]; [None] on deterministic backends, where
+         [guarded] collapses to a plain call *)
   node : int;
   slots : int;
   tr : Trace.t;
@@ -58,21 +61,23 @@ type t = {
 let max_slots = 62
 
 let create ?(reduce_edges = true) ?(partial_order = true)
-    ?(check_versions = true) ?(record_cost = 0.) ?(replay_cost = 0.) ?base eng
+    ?(check_versions = true) ?(record_cost = 0.) ?(replay_cost = 0.) ?base bk
     ~node ~slots =
   if slots <= 0 || slots > max_slots then
     invalid_arg "Runtime.create: slots out of range";
-  let sbd = Scoreboard.create ~slots in
+  let guard = Par.Backend.guard bk in
+  let sbd = Scoreboard.create ?guard ~slots () in
   (match base with Some b -> Scoreboard.reset sbd b | None -> ());
-  let obs = Engine.obs eng in
-  (* Counters live in the engine's registry keyed by node, so a runtime
+  let obs = Par.Backend.obs bk in
+  (* Counters live in the backend's registry keyed by node, so a runtime
      rebuilt on the same node (e.g. after promotion) keeps accumulating
      into the same series rather than starting a parallel one. *)
   let labels = [ ("node", string_of_int node) ] in
   let c name = Obs.counter obs ~subsystem:"rexsync" ~labels name in
   let tg name = Obs.gauge obs ~subsystem:"trace" ~labels name in
   {
-    eng;
+    bk;
+    guard;
     node;
     slots;
     tr = Trace.create ?base ~slots ();
@@ -106,7 +111,8 @@ let create ?(reduce_edges = true) ?(partial_order = true)
     g_incoming_entries = tg "incoming_entries";
   }
 
-let engine t = t.eng
+let backend t = t.bk
+let engine t = Par.Backend.sim_engine_exn t.bk
 let node t = t.node
 let num_slots t = t.slots
 let trace t = t.tr
@@ -115,48 +121,62 @@ let set_mode t m = t.md <- m
 let reduce_edges t = t.do_reduce_edges
 let partial_order t = t.do_partial_order
 
+let guarded t f = match t.guard with None -> f () | Some g -> Par.Guard.with_ g f
+
 (* --- Trace residency and compaction --- *)
 
-let refresh_trace_gauges t =
+let refresh_gauges_locked t =
   Obs.Metric.set t.g_resident_events (float_of_int (Trace.event_count t.tr));
   Obs.Metric.set t.g_resident_edges (float_of_int (Trace.edge_count t.tr));
   Obs.Metric.set t.g_incoming_entries
     (float_of_int (Trace.incoming_entries t.tr))
 
-let compact_trace t ~upto =
-  (* Clamp to what this replica has actually recorded — and, while
-     replaying, executed: a replayer must never lose events its
-     scoreboard has not passed.  A lagging replica compacts as far as is
-     safe now and finishes the job at the next stable checkpoint. *)
-  let safe = Trace.Cut.min upto (Trace.end_cut t.tr) in
-  let safe =
-    match t.md with
-    | Replay -> Trace.Cut.min safe (Scoreboard.cut t.sbd)
-    | Record | Native -> safe
-  in
-  let before = Trace.compactions t.tr in
-  Trace.compact t.tr ~upto:safe;
-  if Trace.compactions t.tr <> before then Obs.Metric.incr t.c_compactions;
-  refresh_trace_gauges t
+let refresh_trace_gauges t = guarded t (fun () -> refresh_gauges_locked t)
 
-(* --- Fiber binding --- *)
+let compact_trace t ~upto =
+  guarded t (fun () ->
+      (* Clamp to what this replica has actually recorded — and, while
+         replaying, executed: a replayer must never lose events its
+         scoreboard has not passed.  A lagging replica compacts as far as is
+         safe now and finishes the job at the next stable checkpoint. *)
+      let safe = Trace.Cut.min upto (Trace.end_cut t.tr) in
+      let safe =
+        match t.md with
+        | Replay -> Trace.Cut.min safe (Scoreboard.cut t.sbd)
+        | Record | Native -> safe
+      in
+      let before = Trace.compactions t.tr in
+      Trace.compact t.tr ~upto:safe;
+      if Trace.compactions t.tr <> before then Obs.Metric.incr t.c_compactions;
+      refresh_gauges_locked t)
+
+(* --- Fiber binding ---
+
+   [bound] and [slot_owner] writes are guarded; reads are not.  This is
+   safe on the domains backend because the table never resizes (at most
+   [max_slots] live bindings against 32 buckets) and a fiber only ever
+   looks up its *own* binding, which it wrote itself — the pool's queue
+   transfer orders that write before any later read from another
+   domain. *)
 
 let bind_slot t slot =
   if slot < 0 || slot >= t.slots then invalid_arg "Runtime.bind_slot";
-  (match t.slot_owner.(slot) with
-  | Some _ -> invalid_arg "Runtime.bind_slot: slot already bound"
-  | None -> ());
   let tid = Engine.self () in
-  Hashtbl.replace t.bound tid { slot; native_depth = 0 };
-  t.slot_owner.(slot) <- Some tid
+  guarded t (fun () ->
+      (match t.slot_owner.(slot) with
+      | Some _ -> invalid_arg "Runtime.bind_slot: slot already bound"
+      | None -> ());
+      Hashtbl.replace t.bound tid { slot; native_depth = 0 };
+      t.slot_owner.(slot) <- Some tid)
 
 let unbind_slot t =
   let tid = Engine.self () in
-  match Hashtbl.find_opt t.bound tid with
-  | None -> ()
-  | Some ctx ->
-    Hashtbl.remove t.bound tid;
-    t.slot_owner.(ctx.slot) <- None
+  guarded t (fun () ->
+      match Hashtbl.find_opt t.bound tid with
+      | None -> ()
+      | Some ctx ->
+        Hashtbl.remove t.bound tid;
+        t.slot_owner.(ctx.slot) <- None)
 
 let ctx t =
   match Engine.self_opt () with
@@ -186,39 +206,46 @@ let required_slot t =
 (* --- Resources --- *)
 
 let fresh_resource_id t name =
-  let uid =
-    match current_slot t with
-    | None ->
-      let k = t.global_res_counter in
-      t.global_res_counter <- k + 1;
-      k * (max_slots + 2)
-    | Some s ->
-      let k = t.slot_res_counter.(s) in
-      t.slot_res_counter.(s) <- k + 1;
-      (k * (max_slots + 2)) + s + 1
-  in
-  Hashtbl.replace t.resource_names uid name;
-  uid
+  let slot = current_slot t in
+  guarded t (fun () ->
+      let uid =
+        match slot with
+        | None ->
+          let k = t.global_res_counter in
+          t.global_res_counter <- k + 1;
+          k * (max_slots + 2)
+        | Some s ->
+          let k = t.slot_res_counter.(s) in
+          t.slot_res_counter.(s) <- k + 1;
+          (k * (max_slots + 2)) + s + 1
+      in
+      Hashtbl.replace t.resource_names uid name;
+      uid)
 
 let resource_name t uid =
-  Option.value (Hashtbl.find_opt t.resource_names uid)
-    ~default:(Printf.sprintf "resource#%d" uid)
+  guarded t (fun () ->
+      Option.value
+        (Hashtbl.find_opt t.resource_names uid)
+        ~default:(Printf.sprintf "resource#%d" uid))
 
 (* Resource-version snapshots ride inside checkpoints so that a replica
    rebuilt from one resumes divergence checking with correct counters. *)
-let register_versioned t uid ~get ~set = Hashtbl.replace t.versioned uid (get, set)
+let register_versioned t uid ~get ~set =
+  guarded t (fun () -> Hashtbl.replace t.versioned uid (get, set))
 
 let version_snapshot t =
-  Hashtbl.fold (fun uid (get, _) acc -> (uid, get ()) :: acc) t.versioned []
-  |> List.sort compare
+  guarded t (fun () ->
+      Hashtbl.fold (fun uid (get, _) acc -> (uid, get ()) :: acc) t.versioned []
+      |> List.sort compare)
 
 let restore_versions t versions =
-  List.iter
-    (fun (uid, v) ->
-      match Hashtbl.find_opt t.versioned uid with
-      | Some (_, set) -> set v
-      | None -> ())
-    versions
+  guarded t (fun () ->
+      List.iter
+        (fun (uid, v) ->
+          match Hashtbl.find_opt t.versioned uid with
+          | Some (_, set) -> set v
+          | None -> ())
+        versions)
 
 (* --- Record path --- *)
 
@@ -228,44 +255,52 @@ let source_id s = s.sid
 
 let record t ~kind ~resource ?(version = 0) ?(payload = "") srcs =
   let slot = required_slot t in
-  if t.md <> Record then
-    invalid_arg "Runtime.record: runtime is not in record mode";
-  let clock = Trace.slot_end t.tr slot + 1 in
-  let id : Event.Id.t = { slot; clock } in
-  Trace.append t.tr { Event.id; kind; resource; version; payload };
-  Obs.Metric.incr t.c_recorded;
-  let vc = t.vcs.(slot) in
-  ignore (Vclock.tick vc slot);
-  let seen = Hashtbl.create 4 in
-  let add_src src =
-    if src.sid.slot <> slot && not (Hashtbl.mem seen src.sid) then begin
-      Hashtbl.replace seen src.sid ();
-      if t.do_reduce_edges && Vclock.dominates vc src.sid then
-        Obs.Metric.incr t.c_reduced
-      else begin
-        Trace.add_edge t.tr ~src:src.sid ~dst:id;
-        Obs.Metric.incr t.c_edges
-      end;
-      Vclock.join vc src.svc
-    end
+  let src =
+    guarded t (fun () ->
+        if t.md <> Record then
+          invalid_arg "Runtime.record: runtime is not in record mode";
+        let clock = Trace.slot_end t.tr slot + 1 in
+        let id : Event.Id.t = { slot; clock } in
+        Trace.append t.tr { Event.id; kind; resource; version; payload };
+        Obs.Metric.incr t.c_recorded;
+        let vc = t.vcs.(slot) in
+        ignore (Vclock.tick vc slot);
+        let seen = Hashtbl.create 4 in
+        let add_src src =
+          if src.sid.slot <> slot && not (Hashtbl.mem seen src.sid) then begin
+            Hashtbl.replace seen src.sid ();
+            if t.do_reduce_edges && Vclock.dominates vc src.sid then
+              Obs.Metric.incr t.c_reduced
+            else begin
+              Trace.add_edge t.tr ~src:src.sid ~dst:id;
+              Obs.Metric.incr t.c_edges
+            end;
+            Vclock.join vc src.svc
+          end
+        in
+        List.iter add_src srcs;
+        refresh_gauges_locked t;
+        { sid = id; svc = Vclock.copy vc })
   in
-  List.iter add_src srcs;
-  refresh_trace_gauges t;
-  let src = { sid = id; svc = Vclock.copy vc } in
   (* Model the instruction overhead of logging an event (paper §6.3:
      recording costs the primary <= 5%).  Charged after the append so the
-     trace bookkeeping itself stays atomic. *)
+     trace bookkeeping itself stays atomic.  Safe even when the caller
+     holds the guard: the domains backend spins [work] in place. *)
   if t.record_cost > 0. then Engine.work t.record_cost;
   src
 
 (* --- Replay path --- *)
 
 let feed_progress t =
-  (* The trace just grew (a committed delta was applied); keep the
-     residency gauges current on replicas that never record. *)
-  refresh_trace_gauges t;
-  let ws = t.feed_waiters in
-  t.feed_waiters <- [];
+  let ws =
+    guarded t (fun () ->
+        (* The trace just grew (a committed delta was applied); keep the
+           residency gauges current on replicas that never record. *)
+        refresh_gauges_locked t;
+        let ws = t.feed_waiters in
+        t.feed_waiters <- [];
+        ws)
+  in
   List.iter Engine.wake ws
 
 let interrupt_replay t =
@@ -276,23 +311,38 @@ let resume_replay t = t.interrupted <- false
 
 let await_next t =
   let slot = required_slot t in
-  let rec loop () =
+  let probe () =
     if t.interrupted then `Interrupted
     else if t.md <> Replay then `Record_now
     else
       let clock = Scoreboard.watermark t.sbd slot + 1 in
       match Trace.find t.tr { slot; clock } with
       | Some e -> `Event e
-      | None ->
-        Engine.park (fun w -> t.feed_waiters <- w :: t.feed_waiters);
-        loop ()
+      | None -> `Park
+  in
+  let rec loop () =
+    match guarded t probe with
+    | (`Interrupted | `Record_now | `Event _) as r -> r
+    | `Park ->
+      (* Re-probe inside the park register: on the domains backend a
+         feed can land between the probe above and the enqueue, and its
+         wake would be lost.  On the simulator nothing runs in between,
+         so the wake-immediately branch is dead and the event sequence
+         is unchanged. *)
+      Engine.park (fun w ->
+          guarded t (fun () ->
+              match probe () with
+              | `Park -> t.feed_waiters <- w :: t.feed_waiters
+              | `Interrupted | `Record_now | `Event _ -> Engine.wake w));
+      loop ()
   in
   loop ()
 
 let peek_next t =
   let slot = required_slot t in
-  let clock = Scoreboard.watermark t.sbd slot + 1 in
-  Trace.find t.tr { slot; clock }
+  guarded t (fun () ->
+      let clock = Scoreboard.watermark t.sbd slot + 1 in
+      Trace.find t.tr { slot; clock })
 
 let divergence fmt = Fmt.kstr (fun msg -> raise (Divergence msg)) fmt
 
@@ -318,9 +368,10 @@ let take t ~kinds ~resource =
     else begin
       let parked = ref false in
       let t0 = Engine.now () in
+      let incoming = guarded t (fun () -> Trace.incoming t.tr e.id) in
       List.iter
         (fun src -> if Scoreboard.wait_for t.sbd src then parked := true)
-        (Trace.incoming t.tr e.id);
+        incoming;
       if !parked then begin
         Obs.Metric.incr t.c_waited;
         let waited = Engine.now () -. t0 in
@@ -343,14 +394,15 @@ let check_version t (e : Event.t) ~actual =
       Event.Id.pp e.id e.version actual
 
 let complete t (e : Event.t) =
-  Scoreboard.advance t.sbd ~slot:e.id.slot ~clock:e.id.clock;
-  (* Keep the slot's own vector-clock component in step with its clock so
-     edge reduction stays sound after a replay→record switch. *)
-  ignore (Vclock.tick t.vcs.(e.id.slot) e.id.slot);
-  Obs.Metric.incr t.c_replayed
+  guarded t (fun () ->
+      Scoreboard.advance t.sbd ~slot:e.id.slot ~clock:e.id.clock;
+      (* Keep the slot's own vector-clock component in step with its clock so
+         edge reduction stays sound after a replay→record switch. *)
+      ignore (Vclock.tick t.vcs.(e.id.slot) e.id.slot);
+      Obs.Metric.incr t.c_replayed)
 
 let executed_cut t = Scoreboard.cut t.sbd
-let recorded_cut t = Trace.end_cut t.tr
+let recorded_cut t = guarded t (fun () -> Trace.end_cut t.tr)
 
 (* Wrappers keep their edge-source bookkeeping warm during replay so that
    a promoted secondary records correct edges from its very first
@@ -380,7 +432,7 @@ let rec nondet t f =
       e.payload)
 
 (* Thin view over the registry counters (subsystem "rexsync", labelled by
-   node).  Cumulative per (engine, node), not per runtime instance. *)
+   node).  Cumulative per (backend, node), not per runtime instance. *)
 let stats t =
   {
     events_recorded = Obs.Metric.value t.c_recorded;

@@ -36,7 +36,7 @@ val create :
   ?record_cost:float ->
   ?replay_cost:float ->
   ?base:Trace.Cut.t ->
-  Sim.Engine.t ->
+  Par.Backend.t ->
   node:int ->
   slots:int ->
   t
@@ -49,7 +49,19 @@ val create :
     per-event instruction overhead of logging and of replay dispatch.
     [base]: the checkpoint cut this replica's execution resumes from. *)
 
+val backend : t -> Par.Backend.t
+
+val guarded : t -> (unit -> 'a) -> 'a
+(** Run [f] under the backend's record/replay guard (reentrant; a plain
+    call on deterministic backends).  Wrappers use this around their
+    bookkeeping so that fibers on real domains cannot interleave inside
+    it; guarded sections must not block (see [Par.Guard]). *)
+
 val engine : t -> Sim.Engine.t
+(** The simulator engine, for sim-only consumers (networked consensus,
+    fault injection).  Raises [Invalid_argument] when the runtime sits
+    on a non-simulator backend. *)
+
 val node : t -> int
 val num_slots : t -> int
 val trace : t -> Trace.t

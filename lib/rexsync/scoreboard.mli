@@ -8,7 +8,11 @@
 
 type t
 
-val create : slots:int -> t
+val create : ?guard:Par.Guard.t -> slots:int -> unit -> t
+(** [guard] (from the runtime's backend) serializes watermark and waiter
+    state when replay fibers run on real domains; omit it on the
+    simulator. *)
+
 val watermark : t -> int -> int
 val cut : t -> Trace.Cut.t
 (** Snapshot of all watermarks. *)

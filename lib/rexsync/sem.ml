@@ -3,18 +3,21 @@ open Sim
 type t = {
   rt : Runtime.t;
   uid : int;
-  real : Msync.Sem.t;
+  real : Par.Backend.sem;
   mutable version : int;  (* acquisitions *)
   releases : Runtime.source Queue.t;  (* unmatched release events, FIFO *)
   mutable last_event : Runtime.source option;  (* total-order chain *)
 }
+
+(* Bookkeeping under [Runtime.guarded]: acquirers on different domains
+   race for the [releases] queue. *)
 
 let create rt name permits =
   let t =
     {
       rt;
       uid = Runtime.fresh_resource_id rt name;
-      real = Msync.Sem.create (Runtime.engine rt) permits;
+      real = Par.Backend.sem (Runtime.backend rt) permits;
       version = 0;
       releases = Queue.create ();
       last_event = None;
@@ -41,45 +44,49 @@ let check_sem_version t e =
     Runtime.check_version t.rt e ~actual:t.version
 
 let record_acquire t ~kind =
-  let v = t.version in
-  t.version <- v + 1;
-  let src =
-    Runtime.record t.rt ~kind ~resource:t.uid ~version:v (acquire_srcs t)
-  in
-  remember t src
+  Runtime.guarded t.rt (fun () ->
+      let v = t.version in
+      t.version <- v + 1;
+      let src =
+        Runtime.record t.rt ~kind ~resource:t.uid ~version:v (acquire_srcs t)
+      in
+      remember t src)
 
 let rec acquire t =
   match Runtime.effective_mode t.rt with
-  | Runtime.Native -> Msync.Sem.acquire t.real
+  | Runtime.Native -> t.real.s_acquire ()
   | Runtime.Record ->
-    Msync.Sem.acquire t.real;
+    t.real.s_acquire ();
     record_acquire t ~kind:Event.Sem_acquire
   | Runtime.Replay -> (
     match Runtime.take t.rt ~kinds:[ Event.Sem_acquire ] ~resource:t.uid with
     | `Record_now -> acquire t
     | `Event e ->
-      Msync.Sem.acquire t.real;
-      check_sem_version t e;
-      t.version <- t.version + 1;
-      ignore (Queue.take_opt t.releases);
-      remember t (Runtime.replay_source t.rt e);
+      t.real.s_acquire ();
+      Runtime.guarded t.rt (fun () ->
+          check_sem_version t e;
+          t.version <- t.version + 1;
+          ignore (Queue.take_opt t.releases);
+          remember t (Runtime.replay_source t.rt e));
       Runtime.complete t.rt e)
 
 let rec try_acquire t =
   match Runtime.effective_mode t.rt with
-  | Runtime.Native -> Msync.Sem.try_acquire t.real
+  | Runtime.Native -> t.real.s_try_acquire ()
   | Runtime.Record ->
-    if Msync.Sem.try_acquire t.real then begin
+    if t.real.s_try_acquire () then begin
       record_acquire t ~kind:Event.Try_ok;
       true
     end
     else begin
-      let src =
-        Runtime.record t.rt ~kind:Event.Try_fail ~resource:t.uid
-          ~version:t.version
-          (if Runtime.partial_order t.rt then [] else Option.to_list t.last_event)
-      in
-      remember t src;
+      Runtime.guarded t.rt (fun () ->
+          let src =
+            Runtime.record t.rt ~kind:Event.Try_fail ~resource:t.uid
+              ~version:t.version
+              (if Runtime.partial_order t.rt then []
+               else Option.to_list t.last_event)
+          in
+          remember t src);
       false
     end
   | Runtime.Replay -> (
@@ -90,38 +97,43 @@ let rec try_acquire t =
     | `Event e -> (
       match e.Event.kind with
       | Event.Try_ok ->
-        while not (Msync.Sem.try_acquire t.real) do
+        while not (t.real.s_try_acquire ()) do
           Engine.yield ()
         done;
-        check_sem_version t e;
-        t.version <- t.version + 1;
-        ignore (Queue.take_opt t.releases);
-        remember t (Runtime.replay_source t.rt e);
+        Runtime.guarded t.rt (fun () ->
+            check_sem_version t e;
+            t.version <- t.version + 1;
+            ignore (Queue.take_opt t.releases);
+            remember t (Runtime.replay_source t.rt e));
         Runtime.complete t.rt e;
         true
       | _ ->
-        remember t (Runtime.replay_source t.rt e);
+        Runtime.guarded t.rt (fun () ->
+            remember t (Runtime.replay_source t.rt e));
         Runtime.complete t.rt e;
         false))
 
 let rec release t =
   match Runtime.effective_mode t.rt with
-  | Runtime.Native -> Msync.Sem.release t.real
+  | Runtime.Native -> t.real.s_release ()
   | Runtime.Record ->
-    let src =
-      Runtime.record t.rt ~kind:Event.Sem_release ~resource:t.uid
-        ~version:t.version
-        (if Runtime.partial_order t.rt then [] else Option.to_list t.last_event)
-    in
-    Queue.push src t.releases;
-    remember t src;
-    Msync.Sem.release t.real
+    Runtime.guarded t.rt (fun () ->
+        let src =
+          Runtime.record t.rt ~kind:Event.Sem_release ~resource:t.uid
+            ~version:t.version
+            (if Runtime.partial_order t.rt then []
+             else Option.to_list t.last_event)
+        in
+        Queue.push src t.releases;
+        remember t src);
+    t.real.s_release ()
   | Runtime.Replay -> (
     match Runtime.take t.rt ~kinds:[ Event.Sem_release ] ~resource:t.uid with
     | `Record_now -> release t
     | `Event e ->
-      Msync.Sem.release t.real;
-      let src = Runtime.replay_source t.rt e in
-      Queue.push src t.releases;
-      remember t src;
+      t.real.s_release ();
+      Runtime.guarded t.rt (fun () ->
+          let src = Runtime.replay_source t.rt e in
+          Queue.push src t.releases;
+          remember t src);
       Runtime.complete t.rt e)

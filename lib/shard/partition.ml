@@ -18,7 +18,7 @@ let factory ?(key_of = default_key_of) ~map ~group (base : R.App.factory) :
     R.App.factory =
  fun api ->
   let app = base api in
-  let obs = Sim.Engine.obs (Rexsync.Runtime.engine (R.Api.runtime api)) in
+  let obs = Par.Backend.obs (Rexsync.Runtime.backend (R.Api.runtime api)) in
   let c_misrouted =
     Obs.counter obs ~subsystem:"shard"
       ~labels:[ ("group", string_of_int group) ]

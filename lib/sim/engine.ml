@@ -5,14 +5,42 @@ type tid = int
 
 exception Killed
 
+(* The fiber-context protocol is shared with the real-parallel backend
+   (lib/par): any scheduler that handles these effects and mints wakers
+   can run the same fiber code.  The simulator below is one handler; the
+   domains task pool is the other. *)
+module Protocol = struct
+  type fiber_info = { fi_tid : tid; fi_node : int; fi_name : string }
+
+  type waker = { w_fired : bool Atomic.t; w_fire : unit -> unit }
+
+  type _ Effect.t +=
+    | E_now : float Effect.t
+    | E_self : fiber_info Effect.t
+    | E_work : float -> unit Effect.t
+    | E_sleep : float -> unit Effect.t
+    | E_park : (waker -> unit) -> unit Effect.t
+    | E_yield : unit Effect.t
+
+  let make_waker fire = { w_fired = Atomic.make false; w_fire = fire }
+
+  (* Idempotent from any domain: exactly one caller wins the CAS. *)
+  let wake w =
+    if Atomic.compare_and_set w.w_fired false true then w.w_fire ()
+end
+
+type waker = Protocol.waker
+
 type fiber = {
-  tid : tid;
-  node : int;
+  info : Protocol.fiber_info;
   inc : int;
-  name : string;
   mutable parked : (unit, unit) continuation option;
   mutable park_gen : int;
 }
+
+let tid_of fiber = fiber.info.Protocol.fi_tid
+let node_of fiber = fiber.info.Protocol.fi_node
+let name_of fiber = fiber.info.Protocol.fi_name
 
 type t = {
   mutable time : float;
@@ -29,7 +57,7 @@ type t = {
   busy : float array;
   fibers : (tid, fiber) Hashtbl.t;
   mutable next_tid : int;
-  mutable next_uid : int;
+  next_uid : int Atomic.t;
   mutable running : fiber option;
   (* observability *)
   obs : Obs.t;
@@ -40,26 +68,23 @@ type t = {
   h_cpu_wait : Obs.Histogram.t array;
 }
 
-type waker = { wt : t; wfiber : fiber; wgen : int; mutable fired : bool }
-
-type _ Effect.t +=
-  | E_now : float Effect.t
-  | E_self : fiber Effect.t
-  | E_work : float -> unit Effect.t
-  | E_sleep : float -> unit Effect.t
-  | E_park : (waker -> unit) -> unit Effect.t
-
 let create ?(seed = 42) ?(cores_per_node = 16) ~num_nodes () =
   if num_nodes <= 0 then invalid_arg "Engine.create: num_nodes";
   if cores_per_node <= 0 then invalid_arg "Engine.create: cores_per_node";
   let root = Rng.create seed in
+  (* The engine's generators advance on every scheduling decision; pin
+     them so a stray cross-domain draw fails loudly instead of tearing
+     the seed stream (Rng.split is the only supported handoff). *)
+  Rng.pin root;
+  let jitter = Rng.split root in
+  Rng.pin jitter;
   let obs = Obs.create () in
   let node_label n = [ ("node", string_of_int n) ] in
   let t =
     {
       time = 0.;
       events = Pqueue.create ();
-      jitter_rng = Rng.split root;
+      jitter_rng = jitter;
       root_rng = root;
       nodes = num_nodes;
       cores = cores_per_node;
@@ -70,7 +95,7 @@ let create ?(seed = 42) ?(cores_per_node = 16) ~num_nodes () =
       busy = Array.make num_nodes 0.;
       fibers = Hashtbl.create 64;
       next_tid = 0;
-      next_uid = 0;
+      next_uid = Atomic.make 0;
       running = None;
       obs;
       g_ready = Obs.gauge obs ~subsystem:"sim" "ready_events";
@@ -92,10 +117,10 @@ let create ?(seed = 42) ?(cores_per_node = 16) ~num_nodes () =
 let num_nodes t = t.nodes
 let cores_per_node t = t.cores
 
-let fresh_uid t =
-  let uid = t.next_uid in
-  t.next_uid <- uid + 1;
-  uid
+(* Atomic so engine-scoped uid allocation stays safe if a handle leaks
+   into backend-shared code; single-domain allocation order (and thus
+   per-seed reproducibility) is unchanged. *)
+let fresh_uid t = Atomic.fetch_and_add t.next_uid 1
 let obs t = t.obs
 let rng t = t.root_rng
 let clock t = t.time
@@ -107,9 +132,9 @@ let jittered t at = at +. Rng.float t.jitter_rng 1e-9
 
 let schedule t ~at cb = Pqueue.add t.events ~priority:(max at t.time) cb
 
-let valid t fiber = t.alive.(fiber.node) && fiber.inc = t.node_inc.(fiber.node)
+let valid t fiber = t.alive.(node_of fiber) && fiber.inc = t.node_inc.(node_of fiber)
 
-let fiber_done t fiber = Hashtbl.remove t.fibers fiber.tid
+let fiber_done t fiber = Hashtbl.remove t.fibers (tid_of fiber)
 
 (* Resume a suspended fiber from the event loop, tracking the "currently
    running fiber" so that [self]-style effects can answer.  A fiber whose
@@ -131,7 +156,7 @@ let kill t fiber k =
 (* CPU core accounting: a fiber holds a core exactly for the duration of an
    [E_work] effect; waiters queue FIFO per node. *)
 let rec start_work t fiber d k =
-  let n = fiber.node in
+  let n = node_of fiber in
   let started = t.time in
   t.free_cores.(n) <- t.free_cores.(n) - 1;
   schedule t ~at:(jittered t (t.time +. d)) (fun () ->
@@ -139,8 +164,8 @@ let rec start_work t fiber d k =
         t.busy.(n) <- t.busy.(n) +. d;
         let sp = Obs.spans t.obs in
         if Obs.Span.enabled sp then
-          Obs.Span.complete sp ~cat:"work" ~pid:n ~tid:fiber.tid
-            ~name:fiber.name ~ts:started ~dur:d ();
+          Obs.Span.complete sp ~cat:"work" ~pid:n ~tid:(tid_of fiber)
+            ~name:(name_of fiber) ~ts:started ~dur:d ();
         release_core t n;
         resume t fiber k ()
       end
@@ -159,7 +184,7 @@ and release_core t n =
       Obs.Histogram.observe t.h_cpu_wait.(n) waited;
       let sp = Obs.spans t.obs in
       if Obs.Span.enabled sp then
-        Obs.Span.complete sp ~cat:"cpu_wait" ~pid:n ~tid:fiber.tid
+        Obs.Span.complete sp ~cat:"cpu_wait" ~pid:n ~tid:(tid_of fiber)
           ~name:"cpu_wait" ~ts:enq ~dur:waited ();
       start_work t fiber d k
     end
@@ -168,33 +193,38 @@ and release_core t n =
 let do_park t fiber register k =
   fiber.park_gen <- fiber.park_gen + 1;
   fiber.parked <- Some k;
-  let w = { wt = t; wfiber = fiber; wgen = fiber.park_gen; fired = false } in
+  let gen = fiber.park_gen in
+  (* The generation check guards against a stale waker firing after the
+     fiber has parked again on a newer waker. *)
+  let w =
+    Protocol.make_waker (fun () ->
+        if gen = fiber.park_gen then
+          match fiber.parked with
+          | None -> ()
+          | Some k ->
+            fiber.parked <- None;
+            schedule t ~at:(jittered t t.time) (fun () -> resume t fiber k ()))
+  in
   register w
 
-let wake w =
-  if not w.fired then begin
-    w.fired <- true;
-    let t = w.wt and fiber = w.wfiber in
-    if w.wgen = fiber.park_gen then
-      match fiber.parked with
-      | None -> ()
-      | Some k ->
-        fiber.parked <- None;
-        schedule t ~at:(jittered t t.time) (fun () -> resume t fiber k ())
-  end
+let wake = Protocol.wake
 
 let handler t fiber =
   let effc : type a. a Effect.t -> ((a, unit) continuation -> unit) option =
     function
-    | E_now -> Some (fun (k : (float, unit) continuation) -> continue k t.time)
-    | E_self -> Some (fun (k : (fiber, unit) continuation) -> continue k fiber)
-    | E_work d ->
+    | Protocol.E_now ->
+      Some (fun (k : (float, unit) continuation) -> continue k t.time)
+    | Protocol.E_self ->
+      Some
+        (fun (k : (Protocol.fiber_info, unit) continuation) ->
+          continue k fiber.info)
+    | Protocol.E_work d ->
       Some
         (fun (k : (unit, unit) continuation) ->
           if not (valid t fiber) then discontinue k Killed
-          else if t.free_cores.(fiber.node) > 0 then start_work t fiber d k
-          else Queue.push (fiber, d, t.time, k) t.cpu_wait.(fiber.node))
-    | E_sleep d ->
+          else if t.free_cores.(node_of fiber) > 0 then start_work t fiber d k
+          else Queue.push (fiber, d, t.time, k) t.cpu_wait.(node_of fiber))
+    | Protocol.E_sleep d ->
       Some
         (fun (k : (unit, unit) continuation) ->
           if not (valid t fiber) then discontinue k Killed
@@ -202,11 +232,20 @@ let handler t fiber =
             schedule t
               ~at:(jittered t (t.time +. d))
               (fun () -> resume t fiber k ()))
-    | E_park register ->
+    | Protocol.E_park register ->
       Some
         (fun (k : (unit, unit) continuation) ->
           if not (valid t fiber) then discontinue k Killed
           else do_park t fiber register k)
+    | Protocol.E_yield ->
+      Some
+        (fun (k : (unit, unit) continuation) ->
+          if not (valid t fiber) then discontinue k Killed
+          else
+            do_park t fiber
+              (fun w ->
+                schedule t ~at:(jittered t t.time) (fun () -> Protocol.wake w))
+              k)
     | _ -> None
   in
   {
@@ -228,24 +267,26 @@ let exec_fiber t fiber main =
     ~finally:(fun () -> t.running <- prev)
     (fun () -> match_with main () (handler t fiber))
 
-let spawn_fiber t ~node ~at ~name main =
-  if node < 0 || node >= t.nodes then invalid_arg "Engine.spawn: bad node";
+let make_fiber t ~node ~name =
   let fiber =
     {
-      tid = t.next_tid;
-      node;
+      info = { Protocol.fi_tid = t.next_tid; fi_node = node; fi_name = name };
       inc = t.node_inc.(node);
-      name;
       parked = None;
       park_gen = 0;
     }
   in
   t.next_tid <- t.next_tid + 1;
   Obs.Metric.incr t.c_spawned.(node);
-  Hashtbl.replace t.fibers fiber.tid fiber;
+  Hashtbl.replace t.fibers (tid_of fiber) fiber;
+  fiber
+
+let spawn_fiber t ~node ~at ~name main =
+  if node < 0 || node >= t.nodes then invalid_arg "Engine.spawn: bad node";
+  let fiber = make_fiber t ~node ~name in
   schedule t ~at:(jittered t at) (fun () ->
       if valid t fiber then exec_fiber t fiber main else fiber_done t fiber);
-  fiber.tid
+  tid_of fiber
 
 let spawn t ~node ?(name = "fiber") main =
   if not t.alive.(node) then invalid_arg "Engine.spawn: node is down";
@@ -254,19 +295,7 @@ let spawn t ~node ?(name = "fiber") main =
 let spawn_immediate t ~node ?(name = "fiber") main =
   if node < 0 || node >= t.nodes then invalid_arg "Engine.spawn_immediate";
   if not t.alive.(node) then invalid_arg "Engine.spawn_immediate: node is down";
-  let fiber =
-    {
-      tid = t.next_tid;
-      node;
-      inc = t.node_inc.(node);
-      name;
-      parked = None;
-      park_gen = 0;
-    }
-  in
-  t.next_tid <- t.next_tid + 1;
-  Obs.Metric.incr t.c_spawned.(node);
-  Hashtbl.replace t.fibers fiber.tid fiber;
+  let fiber = make_fiber t ~node ~name in
   exec_fiber t fiber main
 
 let spawn_at t ~node ~at ?(name = "fiber") main =
@@ -301,7 +330,7 @@ let crash_node t n =
     Queue.iter (fun (fiber, _, _, k) -> kill t fiber k) waiting;
     let victims =
       Hashtbl.fold
-        (fun _ fiber acc -> if fiber.node = n then fiber :: acc else acc)
+        (fun _ fiber acc -> if node_of fiber = n then fiber :: acc else acc)
         t.fibers []
     in
     let kill_parked fiber =
@@ -317,20 +346,16 @@ let crash_node t n =
 let restart_node t n = t.alive.(n) <- true
 
 (* Fiber-context operations. *)
-let now () = perform E_now
-let self () = (perform E_self).tid
+let now () = perform Protocol.E_now
+let self () = (perform Protocol.E_self).Protocol.fi_tid
 
 let self_opt () =
-  match perform E_self with
-  | fiber -> Some fiber.tid
+  match perform Protocol.E_self with
+  | info -> Some info.Protocol.fi_tid
   | exception Effect.Unhandled _ -> None
-let self_name () = (perform E_self).name
-let self_node () = (perform E_self).node
-let work d = perform (E_work d)
-let sleep d = perform (E_sleep d)
-let park register = perform (E_park register)
-
-let yield () =
-  park (fun w ->
-      let t = w.wt in
-      schedule t ~at:(jittered t t.time) (fun () -> wake w))
+let self_name () = (perform Protocol.E_self).Protocol.fi_name
+let self_node () = (perform Protocol.E_self).Protocol.fi_node
+let work d = perform (Protocol.E_work d)
+let sleep d = perform (Protocol.E_sleep d)
+let park register = perform (Protocol.E_park register)
+let yield () = perform Protocol.E_yield

@@ -22,6 +22,38 @@ exception Killed
 (** Raised inside a fiber when its node crashes while it is parked or
     working. *)
 
+(** The fiber-context effect protocol, shared between the simulator and
+    the real-parallel domains backend ([lib/par]).  Fiber code performs
+    these effects via the top-level wrappers below ({!now}, {!work},
+    {!park}, …); whichever scheduler is running the fiber handles them.
+    Code written against the wrappers therefore runs unchanged on both
+    backends — only fiber {e creation} and resource {e creation} differ
+    per backend (see [Par.Backend]). *)
+module Protocol : sig
+  type fiber_info = { fi_tid : tid; fi_node : int; fi_name : string }
+
+  type waker = { w_fired : bool Atomic.t; w_fire : unit -> unit }
+  (** A one-shot wakeup capability.  [w_fire] is backend-private; always
+      go through {!wake}, which makes firing idempotent (CAS on
+      [w_fired]) and safe from any domain. *)
+
+  type _ Effect.t +=
+    | E_now : float Effect.t  (** Current time (virtual or wall). *)
+    | E_self : fiber_info Effect.t
+    | E_work : float -> unit Effect.t
+        (** Consume CPU for the given duration. *)
+    | E_sleep : float -> unit Effect.t
+        (** Let time pass without consuming CPU. *)
+    | E_park : (waker -> unit) -> unit Effect.t
+        (** Suspend; the handler passes a fresh waker to the register
+            callback.  The callback runs in scheduler context: it must
+            not perform effects, only stash or fire the waker. *)
+    | E_yield : unit Effect.t  (** Reschedule, letting peers run. *)
+
+  val make_waker : (unit -> unit) -> waker
+  val wake : waker -> unit
+end
+
 val create : ?seed:int -> ?cores_per_node:int -> num_nodes:int -> unit -> t
 (** Default [cores_per_node] is 16, matching the effective parallelism of
     the paper's 12-core hyper-threaded machines (Fig. 8 explicitly uses
@@ -108,7 +140,7 @@ val yield : unit -> unit
 
 (** {2 Parking} *)
 
-type waker
+type waker = Protocol.waker
 
 val park : (waker -> unit) -> unit
 (** [park register] suspends the fiber and hands a one-shot {!waker} to

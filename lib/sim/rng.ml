@@ -1,4 +1,4 @@
-type t = { mutable state : int64 }
+type t = { mutable state : int64; mutable owner : int }
 
 let golden_gamma = 0x9E3779B97F4A7C15L
 
@@ -7,13 +7,29 @@ let mix64 z =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
 
-let create seed = { state = mix64 (Int64.of_int seed) }
+let unpinned = -1
+
+let create seed = { state = mix64 (Int64.of_int seed); owner = unpinned }
+
+let pin t = t.owner <- (Domain.self () :> int)
+
+(* The state advance is not atomic: a generator shared across domains
+   would silently tear and destroy per-seed reproducibility.  A pinned
+   generator (engine roots, backend roots) therefore refuses draws from
+   any other domain — [split] on the owning domain is the only supported
+   cross-domain handoff. *)
+let check t =
+  if t.owner >= 0 && t.owner <> (Domain.self () :> int) then
+    invalid_arg
+      "Rng: pinned generator drawn from another domain; Rng.split on the \
+       owning domain is the only cross-domain handoff"
 
 let bits64 t =
+  check t;
   t.state <- Int64.add t.state golden_gamma;
   mix64 t.state
 
-let split t = { state = bits64 t }
+let split t = { state = bits64 t; owner = unpinned }
 
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";

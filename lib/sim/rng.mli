@@ -9,7 +9,19 @@ type t
 
 val create : int -> t
 val split : t -> t
-(** An independent generator; the parent advances. *)
+(** An independent generator; the parent advances.
+
+    [split] is also the {e only} supported way to hand randomness across
+    OCaml domains: the state advance is a plain mutable update, so a
+    generator must never be drawn from two domains.  Split on the owning
+    domain, hand the child over, never share the parent. *)
+
+val pin : t -> unit
+(** Pin the generator to the calling domain: any later draw from another
+    domain raises [Invalid_argument].  Engine-scoped root generators are
+    pinned at creation; fiber-local splits stay unpinned (a fiber may
+    migrate between the domains of a [lib/par] pool, which is safe —
+    accesses stay sequential). *)
 
 val bits64 : t -> int64
 val int : t -> int -> int

@@ -183,7 +183,7 @@ let spawn_leader_fibers t =
 let create net rpc cfg ~node ~paxos_store factory =
   let eng = Net.engine net in
   (* The app's wrappers run native: no fiber is ever bound to a slot. *)
-  let rt = Rexsync.Runtime.create eng ~node ~slots:1 in
+  let rt = Rexsync.Runtime.create (Par.Backend.of_sim eng) ~node ~slots:1 in
   let api = R.Api.make rt in
   let session =
     R.Session.Table.create (Engine.obs eng) ~stack:"smr" ~node ()

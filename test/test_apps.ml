@@ -9,7 +9,7 @@ module R = Rex_core
    timers as plain periodic fibers, execute [script app] in a fiber. *)
 let run_native ?(seed = 9) ?(cores = 8) ?(until = 60.) factory script =
   let eng = Engine.create ~seed ~cores_per_node:cores ~num_nodes:1 () in
-  let rt = Rexsync.Runtime.create eng ~node:0 ~slots:1 in
+  let rt = Rexsync.Runtime.create (Par.Backend.of_sim eng) ~node:0 ~slots:1 in
   let api = R.Api.make rt in
   let app : R.App.t = factory api in
   let timers = R.Api.seal api in
@@ -37,7 +37,7 @@ let checkpoint_roundtrip factory (app : R.App.t) =
   let sink = Codec.sink () in
   app.write_checkpoint sink;
   let eng = Engine.create ~num_nodes:1 () in
-  let rt = Rexsync.Runtime.create eng ~node:0 ~slots:1 in
+  let rt = Rexsync.Runtime.create (Par.Backend.of_sim eng) ~node:0 ~slots:1 in
   let api = R.Api.make rt in
   let app2 : R.App.t = factory api in
   ignore (R.Api.seal api);
@@ -95,7 +95,7 @@ let filesys_semantics () =
 let sim_disk_concurrency () =
   (* 20 IOs serially vs 20 IOs concurrently: NCQ must overlap seeks. *)
   let eng = Engine.create ~num_nodes:1 ~cores_per_node:8 () in
-  let disk = Apps.Sim_disk.create eng in
+  let disk = Apps.Sim_disk.create (Par.Backend.of_sim eng) in
   let serial_done = ref 0. in
   ignore
     (Engine.spawn eng ~node:0 (fun () ->
@@ -106,7 +106,7 @@ let sim_disk_concurrency () =
   Engine.run eng;
   let serial_elapsed = !serial_done in
   let eng2 = Engine.create ~num_nodes:1 ~cores_per_node:8 () in
-  let disk2 = Apps.Sim_disk.create eng2 in
+  let disk2 = Apps.Sim_disk.create (Par.Backend.of_sim eng2) in
   let finish = ref 0. in
   for _ = 1 to 20 do
     ignore

@@ -1,0 +1,346 @@
+(* lib/par: the real-parallel domains backend.
+
+   Three groups:
+   - Par.Sync primitives on a running pool, mirroring the Msync cases in
+     test_sim.ml (exclusion, try_lock, ownership errors, cond
+     wait/signal/broadcast, rwlock reader sharing + writer preference,
+     semaphore counting);
+   - pool/fiber mechanics (wall-clock sleep, exception propagation
+     through join, atomic uid minting, rng pinning);
+   - cross-backend equivalence: the same op sequences through the
+     record-mode runtime on the simulator and on domains produce
+     identical application digests.
+
+   Pools are kept at 1-2 domains and workloads tiny: the suite must stay
+   cheap on a single-core CI runner, and with one domain the scheduler
+   interleaves fibers only at park/yield points — which is exactly what
+   the overlap tests exercise via explicit [Engine.yield]. *)
+
+open Sim
+module R = Rex_core
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* Run [f d] (which spawns fibers), join them, shut the pool down even
+   on failure. *)
+let run_domains ?(domains = 1) ?(seed = 11) f =
+  let d = Par.Domains.create ~seed ~domains () in
+  Fun.protect
+    ~finally:(fun () -> Par.Domains.shutdown d)
+    (fun () ->
+      let r = f d in
+      Par.Domains.join d;
+      r)
+
+(* --- Par.Sync, mirroring the Msync cases --- *)
+
+let mutex_exclusion () =
+  let inside = ref 0 and max_inside = ref 0 and total = ref 0 in
+  run_domains ~domains:2 (fun d ->
+      let m = Par.Sync.Mutex.create () in
+      for _ = 1 to 20 do
+        Par.Domains.spawn d ~node:0 (fun () ->
+            Par.Sync.Mutex.lock m;
+            incr inside;
+            max_inside := max !max_inside !inside;
+            Engine.yield ();
+            decr inside;
+            incr total;
+            Par.Sync.Mutex.unlock m)
+      done);
+  check_int "mutual exclusion" 1 !max_inside;
+  check_int "all critical sections ran" 20 !total
+
+let mutex_try_lock () =
+  run_domains (fun d ->
+      Par.Domains.spawn d ~node:0 (fun () ->
+          let m = Par.Sync.Mutex.create () in
+          check_bool "first try succeeds" true (Par.Sync.Mutex.try_lock m);
+          check_bool "second try fails" false (Par.Sync.Mutex.try_lock m);
+          Par.Sync.Mutex.unlock m;
+          check_bool "after unlock succeeds" true (Par.Sync.Mutex.try_lock m);
+          Par.Sync.Mutex.unlock m))
+
+let mutex_unlock_not_holder () =
+  let raised = ref false in
+  run_domains (fun d ->
+      let m = Par.Sync.Mutex.create () in
+      Par.Domains.spawn d ~node:0 (fun () ->
+          match Par.Sync.Mutex.unlock m with
+          | exception Invalid_argument _ -> raised := true
+          | () -> ()));
+  check_bool "unlock without holding raises" true !raised
+
+let cond_signal_wakes_one () =
+  let woken = ref 0 in
+  run_domains (fun d ->
+      let m = Par.Sync.Mutex.create () in
+      let c = Par.Sync.Cond.create () in
+      for _ = 1 to 3 do
+        Par.Domains.spawn d ~node:0 (fun () ->
+            Par.Sync.Mutex.lock m;
+            Par.Sync.Cond.wait c m;
+            incr woken;
+            Par.Sync.Mutex.unlock m)
+      done;
+      Par.Domains.spawn d ~node:0 (fun () ->
+          Engine.sleep 0.02;
+          Par.Sync.Mutex.lock m;
+          Par.Sync.Cond.signal c;
+          Par.Sync.Mutex.unlock m;
+          Engine.sleep 0.02;
+          Par.Sync.Mutex.lock m;
+          Par.Sync.Cond.broadcast c;
+          Par.Sync.Mutex.unlock m));
+  check_int "1 + 2 woken" 3 !woken
+
+let rwlock_readers_share () =
+  let concurrent_readers = ref 0 and max_readers = ref 0 in
+  let writer_alone = ref true in
+  run_domains (fun d ->
+      let l = Par.Sync.Rwlock.create () in
+      for _ = 1 to 5 do
+        Par.Domains.spawn d ~node:0 (fun () ->
+            Par.Sync.Rwlock.rd_lock l;
+            incr concurrent_readers;
+            max_readers := max !max_readers !concurrent_readers;
+            Engine.yield ();
+            Engine.yield ();
+            decr concurrent_readers;
+            Par.Sync.Rwlock.rd_unlock l)
+      done;
+      Par.Domains.spawn d ~node:0 (fun () ->
+          Par.Sync.Rwlock.wr_lock l;
+          if !concurrent_readers > 0 then writer_alone := false;
+          Engine.yield ();
+          Par.Sync.Rwlock.wr_unlock l));
+  check_bool "readers overlapped" true (!max_readers > 1);
+  check_bool "writer excluded readers" true !writer_alone
+
+(* Once a writer waits, later readers must not barge past it. *)
+let rwlock_writer_preference () =
+  let order = ref [] in
+  let note x = order := x :: !order in
+  run_domains (fun d ->
+      let l = Par.Sync.Rwlock.create () in
+      Par.Domains.spawn d ~node:0 (fun () ->
+          Par.Sync.Rwlock.rd_lock l;
+          note `R1;
+          Engine.sleep 0.02;
+          Par.Sync.Rwlock.rd_unlock l);
+      Par.Domains.spawn d ~node:0 (fun () ->
+          Engine.sleep 0.005;
+          Par.Sync.Rwlock.wr_lock l;
+          note `W;
+          Par.Sync.Rwlock.wr_unlock l);
+      Par.Domains.spawn d ~node:0 (fun () ->
+          Engine.sleep 0.01;
+          (* the writer is already queued: this reader must wait for it *)
+          Par.Sync.Rwlock.rd_lock l;
+          note `R2;
+          Par.Sync.Rwlock.rd_unlock l));
+  check_bool "writer ran before the late reader" true
+    (!order = [ `R2; `W; `R1 ])
+
+let sem_counting () =
+  let inside = ref 0 and max_inside = ref 0 in
+  run_domains (fun d ->
+      let s = Par.Sync.Sem.create 2 in
+      for _ = 1 to 10 do
+        Par.Domains.spawn d ~node:0 (fun () ->
+            Par.Sync.Sem.acquire s;
+            incr inside;
+            max_inside := max !max_inside !inside;
+            Engine.yield ();
+            Engine.yield ();
+            decr inside;
+            Par.Sync.Sem.release s)
+      done);
+  check_int "at most 2 inside" 2 !max_inside
+
+(* --- Pool / fiber mechanics --- *)
+
+let sleep_is_wall_clock () =
+  let elapsed = ref 0. in
+  run_domains (fun d ->
+      Par.Domains.spawn d ~node:0 (fun () ->
+          let t0 = Engine.now () in
+          Engine.sleep 0.02;
+          elapsed := Engine.now () -. t0));
+  check_bool "slept at least ~20ms" true (!elapsed >= 0.015)
+
+let fiber_exn_reaches_join () =
+  let d = Par.Domains.create ~seed:3 ~domains:1 () in
+  Par.Domains.spawn d ~node:0 (fun () -> failwith "boom");
+  (match Par.Domains.join d with
+  | exception Failure m -> check_string "exn carried" "boom" m
+  | () -> Alcotest.fail "join must re-raise the fiber's exception");
+  Par.Domains.shutdown d
+
+let uids_distinct_across_fibers () =
+  let per = 50 and fibers = 4 in
+  let drawn = Array.make (per * fibers) (-1) in
+  run_domains ~domains:2 (fun d ->
+      let bk = Par.Domains.backend d in
+      for f = 0 to fibers - 1 do
+        Par.Domains.spawn d ~node:0 (fun () ->
+            for i = 0 to per - 1 do
+              drawn.((f * per) + i) <- Par.Backend.fresh_uid bk
+            done)
+      done);
+  let sorted = Array.copy drawn in
+  Array.sort compare sorted;
+  let dup = ref false in
+  Array.iteri
+    (fun i v -> if i > 0 && sorted.(i - 1) = v then dup := true)
+    sorted;
+  check_bool "no uid minted twice" false !dup
+
+let pinned_rng_rejects_cross_domain_draw () =
+  let r = Rng.create 5 in
+  Rng.pin r;
+  ignore (Rng.bits64 r);
+  let raised =
+    Domain.join
+      (Domain.spawn (fun () ->
+           match Rng.bits64 r with
+           | exception Invalid_argument _ -> true
+           | _ -> false))
+  in
+  check_bool "pinned rng raises off-domain" true raised;
+  (* an unpinned split may be handed to another domain *)
+  let child = Rng.split r in
+  let ok =
+    Domain.join (Domain.spawn (fun () -> ignore (Rng.bits64 child); true))
+  in
+  check_bool "split child usable off-domain" true ok
+
+(* --- Cross-backend equivalence --- *)
+
+(* Drive [factory] through the record-mode runtime: [workers] slot-bound
+   fibers, each executing [ops] requests from its own seeded generator.
+   Returns the application digest. *)
+let exec_on_domains ~seed ~workers ~ops ~factory ~gen =
+  run_domains ~domains:2 ~seed (fun d ->
+      let rt =
+        Rexsync.Runtime.create (Par.Domains.backend d) ~node:0 ~slots:workers
+      in
+      let api = R.Api.make rt in
+      let app : R.App.t = factory api in
+      ignore (R.Api.seal api);
+      for w = 0 to workers - 1 do
+        Par.Domains.spawn d ~node:0 (fun () ->
+            Rexsync.Runtime.bind_slot rt w;
+            let rng = Rng.create (seed + (97 * w)) in
+            for _ = 1 to ops do
+              ignore (app.R.App.execute ~request:(gen rng))
+            done;
+            Rexsync.Runtime.unbind_slot rt)
+      done;
+      app)
+  |> fun (app : R.App.t) -> app.R.App.digest ()
+
+let exec_on_sim ~seed ~workers ~ops ~factory ~gen =
+  let eng = Engine.create ~seed ~cores_per_node:workers ~num_nodes:1 () in
+  let rt =
+    Rexsync.Runtime.create (Par.Backend.of_sim eng) ~node:0 ~slots:workers
+  in
+  let api = R.Api.make rt in
+  let app : R.App.t = factory api in
+  ignore (R.Api.seal api);
+  for w = 0 to workers - 1 do
+    ignore
+      (Engine.spawn eng ~node:0 (fun () ->
+           Rexsync.Runtime.bind_slot rt w;
+           let rng = Rng.create (seed + (97 * w)) in
+           for _ = 1 to ops do
+             ignore (app.R.App.execute ~request:(gen rng))
+           done;
+           Rexsync.Runtime.unbind_slot rt))
+  done;
+  Engine.run ~until:3600. eng;
+  app.R.App.digest ()
+
+(* A single worker makes the request order itself identical, so any
+   store — even an order-sensitive one — must reach the same state. *)
+let kvstore_single_worker_digests_agree () =
+  let factory = Apps.Leveldb.factory () in
+  let gen rng =
+    let k = Rng.int rng 50 in
+    if Rng.bool rng then Printf.sprintf "SET k%d v%d" k (Rng.int rng 1000)
+    else Printf.sprintf "GET k%d" k
+  in
+  let dom = exec_on_domains ~seed:21 ~workers:1 ~ops:200 ~factory ~gen in
+  let sim = exec_on_sim ~seed:21 ~workers:1 ~ops:200 ~factory ~gen in
+  check_string "kv digests agree" sim dom
+
+(* Commutative per-key counters: with per-worker request streams fixed,
+   the final totals are independent of interleaving, so multi-worker
+   runs on both backends must also agree. *)
+let counter_factory ~keys () : R.App.factory =
+ fun api ->
+  let pool = Array.init keys (fun i -> R.Api.lock api (Printf.sprintf "c%d" i)) in
+  let counters = Array.make keys 0 in
+  let execute ~request =
+    match Apps.Util.words request with
+    | [ "INC"; idx ] ->
+      let i = int_of_string idx mod keys in
+      Rexsync.Lock.with_lock pool.(i) (fun () ->
+          counters.(i) <- counters.(i) + 1;
+          string_of_int counters.(i))
+    | _ -> "ERR"
+  in
+  {
+    R.App.name = "counter";
+    execute;
+    query = (fun ~request:_ -> "OK");
+    write_checkpoint =
+      (fun sink -> Codec.write_array sink Codec.write_uvarint counters);
+    read_checkpoint =
+      (fun src ->
+        let a = Codec.read_array src Codec.read_uvarint in
+        Array.blit a 0 counters 0 (min (Array.length a) keys));
+    digest =
+      (fun () ->
+        String.concat "/" (Array.to_list (Array.map string_of_int counters)));
+  }
+
+let counter_multi_worker_digests_agree () =
+  let keys = 8 in
+  let gen rng = Printf.sprintf "INC %d" (Rng.int rng keys) in
+  let dom =
+    exec_on_domains ~seed:33 ~workers:4 ~ops:100
+      ~factory:(counter_factory ~keys ()) ~gen
+  in
+  let sim =
+    exec_on_sim ~seed:33 ~workers:4 ~ops:100
+      ~factory:(counter_factory ~keys ()) ~gen
+  in
+  check_string "counter digests agree" sim dom
+
+let suite =
+  [
+    Alcotest.test_case "sync: mutex exclusion" `Quick mutex_exclusion;
+    Alcotest.test_case "sync: mutex try_lock" `Quick mutex_try_lock;
+    Alcotest.test_case "sync: mutex unlock checks holder" `Quick
+      mutex_unlock_not_holder;
+    Alcotest.test_case "sync: cond signal/broadcast" `Quick
+      cond_signal_wakes_one;
+    Alcotest.test_case "sync: rwlock readers share" `Quick rwlock_readers_share;
+    Alcotest.test_case "sync: rwlock writer preference" `Quick
+      rwlock_writer_preference;
+    Alcotest.test_case "sync: semaphore counting" `Quick sem_counting;
+    Alcotest.test_case "pool: sleep is wall-clock" `Quick sleep_is_wall_clock;
+    Alcotest.test_case "pool: fiber exception reaches join" `Quick
+      fiber_exn_reaches_join;
+    Alcotest.test_case "backend: uids distinct across fibers" `Quick
+      uids_distinct_across_fibers;
+    Alcotest.test_case "rng: pinning enforces the split handoff rule" `Quick
+      pinned_rng_rejects_cross_domain_draw;
+    Alcotest.test_case "equivalence: kv store, single worker" `Quick
+      kvstore_single_worker_digests_agree;
+    Alcotest.test_case "equivalence: counters, 4 workers" `Quick
+      counter_multi_worker_digests_agree;
+  ]

@@ -58,14 +58,14 @@ let counter_script app iterations slot =
 
 let record_counter ~seed ~n_slots ~iterations =
   let eng = fresh_engine ~seed () in
-  let rt = Runtime.create eng ~node:0 ~slots:n_slots in
+  let rt = Runtime.create (Par.Backend.of_sim eng) ~node:0 ~slots:n_slots in
   let app = counter_app rt in
   run_slots eng rt ~n_slots (counter_script app iterations);
   (rt, app)
 
 let replay_counter ?(replay_seed = 999) ~from_rt ~n_slots ~iterations () =
   let eng2 = fresh_engine ~seed:replay_seed () in
-  let rt2 = Runtime.create eng2 ~node:0 ~slots:n_slots in
+  let rt2 = Runtime.create (Par.Backend.of_sim eng2) ~node:0 ~slots:n_slots in
   Runtime.set_mode rt2 Runtime.Replay;
   let app2 = counter_app rt2 in
   feed ~from_rt ~to_rt:rt2;
@@ -95,7 +95,7 @@ let divergence_detected () =
   let n_slots = 2 and iterations = 5 in
   let rt, _ = record_counter ~seed:7 ~n_slots ~iterations in
   let eng2 = fresh_engine () in
-  let rt2 = Runtime.create eng2 ~node:0 ~slots:n_slots in
+  let rt2 = Runtime.create (Par.Backend.of_sim eng2) ~node:0 ~slots:n_slots in
   Runtime.set_mode rt2 Runtime.Replay;
   let app2 = counter_app rt2 in
   let rogue = Lock.create rt2 "rogue" in
@@ -116,7 +116,7 @@ let divergence_detected () =
 
 let nondet_recorded_and_replayed () =
   let eng = fresh_engine () in
-  let rt = Runtime.create eng ~node:0 ~slots:1 in
+  let rt = Runtime.create (Par.Backend.of_sim eng) ~node:0 ~slots:1 in
   let recorded = ref [] in
   run_slots eng rt ~n_slots:1 (fun _slot ->
       for i = 1 to 5 do
@@ -126,7 +126,7 @@ let nondet_recorded_and_replayed () =
         recorded := v :: !recorded
       done);
   let eng2 = fresh_engine ~seed:77 () in
-  let rt2 = Runtime.create eng2 ~node:0 ~slots:1 in
+  let rt2 = Runtime.create (Par.Backend.of_sim eng2) ~node:0 ~slots:1 in
   Runtime.set_mode rt2 Runtime.Replay;
   feed ~from_rt:rt ~to_rt:rt2;
   let replayed = ref [] in
@@ -139,7 +139,7 @@ let nondet_recorded_and_replayed () =
 
 let native_exec_not_recorded () =
   let eng = fresh_engine () in
-  let rt = Runtime.create eng ~node:0 ~slots:1 in
+  let rt = Runtime.create (Par.Backend.of_sim eng) ~node:0 ~slots:1 in
   let l = Lock.create rt "singleton" in
   run_slots eng rt ~n_slots:1 (fun _slot ->
       Runtime.native_exec rt (fun () ->
@@ -151,7 +151,7 @@ let native_exec_not_recorded () =
 
 let unbound_fiber_is_native () =
   let eng = fresh_engine () in
-  let rt = Runtime.create eng ~node:0 ~slots:1 in
+  let rt = Runtime.create (Par.Backend.of_sim eng) ~node:0 ~slots:1 in
   let l = Lock.create rt "lk" in
   ignore
     (Engine.spawn eng ~node:0 (fun () ->
@@ -182,7 +182,7 @@ let edge_reduction_effective () =
   let n_slots = 4 and iterations = 20 in
   let run_with reduce =
     let eng = fresh_engine ~seed:13 () in
-    let rt = Runtime.create ~reduce_edges:reduce eng ~node:0 ~slots:n_slots in
+    let rt = Runtime.create ~reduce_edges:reduce (Par.Backend.of_sim eng) ~node:0 ~slots:n_slots in
     let app = { a = Lock.create rt "A"; b = Lock.create rt "B"; value = 0 } in
     run_slots eng rt ~n_slots (nested_script app iterations);
     rt
@@ -196,7 +196,7 @@ let edge_reduction_effective () =
   Alcotest.(check bool) "something was reduced" true (red.edges_reduced > 0);
   (* The reduced trace still replays to the same state. *)
   let eng2 = fresh_engine ~seed:5 () in
-  let rt2 = Runtime.create eng2 ~node:0 ~slots:n_slots in
+  let rt2 = Runtime.create (Par.Backend.of_sim eng2) ~node:0 ~slots:n_slots in
   Runtime.set_mode rt2 Runtime.Replay;
   let app2 = { a = Lock.create rt2 "A"; b = Lock.create rt2 "B"; value = 0 } in
   feed ~from_rt:rt_red ~to_rt:rt2;
@@ -226,11 +226,11 @@ let try_script app slot =
 
 let trylock_replay_matches () =
   let eng = fresh_engine ~seed:21 () in
-  let rt = Runtime.create eng ~node:0 ~slots:3 in
+  let rt = Runtime.create (Par.Backend.of_sim eng) ~node:0 ~slots:3 in
   let app = { lock = Lock.create rt "try"; results = [] } in
   run_slots eng rt ~n_slots:3 (try_script app);
   let eng2 = fresh_engine ~seed:4000 () in
-  let rt2 = Runtime.create eng2 ~node:0 ~slots:3 in
+  let rt2 = Runtime.create (Par.Backend.of_sim eng2) ~node:0 ~slots:3 in
   Runtime.set_mode rt2 Runtime.Replay;
   let app2 = { lock = Lock.create rt2 "try"; results = [] } in
   feed ~from_rt:rt ~to_rt:rt2;
@@ -248,7 +248,7 @@ let trylock_replay_matches () =
 let trylock_partial_vs_total_edges () =
   let run po =
     let eng = fresh_engine ~seed:21 () in
-    let rt = Runtime.create ~partial_order:po ~reduce_edges:false eng ~node:0 ~slots:3 in
+    let rt = Runtime.create ~partial_order:po ~reduce_edges:false (Par.Backend.of_sim eng) ~node:0 ~slots:3 in
     let app = { lock = Lock.create rt "try"; results = [] } in
     run_slots eng rt ~n_slots:3 (try_script app);
     rt
@@ -288,11 +288,11 @@ let rw_script app slot =
 
 let rwlock_replay () =
   let eng = fresh_engine ~seed:31 () in
-  let rt = Runtime.create eng ~node:0 ~slots:3 in
+  let rt = Runtime.create (Par.Backend.of_sim eng) ~node:0 ~slots:3 in
   let app = { rw = Rwlock.create rt "rw"; data = 0; reads = [] } in
   run_slots eng rt ~n_slots:3 (rw_script app);
   let eng2 = fresh_engine ~seed:1234 () in
-  let rt2 = Runtime.create eng2 ~node:0 ~slots:3 in
+  let rt2 = Runtime.create (Par.Backend.of_sim eng2) ~node:0 ~slots:3 in
   Runtime.set_mode rt2 Runtime.Replay;
   let app2 = { rw = Rwlock.create rt2 "rw"; data = 0; reads = [] } in
   feed ~from_rt:rt ~to_rt:rt2;
@@ -349,12 +349,12 @@ let condvar_replay () =
     }
   in
   let eng = fresh_engine ~seed:41 () in
-  let rt = Runtime.create eng ~node:0 ~slots:3 in
+  let rt = Runtime.create (Par.Backend.of_sim eng) ~node:0 ~slots:3 in
   let app = mk rt in
   run_slots eng rt ~n_slots:3 (pc_script app n_items);
   Alcotest.(check int) "all consumed" n_items (List.length app.consumed);
   let eng2 = fresh_engine ~seed:987 () in
-  let rt2 = Runtime.create eng2 ~node:0 ~slots:3 in
+  let rt2 = Runtime.create (Par.Backend.of_sim eng2) ~node:0 ~slots:3 in
   Runtime.set_mode rt2 Runtime.Replay;
   let app2 = mk rt2 in
   feed ~from_rt:rt ~to_rt:rt2;
@@ -374,13 +374,13 @@ let sem_replay () =
     done
   in
   let eng = fresh_engine ~seed:51 () in
-  let rt = Runtime.create eng ~node:0 ~slots:3 in
+  let rt = Runtime.create (Par.Backend.of_sim eng) ~node:0 ~slots:3 in
   let sem = Sem.create rt "sem" 2 in
   let log = ref [] in
   run_slots eng rt ~n_slots:3 (script sem log);
   Alcotest.(check int) "record completed" 24 (List.length !log);
   let eng2 = fresh_engine ~seed:151 () in
-  let rt2 = Runtime.create eng2 ~node:0 ~slots:3 in
+  let rt2 = Runtime.create (Par.Backend.of_sim eng2) ~node:0 ~slots:3 in
   Runtime.set_mode rt2 Runtime.Replay;
   let sem2 = Sem.create rt2 "sem" 2 in
   let log2 = ref [] in
@@ -394,7 +394,7 @@ let mode_switch_continues () =
   let n_slots = 2 in
   let rt, _app = record_counter ~seed:61 ~n_slots ~iterations:10 in
   let eng2 = fresh_engine ~seed:62 () in
-  let rt2 = Runtime.create eng2 ~node:0 ~slots:n_slots in
+  let rt2 = Runtime.create (Par.Backend.of_sim eng2) ~node:0 ~slots:n_slots in
   Runtime.set_mode rt2 Runtime.Replay;
   let app2 = counter_app rt2 in
   feed ~from_rt:rt ~to_rt:rt2;
@@ -426,8 +426,8 @@ let mode_switch_continues () =
 
 let resource_ids_deterministic () =
   let eng = fresh_engine () in
-  let rt_a = Runtime.create eng ~node:0 ~slots:2 in
-  let rt_b = Runtime.create eng ~node:1 ~slots:2 in
+  let rt_a = Runtime.create (Par.Backend.of_sim eng) ~node:0 ~slots:2 in
+  let rt_b = Runtime.create (Par.Backend.of_sim eng) ~node:1 ~slots:2 in
   let mk rt = List.init 5 (fun i -> Runtime.fresh_resource_id rt (Printf.sprintf "r%d" i)) in
   Alcotest.(check (list int)) "same global uids" (mk rt_a) (mk rt_b)
 
@@ -458,7 +458,7 @@ let hybrid_native_readers () =
      replay exactly, with the readers transparently absorbed. *)
   let run_phase ~seed ~replay_from =
     let eng = fresh_engine ~seed () in
-    let rt = Runtime.create eng ~node:0 ~slots:2 in
+    let rt = Runtime.create (Par.Backend.of_sim eng) ~node:0 ~slots:2 in
     (match replay_from with
     | Some from_rt ->
       Runtime.set_mode rt Runtime.Replay;
@@ -502,7 +502,7 @@ let trylock_pollution_retry () =
      transiently holds the real lock: the wrapper must retry until it
      reproduces the recorded success. *)
   let eng = fresh_engine ~seed:81 () in
-  let rt = Runtime.create eng ~node:0 ~slots:1 in
+  let rt = Runtime.create (Par.Backend.of_sim eng) ~node:0 ~slots:1 in
   let l = Lock.create rt "t" in
   let got = ref false in
   run_slots eng rt ~n_slots:1 (fun _ ->
@@ -512,7 +512,7 @@ let trylock_pollution_retry () =
   Alcotest.(check bool) "recorded success" true !got;
   (* Replay with a native holder occupying the lock initially. *)
   let eng2 = fresh_engine ~seed:82 () in
-  let rt2 = Runtime.create eng2 ~node:0 ~slots:1 in
+  let rt2 = Runtime.create (Par.Backend.of_sim eng2) ~node:0 ~slots:1 in
   Runtime.set_mode rt2 Runtime.Replay;
   let l2 = Lock.create rt2 "t" in
   feed ~from_rt:rt ~to_rt:rt2;
@@ -630,7 +630,7 @@ let run_op rt app slot = function
 
 let run_random_phase ~seed ~n_slots ~scripts ~replay_from =
   let eng = fresh_engine ~seed () in
-  let rt = Runtime.create eng ~node:0 ~slots:n_slots in
+  let rt = Runtime.create (Par.Backend.of_sim eng) ~node:0 ~slots:n_slots in
   (match replay_from with
   | Some from_rt ->
     Runtime.set_mode rt Runtime.Replay;
