@@ -14,7 +14,22 @@
    --dedup-off injects a harness-level bug — retries mint fresh request
    identities, so replicas cannot deduplicate — and asserts the checker
    *does* flag the resulting double executions; it is the canary that
-   proves the oracle can see a real exactly-once violation. *)
+   proves the oracle can see a real exactly-once violation.
+
+   --reads routes the workload's read-only ops through the lease/quorum
+   read fast path (Client.query) instead of the ordered client path;
+   the sweep must stay linearizable with leases on.
+
+   --lease-unsafe is the fast path's own canary, mirroring --dedup-off:
+   fencing is disabled on every replica and a Stale_leader fault slows
+   the leader's clock beyond the drift bound while partitioning it from
+   the other replicas (client links stay up), so it keeps serving local
+   reads against state the rest of the group has moved past.  The
+   canary workload is read-heavy (read_ratio 0.85) so clients stay
+   parked on the stale leader — its reads still answer, and only a
+   failed write would rotate them away.  The checker must flag at least
+   one seed as non-linearizable — proof the oracle can see a stale
+   read. *)
 
 module N = Check.Nemesis
 module Runner = Check.Runner
@@ -60,13 +75,14 @@ let write_repro path (seed : int) (o : Runner.outcome) =
   Printf.printf "   reproducer written to %s\n%!" path
 
 (* One (stack, app, nemesis) row: sweep seeds, shrink failures. *)
-let sweep_one ~stack ~app ~nemesis ~seeds ~base_seed ~dedup_off ~quick
+let sweep_one ~stack ~app ~nemesis ~seeds ~base_seed ~dedup_off ~reads ~quick
     ~repro_out =
   let base =
     Runner.default_config
       ~clients:(if quick then 2 else 3)
       ~ops_per_client:(if quick then 6 else 8)
-      ~dedup_off ~stack ~app ~nemesis ~seed:base_seed ()
+      ~dedup_off ~reads_via_query:reads ~stack ~app ~nemesis ~seed:base_seed
+      ()
   in
   let t0 = Sys.time () in
   let sweep =
@@ -108,15 +124,69 @@ let determinism_check ~stack ~app ~nemesis ~seed =
       seed (Runner.stack_name stack) (Runner.app_name app)
       (N.profile_name nemesis)
 
+(* The lease-unsafe canary: a fixed beyond-bound Stale_leader schedule,
+   replayed over consecutive workload seeds, with fencing disabled and
+   reads on the (now unguarded) local path.  At least one seed must be
+   flagged NON-LINEARIZABLE — a stale read the checker saw. *)
+let lease_canary ~stack ~seeds ~base_seed ~quick =
+  let stacks = expand_stacks stack in
+  let horizon = 3.0 in
+  let schedule =
+    {
+      N.horizon;
+      faults =
+        [
+          (* Rate 0.25 is far outside the 0.2 drift bound; the long
+             window gives the healthy majority time to elect and commit
+             past the stale leader. *)
+          { N.kind = N.Stale_leader { rate = 0.25 }; at = 0.5; dur = 2.2 };
+        ];
+    }
+  in
+  let seeds = if quick then min seeds 5 else seeds in
+  Printf.printf
+    "\n== Lease canary: fencing OFF + beyond-bound skew (%s, %d seeds) ==\n%!"
+    stack seeds;
+  let flagged = ref 0 in
+  List.iter
+    (fun stack ->
+      for i = 0 to seeds - 1 do
+        let cfg =
+          Runner.default_config ~clients:3
+            ~ops_per_client:(if quick then 12 else 16)
+            ~reads_via_query:true ~lease_unsafe:true ~read_ratio:0.85 ~stack
+            ~app:Runner.Kv ~nemesis:N.Leases ~seed:(base_seed + i) ~horizon ()
+        in
+        let o = Runner.run_one ~schedule cfg in
+        Printf.printf "   %s seed %d: %s\n%!" (Runner.stack_name stack)
+          (base_seed + i) (verdict_cell o);
+        match o.Runner.result.Check.Lin.verdict with
+        | Check.Lin.Non_linearizable w ->
+          incr flagged;
+          Printf.printf "      %s\n%!" (String.concat "; " w)
+        | Check.Lin.Linearizable | Check.Lin.Limit -> ()
+      done)
+    stacks;
+  if !flagged = 0 then
+    Harness.fail
+      "check --lease-unsafe: no seed was flagged — the oracle is blind to \
+       stale leader-local reads";
+  Printf.printf
+    "OK: lease canary flagged %d seed(s) as non-linearizable\n%!" !flagged
+
 let run ?(quick = false) ?(stack = "rex") ?(app = "kv") ?(nemesis = "mixed")
-    ?(seeds = 10) ?(base_seed = 1000) ?(dedup_off = false) ?repro_out () =
+    ?(seeds = 10) ?(base_seed = 1000) ?(dedup_off = false) ?(reads = false)
+    ?(lease_unsafe = false) ?repro_out () =
+  if lease_unsafe then lease_canary ~stack ~seeds ~base_seed ~quick
+  else begin
   let stacks = expand_stacks stack in
   let apps = expand_apps app in
   let nemeses = expand_nemeses nemesis in
   Printf.printf
-    "\n== Fault-schedule explorer: %s x %s x %s, %d seeds from %d%s ==\n%!"
+    "\n== Fault-schedule explorer: %s x %s x %s, %d seeds from %d%s%s ==\n%!"
     stack app nemesis seeds base_seed
-    (if dedup_off then " (DEDUP OFF: expecting violations)" else "");
+    (if dedup_off then " (DEDUP OFF: expecting violations)" else "")
+    (if reads then " (reads via fast path)" else "");
   determinism_check ~stack:(List.hd stacks) ~app:(List.hd apps)
     ~nemesis:(List.hd nemeses) ~seed:base_seed;
   let failures = ref [] in
@@ -129,7 +199,7 @@ let run ?(quick = false) ?(stack = "rex") ?(app = "kv") ?(nemesis = "mixed")
               (fun nemesis ->
                 let f =
                   sweep_one ~stack ~app ~nemesis ~seeds ~base_seed ~dedup_off
-                    ~quick ~repro_out
+                    ~reads ~quick ~repro_out
                 in
                 List.iter
                   (fun (seed, o) -> failures := (stack, app, seed, o) :: !failures)
@@ -163,3 +233,4 @@ let run ?(quick = false) ?(stack = "rex") ?(app = "kv") ?(nemesis = "mixed")
     Harness.fail "check: %d seed(s) failed (reproducers above)"
       (List.length !failures)
   else Printf.printf "OK: every seed linearizable, converged and live\n%!"
+  end

@@ -202,9 +202,59 @@ let shard_cmd =
     (instrumented
        Term.(const run $ quick_arg $ shards_arg $ shard_app_arg $ check_flag))
 
+let ratio_list_conv =
+  let parse s =
+    let parts = String.split_on_char ',' s in
+    let ratios =
+      List.filter_map
+        (fun p ->
+          match float_of_string_opt (String.trim p) with
+          | Some v when v >= 0. && v <= 1. -> Some v
+          | Some _ | None -> None)
+        parts
+    in
+    if List.length ratios = List.length parts && ratios <> [] then Ok ratios
+    else
+      Error
+        (`Msg
+           (Printf.sprintf
+              "invalid read-ratio sweep %S (expected comma-separated ratios \
+               in 0..1, e.g. 0.5,0.9,0.99)"
+              s))
+  in
+  let print ppf l =
+    Format.pp_print_string ppf
+      (String.concat "," (List.map string_of_float l))
+  in
+  Arg.conv (parse, print)
+
+let read_ratio_arg =
+  Arg.(
+    value
+    & opt (some ratio_list_conv) None
+    & info [ "read-ratio" ] ~docv:"R,R,..."
+        ~doc:
+          "Replace the core-workload table with a read-ratio sweep that \
+           routes reads through the lease/quorum fast path.")
+
 let ycsb_cmd =
   Cmd.v (Cmd.info "ycsb" ~doc:"YCSB core workloads on the KV stores")
-    (instrumented Term.(const (fun quick () -> Ycsb.run ~quick ()) $ quick_arg))
+    (instrumented
+       Term.(
+         const (fun quick read_ratio () -> Ycsb.run ~quick ?read_ratio ())
+         $ quick_arg $ read_ratio_arg))
+
+let reads_cmd =
+  Cmd.v
+    (Cmd.info "reads"
+       ~doc:
+         "Read fast path (leader leases + quorum reads) vs the ordered \
+          path: read ratio x stack on sim, execution-stage read mix on \
+          domains")
+    (instrumented
+       Term.(
+         const (fun quick backend () -> Reads_bench.run ~quick ~backend ())
+         $ quick_arg $ backend_arg))
 
 let eve_cmd =
   Cmd.v
@@ -247,8 +297,8 @@ let check_cmd =
       value & opt string "mixed"
       & info [ "nemesis" ]
           ~doc:
-            "Fault profile: crash, partition, drop, skew, leader, mixed, or \
-             all.")
+            "Fault profile: crash, partition, drop, skew, leader, lease, \
+             mixed, or all.")
   in
   let seeds_arg =
     Arg.(
@@ -275,9 +325,27 @@ let check_cmd =
       & info [ "repro-out" ] ~docv:"FILE"
           ~doc:"Write the minimal reproducer of the first failure to $(docv).")
   in
-  let run quick stack app nemesis seeds base_seed dedup_off repro_out () =
+  let reads_arg =
+    Arg.(
+      value & flag
+      & info [ "reads" ]
+          ~doc:
+            "Route read-only ops through the lease/quorum read fast path \
+             (Client.query) instead of the ordered client path.")
+  in
+  let lease_unsafe_arg =
+    Arg.(
+      value & flag
+      & info [ "lease-unsafe" ]
+          ~doc:
+            "Canary: disable lease fencing and inject a beyond-bound \
+             stale-leader fault, asserting the checker flags the stale \
+             reads.")
+  in
+  let run quick stack app nemesis seeds base_seed dedup_off reads lease_unsafe
+      repro_out () =
     Check_bench.run ~quick ~stack ~app ~nemesis ~seeds ~base_seed ~dedup_off
-      ?repro_out ()
+      ~reads ~lease_unsafe ?repro_out ()
   in
   Cmd.v
     (Cmd.info "check"
@@ -287,7 +355,8 @@ let check_cmd =
     (instrumented
        Term.(
          const run $ quick_arg $ stack_arg $ capp_arg $ nemesis_arg $ seeds_arg
-         $ base_seed_arg $ dedup_off_arg $ repro_out_arg))
+         $ base_seed_arg $ dedup_off_arg $ reads_arg $ lease_unsafe_arg
+         $ repro_out_arg))
 
 let bechamel_cmd =
   Cmd.v (Cmd.info "bechamel" ~doc:"Wall-clock micro-benchmarks")
@@ -333,6 +402,7 @@ let () =
             ablate_cmd;
             eve_cmd;
             ycsb_cmd;
+            reads_cmd;
             chain_cmd;
             shard_cmd;
             dedup_cmd;

@@ -1,8 +1,31 @@
 (* YCSB core workloads on the replicated key/value stores: standard
    cloud-serving mixes exercising the same Rex machinery with different
-   read/write balances, skew, scans and read-modify-writes. *)
+   read/write balances, skew, scans and read-modify-writes.
+
+   --read-ratio R,R,... swaps the core-workload table for a read-ratio
+   sweep that routes reads through the client read fast path
+   (Client.query: leader lease or quorum read) and reports the
+   fast-path hit rate from the frontend obs counters. *)
 
 let threads = 16
+
+let run_read_ratio ~quick ratios =
+  let clients = 8 in
+  let ops = if quick then 60 else 200 in
+  Printf.printf
+    "\n== YCSB read-ratio sweep: reads via the fast path (Rex, %d \
+     clients) ==\n"
+    clients;
+  Printf.printf "read_ratio\treq/s\tlease\tquorum\tfallback\thit%%\n%!";
+  List.iter
+    (fun ratio ->
+      let p = Reads_bench.rex_point ~ratio ~fast:true ~clients ~ops () in
+      Printf.printf "%.2f\t%s\t%d\t%d\t%d\t%.0f%%\n%!" ratio
+        (Harness.fmt_rate p.Reads_bench.throughput)
+        p.Reads_bench.fast_lease p.Reads_bench.fast_quorum
+        p.Reads_bench.ordered_falls
+        (Reads_bench.hit_rate p))
+    ratios
 
 let stores :
     (string * (unit -> Rex_core.App.factory)) list =
@@ -11,7 +34,10 @@ let stores :
     ("kyoto", fun () -> Apps.Kyoto.factory ());
   ]
 
-let run ?(quick = false) () =
+let run ?(quick = false) ?read_ratio () =
+  match read_ratio with
+  | Some ratios -> run_read_ratio ~quick ratios
+  | None ->
   let warmup = if quick then 500 else 2000 in
   let measure = if quick then 2000 else 8000 in
   Printf.printf "\n== YCSB core workloads under Rex (16 threads, req/s) ==\n";

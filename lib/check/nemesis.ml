@@ -6,11 +6,20 @@ type kind =
   | Isolate of int
   | Drop of float
   | Slow of float
+  | Skew of { node : int; rate : float }
+  | Stale_leader of { rate : float }
 
 type fault = { kind : kind; at : float; dur : float }
 type schedule = { horizon : float; faults : fault list }
 
-type profile = Crashes | Partitions | Drops | Clock_skew | Leader_kills | Mixed
+type profile =
+  | Crashes
+  | Partitions
+  | Drops
+  | Clock_skew
+  | Leader_kills
+  | Leases
+  | Mixed
 
 let profiles =
   [
@@ -19,11 +28,17 @@ let profiles =
     ("drop", Drops);
     ("skew", Clock_skew);
     ("leader", Leader_kills);
+    ("lease", Leases);
     ("mixed", Mixed);
   ]
 
 let profile_of_string s = List.assoc_opt s profiles
 let profile_name p = fst (List.find (fun (_, q) -> q = p) profiles)
+
+(* Clock-drift rates stay inside the default lease drift bound (0.2):
+   leases must survive any skew the bound admits.  Beyond-bound skew is
+   the canary's job ({!Stale_leader}), never a safe-sweep fault. *)
+let in_bound_rate rng = 0.8 +. Rng.float rng 0.4
 
 let generate rng profile ~nodes ~allow_restart ~horizon =
   let n_faults = 2 + Rng.int rng 3 in
@@ -49,13 +64,22 @@ let generate rng profile ~nodes ~allow_restart ~horizon =
           | Leader_kills -> crash_kind None
           | Partitions -> Isolate (Rng.pick rng nodes)
           | Drops -> Drop (0.05 +. Rng.float rng 0.25)
-          | Clock_skew -> Slow (2. +. Rng.float rng 6.)
+          | Clock_skew ->
+            Skew { node = Rng.pick rng nodes; rate = in_bound_rate rng }
+          | Leases -> (
+            (* The lease machinery's own trouble: drifting clocks, lost
+               heartbeats (isolation), and leader churn racing renewal. *)
+            match Rng.int rng 3 with
+            | 0 -> Skew { node = Rng.pick rng nodes; rate = in_bound_rate rng }
+            | 1 -> Isolate (Rng.pick rng nodes)
+            | _ -> crash_kind None)
           | Mixed -> (
-            match Rng.int rng 5 with
+            match Rng.int rng 6 with
             | 0 -> crash_kind (Some (Rng.pick rng nodes))
             | 1 -> crash_kind None
             | 2 -> Isolate (Rng.pick rng nodes)
             | 3 -> Drop (0.05 +. Rng.float rng 0.25)
+            | 4 -> Skew { node = Rng.pick rng nodes; rate = in_bound_rate rng }
             | _ -> Slow (2. +. Rng.float rng 6.))
         in
         { kind; at; dur })
@@ -70,6 +94,8 @@ let fault_to_string f =
     | Isolate v -> Printf.sprintf "isolate(%d)" v
     | Drop p -> Printf.sprintf "drop(p=%.3f)" p
     | Slow x -> Printf.sprintf "slow(x%.2f)" x
+    | Skew { node; rate } -> Printf.sprintf "skew(%d,x%.2f)" node rate
+    | Stale_leader { rate } -> Printf.sprintf "stale-leader(x%.2f)" rate
   in
   Printf.sprintf "t=%.3f +%.3f %s" f.at f.dur kind
 
@@ -146,7 +172,38 @@ let actions t schedule =
       | Slow x ->
         add f.at (Printf.sprintf "slow x%.2f" x) (fun () ->
             Net.set_latency_factor t.net x);
-        add t_end "slow off" (fun () -> Net.set_latency_factor t.net 1.))
+        add t_end "slow off" (fun () -> Net.set_latency_factor t.net 1.)
+      | Skew { node; rate } ->
+        let eng = Net.engine t.net in
+        add f.at (Printf.sprintf "skew %d x%.2f" node rate) (fun () ->
+            Engine.set_clock_rate eng ~node rate);
+        add t_end (Printf.sprintf "skew %d off" node) (fun () ->
+            Engine.set_clock_rate eng ~node 1.0)
+      | Stale_leader { rate } ->
+        (* The lease-unsafe canary's fault: slow the leader's clock past
+           the drift bound so its lease outlives the grants, then cut it
+           off from the other replicas only — client links stay up, so a
+           fencing-free leader keeps serving reads it can no longer
+           defend while the rest of the group elects a successor and
+           commits writes. *)
+        let eng = Net.engine t.net in
+        let victim = ref None in
+        add f.at (Printf.sprintf "stale-leader x%.2f" rate) (fun () ->
+            match t.leader () with
+            | Some l when not (List.mem l t.down) ->
+              victim := Some l;
+              Engine.set_clock_rate eng ~node:l rate;
+              List.iter
+                (fun p -> if p <> l then Net.partition t.net l p)
+                t.nodes
+            | _ -> ());
+        add t_end "stale-leader off" (fun () ->
+            match !victim with
+            | Some l ->
+              victim := None;
+              Engine.set_clock_rate eng ~node:l 1.0;
+              List.iter (fun p -> if p <> l then Net.heal t.net l p) t.nodes
+            | None -> ()))
     schedule.faults;
   List.stable_sort (fun a b -> compare a.at b.at) (List.rev !acts)
 
@@ -154,4 +211,8 @@ let cure t =
   Net.heal_all t.net;
   Net.set_drop_probability t.net 0.;
   Net.set_latency_factor t.net 1.;
+  let eng = Net.engine t.net in
+  List.iter
+    (fun n -> Engine.set_clock_rate eng ~node:n 1.0)
+    (t.nodes @ t.others);
   List.iter (fun v -> do_restart t v) t.down

@@ -13,7 +13,15 @@ type kind =
   | Kill_leader  (** crash whoever is primary at fire time *)
   | Isolate of int  (** partition the node from everyone for [dur] *)
   | Drop of float  (** message loss probability for [dur] *)
-  | Slow of float  (** latency × factor for [dur]: skew and reordering *)
+  | Slow of float  (** latency × factor for [dur]: delay and reordering *)
+  | Skew of { node : int; rate : float }
+      (** run the node's local clock at [rate] × true time for [dur];
+          safe-sweep rates stay inside the lease drift bound *)
+  | Stale_leader of { rate : float }
+      (** the lease canary: slow the current leader's clock {e past} the
+          drift bound and partition it from the other replicas only —
+          clients can still reach it, so without fencing it serves reads
+          against a lease it can no longer defend *)
 
 type fault = { kind : kind; at : float; dur : float }
 
@@ -21,7 +29,14 @@ type schedule = { horizon : float; faults : fault list }
 (** Faults fire inside [\[0, horizon)]; the runner heals everything at
     [horizon] and lets the workload drain. *)
 
-type profile = Crashes | Partitions | Drops | Clock_skew | Leader_kills | Mixed
+type profile =
+  | Crashes
+  | Partitions
+  | Drops
+  | Clock_skew  (** per-node drift within the lease bound *)
+  | Leader_kills
+  | Leases  (** drift + isolation + leader churn: lease trouble *)
+  | Mixed
 
 val profiles : (string * profile) list
 val profile_of_string : string -> profile option

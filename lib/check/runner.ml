@@ -19,12 +19,16 @@ type config = {
   clients : int;
   ops_per_client : int;
   dedup_off : bool;
+  reads_via_query : bool;
+  lease_unsafe : bool;
+  read_ratio : float option;
   checkpoint_interval : float option;
   horizon : float;
   max_steps : int;
 }
 
 let default_config ?(clients = 3) ?(ops_per_client = 8) ?(dedup_off = false)
+    ?(reads_via_query = false) ?(lease_unsafe = false) ?read_ratio
     ?(checkpoint_interval = None) ?(horizon = 3.0) ?(max_steps = 5_000_000)
     ~stack ~app ~nemesis ~seed () =
   {
@@ -35,6 +39,9 @@ let default_config ?(clients = 3) ?(ops_per_client = 8) ?(dedup_off = false)
     clients;
     ops_per_client;
     dedup_off;
+    reads_via_query;
+    lease_unsafe;
+    read_ratio;
     checkpoint_interval;
     horizon;
     max_steps;
@@ -150,10 +157,15 @@ let gen_request cfg rng ~cidx ~opidx =
     else Printf.sprintf "INC %d.%d" cidx opidx
   | Kv -> (
     let key = Printf.sprintf "k%d" (Rng.int rng n_keys) in
-    match Rng.int rng 10 with
-    | 0 | 1 | 2 | 3 | 4 -> Printf.sprintf "SET %s v%d.%d" key cidx opidx
-    | 5 -> Printf.sprintf "DEL %s" key
-    | _ -> Printf.sprintf "GET %s" key)
+    match cfg.read_ratio with
+    | Some r ->
+      if Rng.float rng 1.0 < r then Printf.sprintf "GET %s" key
+      else Printf.sprintf "SET %s v%d.%d" key cidx opidx
+    | None -> (
+      match Rng.int rng 10 with
+      | 0 | 1 | 2 | 3 | 4 -> Printf.sprintf "SET %s v%d.%d" key cidx opidx
+      | 5 -> Printf.sprintf "DEL %s" key
+      | _ -> Printf.sprintf "GET %s" key))
 
 let probe_requests cfg =
   match cfg.app with
@@ -169,6 +181,9 @@ type deploy = {
      one request identity per invocation of the underlying client's call
      (so [retries:1] in a loop defeats dedup — the canary). *)
   call : int -> retries:int -> string -> string option;
+  (* [query cidx req]: read-path request — the lease/quorum fast path
+     when the stack has one, exercised when [config.reads_via_query]. *)
+  query : int -> string -> string option;
   (* One inner list per replica group; convergence means each group's
      live replicas agree internally (groups hold disjoint key ranges, so
      cross-group digests never match by design). *)
@@ -193,7 +208,8 @@ let conflict_keys_for cfg req =
 let deploy_rex history_of cfg =
   let ccfg =
     R.Cluster.config ~workers:4
-      ~checkpoint_interval:cfg.checkpoint_interval ()
+      ~checkpoint_interval:cfg.checkpoint_interval
+      ~lease_unsafe:cfg.lease_unsafe ()
   in
   let cluster = R.Cluster.create ~seed:cfg.seed ccfg (factory_for cfg) in
   R.Cluster.start cluster;
@@ -232,6 +248,7 @@ let deploy_rex history_of cfg =
     target;
     call =
       (fun cidx ~retries req -> R.Client.call ~retries clients.(cidx) req);
+    query = (fun cidx req -> R.Client.query clients.(cidx) req);
     digests = (fun () -> [ List.map R.Server.app_digest (live_servers ()) ]);
     diverged =
       (fun () ->
@@ -249,7 +266,9 @@ let deploy_single history_of cfg =
   let rpc = Rpc.create net in
   let replicas = [ 0; 1; 2 ] in
   let make_smr () =
-    let config = R.Config.make ~workers:1 ~replicas () in
+    let config =
+      R.Config.make ~workers:1 ~replicas ~lease_unsafe:cfg.lease_unsafe ()
+    in
     let servers =
       Array.init 3 (fun i ->
           Smr.create net rpc config ~node:i
@@ -268,7 +287,10 @@ let deploy_single history_of cfg =
         |> Option.map Smr.node )
   in
   let make_eve () =
-    let ecfg = Eve.default_config ~workers:4 ~replicas () in
+    let ecfg =
+      Eve.default_config ~workers:4 ~replicas
+        ~lease_unsafe:cfg.lease_unsafe ()
+    in
     let servers =
       Array.init 3 (fun i ->
           Eve.create net rpc ecfg ~node:i ~paxos_store:(Paxos.Store.create ())
@@ -309,6 +331,7 @@ let deploy_single history_of cfg =
       };
     call =
       (fun cidx ~retries req -> R.Client.call ~retries clients.(cidx) req);
+    query = (fun cidx req -> R.Client.query clients.(cidx) req);
     digests = (fun () -> [ digests () ]);
     diverged = (fun () -> false);
   }
@@ -320,7 +343,7 @@ let deploy_sharded history_of cfg =
         R.Config.make ~workers:4 ~replicas
           ?checkpoint_interval:
             (Option.map Option.some cfg.checkpoint_interval)
-          ())
+          ~lease_unsafe:cfg.lease_unsafe ())
       (fun ~map ~group ->
         Shard.Partition.factory ~map ~group (factory_for cfg))
   in
@@ -365,6 +388,11 @@ let deploy_sharded history_of cfg =
         match key_of_request req with
         | Some key -> Shard.Router.call ~retries router ~key req
         | None -> None);
+    query =
+      (fun _cidx req ->
+        match key_of_request req with
+        | Some key -> Shard.Router.query router ~key req
+        | None -> None);
     digests =
       (fun () ->
         List.init (Shard.Fleet.n_groups fleet) (Shard.Fleet.digests fleet));
@@ -390,7 +418,15 @@ let normal_retries = 12
 let dedup_off_attempts = 30
 
 let do_call d cfg cidx req =
-  if cfg.dedup_off then begin
+  if cfg.reads_via_query && (spec_of cfg).Spec.is_read req then
+    (* Read fast path under test: leases / quorum reads.  A [None] from
+       the query loop retries once through the ordered path — harmless
+       for a read, and it keeps the workload from starving on probes
+       during long outages. *)
+    match d.query cidx req with
+    | Some r -> Some r
+    | None -> d.call cidx ~retries:normal_retries req
+  else if cfg.dedup_off then begin
     (* Fresh request identity per attempt: retries are no longer
        deduplicatable.  This is the harness's own fault injection — a
        correct stack under this client is genuinely at-least-once, and
@@ -580,7 +616,12 @@ let describe_outcome o =
       (stack_name o.config.stack) (app_name o.config.app)
       (Nemesis.profile_name o.config.nemesis)
       o.config.seed
-      (if o.config.dedup_off then " dedup-off" else "");
+      (String.concat ""
+         [
+           (if o.config.dedup_off then " dedup-off" else "");
+           (if o.config.reads_via_query then " reads" else "");
+           (if o.config.lease_unsafe then " lease-unsafe" else "");
+         ]);
     Printf.sprintf "verdict: %s" verdict;
     Printf.sprintf "converged=%b live=%b" o.converged o.live_probe_ok;
     Printf.sprintf

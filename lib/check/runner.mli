@@ -24,6 +24,17 @@ type config = {
       (** fault injection into the harness itself: retries mint a fresh
           request identity, disabling exactly-once — a canary the checker
           must flag as non-linearizable (counter app) *)
+  reads_via_query : bool;
+      (** route read-only ops through the read fast path (leases / quorum
+          reads) instead of the ordered client path *)
+  lease_unsafe : bool;
+      (** disable lease fencing on every replica: with a beyond-bound
+          {!Nemesis.Stale_leader} fault this is the canary the checker
+          must flag as non-linearizable *)
+  read_ratio : float option;
+      (** Kv only: override the default op mix with [GET] at this
+          probability and [SET] otherwise — read-heavy mixes keep
+          clients parked on a stale leader whose reads still answer *)
   checkpoint_interval : float option;  (** Rex/Sharded only *)
   horizon : float;  (** fault window; healing and drain follow *)
   max_steps : int;  (** checker search budget *)
@@ -31,6 +42,7 @@ type config = {
 
 val default_config :
   ?clients:int -> ?ops_per_client:int -> ?dedup_off:bool ->
+  ?reads_via_query:bool -> ?lease_unsafe:bool -> ?read_ratio:float ->
   ?checkpoint_interval:float option -> ?horizon:float -> ?max_steps:int ->
   stack:stack -> app:app -> nemesis:Nemesis.profile -> seed:int -> unit ->
   config

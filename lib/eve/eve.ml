@@ -12,10 +12,14 @@ type config = {
   miss_rate : float;
   heartbeat_period : float;
   election_timeout : float;
+  lease_duration : float;
+  lease_drift_bound : float;
+  lease_unsafe : bool;
 }
 
-let default_config ?(workers = 8) ?(batch_max = 64) ?(miss_rate = 0.) ~replicas
-    () =
+let default_config ?(workers = 8) ?(batch_max = 64) ?(miss_rate = 0.)
+    ?(lease_duration = 20e-3) ?(lease_drift_bound = 0.2)
+    ?(lease_unsafe = false) ~replicas () =
   {
     replicas;
     workers;
@@ -24,6 +28,9 @@ let default_config ?(workers = 8) ?(batch_max = 64) ?(miss_rate = 0.) ~replicas
     miss_rate;
     heartbeat_period = 5e-3;
     election_timeout = 50e-3;
+    lease_duration;
+    lease_drift_bound;
+    lease_unsafe;
   }
 
 type stats = {
@@ -56,6 +63,11 @@ type t = {
   (* every replica: committed batches to execute, in order *)
   exec_queue : (int * string array) Queue.t;
   mutable exec_waiters : Engine.waker list;
+  mutable applied : int;  (* highest verdict-final instance *)
+  mutable executing : bool;  (* a batch is mid-execution / pre-verdict *)
+  mutable read_waiters : Engine.waker list;
+      (* reads parked until the state is verdict-final again: mid-batch
+         parallel state may roll back and must never be observed *)
   (* leader: digest collection; every replica: decided verdicts *)
   collected : (int, (int * string) list) Hashtbl.t;
   verdicts : (int, verdict) Hashtbl.t;
@@ -106,6 +118,11 @@ let wake_executor t =
 let wake_verdicts t =
   let ws = t.verdict_waiters in
   t.verdict_waiters <- [];
+  wake_all ws
+
+let wake_readers t =
+  let ws = t.read_waiters in
+  t.read_waiters <- [];
   wake_all ws
 
 let leader_hint t =
@@ -267,6 +284,7 @@ let execute_serial t (reqs : string array) =
     reqs
 
 let process_batch t (instance, reqs) =
+  t.executing <- true;
   Obs.Metric.incr t.c_batches;
   Obs.Metric.add t.c_batched_reqs (Array.length reqs);
   Obs.Histogram.observe t.h_batch_size (float_of_int (Array.length reqs));
@@ -299,7 +317,7 @@ let process_batch t (instance, reqs) =
       ~dur:(Engine.now () -. batch_start)
       ();
   (* Leader answers its clients once the batch outcome is final. *)
-  match Hashtbl.find_opt t.inflight_cbs instance with
+  (match Hashtbl.find_opt t.inflight_cbs instance with
   | Some cbs when Array.length cbs = Array.length responses ->
     Hashtbl.remove t.inflight_cbs instance;
     Array.iteri
@@ -307,7 +325,10 @@ let process_batch t (instance, reqs) =
         Obs.Metric.incr t.c_replies;
         cb (Some responses.(i)))
       cbs
-  | Some _ | None -> ()
+  | Some _ | None -> ());
+  t.applied <- max t.applied instance;
+  t.executing <- false;
+  wake_readers t
 
 let executor_loop t () =
   let rec next_batch () =
@@ -417,6 +438,9 @@ let create net rpc cfg ~node ~paxos_store ~conflict_keys factory =
       inflight_cbs = Hashtbl.create 16;
       exec_queue = Queue.create ();
       exec_waiters = [];
+      applied = 0;
+      executing = false;
+      read_waiters = [];
       collected = Hashtbl.create 64;
       verdicts = Hashtbl.create 64;
       verdict_waiters = [];
@@ -436,6 +460,38 @@ let create net rpc cfg ~node ~paxos_store ~conflict_keys factory =
   t.front <-
     Some
       (R.Frontend.register rpc ~node ~table:session
+         ~reads:
+           {
+             R.Frontend.r_peers = t.cfg.replicas;
+             r_lease_valid =
+               (fun () ->
+                 t.leader
+                 &&
+                 match t.pax with
+                 | Some p -> Paxos.Replica.holds_lease p
+                 | None -> false);
+             r_read_index =
+               (fun () ->
+                 match t.pax with
+                 | Some p -> Paxos.Replica.read_index p
+                 | None -> 0);
+             r_applied_upto =
+               (fun () -> if t.executing then -1 else t.applied);
+             r_read_local =
+               (fun request cb ->
+                 (* Mid-batch state may roll back after a verdict: park
+                    until the state is verdict-final again. *)
+                 let rec go () =
+                   if t.executing then begin
+                     Engine.park (fun w ->
+                         t.read_waiters <- w :: t.read_waiters);
+                     go ()
+                   end
+                   else cb (Some (t.app.R.App.query ~request))
+                 in
+                 go ());
+             r_lease_unsafe = t.cfg.lease_unsafe;
+           }
          {
            R.Frontend.is_leader = (fun () -> t.leader);
            leader_hint =
@@ -457,6 +513,8 @@ let start t =
       election_timeout = t.cfg.election_timeout;
       max_inflight = 1;
       sync_latency = 0.;
+      lease_duration = t.cfg.lease_duration;
+      lease_drift_bound = t.cfg.lease_drift_bound;
     }
   in
   let cbs =

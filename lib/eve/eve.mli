@@ -36,9 +36,13 @@ type config = {
   miss_rate : float;  (** P(mixer misses a true conflict) *)
   heartbeat_period : float;
   election_timeout : float;
+  lease_duration : float;  (** [<= 0.] disables leases *)
+  lease_drift_bound : float;
+  lease_unsafe : bool;  (** testing only: skip the lease check on reads *)
 }
 
 val default_config : ?workers:int -> ?batch_max:int -> ?miss_rate:float ->
+  ?lease_duration:float -> ?lease_drift_bound:float -> ?lease_unsafe:bool ->
   replicas:int list -> unit -> config
 
 type stats = {

@@ -14,9 +14,13 @@ type t =
     }
   | Accepted of { ballot : Ballot.t; instance : int }
   | Commit of { instance : int; value : string }
-  | Heartbeat of { ballot : Ballot.t; committed_upto : int }
+  | Heartbeat of { ballot : Ballot.t; committed_upto : int; hb_seq : int }
   | Learn of { from_instance : int }
   | Learn_reply of { entries : (int * string) list }
+  | Lease_grant of { ballot : Ballot.t; hb_seq : int }
+      (* a follower's lease extension for the heartbeat numbered [hb_seq];
+         echoing the sequence number lets the leader anchor the grant
+         window at the heartbeat's *send* time on its own clock *)
 
 let write b = function
   | Prepare { ballot } ->
@@ -53,10 +57,15 @@ let write b = function
     Codec.write_byte b 5;
     Codec.write_uvarint b instance;
     Codec.write_string b value
-  | Heartbeat { ballot; committed_upto } ->
+  | Heartbeat { ballot; committed_upto; hb_seq } ->
     Codec.write_byte b 6;
     Ballot.write b ballot;
-    Codec.write_uvarint b committed_upto
+    Codec.write_uvarint b committed_upto;
+    Codec.write_uvarint b hb_seq
+  | Lease_grant { ballot; hb_seq } ->
+    Codec.write_byte b 9;
+    Ballot.write b ballot;
+    Codec.write_uvarint b hb_seq
   | Learn { from_instance } ->
     Codec.write_byte b 7;
     Codec.write_uvarint b from_instance
@@ -105,8 +114,13 @@ let read s =
   | 6 ->
     let ballot = Ballot.read s in
     let committed_upto = Codec.read_uvarint s in
-    Heartbeat { ballot; committed_upto }
+    let hb_seq = Codec.read_uvarint s in
+    Heartbeat { ballot; committed_upto; hb_seq }
   | 7 -> Learn { from_instance = Codec.read_uvarint s }
+  | 9 ->
+    let ballot = Ballot.read s in
+    let hb_seq = Codec.read_uvarint s in
+    Lease_grant { ballot; hb_seq }
   | 8 ->
     Learn_reply
       {
@@ -133,7 +147,10 @@ let pp ppf = function
   | Accepted { ballot; instance } ->
     Fmt.pf ppf "accepted(%a,i%d)" Ballot.pp ballot instance
   | Commit { instance; _ } -> Fmt.pf ppf "commit(i%d)" instance
-  | Heartbeat { ballot; committed_upto } ->
-    Fmt.pf ppf "heartbeat(%a,upto %d)" Ballot.pp ballot committed_upto
+  | Heartbeat { ballot; committed_upto; hb_seq } ->
+    Fmt.pf ppf "heartbeat(%a,upto %d,#%d)" Ballot.pp ballot committed_upto
+      hb_seq
+  | Lease_grant { ballot; hb_seq } ->
+    Fmt.pf ppf "lease_grant(%a,#%d)" Ballot.pp ballot hb_seq
   | Learn { from_instance } -> Fmt.pf ppf "learn(from %d)" from_instance
   | Learn_reply { entries } -> Fmt.pf ppf "learn_reply(%d)" (List.length entries)

@@ -20,9 +20,16 @@ type t =
     }  (** 2a *)
   | Accepted of { ballot : Ballot.t; instance : int }  (** 2b *)
   | Commit of { instance : int; value : string }
-  | Heartbeat of { ballot : Ballot.t; committed_upto : int }
+  | Heartbeat of { ballot : Ballot.t; committed_upto : int; hb_seq : int }
+      (** [hb_seq] is a leader-local heartbeat sequence number, echoed in
+          {!Lease_grant} so the leader can date a grant from the
+          heartbeat's send time on its own clock *)
   | Learn of { from_instance : int }  (** catch-up request *)
   | Learn_reply of { entries : (int * string) list }
+  | Lease_grant of { ballot : Ballot.t; hb_seq : int }
+      (** follower → leader: "I will promise no higher ballot for
+          [lease_duration] on my clock from when I received heartbeat
+          [hb_seq]" *)
 
 val encode : t -> string
 val decode : string -> t

@@ -21,9 +21,18 @@ type config = {
   sync_latency : float;
       (* modeled stable-storage write before an acceptor answers a
          Prepare or Accept (real Paxos must fsync its promises) *)
+  lease_duration : float;
+      (* how long a follower's lease grant lasts on the follower's own
+         clock, counted from heartbeat receipt; <= 0 disables leases *)
+  lease_drift_bound : float;
+      (* assumed bound on clock rate error: every clock's rate is within
+         [1-d, 1+d] of true time.  The leader shrinks its view of each
+         grant by (1-d)/(1+d) so a fast follower clock can never expire
+         a grant before the leader stops trusting it *)
 }
 
-let default_config ?(max_inflight = 1) ?(sync_latency = 0.) ~me ~peers () =
+let default_config ?(max_inflight = 1) ?(sync_latency = 0.)
+    ?(lease_duration = 20e-3) ?(lease_drift_bound = 0.2) ~me ~peers () =
   {
     me;
     peers;
@@ -31,6 +40,8 @@ let default_config ?(max_inflight = 1) ?(sync_latency = 0.) ~me ~peers () =
     election_timeout = 30e-3;
     max_inflight;
     sync_latency;
+    lease_duration;
+    lease_drift_bound;
   }
 
 type role = Follower | Candidate | Leader
@@ -66,11 +77,23 @@ type t = {
   inflight : (int, inflight) Hashtbl.t;
   mutable delivered : int;
   mutable stopped : bool;
+  (* lease state, follower side: one outstanding grant at a time *)
+  mutable grant_ballot : Ballot.t;  (* whose heartbeats we granted to *)
+  mutable grant_until : float;  (* local-clock expiry of that grant *)
+  (* lease state, leader side *)
+  mutable hb_seq : int;
+  hb_sent : (int, float) Hashtbl.t;  (* hb_seq -> local send time *)
+  grants : (int, float) Hashtbl.t;
+      (* peer -> local send time of the newest heartbeat it granted *)
+  mutable lease_was_valid : bool;  (* edge detector for the expiry counter *)
   obs : Obs.t;
   c_proposals : Obs.Metric.counter;
   c_commits : Obs.Metric.counter;
   c_acks : Obs.Metric.counter;
   c_campaigns : Obs.Metric.counter;
+  c_lease_grants : Obs.Metric.counter;
+  c_lease_renewals : Obs.Metric.counter;
+  c_lease_expiries : Obs.Metric.counter;
   h_commit : Obs.Histogram.t;
 }
 
@@ -94,6 +117,62 @@ let can_propose t =
   t.role = Leader && Hashtbl.length t.inflight < t.cfg.max_inflight
 let store t = t.st
 let now t = Engine.clock (Net.engine t.net)
+
+(* Lease timing runs on the node's own (possibly skewed) clock: a lease
+   may only rely on what real clocks guarantee — bounded drift — so it
+   must never read true virtual time. *)
+let local_now t = Engine.local_clock (Net.engine t.net) t.cfg.me
+let lease_on t = t.cfg.lease_duration > 0.
+
+(* Follower side: an unexpired promise to refuse foreign Prepares. *)
+let grant_active t =
+  lease_on t
+  && Ballot.compare t.grant_ballot Ballot.zero > 0
+  && local_now t < t.grant_until
+
+(* The leader counts a grant for (1-d)/(1+d) x duration from the
+   heartbeat's *send* time on its own clock.  Send <= receive, and for
+   clock rates within the drift bound the shrunk window always ends (in
+   true time) no later than the follower's own expiry — see DESIGN §11. *)
+let lease_margin t =
+  (1. -. t.cfg.lease_drift_bound) /. (1. +. t.cfg.lease_drift_bound)
+
+let reset_leader_lease t =
+  Hashtbl.reset t.hb_sent;
+  Hashtbl.reset t.grants;
+  t.lease_was_valid <- false
+
+let holds_lease t =
+  let ok =
+    lease_on t && t.role = Leader
+    &&
+    let ln = local_now t in
+    let window = t.cfg.lease_duration *. lease_margin t in
+    let live =
+      List.fold_left
+        (fun acc p ->
+          if p = t.cfg.me then acc + 1
+          else
+            match Hashtbl.find_opt t.grants p with
+            | Some sent when sent +. window > ln -> acc + 1
+            | Some _ | None -> acc)
+        0 t.cfg.peers
+    in
+    live >= majority t
+  in
+  if t.lease_was_valid && not ok then Obs.Metric.incr t.c_lease_expiries;
+  t.lease_was_valid <- ok;
+  ok
+
+(* The newest instance that could already be chosen: a committed write
+   was accepted by a majority, so any probe majority intersects it at a
+   node whose [read_index] covers the write (accepted if not yet
+   committed there; [committed_upto] survives log truncation). *)
+let read_index t =
+  List.fold_left
+    (fun m (i, _, _) -> max m i)
+    (max (Store.committed_upto t.st) (Store.max_committed t.st))
+    (Store.accepted_above t.st (Store.committed_upto t.st))
 
 let send t dst msg =
   if dst = t.cfg.me then ()
@@ -122,7 +201,8 @@ let observe_ballot t (b : Ballot.t) =
         Hashtbl.reset t.inflight;
         t.recovery_queue <- [];
         t.campaign_open <- false;
-        t.lead_after_catchup <- None
+        t.lead_after_catchup <- None;
+        reset_leader_lease t
       end;
       t.leader <- Some b.Ballot.replica;
       if Ballot.compare b t.announced > 0 then begin
@@ -205,6 +285,7 @@ let campaign t =
   t.leader <- None;
   Hashtbl.reset t.inflight;
   t.recovery_queue <- [];
+  reset_leader_lease t;
   let b = Ballot.next t.ballot ~me:t.cfg.me in
   t.ballot <- b;
   Store.set_promised t.st b;
@@ -267,7 +348,26 @@ let handle t ~src msg =
   if not t.stopped then begin
     match msg with
     | Msg.Prepare { ballot } ->
-      if Ballot.compare ballot (Store.promised t.st) > 0 then begin
+      (* Lease fencing: every member counted in a live lease quorum must
+         refuse foreign candidates, or a new leader could commit writes
+         while the old one still serves lease-protected local reads.  A
+         follower with an active grant Nacks anyone but the grant holder;
+         a leader holding the lease Nacks everyone (its implicit grant to
+         itself).  Quorum intersection then blocks any Prepare majority
+         until the lease has provably expired. *)
+      let fenced =
+        (grant_active t
+        && ballot.Ballot.replica <> t.grant_ballot.Ballot.replica)
+        || (t.role = Leader && ballot.Ballot.replica <> t.cfg.me
+           && holds_lease t)
+      in
+      if (not fenced) && Ballot.compare ballot (Store.promised t.st) > 0
+      then begin
+        (* Promising a new leader invalidates any stale grant record. *)
+        if ballot.Ballot.replica <> t.grant_ballot.Ballot.replica then begin
+          t.grant_ballot <- Ballot.zero;
+          t.grant_until <- neg_infinity
+        end;
         Store.set_promised t.st ballot;
         observe_ballot t ballot;
         t.last_contact <- now t;
@@ -333,14 +433,35 @@ let handle t ~src msg =
     | Msg.Commit { instance; value } ->
       Store.commit t.st instance value;
       deliver t
-    | Msg.Heartbeat { ballot; committed_upto } ->
+    | Msg.Heartbeat { ballot; committed_upto; hb_seq } ->
       if Ballot.compare ballot (Store.promised t.st) >= 0 then begin
         Store.set_promised t.st ballot;
         observe_ballot t ballot;
         t.last_contact <- now t;
+        if lease_on t then begin
+          (* Grant (or renew) the lease: promise, on our clock, not to
+             promise anyone else for [lease_duration] from receipt. *)
+          t.grant_ballot <- ballot;
+          t.grant_until <- local_now t +. t.cfg.lease_duration;
+          Obs.Metric.incr t.c_lease_grants;
+          send t src (Msg.Lease_grant { ballot; hb_seq })
+        end;
         request_catch_up t src committed_upto
       end
       else send t src (Msg.Nack { ballot = Store.promised t.st })
+    | Msg.Lease_grant { ballot; hb_seq } ->
+      if t.role = Leader && Ballot.compare ballot t.ballot = 0 then begin
+        match Hashtbl.find_opt t.hb_sent hb_seq with
+        | Some sent ->
+          Obs.Metric.incr t.c_lease_renewals;
+          let newer =
+            match Hashtbl.find_opt t.grants src with
+            | Some cur -> sent > cur
+            | None -> true
+          in
+          if newer then Hashtbl.replace t.grants src sent
+        | None -> ()  (* send-time record already pruned: too old to use *)
+      end
     | Msg.Learn { from_instance } ->
       let upto =
         min (Store.committed_upto t.st) (from_instance + learn_batch - 1)
@@ -388,11 +509,23 @@ let create net cfg st cbs =
       inflight = Hashtbl.create 4;
       delivered = Store.committed_upto st;
       stopped = false;
+      grant_ballot = Ballot.zero;
+      grant_until = neg_infinity;
+      hb_seq = 0;
+      hb_sent = Hashtbl.create 16;
+      grants = Hashtbl.create 4;
+      lease_was_valid = false;
       obs;
       c_proposals = Obs.counter obs ~subsystem:"paxos" ~labels "proposals";
       c_commits = Obs.counter obs ~subsystem:"paxos" ~labels "commits";
       c_acks = Obs.counter obs ~subsystem:"paxos" ~labels "accept_acks";
       c_campaigns = Obs.counter obs ~subsystem:"paxos" ~labels "campaigns";
+      c_lease_grants =
+        Obs.counter obs ~subsystem:"paxos" ~labels "lease_grants";
+      c_lease_renewals =
+        Obs.counter obs ~subsystem:"paxos" ~labels "lease_renewals";
+      c_lease_expiries =
+        Obs.counter obs ~subsystem:"paxos" ~labels "lease_expiries";
       h_commit = Obs.histogram obs ~subsystem:"paxos" ~labels "commit_latency";
     }
   in
@@ -413,6 +546,9 @@ let start t =
            if
              (not t.stopped) && t.role <> Leader
              && now t -. t.last_contact > !timeout
+             (* an active grant is proof of recent leader contact: do not
+                campaign against a lease we ourselves extended *)
+             && not (grant_active t)
            then begin
              timeout := t.cfg.election_timeout *. (1. +. Rng.float t.rng 1.);
              t.last_contact <- now t;
@@ -432,11 +568,16 @@ let start t =
          while not t.stopped do
            Engine.sleep t.cfg.heartbeat_period;
            if (not t.stopped) && t.role = Leader then begin
+             t.hb_seq <- t.hb_seq + 1;
+             Hashtbl.replace t.hb_sent t.hb_seq (local_now t);
+             (* keep a bounded window of send-time records *)
+             Hashtbl.remove t.hb_sent (t.hb_seq - 64);
              broadcast t
                (Msg.Heartbeat
                   {
                     ballot = t.ballot;
                     committed_upto = Store.committed_upto t.st;
+                    hb_seq = t.hb_seq;
                   });
              Hashtbl.iter
                (fun _ fi ->

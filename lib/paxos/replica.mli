@@ -38,13 +38,22 @@ type config = {
   sync_latency : float;
       (** modeled stable-storage write (fsync) before answering a Prepare
           or Accept; 0 disables *)
+  lease_duration : float;
+      (** leader-lease length, counted on each follower's own clock from
+          heartbeat receipt; [<= 0.] disables leases entirely *)
+  lease_drift_bound : float;
+      (** assumed clock-rate error bound [d]: every clock runs within
+          [[1-d, 1+d]] × true time.  The lease is safe iff real clocks
+          respect this (the skew nemesis in lib/check probes both
+          sides). *)
 }
 
 val default_config :
-  ?max_inflight:int -> ?sync_latency:float -> me:int -> peers:int list ->
+  ?max_inflight:int -> ?sync_latency:float -> ?lease_duration:float ->
+  ?lease_drift_bound:float -> me:int -> peers:int list ->
   unit -> config
 (** 5 ms heartbeats, 30 ms election timeout, [max_inflight] 1, no modeled
-    fsync. *)
+    fsync, 20 ms leases under a 0.2 drift bound. *)
 
 type t
 
@@ -64,6 +73,22 @@ val propose : t -> string -> bool
 val can_propose : t -> bool
 
 val is_leader : t -> bool
+
+val holds_lease : t -> bool
+(** Leader-side lease validity: [me] plus the peers whose newest grant is
+    still live — each counted for [(1-d)/(1+d) × lease_duration] from the
+    granted heartbeat's {e send} time on the leader's clock — form a
+    majority.  While true, every lease member refuses foreign Prepares,
+    so no other leader can commit: reading local committed state is
+    linearizable.  Always false when leases are disabled. *)
+
+val read_index : t -> int
+(** This replica's contribution to a quorum read: the highest instance
+    that could already be chosen from its point of view
+    (max of the committed prefix, out-of-order commits, and accepted
+    proposals).  A majority of these, maxed, upper-bounds every write
+    acknowledged before the probe. *)
+
 val leader_hint : t -> int option
 val current_ballot : t -> Ballot.t
 val committed_upto : t -> int

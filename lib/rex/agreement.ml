@@ -14,6 +14,8 @@ type t = {
   committed : int -> string option;
   truncate_below : int -> unit;
   fast_forward : int -> unit;
+  lease_valid : unit -> bool;
+  read_index : unit -> int;
 }
 
 let of_paxos rep =
@@ -29,4 +31,6 @@ let of_paxos rep =
       (fun i -> Paxos.Store.truncate_below (Paxos.Replica.store rep) i);
     fast_forward =
       (fun i -> Paxos.Store.fast_forward (Paxos.Replica.store rep) i);
+    lease_valid = (fun () -> Paxos.Replica.holds_lease rep);
+    read_index = (fun () -> Paxos.Replica.read_index rep);
   }

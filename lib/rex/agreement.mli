@@ -30,6 +30,13 @@ type t = {
   truncate_below : int -> unit;  (** GC below a checkpointed sequence *)
   fast_forward : int -> unit;
       (** a loaded checkpoint subsumes the prefix up to this sequence *)
+  lease_valid : unit -> bool;
+      (** leader-side: local reads are fenced by a live quorum lease (see
+          [Paxos.Replica.holds_lease]); protocols without leases return
+          [false] and reads take the quorum or ordered path *)
+  read_index : unit -> int;
+      (** this replica's highest possibly-chosen sequence number, for
+          quorum reads (see [Paxos.Replica.read_index]) *)
 }
 
 val of_paxos : Paxos.Replica.t -> t

@@ -401,4 +401,8 @@ let make ?(window = 8) ?(heartbeat_period = 10e-3) net ~node ~vm_node ~store
       (fun i ->
         Paxos.Store.fast_forward m.st i;
         if m.delivered < i then m.delivered <- i);
+    (* Chain replication has no leases; head reads fall back to the
+       quorum/ordered paths. *)
+    lease_valid = (fun () -> false);
+    read_index = (fun () -> Paxos.Store.committed_upto m.st);
   }

@@ -4,6 +4,7 @@ type reply = Ok_reply of string | Not_leader of int option | Dropped
 
 let client_port = "rex.client"
 let query_port = "rex.query"
+let read_port = "rex.read"
 
 let encode_reply r =
   let b = Codec.sink () in
@@ -86,20 +87,28 @@ let call ?(retries = 8) ?(timeout = 0.1) t request =
   in
   go retries
 
-let query ?on ?(timeout = 0.1) t request =
-  let ask dst =
-    match Rpc.call t.rpc ~src:t.me ~dst ~port:query_port ~timeout request with
-    | None -> None
-    | Some reply -> Some (decode_reply reply)
+let query ?on ?(retries = 8) ?(timeout = 0.1) t request =
+  (* Reads run the same discovery loop as [call]: follow Not_leader
+     hints, rotate on timeout or Dropped.  With the quorum read path any
+     caught-up replica can answer, so rotation converges fast; the
+     shared [guess] means reads and writes pool their leader hints. *)
+  let rec go ~dst tries =
+    if tries = 0 then None
+    else
+      match Rpc.call t.rpc ~src:t.me ~dst ~port:query_port ~timeout request with
+      | None ->
+        rotate t;
+        go ~dst:(leader_guess t) (tries - 1)
+      | Some reply -> (
+        match decode_reply reply with
+        | Ok_reply resp -> Some resp
+        | Dropped ->
+          rotate t;
+          go ~dst:(leader_guess t) (tries - 1)
+        | Not_leader hint ->
+          (match hint with Some h -> point_at t h | None -> rotate t);
+          (* Give an election a moment before hammering the next guess. *)
+          Engine.sleep 5e-3;
+          go ~dst:(leader_guess t) (tries - 1))
   in
-  let dst = Option.value on ~default:(leader_guess t) in
-  match ask dst with
-  | None -> None
-  | Some (Ok_reply resp) -> Some resp
-  | Some Dropped -> None
-  | Some (Not_leader hint) -> (
-    (* Follow the redirect once instead of discarding the hint. *)
-    (match hint with Some h -> point_at t h | None -> rotate t);
-    match ask (leader_guess t) with
-    | Some (Ok_reply resp) -> Some resp
-    | Some (Not_leader _ | Dropped) | None -> None)
+  go ~dst:(Option.value on ~default:(leader_guess t)) retries

@@ -9,6 +9,10 @@ val decode_reply : string -> reply
 val client_port : string
 val query_port : string
 
+val read_port : string
+(** Quorum-read probe service: replies with the replica's read index
+    (see [Paxos.Replica.read_index]) as a varint. *)
+
 type t
 
 val create : Sim.Rpc.t -> me:int -> replicas:int list -> t
@@ -33,8 +37,10 @@ val call : ?retries:int -> ?timeout:float -> t -> string -> string option
     a [None] return leaves at-most-once ambiguity (the request may or
     may not have executed). *)
 
-val query : ?on:int -> ?timeout:float -> t -> string -> string option
-(** Read-only request on a chosen replica (default: the believed
-    leader).  Follows a [Not_leader] hint once before giving up. *)
+val query : ?on:int -> ?retries:int -> ?timeout:float -> t -> string -> string option
+(** Read-only request, first tried on [on] (default: the believed
+    leader).  Follows [Not_leader] hints and rotates on timeouts exactly
+    like {!call}, sharing its leader-guess state.  [None] after
+    exhausting [retries]. *)
 
 val leader_guess : t -> int

@@ -101,6 +101,9 @@ val config :
   ?ckpt_byte_cost:float ->
   ?pipeline_depth:int ->
   ?paxos_sync_latency:float ->
+  ?lease_duration:float ->
+  ?lease_drift_bound:float ->
+  ?lease_unsafe:bool ->
   unit ->
   Config.t
 (** A {!Config.t} over replicas [0 .. n_replicas-1] (default 3), with

@@ -16,6 +16,9 @@ type t = {
   ckpt_byte_cost : float;
   pipeline_depth : int;
   paxos_sync_latency : float;
+  lease_duration : float;
+  lease_drift_bound : float;
+  lease_unsafe : bool;
 }
 
 let make ?(workers = 8) ?(propose_interval = 1e-3) ?(checkpoint_interval = None)
@@ -24,6 +27,7 @@ let make ?(workers = 8) ?(propose_interval = 1e-3) ?(checkpoint_interval = None)
     ?(election_timeout = 50e-3) ?(reduce_edges = true) ?(partial_order = true)
     ?(check_versions = true) ?(record_cost = 5e-8) ?(replay_cost = 1.5e-7)
     ?(ckpt_byte_cost = 4e-8) ?(pipeline_depth = 1) ?(paxos_sync_latency = 0.)
+    ?lease_duration ?(lease_drift_bound = 0.2) ?(lease_unsafe = false)
     ~replicas () =
   if replicas = [] then invalid_arg "Config.make: empty replica set";
   if workers <= 0 then invalid_arg "Config.make: workers";
@@ -45,6 +49,14 @@ let make ?(workers = 8) ?(propose_interval = 1e-3) ?(checkpoint_interval = None)
     ckpt_byte_cost;
     pipeline_depth;
     paxos_sync_latency;
+    (* a lease must outlive a couple of lost heartbeats, yet expire well
+       inside the election timeout so failover latency is unchanged *)
+    lease_duration =
+      (match lease_duration with
+      | Some d -> d
+      | None -> 4. *. heartbeat_period);
+    lease_drift_bound;
+    lease_unsafe;
   }
 
 let total_slots t ~n_timers = t.workers + n_timers

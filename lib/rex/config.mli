@@ -29,6 +29,16 @@ type t = {
           pipelining *)
   paxos_sync_latency : float;
       (** modeled acceptor fsync before promises/accepts (0 disables) *)
+  lease_duration : float;
+      (** leader-lease length on each follower's clock; default
+          4 × [heartbeat_period]; [<= 0.] disables the lease read path *)
+  lease_drift_bound : float;
+      (** assumed clock-rate error bound backing the lease safety
+          argument (see [Paxos.Replica.config]) *)
+  lease_unsafe : bool;
+      (** {b testing only}: serve local reads whenever this replica
+          believes it is leader, without checking the lease — the
+          fencing-disabled canary for lib/check *)
 }
 
 val make :
@@ -48,6 +58,9 @@ val make :
   ?ckpt_byte_cost:float ->
   ?pipeline_depth:int ->
   ?paxos_sync_latency:float ->
+  ?lease_duration:float ->
+  ?lease_drift_bound:float ->
+  ?lease_unsafe:bool ->
   replicas:int list ->
   unit ->
   t

@@ -7,6 +7,21 @@ type backend = {
   query : string -> string option;
 }
 
+type reads = {
+  r_peers : int list;
+  r_lease_valid : unit -> bool;
+  r_read_index : unit -> int;
+  r_applied_upto : unit -> int;
+  r_read_local : string -> (string option -> unit) -> unit;
+  r_lease_unsafe : bool;
+}
+
+(* How long a quorum read waits for probe replies, and then for the local
+   executor to reach the probed index, before falling back to the ordered
+   path.  Both are generous against the ms-scale protocol timers. *)
+let probe_timeout = 0.05
+let apply_wait = 0.1
+
 type tap_event =
   | Tap_enqueue of { client : int; seq : int; payload : string }
   | Tap_commit of { client : int; seq : int; payload : string; response : string }
@@ -18,7 +33,54 @@ type t = { node : int; mutable tap : (tap_event -> unit) option }
 let set_tap t tap = t.tap <- tap
 let node t = t.node
 
-let register rpc ~node ~table backend =
+(* Ask every peer for its read index; return the max over a majority
+   (counting our own), or None when no majority answered in time.  A
+   committed write was accepted by a majority of replicas, so any probe
+   majority intersects it: the returned index upper-bounds every write
+   acknowledged before the probes were sent. *)
+let quorum_read_index rpc ~node reads =
+  let eng = Net.engine (Rpc.net rpc) in
+  let peers = List.filter (fun p -> p <> node) reads.r_peers in
+  let majority = (List.length reads.r_peers / 2) + 1 in
+  let best = ref (reads.r_read_index ()) in
+  let got = ref 1 in
+  let done_ = ref 1 in
+  let waiters = ref [] in
+  let wake_all () =
+    let ws = !waiters in
+    waiters := [];
+    List.iter Engine.wake ws
+  in
+  List.iter
+    (fun p ->
+      ignore
+        (Engine.spawn eng ~node ~name:"frontend.read_probe" (fun () ->
+             (match
+                Rpc.call rpc ~src:node ~dst:p ~port:Client.read_port
+                  ~timeout:probe_timeout ""
+              with
+             | Some payload -> (
+               match Codec.decode Codec.read_uvarint payload with
+               | idx ->
+                 incr got;
+                 if idx > !best then best := idx
+               | exception Codec.Decode_error _ -> ())
+             | None -> ());
+             incr done_;
+             wake_all ())))
+    peers;
+  let n = List.length reads.r_peers in
+  let rec await () =
+    if !got >= majority then Some !best
+    else if !done_ >= n then None
+    else begin
+      Engine.park (fun w -> waiters := w :: !waiters);
+      await ()
+    end
+  in
+  await ()
+
+let register rpc ~node ~table ?reads backend =
   let t = { node; tap = None } in
   let tap ev = match t.tap with None -> () | Some f -> f ev in
   (* Logical requests currently in flight: from enqueue until the
@@ -69,13 +131,73 @@ let register rpc ~node ~table backend =
                     tap (Tap_commit { client; seq; payload; response })
                   | None -> tap (Tap_drop { client; seq }));
                   List.iter (fun f -> f result) !joiners))));
-  Rpc.serve rpc ~node ~port:Client.query_port (fun ~src:_ request ->
-      Client.encode_reply
-        (match backend.query request with
-        | Some resp -> Client.Ok_reply resp
-        | None ->
-          if backend.is_leader () then Client.Dropped
-          else Client.Not_leader (backend.leader_hint ())));
+  (match reads with
+  | None ->
+    (* Legacy path: the stack's own (unfenced) query policy. *)
+    Rpc.serve rpc ~node ~port:Client.query_port (fun ~src:_ request ->
+        Client.encode_reply
+          (match backend.query request with
+          | Some resp -> Client.Ok_reply resp
+          | None ->
+            if backend.is_leader () then Client.Dropped
+            else Client.Not_leader (backend.leader_hint ())))
+  | Some r ->
+    let eng = Net.engine (Rpc.net rpc) in
+    let obs = Engine.obs eng in
+    let labels = [ ("node", string_of_int node) ] in
+    let c name = Obs.counter obs ~subsystem:"frontend" ~labels name in
+    let c_lease = c "reads_fast_lease" in
+    let c_quorum = c "reads_fast_quorum" in
+    let c_unsafe = c "reads_unsafe_local" in
+    let c_ordered = c "reads_ordered_fallback" in
+    let c_rounds = c "quorum_read_rounds" in
+    let c_redirect = c "reads_redirected" in
+    (* Serve peers' quorum-read probes with our read index. *)
+    Rpc.serve rpc ~node ~port:Client.read_port (fun ~src:_ _request ->
+        Codec.encode (Fun.flip Codec.write_uvarint) (r.r_read_index ()));
+    Rpc.serve_async rpc ~node ~port:Client.query_port
+      (fun ~src:_ request ~reply ->
+        let answer rep = reply (Client.encode_reply rep) in
+        let serve_local counter =
+          Obs.Metric.incr counter;
+          r.r_read_local request (function
+            | Some resp -> answer (Client.Ok_reply resp)
+            | None -> answer Client.Dropped)
+        in
+        let ordered_fallback () =
+          if backend.is_leader () then begin
+            Obs.Metric.incr c_ordered;
+            backend.enqueue request (function
+              | Some resp -> answer (Client.Ok_reply resp)
+              | None -> answer Client.Dropped)
+          end
+          else begin
+            Obs.Metric.incr c_redirect;
+            answer (Client.Not_leader (backend.leader_hint ()))
+          end
+        in
+        if r.r_lease_unsafe && backend.is_leader () then
+          (* Canary mode: trust leadership belief alone, no fence. *)
+          serve_local c_unsafe
+        else if r.r_lease_valid () then serve_local c_lease
+        else begin
+          (* Quorum read: any replica, leader or not, can serve once its
+             local state covers a majority read index. *)
+          Obs.Metric.incr c_rounds;
+          match quorum_read_index rpc ~node r with
+          | None -> ordered_fallback ()
+          | Some idx ->
+            let deadline = Engine.clock eng +. apply_wait in
+            let rec catch_up () =
+              if r.r_applied_upto () >= idx then serve_local c_quorum
+              else if Engine.clock eng > deadline then ordered_fallback ()
+              else begin
+                Engine.sleep 1e-3;
+                catch_up ()
+              end
+            in
+            catch_up ()
+        end));
   t
 
 let encode_batch reqs =

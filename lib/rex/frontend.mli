@@ -23,7 +23,34 @@ type backend = {
           [None] when a role change dropped it. *)
   query : string -> string option;
       (** Serve a read-only request, or [None] when this replica cannot
-          (not started / not leader, per stack policy). *)
+          (not started / not leader, per stack policy).  Only used when
+          {!register} is given no {!reads} record (legacy unfenced
+          path). *)
+}
+
+(** The linearizable read fast path (leases + quorum reads), supplied by
+    stacks that support it.  The frontend picks the cheapest safe route
+    per query: local under a live leader lease; otherwise a majority
+    read-index round served locally once the executor catches up;
+    otherwise the ordered path (enqueue on the leader, redirect
+    elsewhere). *)
+type reads = {
+  r_peers : int list;  (** all replica node ids, including this one *)
+  r_lease_valid : unit -> bool;
+      (** serve locally right now, fenced by a quorum lease *)
+  r_read_index : unit -> int;
+      (** this replica's highest possibly-chosen sequence number *)
+  r_applied_upto : unit -> int;
+      (** highest sequence number whose effects are fully queryable in
+          local state, or [-1] while mid-replay (not at a clean point) *)
+  r_read_local : string -> (string option -> unit) -> unit;
+      (** evaluate the query against local state; the callback fires when
+          the answer is safe to release ([None]: dropped by a role
+          change).  The Rex primary gates it on commit of the observed
+          speculative prefix; other stacks answer immediately. *)
+  r_lease_unsafe : bool;
+      (** {b testing only}: serve local reads whenever [is_leader], with
+          no lease check — the fencing-disabled canary *)
 }
 
 type t
@@ -49,9 +76,13 @@ val set_tap : t -> (tap_event -> unit) option -> unit
 val node : t -> int
 
 val register :
-  Rpc.t -> node:int -> table:Session.Table.t -> backend -> t
+  Rpc.t -> node:int -> table:Session.Table.t -> ?reads:reads -> backend -> t
 (** Register the {!Client.client_port} and {!Client.query_port} services
-    on [node].  Intake pipeline for enveloped requests:
+    on [node] — plus, when [reads] is given, the {!Client.read_port}
+    probe service and the fast-path query pipeline (obs counters under
+    subsystem [frontend]: [reads_fast_lease], [reads_fast_quorum],
+    [reads_ordered_fallback], [quorum_read_rounds], …).  Intake pipeline
+    for enveloped requests:
 
     + not leader → [Not_leader] with the backend's hint;
     + a retry of a request currently {e in flight} joins the original's

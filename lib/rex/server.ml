@@ -52,6 +52,10 @@ type t = {
   queue : (string * float * (string option -> unit)) Queue.t;
   mutable queue_waiters : Engine.waker list;
   replies : Frontend.Replies.t;
+  (* lease-path reads answered from speculative primary state, held until
+     the recorded prefix they observed commits (same gate as [replies],
+     but keyed by whole cuts — reads have no event of their own) *)
+  mutable pending_reads : (Trace.Cut.t * string * (string option -> unit)) list;
   (* client-facing protocol surface; carried for history taps (lib/check) *)
   mutable front : Frontend.t option;
   (* client sessions: replicated via the execution path (Session.wrap),
@@ -200,10 +204,19 @@ let release_replies t =
         Obs.Span.complete sp ~cat:"rex" ~pid:t.node_id ~name:"request"
           ~ts:t0 ~dur:(now -. t0) ();
       cb (Some resp))
-    ready
+    ready;
+  let ready_reads, waiting_reads =
+    List.partition
+      (fun (cut, _, _) -> Trace.Cut.leq cut t.committed_cut_)
+      t.pending_reads
+  in
+  t.pending_reads <- waiting_reads;
+  List.iter (fun (_, resp, cb) -> cb (Some resp)) ready_reads
 
 let drop_client_state t =
   List.iter (fun (_, _, cb) -> cb None) (Frontend.Replies.drop t.replies);
+  List.iter (fun (_, _, cb) -> cb None) t.pending_reads;
+  t.pending_reads <- [];
   Queue.iter (fun (_, _, cb) -> cb None) t.queue;
   Queue.clear t.queue
 
@@ -873,6 +886,7 @@ let create ?make_agreement net rpc cfg ~node ~paxos_store ~disk factory =
       queue = Queue.create ();
       queue_waiters = [];
       replies = Frontend.Replies.create ();
+      pending_reads = [];
       front = None;
       session =
         Session.Table.create obs ~stack:"rex" ~node ();
@@ -921,6 +935,57 @@ let create ?make_agreement net rpc cfg ~node ~paxos_store ~disk factory =
   t.front <-
     Some
       (Frontend.register rpc ~node ~table:t.session
+    ~reads:
+      {
+        Frontend.r_peers = cfg.Config.replicas;
+        r_lease_valid =
+          (fun () ->
+            t.role_ = Primary && (not t.rebuilding) && t.diverged = None
+            &&
+            match t.agree with
+            | Some a -> a.Agreement.lease_valid ()
+            | None -> false);
+        r_read_index =
+          (fun () ->
+            match t.agree with
+            | Some a -> a.Agreement.read_index ()
+            | None -> 0);
+        r_applied_upto =
+          (fun () ->
+            match t.exec with
+            | None -> -1
+            | Some _ ->
+              if t.rebuilding || t.diverged <> None then -1
+              else if t.role_ = Primary then t.committed_instance
+              else if
+                (* only at fully-caught-up points: a secondary's
+                   [committed_instance] advances when the delta is
+                   *appended*, not when its events finish replaying *)
+                Trace.Cut.leq t.committed_cut_ (executed_cut t)
+              then t.committed_instance
+              else -1);
+        r_read_local =
+          (fun request cb ->
+            match t.exec with
+            | None -> cb None
+            | Some exec ->
+              if t.rebuilding || t.diverged <> None then cb None
+              else begin
+                Obs.Metric.incr t.c_queries;
+                let resp = exec.app.App.query ~request in
+                if t.role_ = Primary then begin
+                  (* Speculative state: every write this read observed is
+                     in the recorded trace.  Release the answer only once
+                     that prefix commits, so a demotion that rolls the
+                     state back also drops the read (fencing). *)
+                  let cut = executed_cut t in
+                  if Trace.Cut.leq cut t.committed_cut_ then cb (Some resp)
+                  else t.pending_reads <- (cut, resp, cb) :: t.pending_reads
+                end
+                else cb (Some resp)
+              end);
+        r_lease_unsafe = cfg.Config.lease_unsafe;
+      }
     {
       Frontend.is_leader = (fun () -> t.role_ = Primary);
       leader_hint =
@@ -1010,6 +1075,8 @@ let start t =
           election_timeout = t.cfg.Config.election_timeout;
           max_inflight = t.cfg.Config.pipeline_depth;
           sync_latency = t.cfg.Config.paxos_sync_latency;
+          lease_duration = t.cfg.Config.lease_duration;
+          lease_drift_bound = t.cfg.Config.lease_drift_bound;
         }
       in
       let pax_cbs =

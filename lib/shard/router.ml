@@ -193,20 +193,45 @@ let call_group ?(retries = 8) ?(timeout = 0.1) t ~group request =
 let call ?retries ?timeout t ~key request =
   call_group ?retries ?timeout t ~group:(group_of t key) request
 
-let query_group ?(timeout = 0.1) t ~group request =
+(* Reads follow the same discovery loop as [call_group] — redirects move
+   the guess, timeouts and drops rotate it with backoff — but carry no
+   envelope: any replica with a valid lease or a quorum round can answer,
+   and a [Not_leader] just means this one chose not to. *)
+let query_group ?(retries = 8) ?(timeout = 0.1) t ~group request =
   let g = state t group in
-  match
-    Rpc.call t.rpc ~src:t.me ~dst:g.nodes.(g.guess)
-      ~port:R.Client.query_port ~timeout request
-  with
-  | None -> None
-  | Some reply -> (
-    match R.Client.decode_reply reply with
-    | R.Client.Ok_reply resp -> Some resp
-    | R.Client.Not_leader _ | R.Client.Dropped -> None)
+  let rec go tries backoff =
+    if tries = 0 then begin
+      Obs.Metric.incr g.c_failures;
+      None
+    end
+    else
+      match
+        Rpc.call t.rpc ~src:t.me ~dst:g.nodes.(g.guess)
+          ~port:R.Client.query_port ~timeout request
+      with
+      | None ->
+        Obs.Metric.incr g.c_retries;
+        rotate g;
+        Engine.sleep backoff;
+        go (tries - 1) (Float.min (2. *. backoff) backoff_cap)
+      | Some reply -> (
+        match R.Client.decode_reply reply with
+        | R.Client.Ok_reply resp -> Some resp
+        | R.Client.Dropped ->
+          Obs.Metric.incr g.c_retries;
+          rotate g;
+          Engine.sleep backoff;
+          go (tries - 1) (Float.min (2. *. backoff) backoff_cap)
+        | R.Client.Not_leader hint ->
+          Obs.Metric.incr g.c_redirects;
+          (match hint with Some h -> point_at g h | None -> rotate g);
+          Engine.sleep backoff0;
+          go (tries - 1) backoff)
+  in
+  go retries backoff0
 
-let query ?timeout t ~key request =
-  query_group ?timeout t ~group:(group_of t key) request
+let query ?retries ?timeout t ~key request =
+  query_group ?retries ?timeout t ~group:(group_of t key) request
 
 (* --- Scatter-gather multi-key fan-out --- *)
 

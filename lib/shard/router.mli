@@ -43,10 +43,14 @@ val call_group :
   ?retries:int -> ?timeout:float -> t -> group:int -> string -> string option
 
 val query :
-  ?timeout:float -> t -> key:string -> string -> string option
-(** Read-only request on the key's group (believed leader, no retry). *)
+  ?retries:int -> ?timeout:float -> t -> key:string -> string -> string option
+(** Read-only request on the key's group.  Follows the same leader-hint /
+    rotate-with-backoff discovery loop as {!call} (default 8 retries);
+    with the lease/quorum fast path any live replica can answer, so a
+    redirect only moves the guess. *)
 
-val query_group : ?timeout:float -> t -> group:int -> string -> string option
+val query_group :
+  ?retries:int -> ?timeout:float -> t -> group:int -> string -> string option
 
 (** {1 Scatter-gather} *)
 

@@ -51,6 +51,9 @@ type t = {
   cores : int;
   alive : bool array;
   node_inc : int array;
+  clock_rate : float array;
+      (* per-node local-clock rate relative to virtual time (1.0 = true) *)
+  clock_offset : float array;
   free_cores : int array;
   cpu_wait : (fiber * float * float * (unit, unit) continuation) Queue.t array;
       (* (fiber, work duration, enqueue time, continuation) *)
@@ -90,6 +93,8 @@ let create ?(seed = 42) ?(cores_per_node = 16) ~num_nodes () =
       cores = cores_per_node;
       alive = Array.make num_nodes true;
       node_inc = Array.make num_nodes 0;
+      clock_rate = Array.make num_nodes 1.;
+      clock_offset = Array.make num_nodes 0.;
       free_cores = Array.make num_nodes cores_per_node;
       cpu_wait = Array.init num_nodes (fun _ -> Queue.create ());
       busy = Array.make num_nodes 0.;
@@ -125,6 +130,22 @@ let obs t = t.obs
 let rng t = t.root_rng
 let clock t = t.time
 let pending_events t = Pqueue.length t.events
+
+(* Per-node skewed clocks.  Virtual time is the one true timeline; each
+   node reads [offset + rate * time].  Only lease logic consults these —
+   event scheduling always runs on true time, so skew perturbs what a
+   node *believes*, never what the simulator *does*. *)
+let local_clock t n = t.clock_offset.(n) +. (t.clock_rate.(n) *. t.time)
+
+let clock_rate t n = t.clock_rate.(n)
+
+(* Changing the rate keeps the local clock continuous (no step), so a
+   cure never makes a node's clock jump backwards. *)
+let set_clock_rate t ~node rate =
+  if rate <= 0. then invalid_arg "Engine.set_clock_rate: rate";
+  let local_now = local_clock t node in
+  t.clock_rate.(node) <- rate;
+  t.clock_offset.(node) <- local_now -. (rate *. t.time)
 let node_alive t n = t.alive.(n)
 let busy_time t n = t.busy.(n)
 

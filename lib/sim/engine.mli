@@ -101,6 +101,20 @@ val run : ?until:float -> t -> unit
 val clock : t -> float
 (** Current virtual time, readable from outside fibers. *)
 
+val local_clock : t -> int -> float
+(** The node's own reading of the clock: [offset + rate × virtual time].
+    Rate 1.0 / offset 0.0 unless a nemesis skews it.  Lease timing reads
+    this, never {!clock} — a lease must survive only what real clocks
+    guarantee (bounded drift), so the simulator lets them lie. *)
+
+val clock_rate : t -> int -> float
+
+val set_clock_rate : t -> node:int -> float -> unit
+(** Skew the node's clock to advance at [rate] × virtual time from now
+    on.  The local clock stays continuous across the change (the offset
+    is re-based), so curing skew never steps a clock backwards.  Raises
+    [Invalid_argument] on a non-positive rate. *)
+
 val pending_events : t -> int
 
 (** {1 Failure injection} *)

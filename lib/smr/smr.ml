@@ -30,8 +30,9 @@ type t = {
   queue : (string * (string option -> unit)) Queue.t;
   mutable inflight : (string * (string option -> unit) option list) option;
       (* encoded batch we proposed, and its callbacks in order *)
-  exec_queue : pending list Queue.t;
+  exec_queue : (int * pending list) Queue.t;
   mutable exec_waiters : Engine.waker list;
+  mutable applied : int;  (* highest instance fully executed locally *)
   mutable st_requests : int;
   mutable st_replies : int;
   mutable st_queries : int;
@@ -106,12 +107,14 @@ let executor_loop t () =
     end)
   in
   let rec loop () =
-    List.iter run_one (next_batch ());
+    let instance, batch = next_batch () in
+    List.iter run_one batch;
+    if instance > t.applied then t.applied <- instance;
     loop ()
   in
   loop ()
 
-let on_committed t _instance value =
+let on_committed t instance value =
   match decode_batch value with
   | exception Codec.Decode_error _ -> ()
   | reqs ->
@@ -127,7 +130,7 @@ let on_committed t _instance value =
       if List.length cbs = List.length reqs then cbs
       else List.map (fun _ -> None) reqs
     in
-    Queue.push (List.combine reqs cbs) t.exec_queue;
+    Queue.push (instance, List.combine reqs cbs) t.exec_queue;
     wake_executor t
 
 let spawn_leader_fibers t =
@@ -212,6 +215,7 @@ let create net rpc cfg ~node ~paxos_store factory =
       inflight = None;
       exec_queue = Queue.create ();
       exec_waiters = [];
+      applied = 0;
       st_requests = 0;
       st_replies = 0;
       st_queries = 0;
@@ -222,6 +226,31 @@ let create net rpc cfg ~node ~paxos_store factory =
   t.front <-
     Some
       (R.Frontend.register rpc ~node ~table:session
+         ~reads:
+           {
+             R.Frontend.r_peers = cfg.R.Config.replicas;
+             r_lease_valid =
+               (fun () ->
+                 t.leader
+                 &&
+                 match t.pax with
+                 | Some p -> Paxos.Replica.holds_lease p
+                 | None -> false);
+             r_read_index =
+               (fun () ->
+                 match t.pax with
+                 | Some p -> Paxos.Replica.read_index p
+                 | None -> 0);
+             (* The leader replies to a write only after executing it
+                locally, so leader state always covers every acked write:
+                both read paths can answer from [t.app] directly. *)
+             r_applied_upto = (fun () -> t.applied);
+             r_read_local =
+               (fun request cb ->
+                 t.st_queries <- t.st_queries + 1;
+                 cb (Some (t.app.R.App.query ~request)));
+             r_lease_unsafe = cfg.R.Config.lease_unsafe;
+           }
          {
            R.Frontend.is_leader = (fun () -> t.leader);
            leader_hint =
@@ -246,6 +275,8 @@ let start t =
       election_timeout = t.cfg.R.Config.election_timeout;
       max_inflight = 1;
       sync_latency = 0.;
+      lease_duration = t.cfg.R.Config.lease_duration;
+      lease_drift_bound = t.cfg.R.Config.lease_drift_bound;
     }
   in
   let cbs =

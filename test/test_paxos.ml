@@ -290,9 +290,11 @@ let msg_roundtrip () =
         };
       Msg.Accepted { ballot = { round = 3; replica = 1 }; instance = 7 };
       Msg.Commit { instance = 7; value = "v" };
-      Msg.Heartbeat { ballot = { round = 3; replica = 1 }; committed_upto = 7 };
+      Msg.Heartbeat
+        { ballot = { round = 3; replica = 1 }; committed_upto = 7; hb_seq = 42 };
       Msg.Learn { from_instance = 4 };
       Msg.Learn_reply { entries = [ (4, "a"); (5, "b") ] };
+      Msg.Lease_grant { ballot = { round = 3; replica = 1 }; hb_seq = 42 };
     ]
   in
   List.iter

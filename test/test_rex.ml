@@ -267,7 +267,8 @@ let query_semantics () =
   let cl = R.Cluster.client cluster in
   let eng = R.Cluster.engine cluster in
   let cnode = R.Cluster.client_node cluster in
-  ignore (drive_requests cl [ "PUT q 41"; "INC q" ] eng cnode);
+  (* Sequential on purpose: the PUT must precede the INC. *)
+  ignore (drive_requests ~concurrency:1 cl [ "PUT q 41"; "INC q" ] eng cnode);
   quiesce cluster;
   (* Committed state visible on every replica. *)
   Array.iter
