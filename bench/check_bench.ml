@@ -35,7 +35,15 @@ module N = Check.Nemesis
 module Runner = Check.Runner
 
 let expand_stacks = function
-  | "all" -> [ Runner.Rex; Runner.Smr; Runner.Eve; Runner.Sharded ]
+  | "all" ->
+    [
+      Runner.Rex;
+      Runner.Smr;
+      Runner.Eve;
+      Runner.Sharded;
+      Runner.Cbase;
+      Runner.Early;
+    ]
   | s -> (
     match Runner.stack_of_string s with
     | Some st -> [ st ]

@@ -256,6 +256,41 @@ let reads_cmd =
          const (fun quick backend () -> Reads_bench.run ~quick ~backend ())
          $ quick_arg $ backend_arg))
 
+(* `--workers` / `--conflict-rate` follow the `--shards` convention:
+   comma-separated sweeps, validated at parse time (malformed or
+   out-of-range values exit non-zero with usage). *)
+let workers_arg =
+  Arg.(
+    value
+    & opt shard_list_conv [ 1; 2; 4; 8 ]
+    & info [ "workers" ] ~docv:"N,N,..."
+        ~doc:"Worker-pool sizes to sweep (default 1,2,4,8).")
+
+let conflict_rate_arg =
+  Arg.(
+    value
+    & opt ratio_list_conv [ 0.; 0.1; 0.5 ]
+    & info [ "conflict-rate" ] ~docv:"R,R,..."
+        ~doc:
+          "Hot-key write fractions to sweep, each in 0..1 (default \
+           0,0.1,0.5).")
+
+let sched_cmd =
+  let run quick backend workers conflict_rates () =
+    Sched_bench.run ~quick ~backend ~workers ~conflict_rates ()
+  in
+  Cmd.v
+    (Cmd.info "sched"
+       ~doc:
+         "Conflict-aware parallel SMR (cbase DAG dispatch + early \
+          scheduling) vs Rex trace-replay: conflict rate x workers x \
+          stack on sim, execution stage on domains, plus a sharded \
+          sched-per-group smoke")
+    (instrumented
+       Term.(
+         const run $ quick_arg $ backend_arg $ workers_arg
+         $ conflict_rate_arg))
+
 let eve_cmd =
   Cmd.v
     (Cmd.info "eve" ~doc:"Rex vs execute-verify (Eve-style) comparison (§5)")
@@ -285,7 +320,8 @@ let check_cmd =
     Arg.(
       value & opt string "rex"
       & info [ "stack" ]
-          ~doc:"Stack under test: rex, smr, eve, shard, or all.")
+          ~doc:
+            "Stack under test: rex, smr, eve, shard, cbase, early, or all.")
   in
   let capp_arg =
     Arg.(
@@ -377,6 +413,7 @@ let all ~quick () =
   Shard_bench.run ~quick ();
   Dedup_smoke.run ~quick ();
   Par_bench.run ~quick ();
+  Sched_bench.run ~quick ();
   Bechamel_suite.run ()
 
 let all_term = instrumented Term.(const (fun quick () -> all ~quick ()) $ quick_arg)
@@ -408,6 +445,7 @@ let () =
             dedup_cmd;
             check_cmd;
             par_cmd;
+            sched_cmd;
             bechamel_cmd;
             all_cmd;
           ]))

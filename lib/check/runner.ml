@@ -1,10 +1,18 @@
 open Sim
 module R = Rex_core
 
-type stack = Rex | Smr | Eve | Sharded
+type stack = Rex | Smr | Eve | Sharded | Cbase | Early
 type app = Kv | Counter
 
-let stacks = [ ("rex", Rex); ("smr", Smr); ("eve", Eve); ("shard", Sharded) ]
+let stacks =
+  [
+    ("rex", Rex);
+    ("smr", Smr);
+    ("eve", Eve);
+    ("shard", Sharded);
+    ("cbase", Cbase);
+    ("early", Early);
+  ]
 let stack_of_string s = List.assoc_opt s stacks
 let stack_name s = fst (List.find (fun (_, x) -> x = s) stacks)
 let apps = [ ("kv", Kv); ("counter", Counter) ]
@@ -192,18 +200,27 @@ type deploy = {
 }
 
 let allow_restart cfg =
-  match cfg.stack with Rex | Sharded -> true | Smr | Eve -> false
+  match cfg.stack with
+  | Rex | Sharded -> true
+  | Smr | Eve | Cbase | Early -> false
 
+(* The sched stacks run kyoto like the recording stacks: their timer
+   barriers replay the autosync tick at a fixed log position, so the
+   full timer-bearing app is in scope (Eve still needs the timer-less
+   kv). *)
 let factory_for cfg =
   match (cfg.stack, cfg.app) with
-  | (Rex | Smr | Sharded), Kv -> Apps.Kyoto.factory ()
+  | (Rex | Smr | Sharded | Cbase | Early), Kv -> Apps.Kyoto.factory ()
   | Eve, Kv -> plain_kv_factory ()
   | _, Counter -> counter_factory ()
 
-let conflict_keys_for cfg req =
+(* Conflict oracles come from the shared module ({!Sched.Conflict}):
+   the same key extraction drives Eve's mixer, both sched stacks and
+   this harness. *)
+let conflict_keys_for cfg =
   match cfg.app with
-  | Counter -> [ "ctr" ]
-  | Kv -> ( match key_of_request req with Some k -> [ k ] | None -> [])
+  | Counter -> Sched.Conflict.counter
+  | Kv -> Sched.Conflict.kv
 
 let deploy_rex history_of cfg =
   let ccfg =
@@ -258,8 +275,9 @@ let deploy_rex history_of cfg =
   }
 
 let deploy_single history_of cfg =
-  (* SMR and Eve share a harness: three replicas on nodes 0-2, clients on
-     node 3, no restart path (these stacks have no recovery-from-disk). *)
+  (* SMR, Eve and the sched stacks share a harness: three replicas on
+     nodes 0-2, clients on node 3, no restart path (these stacks have no
+     recovery-from-disk). *)
   let eng = Engine.create ~seed:cfg.seed ~cores_per_node:8 ~num_nodes:4 () in
   let history = history_of eng in
   let net = Net.create eng in
@@ -308,8 +326,33 @@ let deploy_single history_of cfg =
         |> List.find_opt (fun s -> live s && Eve.is_primary s)
         |> Option.map Eve.node )
   in
+  let make_sched mode =
+    let config =
+      R.Config.make ~workers:4 ~replicas ~lease_unsafe:cfg.lease_unsafe ()
+    in
+    let servers =
+      Array.init 3 (fun i ->
+          Sched.Server.create net rpc config ~node:i
+            ~paxos_store:(Paxos.Store.create ()) ~mode
+            ~conflict:(conflict_keys_for cfg) (factory_for cfg))
+    in
+    Array.iter Sched.Server.start servers;
+    let live s = Engine.node_alive eng (Sched.Server.node s) in
+    ( (fun () -> List.map Sched.Server.frontend (Array.to_list servers)),
+      (fun () ->
+        Array.to_list servers |> List.filter live
+        |> List.map Sched.Server.app_digest),
+      fun () ->
+        Array.to_list servers
+        |> List.find_opt (fun s -> live s && Sched.Server.is_primary s)
+        |> Option.map Sched.Server.node )
+  in
   let fronts, digests, leader =
-    match cfg.stack with Smr -> make_smr () | _ -> make_eve ()
+    match cfg.stack with
+    | Smr -> make_smr ()
+    | Cbase -> make_sched Sched.Exec.Cbase
+    | Early -> make_sched Sched.Exec.Early
+    | _ -> make_eve ()
   in
   Engine.run ~until:1.0 eng;
   if leader () = None then Engine.run ~until:3.0 eng;
@@ -406,7 +449,7 @@ let deploy_sharded history_of cfg =
 let deploy history_of cfg =
   match cfg.stack with
   | Rex -> deploy_rex history_of cfg
-  | Smr | Eve -> deploy_single history_of cfg
+  | Smr | Eve | Cbase | Early -> deploy_single history_of cfg
   | Sharded ->
     if cfg.app <> Kv then
       invalid_arg "Runner: the sharded stack checks the kv app only";

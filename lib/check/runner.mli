@@ -5,7 +5,10 @@
     config replays byte-for-byte ({!outcome.history_lines}), which is
     what makes {!shrink} possible. *)
 
-type stack = Rex | Smr | Eve | Sharded
+type stack = Rex | Smr | Eve | Sharded | Cbase | Early
+(** [Cbase] / [Early] are the conflict-aware parallel SMR stacks of
+    {!Sched.Server} (DESIGN.md §12). *)
+
 type app = Kv | Counter
 
 val stack_of_string : string -> stack option

@@ -404,13 +404,9 @@ let create net rpc cfg ~node ~paxos_store ~conflict_keys factory =
      batches, and batches are processed serially — which makes the
      in-execute check deterministic, mirroring the SMR argument. *)
   let app = R.Session.wrap ~table:session ~dedup_in_execute:true (factory api) in
-  let conflict_keys req =
-    match R.Session.Envelope.decode req with
-    | Some e ->
-      ("\x00session:" ^ string_of_int e.R.Session.Envelope.client)
-      :: conflict_keys e.R.Session.Envelope.payload
-    | None -> conflict_keys req
-    | exception Codec.Decode_error _ -> conflict_keys req
+  let conflict_keys =
+    Sched.Conflict.with_session ~obs:(Engine.obs eng) ~subsystem:"eve" ~node
+      conflict_keys
   in
   if R.Api.seal api <> [] then
     invalid_arg

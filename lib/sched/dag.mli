@@ -1,0 +1,43 @@
+(** The CBASE conflict DAG: committed requests inserted in log order,
+    with an edge from the latest earlier uncompleted request sharing any
+    conflict key.  Ready nodes (no uncompleted predecessors) are handed
+    out FIFO; completing a node trims it, so the resident graph is
+    O(in-flight).  Not synchronized — {!Exec} serializes access under
+    its pool lock. *)
+
+type 'a t
+type 'a node
+
+val create : unit -> 'a t
+
+val insert : 'a t -> keys:string list -> 'a -> 'a node
+(** Insert the next request of the log.  [keys = []] means no known
+    conflicts: the node still orders behind a live barrier, but not
+    behind any key chain. *)
+
+val insert_barrier : 'a t -> 'a -> 'a node
+(** A node that conflicts with everything: runs after all currently
+    uncompleted nodes, and everything inserted later runs after it
+    (timer ticks, unparseable requests). *)
+
+val payload : 'a node -> 'a
+
+val take_ready : 'a t -> 'a node option
+(** Next ready node in insertion order, marked running. *)
+
+val complete : 'a t -> 'a node -> unit
+(** Trim a finished node and promote newly-ready successors.  Raises
+    [Invalid_argument] when called twice on the same node. *)
+
+val size : 'a t -> int
+(** Uncompleted (waiting + ready + running) nodes. *)
+
+val ready_width : 'a t -> int
+(** Ready, not yet taken — the dispatchable parallelism right now. *)
+
+val busy : 'a t -> string list -> bool
+(** Is any uncompleted node claiming one of [keys] (or a barrier live)?
+    The read-routing gate: a lease/quorum read on [keys] parks while
+    this holds. *)
+
+val idle : 'a t -> bool
