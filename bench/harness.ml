@@ -27,16 +27,35 @@ let mode_name = function Native -> "native" | Rex -> "Rex" | Rsm -> "RSM"
 
 let metrics_path : string option ref = ref None
 let trace_path : string option ref = ref None
+let timeline_path : string option ref = ref None
 let run_docs : string list ref = ref []
 let last_trace : Obs.Span.collector option ref = ref None
 
-let set_outputs ~metrics ~trace =
+(* Like the trace sink, the timeline CSV holds the most recent run that
+   armed one: each run_* (and the liveops bench) calls [arm_timeline]
+   and records completions into the handle it gets back. *)
+let timeline_sink : Obs.Timeline.t option ref = ref None
+
+let set_outputs ~metrics ~trace ~timeline =
   metrics_path := metrics;
   trace_path := trace;
+  timeline_path := timeline;
   run_docs := [];
-  last_trace := None
+  last_trace := None;
+  timeline_sink := None
 
 let tracing_requested () = !trace_path <> None
+
+let arm_timeline ?bucket () =
+  match !timeline_path with
+  | None -> None
+  | Some _ ->
+    let tl = Obs.Timeline.create ?bucket () in
+    timeline_sink := Some tl;
+    Some tl
+
+let tl_record tl ?latency now =
+  Option.iter (fun tl -> Obs.Timeline.record tl ?latency now) tl
 
 (* Enable span collection on a fresh engine when --trace-out was given. *)
 let arm_tracing eng =
@@ -62,13 +81,23 @@ let flush_outputs () =
   | Some path ->
     Obs.Export.to_file ~path
       ("[\n" ^ String.concat ",\n" (List.rev !run_docs) ^ "\n]\n"));
-  match (!trace_path, !last_trace) with
+  (match (!trace_path, !last_trace) with
   | Some path, Some col ->
     Obs.Export.to_file ~path (Obs.Export.chrome_trace col)
   | Some path, None ->
     (* No traced run happened: still emit a valid (empty) trace file. *)
     Obs.Export.to_file ~path "{\"traceEvents\":[]}\n"
-  | None, _ -> ()
+  | None, _ -> ());
+  match !timeline_path with
+  | None -> ()
+  | Some path ->
+    (* Header-only when no run recorded samples: still a valid CSV. *)
+    let body =
+      match !timeline_sink with
+      | Some tl -> Obs.Timeline.to_csv tl
+      | None -> "t,requests,req_per_s,lat_mean,lat_max,marks\n"
+    in
+    Obs.Export.to_file ~path body
 
 type result = {
   mode : mode;
@@ -121,6 +150,7 @@ let pump eng ~done_p ~virtual_deadline =
 let run_native ?(seed = 42) ~cores ~threads ~factory ~gen ~warmup ~measure () =
   let eng = Engine.create ~seed ~cores_per_node:cores ~num_nodes:1 () in
   arm_tracing eng;
+  let tl = arm_timeline () in
   let rt = Rexsync.Runtime.create (Par.Backend.of_sim eng) ~node:0 ~slots:1 in
   let api = R.Api.make rt in
   let app : R.App.t = factory api in
@@ -139,6 +169,7 @@ let run_native ?(seed = 42) ~cores ~threads ~factory ~gen ~warmup ~measure () =
   let t_warm = ref 0. and t_end = ref 0. in
   let note_completion () =
     incr completed;
+    tl_record tl (Engine.now ());
     if !completed = warmup then t_warm := Engine.now ();
     if !completed = total then t_end := Engine.now ()
   in
@@ -182,6 +213,7 @@ let run_rex ?(seed = 42) ?(cores = 16) ?net_latency ?(min_window = 0.)
       cfg factory
   in
   let eng = R.Cluster.engine cluster in
+  let tl = arm_timeline () in
   let primary = R.Cluster.await_primary cluster in
   let secondary =
     Array.to_list (R.Cluster.servers cluster)
@@ -210,6 +242,9 @@ let run_rex ?(seed = 42) ?(cores = 16) ?net_latency ?(min_window = 0.)
       let submitted_at = Engine.clock eng in
       R.Server.submit primary (gen rng) (fun _ ->
           incr completed;
+          tl_record tl
+            ~latency:(Engine.clock eng -. submitted_at)
+            (Engine.clock eng);
           if !completed > warmup && !completed <= total then
             latencies := (Engine.clock eng -. submitted_at) :: !latencies;
           if !completed = warmup then begin
@@ -328,6 +363,7 @@ let run_rex ?(seed = 42) ?(cores = 16) ?net_latency ?(min_window = 0.)
 let run_rsm ?(seed = 42) ?(cores = 16) ~factory ~gen ~warmup ~measure () =
   let eng = Engine.create ~seed ~cores_per_node:cores ~num_nodes:4 () in
   arm_tracing eng;
+  let tl = arm_timeline () in
   let net = Net.create eng in
   let rpc = Rpc.create net in
   let cfg = R.Config.make ~propose_interval:2e-4 ~replicas:[ 0; 1; 2 ] () in
@@ -355,6 +391,7 @@ let run_rsm ?(seed = 42) ?(cores = 16) ~factory ~gen ~warmup ~measure () =
       incr launched;
       Smr.submit primary (gen rng) (fun _ ->
           incr completed;
+          tl_record tl (Engine.clock eng);
           if !completed = warmup then t_warm := Engine.clock eng;
           if !completed = total then t_end := Engine.clock eng;
           submit_one ())

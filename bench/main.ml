@@ -3,8 +3,10 @@
    micro-benchmarks.  `all` regenerates everything.
 
    Every subcommand takes --metrics-out FILE (per-run metrics registry as
-   a JSON array) and --trace-out FILE (Chrome trace_event JSON of the last
-   traced run, viewable in chrome://tracing or ui.perfetto.dev). *)
+   a JSON array), --trace-out FILE (Chrome trace_event JSON of the last
+   traced run, viewable in chrome://tracing or ui.perfetto.dev) and
+   --timeline-out FILE (windowed req/s + latency CSV of the most recent
+   run). *)
 
 open Cmdliner
 open Bench_lib
@@ -43,13 +45,23 @@ let trace_arg =
           "Collect tracing spans and write a Chrome trace_event file to \
            $(docv).")
 
-(* Wrap a thunk-valued term so that the metrics/trace sinks are armed
-   before the benchmark runs and flushed after it finishes.  A smoke
-   assertion failure (Harness.Failed) prints and exits non-zero — the
-   same assertions raise so `dune runtest` can catch them in-process. *)
+let timeline_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "timeline-out" ] ~docv:"FILE"
+        ~doc:
+          "Write a windowed req/s + latency time series (CSV) of the most \
+           recent run to $(docv).")
+
+(* Wrap a thunk-valued term so that the metrics/trace/timeline sinks are
+   armed before the benchmark runs and flushed after it finishes.  A
+   smoke assertion failure (Harness.Failed) prints and exits non-zero —
+   the same assertions raise so `dune runtest` can catch them
+   in-process. *)
 let instrumented (term : (unit -> unit) Term.t) =
-  let wrap metrics trace run =
-    Harness.set_outputs ~metrics ~trace;
+  let wrap metrics trace timeline run =
+    Harness.set_outputs ~metrics ~trace ~timeline;
     (try run ()
      with Harness.Failed msg ->
        Harness.flush_outputs ();
@@ -57,7 +69,7 @@ let instrumented (term : (unit -> unit) Term.t) =
        exit 1);
     Harness.flush_outputs ()
   in
-  Term.(const wrap $ metrics_arg $ trace_arg $ term)
+  Term.(const wrap $ metrics_arg $ trace_arg $ timeline_arg $ term)
 
 let fig7_cmd =
   let run quick app () = Fig7.run ~quick ?app () in
@@ -313,6 +325,81 @@ let dedup_cmd =
          const (fun quick check () -> Dedup_smoke.run ~quick ~check ())
          $ quick_arg $ check_flag))
 
+(* --- `liveops`: the control-plane timeline bench. ---
+
+   Phase selectors follow the `--backend` convention: Arg.enum, so an
+   unknown value is a usage error at parse time, as is a non-positive
+   --bucket. *)
+
+let off_on_arg name doc =
+  Arg.(
+    value
+    & opt (enum [ ("off", false); ("on", true) ]) true
+    & info [ name ] ~doc)
+
+let reconfig_arg =
+  Arg.(
+    value
+    & opt (enum [ ("off", false); ("replace", true) ]) true
+    & info [ "reconfig" ]
+        ~doc:
+          "$(b,replace) one replica of group 0 through the replicated log, \
+           or $(b,off).")
+
+let split_arg =
+  off_on_arg "split" "Live-split a third group off ($(b,on)/$(b,off))."
+
+let merge_arg =
+  off_on_arg "merge"
+    "Merge the split group back out ($(b,on)/$(b,off)); requires --split on."
+
+let upgrade_arg =
+  Arg.(
+    value
+    & opt (enum [ ("off", false); ("rolling", true) ]) true
+    & info [ "upgrade" ]
+        ~doc:
+          "$(b,rolling) restart of every active group's replicas, or \
+           $(b,off).")
+
+let bucket_conv =
+  let parse s =
+    match float_of_string_opt s with
+    | Some v when v > 0. && Float.is_finite v -> Ok v
+    | Some _ | None ->
+      Error
+        (`Msg
+           (Printf.sprintf
+              "invalid bucket width %S (expected a positive number of \
+               virtual seconds, e.g. 0.5)"
+              s))
+  in
+  Arg.conv (parse, fun ppf v -> Format.fprintf ppf "%g" v)
+
+let bucket_arg =
+  Arg.(
+    value
+    & opt bucket_conv 1.0
+    & info [ "bucket" ] ~docv:"SECONDS"
+        ~doc:"Timeline window width in virtual seconds (default 1.0).")
+
+let liveops_cmd =
+  let run quick reconfig split merge upgrade bucket () =
+    Liveops.run ~quick
+      ~phases:{ Liveops.reconfig; split; merge; upgrade }
+      ~bucket ()
+  in
+  Cmd.v
+    (Cmd.info "liveops"
+       ~doc:
+         "Control-plane timeline: req/s over time while a fleet is \
+          reconfigured, split, merged and upgraded under traffic, with \
+          migration lag and failover info from the metrics registry")
+    (instrumented
+       Term.(
+         const run $ quick_arg $ reconfig_arg $ split_arg $ merge_arg
+         $ upgrade_arg $ bucket_arg))
+
 (* --- `check`: the fault-schedule explorer + linearizability sweep. --- *)
 
 let check_cmd =
@@ -334,7 +421,7 @@ let check_cmd =
       & info [ "nemesis" ]
           ~doc:
             "Fault profile: crash, partition, drop, skew, leader, lease, \
-             mixed, or all.")
+             mixed, reconfig, split, upgrade, or all.")
   in
   let seeds_arg =
     Arg.(
@@ -412,6 +499,7 @@ let all ~quick () =
   Chain_bench.run ~quick ();
   Shard_bench.run ~quick ();
   Dedup_smoke.run ~quick ();
+  Liveops.run ~quick ();
   Par_bench.run ~quick ();
   Sched_bench.run ~quick ();
   Bechamel_suite.run ()
@@ -443,6 +531,7 @@ let () =
             chain_cmd;
             shard_cmd;
             dedup_cmd;
+            liveops_cmd;
             check_cmd;
             par_cmd;
             sched_cmd;

@@ -8,6 +8,9 @@ type kind =
   | Slow of float
   | Skew of { node : int; rate : float }
   | Stale_leader of { rate : float }
+  | Reconfig
+  | Split_merge
+  | Upgrade
 
 type fault = { kind : kind; at : float; dur : float }
 type schedule = { horizon : float; faults : fault list }
@@ -20,6 +23,9 @@ type profile =
   | Leader_kills
   | Leases
   | Mixed
+  | Reconfigs
+  | Splits
+  | Upgrades
 
 let profiles =
   [
@@ -30,6 +36,9 @@ let profiles =
     ("leader", Leader_kills);
     ("lease", Leases);
     ("mixed", Mixed);
+    ("reconfig", Reconfigs);
+    ("split", Splits);
+    ("upgrade", Upgrades);
   ]
 
 let profile_of_string s = List.assoc_opt s profiles
@@ -41,6 +50,34 @@ let profile_name p = fst (List.find (fun (_, q) -> q = p) profiles)
 let in_bound_rate rng = 0.8 +. Rng.float rng 0.4
 
 let generate rng profile ~nodes ~allow_restart ~horizon =
+  match profile with
+  | Reconfigs | Splits | Upgrades ->
+    (* Topology profiles: one control-plane operation mid-horizon (it
+       pumps the simulation itself, so it occupies a wide window) plus
+       light message loss as background stress.  No node crashes: the
+       operation is the fault under test, and the checker owns the
+       verdict on what it does to the history. *)
+    let kind =
+      match profile with
+      | Reconfigs -> Reconfig
+      | Splits -> Split_merge
+      | _ -> Upgrade
+    in
+    let at = horizon *. (0.15 +. Rng.float rng 0.2) in
+    let dur = horizon *. (0.2 +. Rng.float rng 0.2) in
+    (* The loss window spans the operation: retries (and, under
+       --dedup-off, their fresh identities) land mid-migration, which is
+       exactly the interleaving the canary must stay able to flag. *)
+    let noise =
+      {
+        kind = Drop (0.05 +. Rng.float rng 0.2);
+        at = horizon *. 0.05;
+        dur = horizon *. 0.85;
+      }
+    in
+    { horizon; faults = [ noise; { kind; at; dur } ] }
+  | Crashes | Partitions | Drops | Clock_skew | Leader_kills | Leases | Mixed
+    ->
   let n_faults = 2 + Rng.int rng 3 in
   (* One fault per disjoint time window: a fault's outage ends before the
      next one begins, so a 2f+1 group never loses two nodes at once. *)
@@ -81,6 +118,7 @@ let generate rng profile ~nodes ~allow_restart ~horizon =
             | 3 -> Drop (0.05 +. Rng.float rng 0.25)
             | 4 -> Skew { node = Rng.pick rng nodes; rate = in_bound_rate rng }
             | _ -> Slow (2. +. Rng.float rng 6.))
+          | Reconfigs | Splits | Upgrades -> assert false
         in
         { kind; at; dur })
   in
@@ -96,6 +134,9 @@ let fault_to_string f =
     | Slow x -> Printf.sprintf "slow(x%.2f)" x
     | Skew { node; rate } -> Printf.sprintf "skew(%d,x%.2f)" node rate
     | Stale_leader { rate } -> Printf.sprintf "stale-leader(x%.2f)" rate
+    | Reconfig -> "reconfig"
+    | Split_merge -> "split+merge"
+    | Upgrade -> "rolling-upgrade"
   in
   Printf.sprintf "t=%.3f +%.3f %s" f.at f.dur kind
 
@@ -106,14 +147,25 @@ let describe s =
 let without s i =
   { s with faults = List.filteri (fun j _ -> j <> i) s.faults }
 
+type topo = {
+  t_reconfig : (unit -> unit) option;
+  t_split : (unit -> int) option;
+  t_merge : (int -> unit) option;
+  t_upgrade : (unit -> unit) option;
+}
+
+let no_topo =
+  { t_reconfig = None; t_split = None; t_merge = None; t_upgrade = None }
+
 type target = {
   net : Net.t;
-  nodes : int list;
+  mutable nodes : int list;
   others : int list;
   crash : int -> unit;
   restart : (int -> unit) option;
   leader : unit -> int option;
   mutable down : int list;
+  mutable topo : topo;
 }
 
 type action = { at : float; what : string; run : unit -> unit }
@@ -203,6 +255,35 @@ let actions t schedule =
               victim := None;
               Engine.set_clock_rate eng ~node:l 1.0;
               List.iter (fun p -> if p <> l then Net.heal t.net l p) t.nodes
+            | None -> ())
+      (* Topology operations pump the simulation from driver context
+         (where actions fire), so traffic keeps flowing while they run.
+         On deployments without the hook they no-op — every profile is
+         runnable on every stack.  A Failure (e.g. a migration that
+         cannot finish under the ambient faults) is swallowed here: the
+         damage, if real, is the checker's to report — frozen keys stall
+         the probes, lost writes break linearizability. *)
+      | Reconfig ->
+        add f.at "reconfig: replace one replica" (fun () ->
+            match t.topo.t_reconfig with
+            | Some rc -> ( try rc () with Failure _ -> ())
+            | None -> ())
+      | Split_merge ->
+        let group = ref None in
+        add f.at "live split" (fun () ->
+            match t.topo.t_split with
+            | Some split -> ( try group := Some (split ()) with Failure _ -> ())
+            | None -> ());
+        add t_end "merge the split group back" (fun () ->
+            match (t.topo.t_merge, !group) with
+            | Some merge, Some g -> (
+              group := None;
+              try merge g with Failure _ -> ())
+            | _ -> ())
+      | Upgrade ->
+        add f.at "rolling upgrade" (fun () ->
+            match t.topo.t_upgrade with
+            | Some up -> ( try up () with Failure _ -> ())
             | None -> ()))
     schedule.faults;
   List.stable_sort (fun a b -> compare a.at b.at) (List.rev !acts)

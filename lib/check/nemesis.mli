@@ -22,6 +22,13 @@ type kind =
           drift bound and partition it from the other replicas only —
           clients can still reach it, so without fencing it serves reads
           against a lease it can no longer defend *)
+  | Reconfig
+      (** replace one replica through the replicated log (group
+          reconfiguration); no-op on targets without the hook *)
+  | Split_merge
+      (** live shard split at [at], merge the new group back at
+          [at + dur]; no-op on unsharded targets *)
+  | Upgrade  (** rolling restart of every replica, one at a time *)
 
 type fault = { kind : kind; at : float; dur : float }
 
@@ -37,6 +44,9 @@ type profile =
   | Leader_kills
   | Leases  (** drift + isolation + leader churn: lease trouble *)
   | Mixed
+  | Reconfigs  (** one replica replacement + light message loss *)
+  | Splits  (** one live split-then-merge + light message loss *)
+  | Upgrades  (** one rolling restart + light message loss *)
 
 val profiles : (string * profile) list
 val profile_of_string : string -> profile option
@@ -57,16 +67,37 @@ val fault_to_string : fault -> string
 val without : schedule -> int -> schedule
 (** Drop the i-th fault (shrinking step). *)
 
+(** Control-plane hooks: how to run live-topology operations on a
+    concrete deployment.  Every hook is optional — the topology kinds
+    no-op where a hook is [None], so every profile runs on every stack.
+    Hooks fire from driver context and may pump the simulation (the
+    operations run under traffic). *)
+type topo = {
+  t_reconfig : (unit -> unit) option;
+      (** replace one replica through the replicated log *)
+  t_split : (unit -> int) option;
+      (** live shard split; returns the new group id *)
+  t_merge : (int -> unit) option;  (** merge the group back out *)
+  t_upgrade : (unit -> unit) option;  (** rolling restart, one at a time *)
+}
+
+val no_topo : topo
+
 (** How to apply faults to a concrete deployment. *)
 type target = {
   net : Sim.Net.t;
-  nodes : int list;  (** replica node ids *)
+  mutable nodes : int list;
+      (** replica node ids; a reconfig hook updates this as membership
+          changes (scheduled faults keep naming the original ids) *)
   others : int list;  (** client/router nodes sharing the fabric *)
   crash : int -> unit;
   restart : (int -> unit) option;  (** [None]: crashes are permanent *)
   leader : unit -> int option;
   mutable down : int list;
       (** bookkeeping maintained by the actions; start it at [[]] *)
+  mutable topo : topo;
+      (** start at {!no_topo}; deployments with a control plane fill it
+          in after construction (hooks may close over the target) *)
 }
 
 type action = { at : float; what : string; run : unit -> unit }

@@ -237,22 +237,46 @@ let deploy_rex history_of cfg =
     History.wire history [ R.Server.frontend (R.Cluster.server cluster n) ]
   in
   List.iter wire_node (R.Cluster.replica_nodes cluster);
+  (* Every later server — restarts, reconfiguration newcomers — gets its
+     history tap from this hook (so the restart action below must not
+     wire again). *)
+  R.Cluster.set_on_new_server cluster
+    (Some (fun s -> History.wire history [ R.Server.frontend s ]));
   let target =
     {
       Nemesis.net = R.Cluster.net cluster;
       nodes = R.Cluster.replica_nodes cluster;
       others = [ R.Cluster.client_node cluster ];
       crash = R.Cluster.crash cluster;
-      restart =
-        Some
-          (fun n ->
-            R.Cluster.restart cluster n;
-            wire_node n);
+      restart = Some (fun n -> R.Cluster.restart cluster n);
       leader =
         (fun () -> Option.map R.Server.node (R.Cluster.primary cluster));
       down = [];
+      topo = Nemesis.no_topo;
     }
   in
+  target.Nemesis.topo <-
+    {
+      Nemesis.no_topo with
+      Nemesis.t_reconfig =
+        Some
+          (fun () ->
+            (* Replace a live non-primary member through the log. *)
+            let primary_node =
+              Option.map R.Server.node (R.Cluster.primary cluster)
+            in
+            match
+              R.Cluster.members cluster
+              |> List.filter (fun n ->
+                     Some n <> primary_node
+                     && not (List.mem n target.Nemesis.down))
+            with
+            | [] -> ()
+            | victim :: _ ->
+              ignore (R.Cluster.replace_replica cluster victim);
+              target.Nemesis.nodes <- R.Cluster.members cluster);
+      t_upgrade = Some (fun () -> R.Cluster.rolling_restart cluster);
+    };
   let clients =
     Array.init cfg.clients (fun _ -> R.Cluster.client cluster)
   in
@@ -283,15 +307,22 @@ let deploy_single history_of cfg =
   let net = Net.create eng in
   let rpc = Rpc.create net in
   let replicas = [ 0; 1; 2 ] in
+  (* Each maker returns (fronts, digests, leader, upgrade_node): the
+     server arrays are mutable so [upgrade_node] can replace one replica
+     in place — crash the node, re-create the server over the {e same}
+     Paxos store, replay the committed prefix to rebuild app and session
+     state, start, and re-wire the history tap.  That is the rolling
+     upgrade path for stacks without checkpoint recovery. *)
+  let stores = Array.init 3 (fun _ -> Paxos.Store.create ()) in
   let make_smr () =
     let config =
       R.Config.make ~workers:1 ~replicas ~lease_unsafe:cfg.lease_unsafe ()
     in
-    let servers =
-      Array.init 3 (fun i ->
-          Smr.create net rpc config ~node:i
-            ~paxos_store:(Paxos.Store.create ()) (factory_for cfg))
+    let mk i =
+      Smr.create net rpc config ~node:i ~paxos_store:stores.(i)
+        (factory_for cfg)
     in
+    let servers = Array.init 3 mk in
     Array.iter Smr.start servers;
     let live s = Engine.node_alive eng (Smr.node s) in
     ( (fun () ->
@@ -299,21 +330,29 @@ let deploy_single history_of cfg =
       (fun () ->
         Array.to_list servers |> List.filter live
         |> List.map Smr.app_digest),
-      fun () ->
+      (fun () ->
         Array.to_list servers
         |> List.find_opt (fun s -> live s && Smr.is_primary s)
-        |> Option.map Smr.node )
+        |> Option.map Smr.node),
+      fun i ->
+        Engine.crash_node eng i;
+        Engine.restart_node eng i;
+        let s = mk i in
+        Smr.replay s;
+        Smr.start s;
+        servers.(i) <- s;
+        History.wire history [ Smr.frontend s ] )
   in
   let make_eve () =
     let ecfg =
       Eve.default_config ~workers:4 ~replicas
         ~lease_unsafe:cfg.lease_unsafe ()
     in
-    let servers =
-      Array.init 3 (fun i ->
-          Eve.create net rpc ecfg ~node:i ~paxos_store:(Paxos.Store.create ())
-            ~conflict_keys:(conflict_keys_for cfg) (factory_for cfg))
+    let mk i =
+      Eve.create net rpc ecfg ~node:i ~paxos_store:stores.(i)
+        ~conflict_keys:(conflict_keys_for cfg) (factory_for cfg)
     in
+    let servers = Array.init 3 mk in
     Array.iter Eve.start servers;
     let live s = Engine.node_alive eng (Eve.node s) in
     ( (fun () ->
@@ -321,33 +360,48 @@ let deploy_single history_of cfg =
       (fun () ->
         Array.to_list servers |> List.filter live
         |> List.map Eve.app_digest),
-      fun () ->
+      (fun () ->
         Array.to_list servers
         |> List.find_opt (fun s -> live s && Eve.is_primary s)
-        |> Option.map Eve.node )
+        |> Option.map Eve.node),
+      fun i ->
+        Engine.crash_node eng i;
+        Engine.restart_node eng i;
+        let s = mk i in
+        Eve.replay s;
+        Eve.start s;
+        servers.(i) <- s;
+        History.wire history [ Eve.frontend s ] )
   in
   let make_sched mode =
     let config =
       R.Config.make ~workers:4 ~replicas ~lease_unsafe:cfg.lease_unsafe ()
     in
-    let servers =
-      Array.init 3 (fun i ->
-          Sched.Server.create net rpc config ~node:i
-            ~paxos_store:(Paxos.Store.create ()) ~mode
-            ~conflict:(conflict_keys_for cfg) (factory_for cfg))
+    let mk i =
+      Sched.Server.create net rpc config ~node:i ~paxos_store:stores.(i)
+        ~mode ~conflict:(conflict_keys_for cfg) (factory_for cfg)
     in
+    let servers = Array.init 3 mk in
     Array.iter Sched.Server.start servers;
     let live s = Engine.node_alive eng (Sched.Server.node s) in
     ( (fun () -> List.map Sched.Server.frontend (Array.to_list servers)),
       (fun () ->
         Array.to_list servers |> List.filter live
         |> List.map Sched.Server.app_digest),
-      fun () ->
+      (fun () ->
         Array.to_list servers
         |> List.find_opt (fun s -> live s && Sched.Server.is_primary s)
-        |> Option.map Sched.Server.node )
+        |> Option.map Sched.Server.node),
+      fun i ->
+        Engine.crash_node eng i;
+        Engine.restart_node eng i;
+        let s = mk i in
+        Sched.Server.replay s;
+        Sched.Server.start s;
+        servers.(i) <- s;
+        History.wire history [ Sched.Server.frontend s ] )
   in
-  let fronts, digests, leader =
+  let fronts, digests, leader, upgrade_node =
     match cfg.stack with
     | Smr -> make_smr ()
     | Cbase -> make_sched Sched.Exec.Cbase
@@ -360,18 +414,41 @@ let deploy_single history_of cfg =
   let clients =
     Array.init cfg.clients (fun _ -> R.Client.create rpc ~me:3 ~replicas)
   in
+  let target =
+    {
+      Nemesis.net = net;
+      nodes = replicas;
+      others = [ 3 ];
+      crash = Engine.crash_node eng;
+      restart = None;
+      leader;
+      down = [];
+      topo = Nemesis.no_topo;
+    }
+  in
+  target.Nemesis.topo <-
+    {
+      Nemesis.no_topo with
+      Nemesis.t_upgrade =
+        Some
+          (fun () ->
+            (* One replica at a time, pumping between restarts so the
+               group re-elects before the next one goes down. *)
+            List.iter
+              (fun i ->
+                if not (List.mem i target.Nemesis.down) then begin
+                  upgrade_node i;
+                  Engine.run ~until:(Engine.clock eng +. 0.3) eng;
+                  let deadline = Engine.clock eng +. 5. in
+                  while leader () = None && Engine.clock eng < deadline do
+                    Engine.run ~until:(Engine.clock eng +. 0.1) eng
+                  done
+                end)
+              replicas);
+    };
   {
     eng;
-    target =
-      {
-        Nemesis.net = net;
-        nodes = replicas;
-        others = [ 3 ];
-        crash = Engine.crash_node eng;
-        restart = None;
-        leader;
-        down = [];
-      };
+    target;
     call =
       (fun cidx ~retries req -> R.Client.call ~retries clients.(cidx) req);
     query = (fun cidx req -> R.Client.query clients.(cidx) req);
@@ -404,28 +481,59 @@ let deploy_sharded history_of cfg =
   in
   let nodes = List.concat_map R.Cluster.replica_nodes clusters in
   List.iter wire_node nodes;
+  (* Restarts and reconfiguration newcomers are wired through this hook
+     (so the restart action below must not wire again). *)
+  let wire_server s = History.wire history [ R.Server.frontend s ] in
+  List.iter
+    (fun c -> R.Cluster.set_on_new_server c (Some wire_server))
+    clusters;
   let kills = ref 0 in
+  let reconfigs = ref 0 in
   let router = Shard.Fleet.router fleet in
+  let target =
+    {
+      Nemesis.net = Shard.Fleet.net fleet;
+      nodes;
+      others = [ Shard.Fleet.client_node fleet ];
+      crash = (fun n -> R.Cluster.crash (cluster_of n) n);
+      restart = Some (fun n -> Shard.Fleet.restart fleet n);
+      leader =
+        (fun () ->
+          let g = !kills mod Shard.Fleet.n_groups fleet in
+          incr kills;
+          Option.map R.Server.node (Shard.Fleet.primary fleet g));
+      down = [];
+      topo = Nemesis.no_topo;
+    }
+  in
+  target.Nemesis.topo <-
+    {
+      Nemesis.t_reconfig =
+        Some
+          (fun () ->
+            let groups = Shard.Fleet.active_groups fleet in
+            let g = List.nth groups (!reconfigs mod List.length groups) in
+            incr reconfigs;
+            ignore (Shard.Fleet.reconfig_group fleet g);
+            target.Nemesis.nodes <-
+              List.concat_map R.Cluster.replica_nodes
+                (Array.to_list (Shard.Fleet.clusters fleet)));
+      t_split =
+        Some
+          (fun () ->
+            let g = Shard.Fleet.split fleet in
+            let c = Shard.Fleet.cluster fleet g in
+            R.Cluster.set_on_new_server c (Some wire_server);
+            Array.iter wire_server (R.Cluster.servers c);
+            target.Nemesis.nodes <-
+              target.Nemesis.nodes @ R.Cluster.members c;
+            g);
+      t_merge = Some (fun g -> Shard.Fleet.merge fleet g);
+      t_upgrade = Some (fun () -> Shard.Fleet.rolling_upgrade fleet);
+    };
   {
     eng;
-    target =
-      {
-        Nemesis.net = Shard.Fleet.net fleet;
-        nodes;
-        others = [ Shard.Fleet.client_node fleet ];
-        crash = (fun n -> R.Cluster.crash (cluster_of n) n);
-        restart =
-          Some
-            (fun n ->
-              Shard.Fleet.restart fleet n;
-              wire_node n);
-        leader =
-          (fun () ->
-            let g = !kills mod Shard.Fleet.n_groups fleet in
-            incr kills;
-            Option.map R.Server.node (Shard.Fleet.primary fleet g));
-        down = [];
-      };
+    target;
     call =
       (fun _cidx ~retries req ->
         match key_of_request req with

@@ -389,6 +389,19 @@ let spawn_mixer t =
            end
          done))
 
+(* A committed batch enters the execute-verify pipeline in log order. *)
+let deliver_batch t i v =
+  match decode_batch v with
+  | reqs ->
+    Queue.push (i, reqs) t.exec_queue;
+    wake_executor t
+  | exception Codec.Decode_error _ -> ()
+
+(* Rolling-upgrade support: a replacement server created over the old
+   server's store re-runs the committed prefix through the mixer to
+   rebuild app and session state.  Call between [create] and [start]. *)
+let replay t = Paxos.Replica.replay_committed t.pstore (deliver_batch t)
+
 (* --- Construction --- *)
 
 let create net rpc cfg ~node ~paxos_store ~conflict_keys factory =
@@ -458,7 +471,11 @@ let create net rpc cfg ~node ~paxos_store ~conflict_keys factory =
       (R.Frontend.register rpc ~node ~table:session
          ~reads:
            {
-             R.Frontend.r_peers = t.cfg.replicas;
+             R.Frontend.r_peers =
+               (fun () ->
+                 match t.pax with
+                 | Some p -> Paxos.Replica.peers p
+                 | None -> t.cfg.replicas);
              r_lease_valid =
                (fun () ->
                  t.leader
@@ -515,13 +532,7 @@ let start t =
   in
   let cbs =
     {
-      Paxos.Replica.on_committed =
-        (fun i v ->
-          match decode_batch v with
-          | reqs ->
-            Queue.push (i, reqs) t.exec_queue;
-            wake_executor t
-          | exception Codec.Decode_error _ -> ());
+      Paxos.Replica.on_committed = (fun i v -> deliver_batch t i v);
       on_become_leader = (fun () -> t.leader <- true);
       on_new_leader =
         (fun _ ->

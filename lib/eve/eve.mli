@@ -66,6 +66,13 @@ val create :
     timers (unsupported by the execute-verify model, §5). *)
 
 val start : t -> unit
+
+val replay : t -> unit
+(** Queue the store's committed prefix for re-execution — the rolling
+    upgrade path: a replacement server [create]d over the retired
+    server's {!Paxos.Store.t} calls this before {!start} to rebuild app
+    and session state (this stack has no checkpoint recovery). *)
+
 val node : t -> int
 val is_primary : t -> bool
 

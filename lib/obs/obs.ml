@@ -3,6 +3,7 @@ module Histogram = Histogram
 module Registry = Registry
 module Span = Span
 module Export = Export
+module Timeline = Timeline
 
 type t = { reg : Registry.t; col : Span.collector }
 

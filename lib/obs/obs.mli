@@ -11,6 +11,7 @@ module Histogram = Histogram
 module Registry = Registry
 module Span = Span
 module Export = Export
+module Timeline = Timeline
 
 type t
 

@@ -1,0 +1,97 @@
+type cell = {
+  mutable n : int;
+  mutable lat_n : int;
+  mutable lat_sum : float;
+  mutable lat_max : float;
+}
+
+type t = {
+  bucket : float;
+  cells : (int, cell) Hashtbl.t;
+  mutable marks : (float * string) list;
+}
+
+let create ?(bucket = 1.0) () =
+  if bucket <= 0. then invalid_arg "Obs.Timeline.create: bucket must be > 0";
+  { bucket; cells = Hashtbl.create 64; marks = [] }
+
+let bucket t = t.bucket
+let index t now = int_of_float (Float.floor (now /. t.bucket))
+
+let cell t now =
+  let i = index t now in
+  match Hashtbl.find_opt t.cells i with
+  | Some c -> c
+  | None ->
+    let c = { n = 0; lat_n = 0; lat_sum = 0.; lat_max = 0. } in
+    Hashtbl.add t.cells i c;
+    c
+
+let record t ?latency now =
+  let c = cell t now in
+  c.n <- c.n + 1;
+  match latency with
+  | None -> ()
+  | Some l ->
+    c.lat_n <- c.lat_n + 1;
+    c.lat_sum <- c.lat_sum +. l;
+    c.lat_max <- Float.max c.lat_max l
+
+let mark t now label = t.marks <- (now, label) :: t.marks
+let marks t = List.rev t.marks
+
+type row = {
+  t0 : float;
+  n : int;
+  rate : float;
+  lat_mean : float;
+  lat_max : float;
+  row_marks : string list;
+}
+
+let rows t =
+  let lo = ref max_int and hi = ref min_int in
+  let widen i =
+    if i < !lo then lo := i;
+    if i > !hi then hi := i
+  in
+  Hashtbl.iter (fun i _ -> widen i) t.cells;
+  List.iter (fun (at, _) -> widen (index t at)) t.marks;
+  if !lo > !hi then []
+  else
+    List.init
+      (!hi - !lo + 1)
+      (fun k ->
+        let i = !lo + k in
+        let n, lat_mean, lat_max =
+          match Hashtbl.find_opt t.cells i with
+          | None -> (0, 0., 0.)
+          | Some c ->
+            ( c.n,
+              (if c.lat_n = 0 then 0. else c.lat_sum /. float_of_int c.lat_n),
+              c.lat_max )
+        in
+        let row_marks =
+          List.rev_map snd
+            (List.filter (fun (at, _) -> index t at = i) t.marks)
+        in
+        {
+          t0 = float_of_int i *. t.bucket;
+          n;
+          rate = float_of_int n /. t.bucket;
+          lat_mean;
+          lat_max;
+          row_marks;
+        })
+
+let to_csv t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "t,requests,req_per_s,lat_mean,lat_max,marks\n";
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "%.6g,%d,%.6g,%.6g,%.6g,%s\n" r.t0 r.n r.rate
+           r.lat_mean r.lat_max
+           (String.concat ";" r.row_marks)))
+    (rows t);
+  Buffer.contents buf

@@ -1,0 +1,44 @@
+(** Windowed time-series over virtual time: request completions (with
+    optional latency) bucketed into fixed-width windows, plus point
+    annotations for control-plane events (failover, split, upgrade...).
+
+    Feeds the benches' [--timeline-out] CSV export — req/s over time with
+    per-bucket latency and the marks that explain the dips, à la the
+    live-patching / Redis Cluster reconfiguration timelines. *)
+
+type t
+
+val create : ?bucket:float -> unit -> t
+(** [bucket] is the window width in (virtual) seconds, default 1.0.
+    @raise Invalid_argument when [bucket <= 0]. *)
+
+val bucket : t -> float
+
+val record : t -> ?latency:float -> float -> unit
+(** [record t ~latency now]: one completed request at time [now]. *)
+
+val mark : t -> float -> string -> unit
+(** Annotate the point [now] with a label; labels land in the [marks]
+    column of the row whose window contains them. *)
+
+val marks : t -> (float * string) list
+(** All marks in insertion order. *)
+
+type row = {
+  t0 : float;  (** window start *)
+  n : int;  (** completions inside the window *)
+  rate : float;  (** [n / bucket] *)
+  lat_mean : float;  (** 0 when no latencies were recorded *)
+  lat_max : float;
+  row_marks : string list;
+}
+
+val rows : t -> row list
+(** Contiguous rows from the first to the last touched window — gaps
+    appear as zero rows, so a stall during a migration shows up as a
+    visible dip rather than a missing line.  Empty when nothing was
+    recorded. *)
+
+val to_csv : t -> string
+(** Header [t,requests,req_per_s,lat_mean,lat_max,marks]; marks within a
+    row are [;]-joined. *)

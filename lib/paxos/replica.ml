@@ -46,6 +46,41 @@ let default_config ?(max_inflight = 1) ?(sync_latency = 0.)
 
 type role = Follower | Candidate | Leader
 
+(* Reconfiguration rides the replicated log as ordinary values carrying
+   this sentinel prefix.  Config entries are invisible to the
+   application ([deliver] applies them internally; {!committed_value}
+   hides them), and each entry may change membership by at most one
+   replica, so consecutive configs always share a majority — the quorum
+   intersection argument for one-at-a-time membership change. *)
+let cfg_sentinel = "\xff\x00rexcfg\x01"
+
+let encode_cfg peers =
+  cfg_sentinel ^ String.concat "," (List.map string_of_int peers)
+
+let is_cfg_value v =
+  let n = String.length cfg_sentinel in
+  String.length v >= n && String.sub v 0 n = cfg_sentinel
+
+let decode_cfg v =
+  let body =
+    String.sub v
+      (String.length cfg_sentinel)
+      (String.length v - String.length cfg_sentinel)
+  in
+  String.split_on_char ',' body |> List.filter_map int_of_string_opt
+
+(* A replica created over an existing store starts with
+   [delivered = committed_upto]: the committed prefix is never
+   re-delivered through [on_committed].  Stacks that rebuild execution
+   state across a restart (rolling upgrades) replay it explicitly. *)
+let replay_committed st f =
+  for i = 1 to Store.committed_upto st do
+    match Store.committed st i with
+    | Some v when is_cfg_value v -> ()
+    | Some v -> f i v
+    | None -> () (* subsumed by a checkpoint fast-forward *)
+  done
+
 type inflight = {
   fi_instance : int;
   fi_ballot : Ballot.t;
@@ -61,6 +96,12 @@ type t = {
   st : Store.t;
   cbs : callbacks;
   rng : Rng.t;
+  mutable peers : int list;
+      (* current membership: [cfg.peers] (or the store's persisted group)
+         until a committed config entry replaces it *)
+  mutable reconfig_at : int;
+      (* instance of our in-flight config proposal; proposals are barred
+         while it is above the delivered prefix (0 = none) *)
   mutable role : role;
   mutable ballot : Ballot.t;  (* highest ballot this replica has seen *)
   mutable announced : Ballot.t;  (* last foreign ballot reported via on_new_leader *)
@@ -97,7 +138,10 @@ type t = {
   h_commit : Obs.Histogram.t;
 }
 
-let majority t = (List.length t.cfg.peers / 2) + 1
+let majority t = (List.length t.peers / 2) + 1
+let peers t = t.peers
+let is_member t = List.mem t.cfg.me t.peers
+let reconfig_pending t = t.reconfig_at > t.delivered
 let is_leader t = t.role = Leader
 let leader_hint t = t.leader
 let current_ballot t = t.ballot
@@ -114,7 +158,12 @@ let next_instance t =
 
 let in_flight t = Hashtbl.length t.inflight > 0
 let can_propose t =
-  t.role = Leader && Hashtbl.length t.inflight < t.cfg.max_inflight
+  t.role = Leader
+  && Hashtbl.length t.inflight < t.cfg.max_inflight
+  (* Proposal barrier: while a config entry is in flight, no app values
+     may pipeline behind it — the entry's commit changes the quorum the
+     followers would be acked against. *)
+  && not (reconfig_pending t)
 let store t = t.st
 let now t = Engine.clock (Net.engine t.net)
 
@@ -156,7 +205,7 @@ let holds_lease t =
             match Hashtbl.find_opt t.grants p with
             | Some sent when sent +. window > ln -> acc + 1
             | Some _ | None -> acc)
-        0 t.cfg.peers
+        0 t.peers
     in
     live >= majority t
   in
@@ -179,13 +228,31 @@ let send t dst msg =
   else Net.send t.net ~src:t.cfg.me ~dst ~port (Msg.encode msg)
 
 let broadcast t msg =
-  List.iter (fun p -> send t p msg) t.cfg.peers
+  List.iter (fun p -> send t p msg) t.peers
+
+(* A committed config entry takes effect when it is delivered — i.e. the
+   old config's quorums are retired only after the new config commits.
+   A replica configured out of the group demotes itself and stops
+   campaigning (it keeps answering Learn so stragglers can catch up). *)
+let apply_config t new_peers =
+  t.peers <- new_peers;
+  Store.set_group t.st new_peers;
+  if not (List.mem t.cfg.me new_peers) && t.role <> Follower then begin
+    t.role <- Follower;
+    t.leader <- None;
+    Hashtbl.reset t.inflight;
+    t.recovery_queue <- [];
+    t.campaign_open <- false;
+    t.lead_after_catchup <- None;
+    reset_leader_lease t
+  end
 
 let deliver t =
   while t.delivered < Store.committed_upto t.st do
     let i = t.delivered + 1 in
     t.delivered <- i;
     match Store.committed t.st i with
+    | Some v when is_cfg_value v -> apply_config t (decode_cfg v)
     | Some v -> t.cbs.on_committed i v
     | None -> () (* subsumed by a checkpoint fast-forward *)
   done
@@ -502,6 +569,9 @@ let create net cfg st cbs =
       announced = Ballot.zero;
       leader = None;
       last_contact = Engine.clock eng;
+      peers =
+        (match Store.group st with Some g -> g | None -> cfg.peers);
+      reconfig_at = 0;
       campaign_promises = [];
       campaign_open = false;
       lead_after_catchup = None;
@@ -544,7 +614,7 @@ let start t =
          while not t.stopped do
            Engine.sleep (t.cfg.election_timeout /. 3.);
            if
-             (not t.stopped) && t.role <> Leader
+             (not t.stopped) && t.role <> Leader && is_member t
              && now t -. t.last_contact > !timeout
              (* an active grant is proof of recent leader contact: do not
                 campaign against a lease we ourselves extended *)
@@ -603,5 +673,35 @@ let propose t value =
     true
   end
 
+(* One membership change at a time: the new list must differ from the
+   current one by exactly one replica (an add XOR a remove), so the old
+   and new majorities intersect and no two leaders of adjacent configs
+   can commit independently.  Replace = add, then remove. *)
+let valid_transition current proposed =
+  let sorted_distinct l = List.sort_uniq compare l in
+  let cur = sorted_distinct current and next = sorted_distinct proposed in
+  List.length next = List.length proposed
+  && next <> []
+  &&
+  let added = List.filter (fun p -> not (List.mem p cur)) next in
+  let removed = List.filter (fun p -> not (List.mem p next)) cur in
+  match (added, removed) with [ _ ], [] | [], [ _ ] -> true | _ -> false
 
-let committed_value t i = Store.committed t.st i
+let propose_reconfig t new_peers =
+  if
+    t.stopped
+    || not (can_propose t)
+    || in_flight t (* no app entry may straddle the config switch *)
+    || not (valid_transition t.peers new_peers)
+  then false
+  else begin
+    let instance = next_instance t in
+    t.reconfig_at <- instance;
+    start_accept t ~instance ~value:(encode_cfg new_peers) ~recovery:false;
+    true
+  end
+
+let committed_value t i =
+  match Store.committed t.st i with
+  | Some v when is_cfg_value v -> None (* internal config entry *)
+  | r -> r

@@ -68,7 +68,33 @@ val stop : t -> unit
 
 val propose : t -> string -> bool
 (** Propose a value for the next free instance.  Returns [false] if this
-    replica is not the leader or [max_inflight] instances are open. *)
+    replica is not the leader, [max_inflight] instances are open, or a
+    reconfiguration is in flight. *)
+
+val propose_reconfig : t -> int list -> bool
+(** Propose a new membership through the replicated log.  The entry
+    commits under the {e old} config's majority and takes effect on each
+    replica when delivered, so old-config quorums are retired only after
+    the new config commits and the change survives leader failure like
+    any other log entry.  Constraints enforced here: the leader only, no
+    app entry in flight (barrier), and the new list must differ from the
+    current membership by exactly one replica (add XOR remove — adjacent
+    configs then always share a majority; replace = add, then remove).
+    Returns [false] when any constraint fails.  Application callbacks
+    never see config entries ({!committed_value} yields [None] for
+    them). *)
+
+val reconfig_pending : t -> bool
+(** A config entry proposed here has not been delivered yet. *)
+
+val peers : t -> int list
+(** Current membership: the constructed [config.peers] (or the store's
+    persisted group after a restart) until a delivered config entry
+    replaces it. *)
+
+val is_member : t -> bool
+(** Whether this replica is part of {!peers}.  A replica configured out
+    of the group stops campaigning but keeps serving Learn requests. *)
 
 val can_propose : t -> bool
 
@@ -96,3 +122,11 @@ val next_instance : t -> int
 val committed_value : t -> int -> string option
 val in_flight : t -> bool
 val store : t -> Store.t
+
+val replay_committed : Store.t -> (int -> string -> unit) -> unit
+(** Feed every committed {e application} entry to [f] in instance order
+    (config entries are skipped, gaps subsumed by a checkpoint are
+    silent).  A replica created over an existing store never re-delivers
+    the committed prefix through [on_committed]; stacks that rebuild
+    execution state across a same-store restart — the rolling-upgrade
+    path — call this between [create] and [start]. *)

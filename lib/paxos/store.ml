@@ -6,6 +6,9 @@ type t = {
   mutable max_committed_i : int;
       (* commits can land out of order under pipelining; a proposer must
          never reuse an instance above the contiguous prefix *)
+  mutable group : int list option;
+      (* latest committed replica-group membership, if a reconfiguration
+         ever committed; survives restart like promises do *)
 }
 
 let create () =
@@ -15,7 +18,11 @@ let create () =
     committed_tbl = Hashtbl.create 64;
     upto = 0;
     max_committed_i = 0;
+    group = None;
   }
+
+let group t = t.group
+let set_group t peers = t.group <- Some peers
 
 let promised t = t.promised_b
 

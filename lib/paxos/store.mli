@@ -31,6 +31,14 @@ val fast_forward : t -> int -> unit
 (** Advance the committed prefix to at least the given instance without
     values — used when a checkpoint subsumes a GC'd prefix. *)
 
+val group : t -> int list option
+(** The replica-group membership as of the latest committed
+    reconfiguration, or [None] if the group never changed.  Stored here
+    so a restarted replica rejoins under the config it last applied, not
+    the one it was constructed with. *)
+
+val set_group : t -> int list -> unit
+
 val committed_range : t -> from_i:int -> upto:int -> (int * string) list
 val truncate_below : t -> int -> unit
 (** Garbage-collect committed values below the given instance (kept by a

@@ -16,6 +16,8 @@ type t = {
   fast_forward : int -> unit;
   lease_valid : unit -> bool;
   read_index : unit -> int;
+  peers : unit -> int list;
+  reconfig : int list -> bool;
 }
 
 let of_paxos rep =
@@ -33,4 +35,6 @@ let of_paxos rep =
       (fun i -> Paxos.Store.fast_forward (Paxos.Replica.store rep) i);
     lease_valid = (fun () -> Paxos.Replica.holds_lease rep);
     read_index = (fun () -> Paxos.Replica.read_index rep);
+    peers = (fun () -> Paxos.Replica.peers rep);
+    reconfig = (fun peers -> Paxos.Replica.propose_reconfig rep peers);
   }

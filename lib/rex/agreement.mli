@@ -37,6 +37,13 @@ type t = {
   read_index : unit -> int;
       (** this replica's highest possibly-chosen sequence number, for
           quorum reads (see [Paxos.Replica.read_index]) *)
+  peers : unit -> int list;
+      (** current replica-group membership — dynamic once
+          reconfiguration entries commit (see
+          [Paxos.Replica.propose_reconfig]) *)
+  reconfig : int list -> bool;
+      (** propose a single-replica membership change through the log;
+          protocols without reconfiguration return [false] *)
 }
 
 val of_paxos : Paxos.Replica.t -> t

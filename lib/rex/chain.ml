@@ -405,4 +405,8 @@ let make ?(window = 8) ?(heartbeat_period = 10e-3) net ~node ~vm_node ~store
        quorum/ordered paths. *)
     lease_valid = (fun () -> false);
     read_index = (fun () -> Paxos.Store.committed_upto m.st);
+    (* Membership is the VM's view; log-driven reconfiguration is a
+       Paxos-only feature (the VM already handles joins/failures). *)
+    peers = (fun () -> if m.chain = [] then [ m.node ] else m.chain);
+    reconfig = (fun _ -> false);
   }

@@ -6,13 +6,16 @@ type t = {
   rpc_ : Rpc.t;
   cfg : Config.t;
   factory : App.factory;
-  replica_nodes : int array;
-  servers_ : Server.t array; (* parallel to [replica_nodes] *)
-  stores : Paxos.Store.t array;
-  disks : Checkpoint.Disk.t array;
+  mutable replica_nodes : int array;
+      (* every node that ever hosted a replica, in creation order *)
+  mutable servers_ : Server.t array; (* parallel to [replica_nodes] *)
+  mutable stores : Paxos.Store.t array;
+  mutable disks : Checkpoint.Disk.t array;
+  mutable members : int list; (* current committed membership *)
   make_agreement :
     (Server.t -> Agreement.callbacks -> Agreement.t) option;
   first_client_node : int;
+  mutable on_new_server : (Server.t -> unit) option;
 }
 
 let index_of t node =
@@ -79,8 +82,10 @@ let create_in ?(agreement = `Paxos) ?vm_node ~client_node net rpc cfg factory =
     servers_;
     stores;
     disks;
+    members = cfg.Config.replicas;
     make_agreement;
     first_client_node = client_node;
+    on_new_server = None;
   }
 
 let create ?(seed = 7) ?(cores_per_node = 16) ?(extra_nodes = 1)
@@ -133,14 +138,113 @@ let crash t node =
 let restart t node =
   let i = index_of t node in
   Engine.restart_node t.eng node;
+  (* Rejoin under the current membership: the surviving Paxos store's
+     group slot takes precedence inside the replica, so this only
+     matters for a replica that crashed before any config committed. *)
+  let cfg = { t.cfg with Config.replicas = t.members } in
   let s =
-    Server.create ?make_agreement:t.make_agreement t.net_ t.rpc_ t.cfg ~node
+    Server.create ?make_agreement:t.make_agreement t.net_ t.rpc_ cfg ~node
       ~paxos_store:t.stores.(i) ~disk:t.disks.(i) t.factory
   in
   t.servers_.(i) <- s;
-  Server.start s
+  Server.start s;
+  match t.on_new_server with Some f -> f s | None -> ()
 
-let client t = Client.create t.rpc_ ~me:t.first_client_node ~replicas:t.cfg.Config.replicas
+let client t = Client.create t.rpc_ ~me:t.first_client_node ~replicas:t.members
+
+(* --- Live topology: reconfiguration through the replicated log --- *)
+
+let members t = t.members
+let set_on_new_server t f = t.on_new_server <- f
+
+let require_paxos t op =
+  if t.make_agreement <> None then
+    invalid_arg (op ^ ": chain agreement has no reconfiguration")
+
+(* Drive a membership change to commitment: keep (re)proposing through
+   whichever replica currently leads until some primary reports the new
+   config.  Re-proposing is idempotent — a replica refuses while its own
+   proposal is pending, and once the config applies the transition is no
+   longer a one-replica change, so duplicates are rejected at the source. *)
+let propose_config ?(limit = 30.) t new_members =
+  let deadline = Engine.clock t.eng +. limit in
+  let target = List.sort_uniq compare new_members in
+  let applied () =
+    match primary t with
+    | Some s -> List.sort_uniq compare (Server.peers s) = target
+    | None -> false
+  in
+  let rec go () =
+    if applied () then ()
+    else if Engine.clock t.eng >= deadline then
+      failwith "Cluster.propose_config: reconfiguration did not commit"
+    else begin
+      (match primary t with
+      | Some s -> ignore (Server.reconfig s new_members)
+      | None -> ());
+      run_for t 0.05;
+      go ()
+    end
+  in
+  go ()
+
+let add_replica ?limit t =
+  require_paxos t "Cluster.add_replica";
+  let node = Engine.add_node t.eng in
+  Rpc.attach_node t.rpc_ ~node;
+  let new_members = t.members @ [ node ] in
+  (* Commit first, start second: until the config entry commits the
+     current leader does not broadcast to the newcomer, so a newcomer
+     started early would see silence and campaign against a healthy
+     leader.  Messages sent between commit and start are just dropped;
+     heartbeat-driven retransmission and checkpoint fast-forward catch
+     the newcomer up once it is live. *)
+  propose_config ?limit t new_members;
+  t.members <- new_members;
+  let store = Paxos.Store.create () in
+  Paxos.Store.set_group store new_members;
+  let disk = Checkpoint.Disk.create () in
+  let cfg = { t.cfg with Config.replicas = new_members } in
+  let s =
+    Server.create ?make_agreement:t.make_agreement t.net_ t.rpc_ cfg ~node
+      ~paxos_store:store ~disk t.factory
+  in
+  t.replica_nodes <- Array.append t.replica_nodes [| node |];
+  t.servers_ <- Array.append t.servers_ [| s |];
+  t.stores <- Array.append t.stores [| store |];
+  t.disks <- Array.append t.disks [| disk |];
+  Server.start s;
+  (match t.on_new_server with Some f -> f s | None -> ());
+  node
+
+let remove_replica ?limit t node =
+  require_paxos t "Cluster.remove_replica";
+  ignore (index_of t node);
+  if not (List.mem node t.members) then
+    invalid_arg "Cluster.remove_replica: not a current member";
+  if List.length t.members <= 1 then
+    invalid_arg "Cluster.remove_replica: cannot empty the group";
+  let new_members = List.filter (fun n -> n <> node) t.members in
+  propose_config ?limit t new_members;
+  t.members <- new_members;
+  if Engine.node_alive t.eng node then Engine.crash_node t.eng node
+
+let replace_replica ?limit t node =
+  let fresh = add_replica ?limit t in
+  remove_replica ?limit t node;
+  fresh
+
+let rolling_restart ?(pause = 1.0) t =
+  List.iter
+    (fun node ->
+      if Engine.node_alive t.eng node then begin
+        crash t node;
+        run_for t pause;
+        restart t node;
+        ignore (await_primary t);
+        run_for t pause
+      end)
+    t.members
 
 let check_no_divergence t =
   Array.iter

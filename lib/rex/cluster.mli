@@ -72,6 +72,40 @@ val restart : t -> int -> unit
 (** Recreate the replica server from its surviving Paxos store and
     checkpoint disk, and start it. *)
 
+(** {1 Live topology}
+
+    Membership changes driven through the replicated log (Paxos
+    agreement only — [Invalid_argument] under [`Chain]).  Each call
+    pumps the simulation from driver context until the config entry
+    commits, so these are used between [run] calls like {!crash} and
+    {!restart}. *)
+
+val members : t -> int list
+(** Current committed membership (initially [Config.replicas]). *)
+
+val set_on_new_server : t -> (Server.t -> unit) option -> unit
+(** Hook fired after any server (re)creation — {!restart},
+    {!add_replica} — so harnesses can re-wire frontend taps. *)
+
+val add_replica : ?limit:float -> t -> int
+(** Grow the engine by one node, commit [members @ [node]] through the
+    log, then create and start the newcomer (bootstrapped by Learn
+    catch-up and checkpoint fast-forward).  Returns the new node id. *)
+
+val remove_replica : ?limit:float -> t -> int -> unit
+(** Commit the shrunk config, then crash the retired node.  The removed
+    replica demotes itself when the entry applies, before the crash. *)
+
+val replace_replica : ?limit:float -> t -> int -> int
+(** [add_replica] then [remove_replica]: the two single-change entries
+    that implement replacement with quorum intersection at each step.
+    Returns the replacement's node id. *)
+
+val rolling_restart : ?pause:float -> t -> unit
+(** Crash/restart each current member in turn, waiting [pause] (default
+    1 s) around each restart and re-electing a primary in between — the
+    rolling-upgrade schedule. *)
+
 val client : t -> Client.t
 (** A client homed on {!client_node}. *)
 

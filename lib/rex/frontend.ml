@@ -8,7 +8,8 @@ type backend = {
 }
 
 type reads = {
-  r_peers : int list;
+  r_peers : unit -> int list;
+      (* read per probe: membership changes under reconfiguration *)
   r_lease_valid : unit -> bool;
   r_read_index : unit -> int;
   r_applied_upto : unit -> int;
@@ -40,8 +41,9 @@ let node t = t.node
    acknowledged before the probes were sent. *)
 let quorum_read_index rpc ~node reads =
   let eng = Net.engine (Rpc.net rpc) in
-  let peers = List.filter (fun p -> p <> node) reads.r_peers in
-  let majority = (List.length reads.r_peers / 2) + 1 in
+  let members = reads.r_peers () in
+  let peers = List.filter (fun p -> p <> node) members in
+  let majority = (List.length members / 2) + 1 in
   let best = ref (reads.r_read_index ()) in
   let got = ref 1 in
   let done_ = ref 1 in
@@ -69,7 +71,7 @@ let quorum_read_index rpc ~node reads =
              incr done_;
              wake_all ())))
     peers;
-  let n = List.length reads.r_peers in
+  let n = List.length members in
   let rec await () =
     if !got >= majority then Some !best
     else if !done_ >= n then None

@@ -35,7 +35,9 @@ type backend = {
     otherwise the ordered path (enqueue on the leader, redirect
     elsewhere). *)
 type reads = {
-  r_peers : int list;  (** all replica node ids, including this one *)
+  r_peers : unit -> int list;
+      (** all replica node ids, including this one — a closure because
+          reconfiguration changes membership while reads are in flight *)
   r_lease_valid : unit -> bool;
       (** serve locally right now, fenced by a quorum lease *)
   r_read_index : unit -> int;

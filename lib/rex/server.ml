@@ -117,6 +117,17 @@ let queue_length t = Queue.length t.queue
 let divergence t = t.diverged
 let agreement t = Option.get t.agree
 
+(* Current replica-group membership: dynamic once the agreement layer
+   has applied committed config entries, the constructed list before
+   [start].  Checkpoint pushes, flow reports and quorum reads all route
+   over this so they track live reconfiguration. *)
+let peers t =
+  match t.agree with
+  | Some a -> a.Agreement.peers ()
+  | None -> t.cfg.Config.replicas
+
+let reconfig t new_peers = (agreement t).Agreement.reconfig new_peers
+
 let the_exec t =
   match t.exec with
   | Some e -> e
@@ -284,7 +295,7 @@ let ckpt_arrive t exec seq =
                  if peer <> t.node_id then
                    Net.send t.net ~src:t.node_id ~dst:peer ~port:push_ckpt_port
                      encoded)
-               t.cfg.Config.replicas))
+               (peers t)))
     end
     else
       while
@@ -558,7 +569,7 @@ let spawn_flow_reporter t exec =
                  if peer <> t.node_id then
                    Net.send t.net ~src:t.node_id ~dst:peer ~port:flow_port
                      (Codec.contents b))
-               t.cfg.Config.replicas
+               (peers t)
            end
          done))
 
@@ -937,7 +948,7 @@ let create ?make_agreement net rpc cfg ~node ~paxos_store ~disk factory =
       (Frontend.register rpc ~node ~table:t.session
     ~reads:
       {
-        Frontend.r_peers = cfg.Config.replicas;
+        Frontend.r_peers = (fun () -> peers t);
         r_lease_valid =
           (fun () ->
             t.role_ = Primary && (not t.rebuilding) && t.diverged = None
@@ -1050,7 +1061,7 @@ let fetch_better_checkpoint t =
           | _ -> ()
           | exception Codec.Decode_error _ -> ())
         | Some _ | None -> ())
-    t.cfg.Config.replicas
+    (peers t)
 
 let start t =
   let cbs =

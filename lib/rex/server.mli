@@ -97,3 +97,13 @@ val divergence_report : t -> string option
     debugging workflow. *)
 
 val agreement : t -> Agreement.t
+
+val peers : t -> int list
+(** Current replica membership as the agreement layer sees it — the
+    static config until a committed reconfiguration changes it. *)
+
+val reconfig : t -> int list -> bool
+(** Propose a membership change through the replicated log (single
+    replica added or removed per call).  [false] when this replica
+    cannot propose right now (not leader, proposal in flight, or the
+    transition is not a one-replica change). *)

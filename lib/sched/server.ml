@@ -178,6 +178,12 @@ let on_committed t instance value =
     Queue.push (instance, List.combine reqs cbs) t.exec_queue;
     wake_dispatcher t
 
+(* Rolling-upgrade support: a replacement server created over the old
+   server's store re-admits the committed prefix through the scheduler
+   to rebuild app and session state.  Call between [create] and
+   [start]. *)
+let replay t = Paxos.Replica.replay_committed t.pstore (on_committed t)
+
 let spawn_leader_fibers t =
   t.leader_epoch <- t.leader_epoch + 1;
   let epoch = t.leader_epoch in
@@ -293,7 +299,11 @@ let create net rpc cfg ~node ~paxos_store ~mode ~conflict factory =
       (R.Frontend.register rpc ~node ~table:session
          ~reads:
            {
-             R.Frontend.r_peers = cfg.R.Config.replicas;
+             R.Frontend.r_peers =
+               (fun () ->
+                 match t.pax with
+                 | Some p -> Paxos.Replica.peers p
+                 | None -> cfg.R.Config.replicas);
              r_lease_valid =
                (fun () ->
                  t.leader

@@ -37,6 +37,13 @@ val create :
     [propose_interval] paces batching, as in the other stacks. *)
 
 val start : t -> unit
+
+val replay : t -> unit
+(** Queue the store's committed prefix for re-execution — the rolling
+    upgrade path: a replacement server [create]d over the retired
+    server's {!Paxos.Store.t} calls this before {!start} to rebuild app
+    and session state (this stack has no checkpoint recovery). *)
+
 val node : t -> int
 val is_primary : t -> bool
 val session_table : t -> Rex_core.Session.Table.t

@@ -70,3 +70,41 @@ val digests : t -> int -> string list
 
 val converged : t -> bool
 (** Every group's live replicas agree on their digest. *)
+
+(** {1 Live topology}
+
+    All four operations run the system {e under traffic}: they pump the
+    simulation from driver context (like {!Rex_core.Cluster.restart})
+    while client fibers keep issuing requests.  Counters under
+    subsystem ["shard"]: [migrations], [migrated_keys],
+    [group_reconfigs], [rolling_upgrades], a [migration_duration]
+    histogram and a [fleet_epoch] gauge. *)
+
+val active_groups : t -> int list
+(** Groups in the current map ({!n_groups} counts every group ever
+    created, including merged-away redirect servers). *)
+
+val migrate : ?limit:float -> t -> Shard_map.t -> unit
+(** Drive the fleet to a strictly newer-epoch map: SHARD PREPARE on
+    every losing group (freeze + dump), INSTALL on every gaining group
+    (import + cutover), COMMIT on the rest — all as ordinary replicated
+    writes, idempotent and retried across failovers until [limit]
+    virtual seconds (default 60).  Raises [Failure] on deadline. *)
+
+val split : ?limit:float -> t -> int
+(** Live split: create a new replica group on fresh engine nodes, then
+    {!migrate} to the map with that group added (it takes ~1/(N+1) of
+    the key space).  Returns the new group id. *)
+
+val merge : ?limit:float -> t -> int -> unit
+(** Live merge: {!migrate} to the map with group [g] removed; its keys
+    spread across the survivors.  The victim's cluster stays up as a
+    redirect server for stale routers. *)
+
+val reconfig_group : ?limit:float -> t -> int -> int
+(** Replace one (preferably non-primary) replica of group [g] through
+    the group's replicated log; returns the new node id and updates the
+    fleet router's view of the group. *)
+
+val rolling_upgrade : ?pause:float -> t -> unit
+(** {!Rex_core.Cluster.rolling_restart} over every active group. *)

@@ -3,7 +3,7 @@ module R = Rex_core
 
 type group_state = {
   g_id : int;
-  nodes : int array;
+  mutable nodes : int array;
   mutable guess : int; (* index into nodes: believed leader *)
   c_routed : Obs.Metric.counter;
   c_redirects : Obs.Metric.counter;
@@ -21,8 +21,12 @@ type t = {
   mutable next_seq : int;
   mutable map : Shard_map.t;
   groups : (int, group_state) Hashtbl.t;
+  obs : Obs.t;
   c_requests : Obs.Metric.counter;
   c_hops : Obs.Metric.counter;
+  c_remaps : Obs.Metric.counter;
+  c_migration_waits : Obs.Metric.counter;
+  g_epoch : Obs.Metric.gauge;
   g_imbalance : Obs.Metric.gauge;
   mutable since_gauge : int;
 }
@@ -35,48 +39,68 @@ type stats = {
   failures : int;
 }
 
+let mk_group_state obs g_id nodes =
+  if nodes = [] then invalid_arg "Router: empty group";
+  let labels = [ ("group", string_of_int g_id) ] in
+  {
+    g_id;
+    nodes = Array.of_list nodes;
+    guess = 0;
+    c_routed = Obs.counter obs ~subsystem:"shard" ~labels "routed";
+    c_redirects = Obs.counter obs ~subsystem:"shard" ~labels "redirects";
+    c_retries = Obs.counter obs ~subsystem:"shard" ~labels "retries";
+    c_failures = Obs.counter obs ~subsystem:"shard" ~labels "failures";
+    h_latency = Obs.histogram obs ~subsystem:"shard" ~labels "request_latency";
+    routed_ok = 0;
+  }
+
 let create net rpc ~me ~map ~groups =
   let eng = Net.engine net in
   let obs = Engine.obs eng in
   let tbl = Hashtbl.create 8 in
   List.iter
-    (fun (g_id, nodes) ->
-      if nodes = [] then invalid_arg "Router.create: empty group";
-      let labels = [ ("group", string_of_int g_id) ] in
-      Hashtbl.replace tbl g_id
-        {
-          g_id;
-          nodes = Array.of_list nodes;
-          guess = 0;
-          c_routed = Obs.counter obs ~subsystem:"shard" ~labels "routed";
-          c_redirects = Obs.counter obs ~subsystem:"shard" ~labels "redirects";
-          c_retries = Obs.counter obs ~subsystem:"shard" ~labels "retries";
-          c_failures = Obs.counter obs ~subsystem:"shard" ~labels "failures";
-          h_latency =
-            Obs.histogram obs ~subsystem:"shard" ~labels "request_latency";
-          routed_ok = 0;
-        })
+    (fun (g_id, nodes) -> Hashtbl.replace tbl g_id (mk_group_state obs g_id nodes))
     groups;
   List.iter
     (fun g ->
       if not (Hashtbl.mem tbl g) then
         invalid_arg (Printf.sprintf "Router.create: map group %d has no replicas" g))
     (Shard_map.groups map);
-  {
-    eng;
-    rpc;
-    me;
-    uid = Engine.fresh_uid eng;
-    next_seq = 0;
-    map;
-    groups = tbl;
-    c_requests = Obs.counter obs ~subsystem:"shard" "router_requests";
-    c_hops = Obs.counter obs ~subsystem:"shard" "router_hops";
-    g_imbalance = Obs.gauge obs ~subsystem:"shard" "imbalance_milli";
-    since_gauge = 0;
-  }
+  let t =
+    {
+      eng;
+      rpc;
+      me;
+      uid = Engine.fresh_uid eng;
+      next_seq = 0;
+      map;
+      groups = tbl;
+      obs;
+      c_requests = Obs.counter obs ~subsystem:"shard" "router_requests";
+      c_hops = Obs.counter obs ~subsystem:"shard" "router_hops";
+      c_remaps = Obs.counter obs ~subsystem:"shard" "router_remaps";
+      c_migration_waits = Obs.counter obs ~subsystem:"shard" "migration_waits";
+      g_epoch = Obs.gauge obs ~subsystem:"shard" "router_epoch";
+      g_imbalance = Obs.gauge obs ~subsystem:"shard" "imbalance_milli";
+      since_gauge = 0;
+    }
+  in
+  Obs.Metric.set t.g_epoch (float_of_int (Shard_map.epoch map));
+  t
 
 let map t = t.map
+
+let add_group t ~group ~nodes =
+  match Hashtbl.find_opt t.groups group with
+  | Some g -> g.nodes <- Array.of_list nodes
+  | None -> Hashtbl.replace t.groups group (mk_group_state t.obs group nodes)
+
+let set_group_nodes t ~group ~nodes =
+  match Hashtbl.find_opt t.groups group with
+  | None -> invalid_arg (Printf.sprintf "Router.set_group_nodes: no group %d" group)
+  | Some g ->
+    g.nodes <- Array.of_list nodes;
+    g.guess <- 0
 
 let set_map t m =
   List.iter
@@ -84,7 +108,21 @@ let set_map t m =
       if not (Hashtbl.mem t.groups g) then
         invalid_arg (Printf.sprintf "Router.set_map: group %d has no replicas" g))
     (Shard_map.groups m);
-  t.map <- m
+  t.map <- m;
+  Obs.Metric.set t.g_epoch (float_of_int (Shard_map.epoch m))
+
+(* A redirect carried a map spec: adopt it when it is strictly newer and
+   we know replicas for every group in it (a split announces the new
+   group's nodes to the router out of band, before traffic moves). *)
+let maybe_refresh t = function
+  | Some m
+    when Shard_map.epoch m > Shard_map.epoch t.map
+         && List.for_all (Hashtbl.mem t.groups) (Shard_map.groups m) ->
+    Obs.Metric.incr t.c_remaps;
+    t.map <- m;
+    Obs.Metric.set t.g_epoch (float_of_int (Shard_map.epoch m));
+    true
+  | Some _ | None -> false
 
 let group_of t key = Shard_map.group_of t.map key
 
@@ -190,8 +228,37 @@ let call_group ?(retries = 8) ?(timeout = 0.1) t ~group request =
   in
   go retries backoff0
 
+(* Keyed calls re-resolve the group on every attempt and obey shard
+   redirects: a wrong-shard reply refreshes the map from the attached
+   spec, a migrating reply backs off until the cutover lands.  Each
+   re-issue is a fresh [call_group], hence a fresh session seq — safe
+   because the shard layer rejected the request before it touched app
+   state, so the retry cannot double-execute. *)
+let shard_retries = 10
+
 let call ?retries ?timeout t ~key request =
-  call_group ?retries ?timeout t ~group:(group_of t key) request
+  let rec go tries backoff =
+    if tries = 0 then None
+    else
+      match call_group ?retries ?timeout t ~group:(group_of t key) request with
+      | None -> None
+      | Some resp -> (
+        match Partition.classify resp with
+        | `App -> Some resp
+        | `Wrong_shard spec ->
+          ignore (maybe_refresh t spec);
+          Engine.sleep backoff;
+          go (tries - 1) (Float.min (2. *. backoff) backoff_cap)
+        | `Migrating spec ->
+          Obs.Metric.incr t.c_migration_waits;
+          (* The spec names the *target* map: do not adopt it early — the
+             destination group only serves these keys once INSTALL lands.
+             Just wait for the cutover and re-route. *)
+          ignore spec;
+          Engine.sleep backoff;
+          go (tries - 1) (Float.min (2. *. backoff) backoff_cap))
+  in
+  go shard_retries backoff0
 
 (* Reads follow the same discovery loop as [call_group] — redirects move
    the guess, timeouts and drops rotate it with backoff — but carry no
@@ -231,7 +298,24 @@ let query_group ?(retries = 8) ?(timeout = 0.1) t ~group request =
   go retries backoff0
 
 let query ?retries ?timeout t ~key request =
-  query_group ?retries ?timeout t ~group:(group_of t key) request
+  let rec go tries backoff =
+    if tries = 0 then None
+    else
+      match query_group ?retries ?timeout t ~group:(group_of t key) request with
+      | None -> None
+      | Some resp -> (
+        match Partition.classify resp with
+        | `App -> Some resp
+        | `Wrong_shard spec ->
+          ignore (maybe_refresh t spec);
+          Engine.sleep backoff;
+          go (tries - 1) (Float.min (2. *. backoff) backoff_cap)
+        | `Migrating _ ->
+          Obs.Metric.incr t.c_migration_waits;
+          Engine.sleep backoff;
+          go (tries - 1) (Float.min (2. *. backoff) backoff_cap))
+  in
+  go shard_retries backoff0
 
 (* --- Scatter-gather multi-key fan-out --- *)
 
@@ -265,13 +349,15 @@ let multi_call ?retries ?timeout t reqs =
     let remaining = ref (Hashtbl.length by_group) in
     let parent = ref None in
     Hashtbl.iter
-      (fun g items ->
+      (fun _g items ->
         let items = List.rev items in
         ignore
           (Engine.spawn t.eng ~node:t.me ~name:"shard.fanout" (fun () ->
                List.iter
                  (fun (i, req) ->
-                   match call_group ?retries ?timeout t ~group:g req with
+                   (* Keyed call: follows shard redirects if the map
+                      moved after the batch was partitioned. *)
+                   match call ?retries ?timeout t ~key:(fst reqs.(i)) req with
                    | Some resp ->
                      outcomes.(i) <- (fst outcomes.(i), Reply resp)
                    | None -> ())

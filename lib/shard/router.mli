@@ -27,6 +27,15 @@ val map : t -> Shard_map.t
 val set_map : t -> Shard_map.t -> unit
 (** Install a newer epoch (the groups must already be known). *)
 
+val add_group : t -> group:int -> nodes:int list -> unit
+(** Teach the router a (new) group's replica nodes — required before a
+    map naming that group can be installed or adopted from a redirect.
+    Idempotent: an existing group's nodes are replaced. *)
+
+val set_group_nodes : t -> group:int -> nodes:int list -> unit
+(** Replace an existing group's replica nodes (after a reconfiguration
+    changed its membership) and reset the leader guess. *)
+
 val group_of : t -> string -> int
 
 val leader_hint : t -> group:int -> int
@@ -36,8 +45,14 @@ val call :
   ?retries:int -> ?timeout:float -> t -> key:string -> string -> string option
 (** Route an update request by key.  Follows leader hints, sleeps with
     exponential backoff between attempts, and gives up after [retries]
-    (default 8) — [None] inherits the client library's at-least-once
-    caveat. *)
+    (default 8) per routing attempt — [None] inherits the client
+    library's at-least-once caveat.  Shard redirects are obeyed across
+    up to 10 routing attempts: a wrong-shard reply refreshes the map
+    from the attached spec (counted on [shard/router_remaps]), a
+    migrating reply backs off until the cutover lands (counted on
+    [shard/migration_waits]).  Each re-route re-issues with a fresh
+    session identity, which is safe because the shard layer rejected
+    the original before it touched app state. *)
 
 val call_group :
   ?retries:int -> ?timeout:float -> t -> group:int -> string -> string option

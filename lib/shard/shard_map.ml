@@ -80,6 +80,39 @@ let remove_group t g =
   { epoch = t.epoch + 1; vnodes = t.vnodes; groups;
     ring = build_ring ~vnodes:t.vnodes groups }
 
+(* Wire spec: everything needed to reconstruct the map — including the
+   epoch, which ring geometry alone cannot carry.  Attached to shard
+   redirect replies so a stale router can refresh without a directory
+   service. *)
+let encode_spec t =
+  Printf.sprintf "e%dv%dg%s" t.epoch t.vnodes
+    (String.concat "," (List.map string_of_int t.groups))
+
+let decode_spec s =
+  let parse_int str = int_of_string_opt str in
+  match String.index_opt s 'v' with
+  | Some vi when String.length s > 0 && s.[0] = 'e' -> (
+    match String.index_from_opt s vi 'g' with
+    | Some gi -> (
+      let epoch = parse_int (String.sub s 1 (vi - 1)) in
+      let vnodes = parse_int (String.sub s (vi + 1) (gi - vi - 1)) in
+      let groups =
+        String.sub s (gi + 1) (String.length s - gi - 1)
+        |> String.split_on_char ','
+        |> List.map parse_int
+      in
+      match (epoch, vnodes) with
+      | Some epoch, Some vnodes
+        when epoch >= 0 && vnodes > 0
+             && groups <> []
+             && List.for_all (function Some g -> g >= 0 | None -> false) groups
+        ->
+        let groups = List.sort_uniq compare (List.filter_map Fun.id groups) in
+        Some { epoch; vnodes; groups; ring = build_ring ~vnodes groups }
+      | _ -> None)
+    | None -> None)
+  | _ -> None
+
 let shares t keys =
   let counts = Hashtbl.create 8 in
   List.iter (fun g -> Hashtbl.replace counts g 0) t.groups;

@@ -33,6 +33,15 @@ val group_of : t -> string -> int
 val add_group : t -> int -> t
 val remove_group : t -> int -> t
 
+val encode_spec : t -> string
+(** Compact wire form carrying epoch, vnode count and group set — enough
+    to reconstruct the map on the other side.  Attached to shard
+    redirect replies so stale routers refresh without a directory
+    service. *)
+
+val decode_spec : string -> t option
+(** Inverse of {!encode_spec}; [None] on malformed input. *)
+
 val shares : t -> string list -> (int * int) list
 (** Keys-per-group histogram of a key sample, for balance checks. *)
 

@@ -42,22 +42,26 @@ let tid_of fiber = fiber.info.Protocol.fi_tid
 let node_of fiber = fiber.info.Protocol.fi_node
 let name_of fiber = fiber.info.Protocol.fi_name
 
+(* Per-node state lives in arrays indexed by node id; [add_node] grows
+   them in place (the control plane adds replicas to a live fabric), so
+   the fields are mutable and must only be read through [t]. *)
 type t = {
   mutable time : float;
   events : (unit -> unit) Pqueue.t;
   root_rng : Rng.t;
   jitter_rng : Rng.t;
-  nodes : int;
+  mutable nodes : int;
   cores : int;
-  alive : bool array;
-  node_inc : int array;
-  clock_rate : float array;
+  mutable alive : bool array;
+  mutable node_inc : int array;
+  mutable clock_rate : float array;
       (* per-node local-clock rate relative to virtual time (1.0 = true) *)
-  clock_offset : float array;
-  free_cores : int array;
-  cpu_wait : (fiber * float * float * (unit, unit) continuation) Queue.t array;
+  mutable clock_offset : float array;
+  mutable free_cores : int array;
+  mutable cpu_wait :
+    (fiber * float * float * (unit, unit) continuation) Queue.t array;
       (* (fiber, work duration, enqueue time, continuation) *)
-  busy : float array;
+  mutable busy : float array;
   fibers : (tid, fiber) Hashtbl.t;
   mutable next_tid : int;
   next_uid : int Atomic.t;
@@ -67,8 +71,8 @@ type t = {
   g_ready : Obs.Metric.gauge;
   g_ready_max : Obs.Metric.gauge;
   c_dispatched : Obs.Metric.counter;
-  c_spawned : Obs.Metric.counter array;
-  h_cpu_wait : Obs.Histogram.t array;
+  mutable c_spawned : Obs.Metric.counter array;
+  mutable h_cpu_wait : Obs.Histogram.t array;
 }
 
 let create ?(seed = 42) ?(cores_per_node = 16) ~num_nodes () =
@@ -121,6 +125,31 @@ let create ?(seed = 42) ?(cores_per_node = 16) ~num_nodes () =
 
 let num_nodes t = t.nodes
 let cores_per_node t = t.cores
+
+(* Grow the fabric by one node (alive, true clock, idle cores).  Fibers,
+   nets and RPC served on existing nodes are untouched: every per-node
+   array is extended in place and the new id is returned.  This is the
+   substrate for live topology changes — a joining Paxos replica or a
+   freshly split shard group gets real simulated hardware. *)
+let add_node t =
+  let n = t.nodes in
+  let grow a v = Array.append a [| v |] in
+  t.alive <- grow t.alive true;
+  t.node_inc <- grow t.node_inc 0;
+  t.clock_rate <- grow t.clock_rate 1.;
+  t.clock_offset <- grow t.clock_offset 0.;
+  t.free_cores <- grow t.free_cores t.cores;
+  t.cpu_wait <- grow t.cpu_wait (Queue.create ());
+  t.busy <- grow t.busy 0.;
+  let labels = [ ("node", string_of_int n) ] in
+  t.c_spawned <-
+    grow t.c_spawned
+      (Obs.counter t.obs ~subsystem:"sim" ~labels "fibers_spawned");
+  t.h_cpu_wait <-
+    grow t.h_cpu_wait
+      (Obs.histogram t.obs ~subsystem:"sim" ~labels "cpu_queue_wait");
+  t.nodes <- n + 1;
+  n
 
 (* Atomic so engine-scoped uid allocation stays safe if a handle leaks
    into backend-shared code; single-domain allocation order (and thus

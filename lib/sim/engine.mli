@@ -62,6 +62,14 @@ val create : ?seed:int -> ?cores_per_node:int -> num_nodes:int -> unit -> t
 val num_nodes : t -> int
 val cores_per_node : t -> int
 
+val add_node : t -> int
+(** Grow the fabric by one node on the live simulation and return its id
+    (= the previous {!num_nodes}).  The node starts alive with a true
+    clock and idle cores; existing nodes, fibers and in-flight events are
+    unaffected.  Used by the topology control plane: joining Paxos
+    replicas and freshly split shard groups get real simulated hardware
+    at runtime instead of being pre-allocated. *)
+
 val fresh_uid : t -> int
 (** Engine-scoped monotone id allocator.  Deterministic for a given seed
     and program order — used for client session identities, where a

@@ -8,21 +8,23 @@ type t = {
 
 let reply_port = "rpc.reply"
 
+let on_reply t ~src:_ payload =
+  let s = Codec.source payload in
+  let id = Codec.read_uvarint s in
+  let body = Codec.read_string s in
+  match Hashtbl.find_opt t.pending id with
+  | None -> () (* Caller already timed out. *)
+  | Some p ->
+    p.result <- Some body;
+    Engine.wake p.waker
+
+let attach_node t ~node = Net.register t.net ~node ~port:reply_port (on_reply t)
+
 let create net =
   let t = { net; pending = Hashtbl.create 64; next_id = 0 } in
   let eng = Net.engine net in
-  let on_reply ~src:_ payload =
-    let s = Codec.source payload in
-    let id = Codec.read_uvarint s in
-    let body = Codec.read_string s in
-    match Hashtbl.find_opt t.pending id with
-    | None -> () (* Caller already timed out. *)
-    | Some p ->
-      p.result <- Some body;
-      Engine.wake p.waker
-  in
   for node = 0 to Engine.num_nodes eng - 1 do
-    Net.register net ~node ~port:reply_port on_reply
+    attach_node t ~node
   done;
   t
 

@@ -9,6 +9,11 @@ type t
 val create : Net.t -> t
 val net : t -> Net.t
 
+val attach_node : t -> node:int -> unit
+(** Register the reply port on a node added to the engine after
+    {!create} (see {!Sim.Engine.add_node}) so RPC calls issued from it
+    can complete. *)
+
 val serve : t -> node:int -> port:string -> (src:int -> string -> string) -> unit
 (** Register a service; the handler's return value is the reply. *)
 

@@ -315,6 +315,51 @@ let regression_dropped_accept_wedge () =
   Alcotest.(check bool) "group stays live after drops + leader kill" true
     (Runner.passed o)
 
+(* --- Topology nemeses: reconfig / split / upgrade under traffic --- *)
+
+let topo_cfg ?(app = Runner.Kv) ~stack ~nemesis ~seed () =
+  Runner.default_config ~clients:2 ~ops_per_client:6 ~stack ~app ~nemesis
+    ~seed ()
+
+let reconfig_nemesis_rex () =
+  let o = Runner.run_one (topo_cfg ~stack:Runner.Rex ~nemesis:N.Reconfigs ~seed:71 ()) in
+  Alcotest.(check bool) "replica replacement under traffic passes" true
+    (Runner.passed o)
+
+let reconfig_nemesis_sharded () =
+  let o =
+    Runner.run_one (topo_cfg ~stack:Runner.Sharded ~nemesis:N.Reconfigs ~seed:72 ())
+  in
+  Alcotest.(check bool) "group reconfig in a fleet passes" true
+    (Runner.passed o)
+
+let split_nemesis_sharded () =
+  let o =
+    Runner.run_one (topo_cfg ~stack:Runner.Sharded ~nemesis:N.Splits ~seed:73 ())
+  in
+  Alcotest.(check bool) "live split+merge under traffic passes" true
+    (Runner.passed o)
+
+let upgrade_nemesis_all_stacks () =
+  (* The rolling restart rides the same-store replay path on the stacks
+     without checkpoint recovery; Rex recovers from disk. *)
+  List.iter
+    (fun stack ->
+      let o =
+        Runner.run_one (topo_cfg ~stack ~nemesis:N.Upgrades ~seed:74 ())
+      in
+      Alcotest.(check bool)
+        (Runner.stack_name stack ^ ": rolling upgrade passes")
+        true (Runner.passed o))
+    [ Runner.Rex; Runner.Smr; Runner.Eve; Runner.Cbase; Runner.Early;
+      Runner.Sharded ]
+
+let topo_noop_without_hooks () =
+  (* A split profile on an unsharded stack must degrade to a clean run,
+     so `--nemesis all` stays runnable everywhere. *)
+  let o = Runner.run_one (topo_cfg ~stack:Runner.Smr ~nemesis:N.Splits ~seed:75 ()) in
+  Alcotest.(check bool) "split profile no-ops on smr" true (Runner.passed o)
+
 let suite =
   [
     Alcotest.test_case "register: sequential" `Quick register_sequential;
@@ -341,4 +386,13 @@ let suite =
       regression_rejoin_stall;
     Alcotest.test_case "regression: dropped-Accept wedge" `Quick
       regression_dropped_accept_wedge;
+    Alcotest.test_case "nemesis: reconfig on rex" `Quick reconfig_nemesis_rex;
+    Alcotest.test_case "nemesis: reconfig on shard" `Quick
+      reconfig_nemesis_sharded;
+    Alcotest.test_case "nemesis: split+merge on shard" `Quick
+      split_nemesis_sharded;
+    Alcotest.test_case "nemesis: rolling upgrade on every stack" `Quick
+      upgrade_nemesis_all_stacks;
+    Alcotest.test_case "nemesis: topology no-op without hooks" `Quick
+      topo_noop_without_hooks;
   ]

@@ -327,6 +327,44 @@ let test_export_well_formed () =
   Alcotest.(check bool) "table mentions counter" true
     (contains_sub table "42")
 
+(* --- Timeline: windowed req/s + latency with event marks --- *)
+
+let test_timeline () =
+  Alcotest.check_raises "bucket must be positive"
+    (Invalid_argument "Obs.Timeline.create: bucket must be > 0") (fun () ->
+      ignore (Obs.Timeline.create ~bucket:0. ()));
+  let tl = Obs.Timeline.create ~bucket:0.5 () in
+  Alcotest.(check int) "empty timeline has no rows" 0
+    (List.length (Obs.Timeline.rows tl));
+  (* three completions in bucket [1.0,1.5), one in [3.0,3.5): the gap
+     must appear as zero rows, not vanish *)
+  Obs.Timeline.record tl ~latency:0.010 1.1;
+  Obs.Timeline.record tl ~latency:0.030 1.2;
+  Obs.Timeline.record tl 1.4;
+  Obs.Timeline.record tl ~latency:0.002 3.2;
+  Obs.Timeline.mark tl 2.1 "failover";
+  let rows = Obs.Timeline.rows tl in
+  Alcotest.(check int) "contiguous rows across the gap" 5 (List.length rows);
+  let r0 = List.nth rows 0 in
+  Alcotest.(check (float 1e-9)) "first window start" 1.0 r0.Obs.Timeline.t0;
+  Alcotest.(check int) "count" 3 r0.Obs.Timeline.n;
+  Alcotest.(check (float 1e-9)) "rate = n / bucket" 6.0 r0.Obs.Timeline.rate;
+  Alcotest.(check (float 1e-9)) "mean over recorded latencies only" 0.020
+    r0.Obs.Timeline.lat_mean;
+  Alcotest.(check (float 1e-9)) "max latency" 0.030 r0.Obs.Timeline.lat_max;
+  let r2 = List.nth rows 2 in
+  Alcotest.(check int) "gap row is zero" 0 r2.Obs.Timeline.n;
+  Alcotest.(check (list string)) "mark lands in its window" [ "failover" ]
+    (List.nth rows 2).Obs.Timeline.row_marks;
+  let csv = Obs.Timeline.to_csv tl in
+  Alcotest.(check bool) "csv header" true
+    (Astring.String.is_prefix ~affix:"t,requests,req_per_s,lat_mean" csv);
+  Alcotest.(check int) "csv has header + one line per row" 6
+    (List.length
+       (List.filter (fun l -> l <> "") (String.split_on_char '\n' csv)));
+  Alcotest.(check bool) "csv carries the mark" true
+    (contains_sub csv "failover")
+
 (* --- Full stack: a replicated lock server exports real numbers --- *)
 
 let test_cluster_observability () =
@@ -416,6 +454,7 @@ let suite =
     Alcotest.test_case "registry labels" `Quick test_registry_labels;
     Alcotest.test_case "spans" `Quick test_spans;
     Alcotest.test_case "exporters well-formed" `Quick test_export_well_formed;
+    Alcotest.test_case "timeline windows" `Quick test_timeline;
     Alcotest.test_case "cluster observability" `Quick
       test_cluster_observability;
   ]

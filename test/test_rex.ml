@@ -567,3 +567,91 @@ let suite =
       Alcotest.test_case "smr timers serialized" `Quick smr_timers_serialized;
       Alcotest.test_case "smr failover" `Quick smr_failover;
     ]
+
+(* --- Live topology: membership changes under traffic --- *)
+
+let replace_replica_under_traffic () =
+  let cluster = R.Cluster.create ~seed:67 (cfg ()) (test_app ()) in
+  R.Cluster.start cluster;
+  ignore (R.Cluster.await_primary cluster);
+  let eng = R.Cluster.engine cluster in
+  let cnode = R.Cluster.client_node cluster in
+  let cl = R.Cluster.client cluster in
+  ignore
+    (drive_requests cl
+       (List.init 30 (fun i -> Printf.sprintf "INC r%d" (i mod 3)))
+       eng cnode);
+  (* Replace a non-primary member: add node 4 (node 3 is the client),
+     retire the victim, both through the replicated log. *)
+  let primary0 = Option.get (R.Cluster.primary cluster) in
+  let victim =
+    List.find
+      (fun n -> n <> R.Server.node primary0)
+      (R.Cluster.members cluster)
+  in
+  let fresh = R.Cluster.replace_replica cluster victim in
+  Alcotest.(check (list int)) "membership replaced"
+    (List.sort compare
+       (fresh :: List.filter (fun n -> n <> victim) [ 0; 1; 2 ]))
+    (List.sort compare (R.Cluster.members cluster));
+  Alcotest.(check bool) "victim is down" false
+    (Engine.node_alive eng victim);
+  (* Traffic keeps flowing against the new membership. *)
+  let results =
+    drive_requests cl
+      (List.init 30 (fun i -> Printf.sprintf "INC r%d" (i mod 3)))
+      eng cnode
+  in
+  Alcotest.(check int) "all answered after replacement" 30
+    (List.length (List.filter (fun (_, r) -> r <> None) results));
+  quiesce cluster;
+  R.Cluster.check_no_divergence cluster;
+  (* The newcomer bootstrapped to the same state as the survivors. *)
+  check_digests_equal "digests converge incl newcomer" cluster;
+  let newcomer = R.Cluster.server cluster fresh in
+  Alcotest.(check bool) "newcomer is a full member" true
+    (List.mem fresh (R.Server.peers newcomer))
+
+let rolling_restart_preserves_service () =
+  let cluster =
+    R.Cluster.create ~seed:71 (cfg ~checkpoint_interval:(Some 0.5) ())
+      (test_app ())
+  in
+  R.Cluster.start cluster;
+  ignore (R.Cluster.await_primary cluster);
+  let eng = R.Cluster.engine cluster in
+  let cnode = R.Cluster.client_node cluster in
+  let cl = R.Cluster.client cluster in
+  ignore
+    (drive_requests cl
+       (List.init 30 (fun i -> Printf.sprintf "INC u%d" (i mod 3)))
+       eng cnode);
+  R.Cluster.rolling_restart cluster;
+  Alcotest.(check (list int)) "membership unchanged" [ 0; 1; 2 ]
+    (List.sort compare (R.Cluster.members cluster));
+  List.iter
+    (fun n ->
+      Alcotest.(check bool)
+        (Printf.sprintf "node %d back up" n)
+        true
+        (Engine.node_alive eng n))
+    (R.Cluster.members cluster);
+  let results =
+    drive_requests cl
+      (List.init 30 (fun i -> Printf.sprintf "INC u%d" (i mod 3)))
+      eng cnode
+  in
+  Alcotest.(check int) "all answered after rolling restart" 30
+    (List.length (List.filter (fun (_, r) -> r <> None) results));
+  quiesce cluster;
+  R.Cluster.check_no_divergence cluster;
+  check_digests_equal "digests converge after rolling restart" cluster
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "replace replica under traffic" `Quick
+        replace_replica_under_traffic;
+      Alcotest.test_case "rolling restart preserves service" `Quick
+        rolling_restart_preserves_service;
+    ]

@@ -287,8 +287,170 @@ let test_fleet_failover () =
          reply :=
            Router.call_group router ~group:0 (Printf.sprintf "SET %s v" wrong_key)));
   Fleet.run_for fleet 5.0;
-  Alcotest.(check (option string)) "misrouted request rejected"
-    (Some Shard.Partition.wrong_shard) !reply
+  (* the rejection carries the responder's map spec for router refresh *)
+  (match !reply with
+  | Some resp -> (
+    match Shard.Partition.classify resp with
+    | `Wrong_shard (Some m) ->
+      Alcotest.(check int) "redirect spec epoch" 0 (Shard.Shard_map.epoch m)
+    | `Wrong_shard None -> Alcotest.fail "wrong-shard reply lost its spec"
+    | `Migrating _ | `App -> Alcotest.fail ("unexpected reply: " ^ resp))
+  | None -> Alcotest.fail "misrouted request got no reply")
+
+(* --- Live split and merge under traffic --- *)
+
+let test_live_split_merge () =
+  let fleet =
+    Fleet.create ~seed:23 ~groups:2 (fun ~map ~group ->
+        Shard.Partition.factory ~map ~group (Apps.Memcache.factory ()))
+  in
+  let eng = Fleet.engine fleet in
+  Fleet.start fleet;
+  Fleet.await_primaries fleet;
+  let router = Fleet.router fleet in
+  (* Seed keys the traffic never rewrites: after split + merge they must
+     still read their original values, proving both migrations carried
+     the data. *)
+  let n_stable = 40 in
+  let stable k = Printf.sprintf "stable%d" k in
+  let seeded = ref 0 in
+  ignore
+    (Engine.spawn eng ~node:(Fleet.client_node fleet) (fun () ->
+         for k = 0 to n_stable - 1 do
+           (match
+              Router.call router ~key:(stable k)
+                (Printf.sprintf "SET %s v%d" (stable k) k)
+            with
+           | Some "STORED" -> incr seeded
+           | Some other -> Alcotest.fail ("seed SET replied " ^ other)
+           | None -> Alcotest.fail "seed SET timed out")
+         done));
+  let deadline = Engine.clock eng +. 60. in
+  while !seeded < n_stable && Engine.clock eng < deadline do
+    Fleet.run_for fleet 0.5
+  done;
+  Alcotest.(check int) "all stable keys seeded" n_stable !seeded;
+  (* continuous keyed traffic across both topology changes *)
+  let n = 400 in
+  let completed = ref 0 and failed = ref 0 and launched = ref 0 in
+  let gen = Workload.Mix.kv_keyed ~n_keys:300 ~read_ratio:0.2 () in
+  let rng = Rng.create 5 in
+  for _ = 1 to 8 do
+    ignore
+      (Engine.spawn eng ~node:(Fleet.client_node fleet) (fun () ->
+           while !launched < n do
+             incr launched;
+             let key, request = gen rng in
+             match Router.call router ~key request with
+             | Some _ -> incr completed
+             | None -> incr failed
+           done))
+  done;
+  let pump_until target =
+    let deadline = Engine.clock eng +. 120. in
+    while !completed + !failed < target && Engine.clock eng < deadline do
+      Fleet.run_for fleet 0.2
+    done
+  in
+  pump_until (n / 4);
+  (* split while the traffic fibers are mid-flight *)
+  let g = Fleet.split fleet in
+  Alcotest.(check int) "split created group 2" 2 g;
+  Alcotest.(check int) "epoch after split" 1 (Map_.epoch (Fleet.map fleet));
+  Alcotest.(check (list int)) "split joins the map" [ 0; 1; 2 ]
+    (Fleet.active_groups fleet);
+  pump_until (n / 2);
+  (* and merge it back out, still under traffic *)
+  Fleet.merge fleet g;
+  Alcotest.(check int) "epoch after merge" 2 (Map_.epoch (Fleet.map fleet));
+  Alcotest.(check (list int)) "merge leaves the map" [ 0; 1 ]
+    (Fleet.active_groups fleet);
+  pump_until n;
+  Alcotest.(check int) "every request answered" n (!completed + !failed);
+  Alcotest.(check int) "no request lost to the migrations" n !completed;
+  (* the seeded keys survived the round trip *)
+  let checked = ref 0 in
+  ignore
+    (Engine.spawn eng ~node:(Fleet.client_node fleet) (fun () ->
+         for k = 0 to n_stable - 1 do
+           (match
+              Router.call router ~key:(stable k)
+                (Printf.sprintf "GET %s" (stable k))
+            with
+           | Some v ->
+             Alcotest.(check string)
+               (Printf.sprintf "stable%d survives split+merge" k)
+               (Printf.sprintf "v%d" k) v;
+             incr checked
+           | None -> Alcotest.fail "readback timed out")
+         done));
+  let deadline = Engine.clock eng +. 60. in
+  while !checked < n_stable && Engine.clock eng < deadline do
+    Fleet.run_for fleet 0.5
+  done;
+  Alcotest.(check int) "all stable keys read back" n_stable !checked;
+  Fleet.run_for fleet 2.0;
+  Fleet.check_no_divergence fleet;
+  Alcotest.(check bool) "every group converged" true (Fleet.converged fleet);
+  let obs = Engine.obs eng in
+  Alcotest.(check int) "two migrations recorded" 2
+    (Obs.Metric.value (Obs.counter obs ~subsystem:"shard" "migrations"));
+  Alcotest.(check bool) "migrated keys counted" true
+    (Obs.Metric.value (Obs.counter obs ~subsystem:"shard" "migrated_keys") > 0)
+
+(* --- Epoch-transition properties --- *)
+
+let prop_epochs_monotone =
+  QCheck.Test.make ~name:"membership changes bump the epoch by exactly 1"
+    ~count:50
+    QCheck.(list_of_size Gen.(int_range 1 12) (int_range 0 1))
+    (fun steps ->
+      let next = ref 2 in
+      let m = ref (Map_.create ~groups:[ 0; 1 ] ()) in
+      List.for_all
+        (fun step ->
+          let before = Map_.epoch !m in
+          (match step with
+          | 0 ->
+            m := Map_.add_group !m !next;
+            incr next
+          | _ ->
+            (* keep at least two groups so remove never hits "last group" *)
+            if List.length (Map_.groups !m) > 2 then
+              m := Map_.remove_group !m (List.hd (Map_.groups !m))
+            else begin
+              m := Map_.add_group !m !next;
+              incr next
+            end);
+          Map_.epoch !m = before + 1)
+        steps)
+
+let prop_split_merge_roundtrip =
+  QCheck.Test.make
+    ~name:"add_group then remove_group restores every key's owner" ~count:30
+    QCheck.(pair (int_range 1 6) small_int)
+    (fun (n, salt) ->
+      let m = Map_.create ~groups:(List.init n Fun.id) () in
+      let m' = Map_.remove_group (Map_.add_group m n) n in
+      Map_.epoch m' = Map_.epoch m + 2
+      && keys ~salt 2000
+         |> List.for_all (fun k -> Map_.group_of m k = Map_.group_of m' k))
+
+let prop_spec_roundtrip =
+  QCheck.Test.make ~name:"encode_spec / decode_spec round-trips the map"
+    ~count:50
+    QCheck.(pair (int_range 1 8) (int_range 1 128))
+    (fun (n, vnodes) ->
+      let m0 = Map_.create ~vnodes ~groups:(List.init n (fun i -> 3 * i)) () in
+      (* push the epoch up so it is exercised too *)
+      let m = Map_.remove_group (Map_.add_group m0 100) 100 in
+      match Map_.decode_spec (Map_.encode_spec m) with
+      | None -> false
+      | Some m' ->
+        Map_.epoch m' = Map_.epoch m
+        && Map_.groups m' = Map_.groups m
+        && Map_.ring_size m' = Map_.ring_size m
+        && keys 500 |> List.for_all (fun k -> Map_.group_of m' k = Map_.group_of m k))
 
 let suite =
   [
@@ -305,4 +467,9 @@ let suite =
     Alcotest.test_case "multi_call partial failure" `Quick
       test_multi_call_partial_failure;
     Alcotest.test_case "two-group fleet failover" `Quick test_fleet_failover;
+    Alcotest.test_case "live split and merge under traffic" `Quick
+      test_live_split_merge;
+    QCheck_alcotest.to_alcotest prop_epochs_monotone;
+    QCheck_alcotest.to_alcotest prop_split_merge_roundtrip;
+    QCheck_alcotest.to_alcotest prop_spec_roundtrip;
   ]
