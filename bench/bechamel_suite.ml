@@ -159,6 +159,75 @@ let test_steady_state =
          Trace.Delta.write b d;
          Trace.compact t ~upto:d.Trace.Delta.base))
 
+(* --- Open-loop load engine series (EXPERIMENTS.md §14) --- *)
+
+(* The timer-queue comparison behind the fleet-size claim: seed n timers
+   spread over 10 s and drain them all.  ns/run divided by n is the
+   per-event cost — flat for the hierarchical wheel (amortized O(1)),
+   growing with log n (and a worse constant) for the binary heap.  One
+   deterministic rng stream so both structures get identical times. *)
+let wheel_sizes = [ 1_000; 10_000; 100_000; 1_000_000 ]
+
+let timer_times n =
+  let rng = Sim.Rng.create 7 in
+  Array.init n (fun _ -> Sim.Rng.float rng 10.0)
+
+let tests_wheel_drain =
+  List.map
+    (fun n ->
+      let times = timer_times n in
+      Test.make
+        ~name:(Printf.sprintf "wheel add+drain %dk timers" (n / 1000))
+        (Staged.stage (fun () ->
+             let w = Load.Wheel.create ~now:0. () in
+             Array.iter (fun at -> Load.Wheel.add w ~at ()) times;
+             let fired = ref 0 in
+             for tick = 1 to 100 do
+               fired :=
+                 !fired
+                 + Load.Wheel.pop_until w
+                     ~now:(0.1 *. float_of_int tick)
+                     (fun _ () -> ())
+             done;
+             assert (!fired = n))))
+    wheel_sizes
+
+let tests_pqueue_drain =
+  List.map
+    (fun n ->
+      let times = timer_times n in
+      Test.make
+        ~name:(Printf.sprintf "pqueue add+drain %dk timers" (n / 1000))
+        (Staged.stage (fun () ->
+             let q = Sim.Pqueue.create () in
+             Array.iter (fun at -> Sim.Pqueue.add q ~priority:at ()) times;
+             let fired = ref 0 in
+             while Sim.Pqueue.pop q <> None do incr fired done;
+             assert (!fired = n))))
+    wheel_sizes
+
+(* The zipf CDF-rebuild fix: [create] memoizes the table per (n, theta),
+   [create_uncached] is the old behavior — the per-instantiation cost the
+   load engine used to pay on every generator. *)
+let zipf_n = 100_000
+
+let test_zipf_create_cached =
+  ignore (Workload.Zipf.create ~n:zipf_n ~theta:0.99);
+  Test.make ~name:"zipf create 100k ranks (cached)"
+    (Staged.stage (fun () ->
+         ignore (Workload.Zipf.create ~n:zipf_n ~theta:0.99)))
+
+let test_zipf_create_uncached =
+  Test.make ~name:"zipf create 100k ranks (uncached)"
+    (Staged.stage (fun () ->
+         ignore (Workload.Zipf.create_uncached ~n:zipf_n ~theta:0.99)))
+
+let test_zipf_sample =
+  let z = Workload.Zipf.create ~n:zipf_n ~theta:0.99 in
+  let rng = Sim.Rng.create 11 in
+  Test.make ~name:"zipf sample (100k ranks)"
+    (Staged.stage (fun () -> ignore (Workload.Zipf.sample z rng)))
+
 let tests =
   [
     test_event_encode;
@@ -169,7 +238,8 @@ let tests =
     test_paxos_msg;
   ]
   @ tests_last_consistent @ tests_extract_tail @ tests_apply_window
-  @ [ test_steady_state ]
+  @ [ test_steady_state ] @ tests_wheel_drain @ tests_pqueue_drain
+  @ [ test_zipf_create_cached; test_zipf_create_uncached; test_zipf_sample ]
 
 let run () =
   Printf.printf "\n== Bechamel wall-clock micro-benchmarks ==\n%!";

@@ -95,7 +95,7 @@ let flush_outputs () =
     let body =
       match !timeline_sink with
       | Some tl -> Obs.Timeline.to_csv tl
-      | None -> "t,requests,req_per_s,lat_mean,lat_max,marks\n"
+      | None -> Obs.Timeline.csv_header ^ "\n"
     in
     Obs.Export.to_file ~path body
 

@@ -465,10 +465,21 @@ let check_cmd =
              stale-leader fault, asserting the checker flags the stale \
              reads.")
   in
+  let open_loop_arg =
+    Arg.(
+      value & flag
+      & info [ "open-loop" ]
+          ~doc:
+            "Run the open-loop load ramp instead of the fault explorer: \
+             sampled windowed linearizability across every stack plus the \
+             at-least-once canary the checker must flag.")
+  in
   let run quick stack app nemesis seeds base_seed dedup_off reads lease_unsafe
-      repro_out () =
-    Check_bench.run ~quick ~stack ~app ~nemesis ~seeds ~base_seed ~dedup_off
-      ~reads ~lease_unsafe ?repro_out ()
+      repro_out open_loop () =
+    if open_loop then Load_bench.open_loop_check ~quick ()
+    else
+      Check_bench.run ~quick ~stack ~app ~nemesis ~seeds ~base_seed ~dedup_off
+        ~reads ~lease_unsafe ?repro_out ()
   in
   Cmd.v
     (Cmd.info "check"
@@ -479,7 +490,35 @@ let check_cmd =
        Term.(
          const run $ quick_arg $ stack_arg $ capp_arg $ nemesis_arg $ seeds_arg
          $ base_seed_arg $ dedup_off_arg $ reads_arg $ lease_unsafe_arg
-         $ repro_out_arg))
+         $ repro_out_arg $ open_loop_arg))
+
+(* --- `load`: the open-loop session-fleet engine + overload control. --- *)
+
+let load_cmd =
+  let lstack_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stack" ]
+          ~doc:
+            "Ramp only this stack (rex, smr, eve, cbase, early); default \
+             runs all five plus the overload A/B, canary and domains smoke.")
+  in
+  let lcheck_arg =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Record every op into the bounded-memory sampled checker and \
+             assert windowed linearizability per stack.")
+  in
+  let run quick check stack () = Load_bench.run ~quick ~check ?stack () in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:
+         "Open-loop load: 10^5-session fleet, Poisson/burst/ramp arrivals, \
+          frontend admission control, sampled linearizability under way")
+    (instrumented Term.(const run $ quick_arg $ lcheck_arg $ lstack_arg))
 
 let bechamel_cmd =
   Cmd.v (Cmd.info "bechamel" ~doc:"Wall-clock micro-benchmarks")
@@ -502,6 +541,7 @@ let all ~quick () =
   Liveops.run ~quick ();
   Par_bench.run ~quick ();
   Sched_bench.run ~quick ();
+  Load_bench.run ~quick ();
   Bechamel_suite.run ()
 
 let all_term = instrumented Term.(const (fun quick () -> all ~quick ()) $ quick_arg)
@@ -535,6 +575,7 @@ let () =
             check_cmd;
             par_cmd;
             sched_cmd;
+            load_cmd;
             bechamel_cmd;
             all_cmd;
           ]))

@@ -36,6 +36,8 @@ type t = {
   commits : (string, string * int) Hashtbl.t;
   (* payloads answered from a reply cache: proof of an earlier commit *)
   dups : (string, string) Hashtbl.t;
+  (* payload -> Busy rejections seen at the frontend *)
+  rejects : (string, int) Hashtbl.t;
   resolved_cells : (int, string) Hashtbl.t;
 }
 
@@ -46,6 +48,7 @@ let create eng =
     n = 0;
     commits = Hashtbl.create 256;
     dups = Hashtbl.create 64;
+    rejects = Hashtbl.create 64;
     resolved_cells = Hashtbl.create 16;
   }
 
@@ -57,6 +60,9 @@ let tap t = function
   | F.Tap_dup { payload; response; _ } ->
     if not (Hashtbl.mem t.dups payload) then
       Hashtbl.replace t.dups payload response
+  | F.Tap_reject { payload; _ } ->
+    Hashtbl.replace t.rejects payload
+      (1 + Option.value ~default:0 (Hashtbl.find_opt t.rejects payload))
   | F.Tap_enqueue _ | F.Tap_drop _ -> ()
 
 let wire t fronts =

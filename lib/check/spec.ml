@@ -4,6 +4,7 @@ type t = {
   key_of : string -> string option;
   apply : string -> string -> (string * string) option;
   is_read : string -> bool;
+  pin : string -> string -> string option;
 }
 
 let words s = String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
@@ -31,7 +32,14 @@ let register =
   let is_read req =
     match words req with [ "GET"; _ ] -> true | _ -> false
   in
-  { name = "register"; init = "N"; key_of; apply; is_read }
+  let pin req resp =
+    match words req with
+    | [ "SET"; _; v ] -> Some ("A" ^ v)
+    | [ "DEL"; _ ] -> Some "N"
+    | [ "GET"; _ ] -> Some (if resp = "NOTFOUND" then "N" else "A" ^ resp)
+    | _ -> None
+  in
+  { name = "register"; init = "N"; key_of; apply; is_read; pin }
 
 let counter =
   let apply state req =
@@ -44,17 +52,64 @@ let counter =
     else None
   in
   let is_read req = String.length req >= 3 && String.sub req 0 3 = "GET" in
+  let pin req resp =
+    (* Both INC (returns the new value) and GET (returns the value)
+       reveal the post-state exactly. *)
+    match int_of_string_opt resp with
+    | Some _
+      when String.length req >= 3
+           && (String.sub req 0 3 = "INC" || String.sub req 0 3 = "GET") ->
+      Some resp
+    | _ -> None
+  in
   {
     name = "counter";
     init = "0";
     key_of = (fun _ -> None);
     apply;
     is_read;
+    pin;
   }
+
+(* Per-key counters over the open-loop wire format: ["INC k tag"] bumps
+   key [k] and returns its new value (the tag is an ignored idempotency
+   marker that keeps payloads globally unique), ["GET k"] reads it.
+   Partitioned by key, so Wing–Gill search cost scales with per-key — not
+   global — concurrency: the model the million-session load checker
+   uses. *)
+let keyed_counter =
+  let key_of req =
+    match words req with
+    | "INC" :: k :: _ -> Some k
+    | [ "GET"; k ] -> Some k
+    | _ -> None
+  in
+  let apply state req =
+    match int_of_string_opt state with
+    | None -> None
+    | Some n -> (
+      match words req with
+      | "INC" :: _ :: _ ->
+        let n' = n + 1 in
+        Some (string_of_int n', string_of_int n')
+      | [ "GET"; _ ] -> Some (state, string_of_int n)
+      | _ -> None)
+  in
+  let is_read req = match words req with [ "GET"; _ ] -> true | _ -> false in
+  let pin req resp =
+    match int_of_string_opt resp with
+    | None -> None
+    | Some _ -> (
+      match words req with
+      | "INC" :: _ :: _ | [ "GET"; _ ] -> Some resp
+      | _ -> None)
+  in
+  { name = "keyed-counter"; init = "0"; key_of; apply; is_read; pin }
 
 let of_string = function
   | "register" | "kv" -> Some register
   | "counter" -> Some counter
+  | "keyed-counter" | "keyed_counter" -> Some keyed_counter
   | _ -> None
 
 let name t = t.name

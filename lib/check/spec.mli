@@ -23,6 +23,15 @@ type t = {
       (** Read-only requests: a timed-out read imposes no constraint on
           the history and is dropped outright (it neither changed state
           nor revealed any). *)
+  pin : string -> string -> string option;
+      (** [pin request response] is the partition state {e after} applying
+          [request], reconstructed from the observed [response] alone —
+          or [None] when the response does not determine it.  Lets the
+          windowed checker ({!Window}) recover from an unknown (⊥)
+          initial state: the first pinnable op of a late-tracked key
+          re-anchors the model.  Soundness requirement: if
+          [apply s request = Some (s', response)] for {e any} [s], then
+          [pin request response] is [None] or [Some s']. *)
 }
 
 val register : t
@@ -39,6 +48,12 @@ val counter : t
     ignores — it makes every logical increment's payload unique so the
     history recorder can resolve the fate of timed-out requests.)
     Unpartitioned. *)
+
+val keyed_counter : t
+(** Per-key counters, ["INC k tag"] / ["GET k"]: the partitionable
+    variant of {!counter} the open-loop load checker uses.  [INC]
+    returns the key's new value; the tag keeps payloads globally unique
+    for fate resolution.  Partitioned by key. *)
 
 val of_string : string -> t option
 val name : t -> string

@@ -15,11 +15,16 @@ type config = {
   lease_duration : float;
   lease_drift_bound : float;
   lease_unsafe : bool;
+  admit_global : int;
+  admit_per_client : int;
+  admit_queue_soft : int;
+  admit_queue_hard : int;
 }
 
 let default_config ?(workers = 8) ?(batch_max = 64) ?(miss_rate = 0.)
     ?(lease_duration = 20e-3) ?(lease_drift_bound = 0.2)
-    ?(lease_unsafe = false) ~replicas () =
+    ?(lease_unsafe = false) ?(admit_global = 0) ?(admit_per_client = 0)
+    ?(admit_queue_soft = 0) ?(admit_queue_hard = 0) ~replicas () =
   {
     replicas;
     workers;
@@ -31,6 +36,10 @@ let default_config ?(workers = 8) ?(batch_max = 64) ?(miss_rate = 0.)
     lease_duration;
     lease_drift_bound;
     lease_unsafe;
+    admit_global;
+    admit_per_client;
+    admit_queue_soft;
+    admit_queue_hard;
   }
 
 type stats = {
@@ -469,6 +478,19 @@ let create net rpc cfg ~node ~paxos_store ~conflict_keys factory =
   t.front <-
     Some
       (R.Frontend.register rpc ~node ~table:session
+         ?admission:
+           (if
+              cfg.admit_global = 0 && cfg.admit_per_client = 0
+              && cfg.admit_queue_soft = 0 && cfg.admit_queue_hard = 0
+            then None
+            else
+              Some
+                (R.Frontend.admission ~max_global:cfg.admit_global
+                   ~max_per_client:cfg.admit_per_client
+                   ~queue_soft:cfg.admit_queue_soft
+                   ~queue_hard:cfg.admit_queue_hard
+                   ~queue_depth:(fun () -> Queue.length t.pending)
+                   ()))
          ~reads:
            {
              R.Frontend.r_peers =

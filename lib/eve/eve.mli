@@ -39,11 +39,18 @@ type config = {
   lease_duration : float;  (** [<= 0.] disables leases *)
   lease_drift_bound : float;
   lease_unsafe : bool;  (** testing only: skip the lease check on reads *)
+  admit_global : int;
+      (** frontend admission bounds, mirroring [Rex_core.Config]; the
+          queue-depth probe is the mixer's pending queue.  0 = off *)
+  admit_per_client : int;
+  admit_queue_soft : int;
+  admit_queue_hard : int;
 }
 
 val default_config : ?workers:int -> ?batch_max:int -> ?miss_rate:float ->
   ?lease_duration:float -> ?lease_drift_bound:float -> ?lease_unsafe:bool ->
-  replicas:int list -> unit -> config
+  ?admit_global:int -> ?admit_per_client:int -> ?admit_queue_soft:int ->
+  ?admit_queue_hard:int -> replicas:int list -> unit -> config
 
 type stats = {
   requests_executed : int;

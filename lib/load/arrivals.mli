@@ -1,0 +1,34 @@
+(** Open-loop arrival processes.
+
+    The fleet is modeled as [sessions] independent Poisson processes of
+    aggregate rate λ(t): each session draws exponential interarrival gaps
+    at rate λ(t)/sessions (the superposition of the fleet is then Poisson
+    at λ(t), the textbook identity the qcheck statistical test leans on).
+    Time-varying profiles are sampled by thinning against the profile's
+    peak rate, so a single seeded stream drives every draw and the whole
+    arrival/key trace is a pure function of (seed, profile, sessions) —
+    identical on the sim and domains backends. *)
+
+type profile =
+  | Steady of float  (** constant aggregate rate (req/s) *)
+  | Burst of { base : float; peak : float; period : float; duty : float }
+      (** square wave: [peak] for the first [duty] fraction of each
+          [period], [base] otherwise *)
+  | Ramp of { lo : float; hi : float; over : float }
+      (** linear ramp from [lo] to [hi] across [over] seconds, then [hi] *)
+  | Diurnal of { base : float; peak : float; period : float }
+      (** sinusoidal day curve: [base] at t=0, [peak] at half-period *)
+
+val validate : profile -> unit
+(** @raise Invalid_argument on negative rates, a zero peak, or
+    non-positive period/duration parameters. *)
+
+val rate : profile -> float -> float
+(** Aggregate rate at relative time [t] (clamped at 0 for [t < 0]). *)
+
+val max_rate : profile -> float
+
+val next_gap : profile -> sessions:int -> Sim.Rng.t -> rel_now:float -> float
+(** Gap until one session's next arrival, given the session count and the
+    profile clock [rel_now]; draws (exponential proposal + thinning
+    accept) come from [rng] in a deterministic order. *)

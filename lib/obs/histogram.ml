@@ -75,6 +75,22 @@ let p50 t = quantile t 0.5
 let p90 t = quantile t 0.9
 let p99 t = quantile t 0.99
 
+let same_geometry a b =
+  a.bounds == b.bounds
+  || Array.length a.bounds = Array.length b.bounds
+     && (let ok = ref true in
+         Array.iteri (fun i v -> if v <> b.bounds.(i) then ok := false) a.bounds;
+         !ok)
+
+let merge dst src =
+  if not (same_geometry dst src) then
+    invalid_arg "Histogram.merge: bucket geometries differ";
+  Array.iteri (fun i c -> dst.counts.(i) <- dst.counts.(i) + c) src.counts;
+  dst.n <- dst.n + src.n;
+  dst.total <- dst.total +. src.total;
+  if src.lo < dst.lo then dst.lo <- src.lo;
+  if src.hi > dst.hi then dst.hi <- src.hi
+
 let reset t =
   Array.fill t.counts 0 (Array.length t.counts) 0;
   t.n <- 0;

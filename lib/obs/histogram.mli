@@ -36,6 +36,16 @@ val quantile : t -> float -> float
 val p50 : t -> float
 val p90 : t -> float
 val p99 : t -> float
+
+val merge : t -> t -> unit
+(** [merge dst src] adds [src]'s population into [dst] bucket-wise.  Since
+    both tables share the same precomputed bounds, merging then querying is
+    {e exactly} equivalent to having observed the union of samples into one
+    histogram (the commutativity property tested in [test/test_obs.ml]) —
+    which is what makes per-shard / per-caller histograms safe to combine
+    into fleet-wide percentiles.
+    @raise Invalid_argument when the bucket geometries differ. *)
+
 val reset : t -> unit
 
 val fold_buckets : t -> init:'a -> f:('a -> lo:float -> hi:float -> int -> 'a) -> 'a

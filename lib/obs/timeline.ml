@@ -3,6 +3,10 @@ type cell = {
   mutable lat_n : int;
   mutable lat_sum : float;
   mutable lat_max : float;
+  mutable shed : int;
+  mutable lat_hist : Histogram.t option;
+      (* allocated on first latency sample so latency-free timelines stay
+         as cheap as before *)
 }
 
 type t = {
@@ -23,7 +27,9 @@ let cell t now =
   match Hashtbl.find_opt t.cells i with
   | Some c -> c
   | None ->
-    let c = { n = 0; lat_n = 0; lat_sum = 0.; lat_max = 0. } in
+    let c =
+      { n = 0; lat_n = 0; lat_sum = 0.; lat_max = 0.; shed = 0; lat_hist = None }
+    in
     Hashtbl.add t.cells i c;
     c
 
@@ -35,7 +41,20 @@ let record t ?latency now =
   | Some l ->
     c.lat_n <- c.lat_n + 1;
     c.lat_sum <- c.lat_sum +. l;
-    c.lat_max <- Float.max c.lat_max l
+    c.lat_max <- Float.max c.lat_max l;
+    let h =
+      match c.lat_hist with
+      | Some h -> h
+      | None ->
+        let h = Histogram.create () in
+        c.lat_hist <- Some h;
+        h
+    in
+    Histogram.observe h l
+
+let shed t now =
+  let c = cell t now in
+  c.shed <- c.shed + 1
 
 let mark t now label = t.marks <- (now, label) :: t.marks
 let marks t = List.rev t.marks
@@ -46,6 +65,9 @@ type row = {
   rate : float;
   lat_mean : float;
   lat_max : float;
+  lat_p99 : float;
+  shed : int;
+  shed_rate : float;
   row_marks : string list;
 }
 
@@ -63,13 +85,15 @@ let rows t =
       (!hi - !lo + 1)
       (fun k ->
         let i = !lo + k in
-        let n, lat_mean, lat_max =
+        let n, lat_mean, lat_max, lat_p99, shed =
           match Hashtbl.find_opt t.cells i with
-          | None -> (0, 0., 0.)
+          | None -> (0, 0., 0., 0., 0)
           | Some c ->
             ( c.n,
               (if c.lat_n = 0 then 0. else c.lat_sum /. float_of_int c.lat_n),
-              c.lat_max )
+              c.lat_max,
+              (match c.lat_hist with None -> 0. | Some h -> Histogram.p99 h),
+              c.shed )
         in
         let row_marks =
           List.rev_map snd
@@ -81,17 +105,23 @@ let rows t =
           rate = float_of_int n /. t.bucket;
           lat_mean;
           lat_max;
+          lat_p99;
+          shed;
+          shed_rate = float_of_int shed /. t.bucket;
           row_marks;
         })
 
+let csv_header = "t,requests,req_per_s,lat_mean,lat_max,lat_p99,shed,shed_per_s,marks"
+
 let to_csv t =
   let buf = Buffer.create 1024 in
-  Buffer.add_string buf "t,requests,req_per_s,lat_mean,lat_max,marks\n";
+  Buffer.add_string buf csv_header;
+  Buffer.add_char buf '\n';
   List.iter
     (fun r ->
       Buffer.add_string buf
-        (Printf.sprintf "%.6g,%d,%.6g,%.6g,%.6g,%s\n" r.t0 r.n r.rate
-           r.lat_mean r.lat_max
+        (Printf.sprintf "%.6g,%d,%.6g,%.6g,%.6g,%.6g,%d,%.6g,%s\n" r.t0 r.n
+           r.rate r.lat_mean r.lat_max r.lat_p99 r.shed r.shed_rate
            (String.concat ";" r.row_marks)))
     (rows t);
   Buffer.contents buf

@@ -4,7 +4,10 @@
 
     Feeds the benches' [--timeline-out] CSV export — req/s over time with
     per-bucket latency and the marks that explain the dips, à la the
-    live-patching / Redis Cluster reconfiguration timelines. *)
+    live-patching / Redis Cluster reconfiguration timelines.  The open-loop
+    load engine additionally records {e shed} (admission-rejected) requests
+    per window and per-window p99 latency, so a ramp plot shows goodput,
+    tail latency and shed rate side by side. *)
 
 type t
 
@@ -15,7 +18,14 @@ val create : ?bucket:float -> unit -> t
 val bucket : t -> float
 
 val record : t -> ?latency:float -> float -> unit
-(** [record t ~latency now]: one completed request at time [now]. *)
+(** [record t ~latency now]: one completed request at time [now].  When a
+    latency is given it also feeds a per-window log-bucketed histogram
+    backing the [lat_p99] column. *)
+
+val shed : t -> float -> unit
+(** One request rejected by admission control (or dropped at an engine-side
+    cap) at time [now].  Shed requests do not count into [n]/[rate] — those
+    columns stay goodput. *)
 
 val mark : t -> float -> string -> unit
 (** Annotate the point [now] with a label; labels land in the [marks]
@@ -30,6 +40,11 @@ type row = {
   rate : float;  (** [n / bucket] *)
   lat_mean : float;  (** 0 when no latencies were recorded *)
   lat_max : float;
+  lat_p99 : float;
+      (** per-window p99 from a log-bucketed histogram (upper bound, see
+          {!Histogram.quantile}); 0 when no latencies were recorded *)
+  shed : int;  (** admission rejections inside the window *)
+  shed_rate : float;  (** [shed / bucket] *)
   row_marks : string list;
 }
 
@@ -39,6 +54,8 @@ val rows : t -> row list
     visible dip rather than a missing line.  Empty when nothing was
     recorded. *)
 
+val csv_header : string
+
 val to_csv : t -> string
-(** Header [t,requests,req_per_s,lat_mean,lat_max,marks]; marks within a
-    row are [;]-joined. *)
+(** Header [t,requests,req_per_s,lat_mean,lat_max,lat_p99,shed,shed_per_s,marks];
+    marks within a row are [;]-joined. *)

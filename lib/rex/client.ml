@@ -1,6 +1,6 @@
 open Sim
 
-type reply = Ok_reply of string | Not_leader of int option | Dropped
+type reply = Ok_reply of string | Not_leader of int option | Dropped | Busy
 
 let client_port = "rex.client"
 let query_port = "rex.query"
@@ -15,7 +15,8 @@ let encode_reply r =
   | Not_leader hint ->
     Codec.write_byte b 1;
     Codec.write_varint b (Option.value hint ~default:(-1))
-  | Dropped -> Codec.write_byte b 2);
+  | Dropped -> Codec.write_byte b 2
+  | Busy -> Codec.write_byte b 3);
   Codec.contents b
 
 let decode_reply s =
@@ -26,6 +27,7 @@ let decode_reply s =
     let h = Codec.read_varint src in
     Not_leader (if h < 0 then None else Some h)
   | 2 -> Dropped
+  | 3 -> Busy
   | n -> raise (Codec.Decode_error (Printf.sprintf "bad reply tag %d" n))
 
 type t = {
@@ -52,7 +54,9 @@ let point_at t node =
 
 let rotate t = t.guess <- (t.guess + 1) mod Array.length t.replicas
 
-let call ?(retries = 8) ?(timeout = 0.1) t request =
+type call_outcome = Reply of string | Shed | Gave_up
+
+let call_outcome ?(retries = 8) ?(timeout = 0.1) t request =
   (* One (client, seq) identity per logical request, minted here and
      reused verbatim on every retry below — the replicas' session tables
      key their exactly-once guarantee on it.  A fresh [call] with the
@@ -63,29 +67,49 @@ let call ?(retries = 8) ?(timeout = 0.1) t request =
     Session.Envelope.encode
       { Session.Envelope.client = t.uid; seq; payload = request }
   in
+  (* [Shed] must certify the request never executed, so it is only
+     reported when every attempt got a definitive non-admission answer
+     (Busy / Not_leader) and at least one was Busy; any transport
+     timeout or Dropped leaves at-most-once ambiguity -> [Gave_up]. *)
+  let definitive = ref true and saw_busy = ref false in
   let rec go tries =
-    if tries = 0 then None
+    if tries = 0 then
+      if !definitive && !saw_busy then Shed else Gave_up
     else
       match
         Rpc.call t.rpc ~src:t.me ~dst:(leader_guess t) ~port:client_port
           ~timeout envelope
       with
       | None ->
+        definitive := false;
         rotate t;
         go (tries - 1)
       | Some reply -> (
         match decode_reply reply with
-        | Ok_reply resp -> Some resp
+        | Ok_reply resp -> Reply resp
         | Dropped ->
+          definitive := false;
           rotate t;
           go (tries - 1)
         | Not_leader hint ->
           (match hint with Some h -> point_at t h | None -> rotate t);
           (* Give an election a moment before hammering the next guess. *)
           Engine.sleep 5e-3;
+          go (tries - 1)
+        | Busy ->
+          (* Admission control shed us: the leader is fine, just
+             overloaded.  Back off without rotating and retry the same
+             envelope — the session table makes the retry idempotent. *)
+          saw_busy := true;
+          Engine.sleep 5e-3;
           go (tries - 1))
   in
   go retries
+
+let call ?retries ?timeout t request =
+  match call_outcome ?retries ?timeout t request with
+  | Reply resp -> Some resp
+  | Shed | Gave_up -> None
 
 let query ?on ?(retries = 8) ?(timeout = 0.1) t request =
   (* Reads run the same discovery loop as [call]: follow Not_leader
@@ -108,6 +132,9 @@ let query ?on ?(retries = 8) ?(timeout = 0.1) t request =
         | Not_leader hint ->
           (match hint with Some h -> point_at t h | None -> rotate t);
           (* Give an election a moment before hammering the next guess. *)
+          Engine.sleep 5e-3;
+          go ~dst:(leader_guess t) (tries - 1)
+        | Busy ->
           Engine.sleep 5e-3;
           go ~dst:(leader_guess t) (tries - 1))
   in

@@ -1,7 +1,15 @@
 (** Client library: leader discovery, retries, and the client/replica wire
     format. *)
 
-type reply = Ok_reply of string | Not_leader of int option | Dropped
+type reply =
+  | Ok_reply of string
+  | Not_leader of int option
+  | Dropped
+  | Busy
+      (** Shed by frontend admission control: the replica is the leader
+          but over its inflight/queue bounds.  Clients back off and retry
+          the {e same} envelope (no leader rotation) — the session table
+          makes the retry idempotent. *)
 
 val encode_reply : reply -> string
 val decode_reply : string -> reply
@@ -36,6 +44,24 @@ val call : ?retries:int -> ?timeout:float -> t -> string -> string option
     every retry, so an acknowledged request executed exactly once; only
     a [None] return leaves at-most-once ambiguity (the request may or
     may not have executed). *)
+
+type call_outcome =
+  | Reply of string
+  | Shed
+      (** every attempt was answered with a definitive non-admission
+          (at least one [Busy], the rest [Not_leader]): the request was
+          never enqueued anywhere, so it is certain never to execute —
+          the open-loop load engine's rejection accounting relies on
+          this *)
+  | Gave_up
+      (** retries exhausted with at least one ambiguous attempt
+          (transport timeout or [Dropped]): the request may or may not
+          have executed *)
+
+val call_outcome :
+  ?retries:int -> ?timeout:float -> t -> string -> call_outcome
+(** {!call}, reporting how a failed attempt ended instead of collapsing
+    both failure modes into [None]. *)
 
 val query : ?on:int -> ?retries:int -> ?timeout:float -> t -> string -> string option
 (** Read-only request, first tried on [on] (default: the believed

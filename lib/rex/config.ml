@@ -19,7 +19,22 @@ type t = {
   lease_duration : float;
   lease_drift_bound : float;
   lease_unsafe : bool;
+  admit_global : int;
+  admit_per_client : int;
+  admit_queue_soft : int;
+  admit_queue_hard : int;
 }
+
+let admission t ~queue_depth =
+  if
+    t.admit_global = 0 && t.admit_per_client = 0 && t.admit_queue_soft = 0
+    && t.admit_queue_hard = 0
+  then None
+  else
+    Some
+      (Frontend.admission ~max_global:t.admit_global
+         ~max_per_client:t.admit_per_client ~queue_soft:t.admit_queue_soft
+         ~queue_hard:t.admit_queue_hard ~queue_depth ())
 
 let make ?(workers = 8) ?(propose_interval = 1e-3) ?(checkpoint_interval = None)
     ?(flow_window = 20_000) ?(flow_report_interval = 2e-3)
@@ -28,9 +43,13 @@ let make ?(workers = 8) ?(propose_interval = 1e-3) ?(checkpoint_interval = None)
     ?(check_versions = true) ?(record_cost = 5e-8) ?(replay_cost = 1.5e-7)
     ?(ckpt_byte_cost = 4e-8) ?(pipeline_depth = 1) ?(paxos_sync_latency = 0.)
     ?lease_duration ?(lease_drift_bound = 0.2) ?(lease_unsafe = false)
-    ~replicas () =
+    ?(admit_global = 0) ?(admit_per_client = 0) ?(admit_queue_soft = 0)
+    ?(admit_queue_hard = 0) ~replicas () =
   if replicas = [] then invalid_arg "Config.make: empty replica set";
   if workers <= 0 then invalid_arg "Config.make: workers";
+  if admit_global < 0 || admit_per_client < 0 || admit_queue_soft < 0
+     || admit_queue_hard < 0
+  then invalid_arg "Config.make: negative admission bound";
   {
     replicas;
     workers;
@@ -57,6 +76,10 @@ let make ?(workers = 8) ?(propose_interval = 1e-3) ?(checkpoint_interval = None)
       | None -> 4. *. heartbeat_period);
     lease_drift_bound;
     lease_unsafe;
+    admit_global;
+    admit_per_client;
+    admit_queue_soft;
+    admit_queue_hard;
   }
 
 let total_slots t ~n_timers = t.workers + n_timers

@@ -39,7 +39,22 @@ type t = {
       (** {b testing only}: serve local reads whenever this replica
           believes it is leader, without checking the lease — the
           fencing-disabled canary for lib/check *)
+  admit_global : int;
+      (** admission control: max node-wide inflight logical requests
+          before new work is answered [Busy]; 0 disables (the default —
+          all admission knobs off means the frontend hot path is exactly
+          the pre-admission one) *)
+  admit_per_client : int;  (** max inflight per client session; 0 = off *)
+  admit_queue_soft : int;
+      (** run-queue depth that triggers intake backpressure; 0 = off *)
+  admit_queue_hard : int;
+      (** run-queue depth that rejects new work with [Busy]; 0 = off *)
 }
+
+val admission :
+  t -> queue_depth:(unit -> int) -> Frontend.admission option
+(** The {!Frontend.admission} record for these knobs over the stack's own
+    [queue_depth] probe; [None] when every knob is 0. *)
 
 val make :
   ?workers:int ->
@@ -61,6 +76,10 @@ val make :
   ?lease_duration:float ->
   ?lease_drift_bound:float ->
   ?lease_unsafe:bool ->
+  ?admit_global:int ->
+  ?admit_per_client:int ->
+  ?admit_queue_soft:int ->
+  ?admit_queue_hard:int ->
   replicas:int list ->
   unit ->
   t

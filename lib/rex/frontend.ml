@@ -28,6 +28,32 @@ type tap_event =
   | Tap_commit of { client : int; seq : int; payload : string; response : string }
   | Tap_dup of { client : int; seq : int; payload : string; response : string }
   | Tap_drop of { client : int; seq : int }
+  | Tap_reject of { client : int; seq : int; payload : string }
+
+type admission = {
+  a_max_global : int;
+  a_max_per_client : int;
+  a_queue_depth : unit -> int;
+  a_queue_soft : int;
+  a_queue_hard : int;
+  a_soft_delay : float;
+}
+
+let admission ?(max_global = 0) ?(max_per_client = 0) ?(queue_soft = 0)
+    ?(queue_hard = 0) ?(soft_delay = 2e-3) ~queue_depth () =
+  if max_global < 0 || max_per_client < 0 || queue_soft < 0 || queue_hard < 0
+  then invalid_arg "Frontend.admission: negative bound";
+  if soft_delay <= 0. then invalid_arg "Frontend.admission: soft_delay";
+  if queue_hard > 0 && queue_soft > queue_hard then
+    invalid_arg "Frontend.admission: queue_soft > queue_hard";
+  {
+    a_max_global = max_global;
+    a_max_per_client = max_per_client;
+    a_queue_depth = queue_depth;
+    a_queue_soft = queue_soft;
+    a_queue_hard = queue_hard;
+    a_soft_delay = soft_delay;
+  }
 
 type t = { node : int; mutable tap : (tap_event -> unit) option }
 
@@ -82,7 +108,7 @@ let quorum_read_index rpc ~node reads =
   in
   await ()
 
-let register rpc ~node ~table ?reads backend =
+let register rpc ~node ~table ?admission:adm ?reads backend =
   let t = { node; tap = None } in
   let tap ev = match t.tap with None -> () | Some f -> f ev in
   (* Logical requests currently in flight: from enqueue until the
@@ -93,6 +119,21 @@ let register rpc ~node ~table ?reads backend =
   let inflight : (int * int, (string option -> unit) list ref) Hashtbl.t =
     Hashtbl.create 64
   in
+  (* Per-client inflight counts, maintained only when admission control is
+     on.  Logical requests, not RPCs: joiners and cache hits are free. *)
+  let client_load : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let load_of client =
+    Option.value (Hashtbl.find_opt client_load client) ~default:0
+  in
+  let obs = Engine.obs (Net.engine (Rpc.net rpc)) in
+  let alabels = [ ("node", string_of_int node) ] in
+  let actr name = Obs.counter obs ~subsystem:"frontend" ~labels:alabels name in
+  let c_admitted = actr "admitted"
+  and c_rej_queue = actr "adm_reject_queue"
+  and c_rej_global = actr "adm_reject_global"
+  and c_rej_client = actr "adm_reject_client"
+  and c_backpressure = actr "backpressure_delays" in
+  let g_inflight = Obs.gauge obs ~subsystem:"frontend" ~labels:alabels "inflight" in
   Rpc.serve_async rpc ~node ~port:Client.client_port
     (fun ~src:_ request ~reply ->
       let answer r = reply (Client.encode_reply r) in
@@ -100,6 +141,17 @@ let register rpc ~node ~table ?reads backend =
         | Some resp -> answer (Client.Ok_reply resp)
         | None -> answer Client.Dropped
       in
+      (* Soft backpressure first, before any dedup-state reads: the
+         handler fiber (and with it the client's RPC) is delayed while the
+         run queue is deep, which slows closed-loop clients down without
+         rejecting work.  Sleeping *after* the session-table lookup would
+         open a duplicate-enqueue race with concurrent retries. *)
+      (match adm with
+      | Some a
+        when a.a_queue_soft > 0 && a.a_queue_depth () >= a.a_queue_soft ->
+        Obs.Metric.incr c_backpressure;
+        Engine.sleep a.a_soft_delay
+      | _ -> ());
       if not (backend.is_leader ()) then
         answer (Client.Not_leader (backend.leader_hint ()))
       else
@@ -123,16 +175,51 @@ let register rpc ~node ~table ?reads backend =
               tap (Tap_drop { client; seq });
               answer Client.Dropped
             | Session.Table.Miss ->
-              let joiners = ref [ finish ] in
-              Hashtbl.replace inflight key joiners;
-              tap (Tap_enqueue { client; seq; payload });
-              backend.enqueue request (fun result ->
-                  Hashtbl.remove inflight key;
-                  (match result with
-                  | Some response ->
-                    tap (Tap_commit { client; seq; payload; response })
-                  | None -> tap (Tap_drop { client; seq }));
-                  List.iter (fun f -> f result) !joiners))));
+              (* Hard admission: only *new* logical work is bounded —
+                 joins and cache hits above cost nothing and keep the
+                 exactly-once contract for already-admitted requests. *)
+              let rejected =
+                match adm with
+                | None -> None
+                | Some a ->
+                  if a.a_queue_hard > 0 && a.a_queue_depth () >= a.a_queue_hard
+                  then Some c_rej_queue
+                  else if
+                    a.a_max_global > 0
+                    && Hashtbl.length inflight >= a.a_max_global
+                  then Some c_rej_global
+                  else if
+                    a.a_max_per_client > 0
+                    && load_of client >= a.a_max_per_client
+                  then Some c_rej_client
+                  else None
+              in
+              match rejected with
+              | Some c ->
+                Obs.Metric.incr c;
+                tap (Tap_reject { client; seq; payload });
+                answer Client.Busy
+              | None ->
+                let joiners = ref [ finish ] in
+                Hashtbl.replace inflight key joiners;
+                if Option.is_some adm then
+                  Hashtbl.replace client_load client (load_of client + 1);
+                Obs.Metric.incr c_admitted;
+                Obs.Metric.set g_inflight
+                  (float_of_int (Hashtbl.length inflight));
+                tap (Tap_enqueue { client; seq; payload });
+                backend.enqueue request (fun result ->
+                    Hashtbl.remove inflight key;
+                    if Option.is_some adm then begin
+                      match load_of client - 1 with
+                      | n when n <= 0 -> Hashtbl.remove client_load client
+                      | n -> Hashtbl.replace client_load client n
+                    end;
+                    (match result with
+                    | Some response ->
+                      tap (Tap_commit { client; seq; payload; response })
+                    | None -> tap (Tap_drop { client; seq }));
+                    List.iter (fun f -> f result) !joiners))));
   (match reads with
   | None ->
     (* Legacy path: the stack's own (unfenced) query policy. *)

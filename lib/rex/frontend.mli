@@ -55,6 +55,40 @@ type reads = {
           no lease check — the fencing-disabled canary *)
 }
 
+(** Overload control at the intake (DESIGN.md §14).  Two mechanisms:
+
+    - {e backpressure}: while the stack's run-queue depth is at or above
+      [a_queue_soft], every intake handler sleeps [a_soft_delay] before
+      touching dedup state — closed-loop clients slow down, and the delay
+      happens {e before} the session-table lookup so it cannot race a
+      concurrent retry into a duplicate enqueue;
+    - {e admission rejection}: a {e new} logical request (session-table
+      miss) is answered [Busy] when the run queue is at [a_queue_hard],
+      the node-wide inflight set is at [a_max_global], or the client's own
+      inflight count is at [a_max_per_client].  Retries of inflight or
+      committed requests are never rejected — they join or hit the cache,
+      preserving exactly-once for everything already admitted.
+
+    Each bound is disabled at 0.  Obs counters under subsystem [frontend]:
+    [admitted], [adm_reject_queue|global|client], [backpressure_delays],
+    gauge [inflight]. *)
+type admission
+
+val admission :
+  ?max_global:int ->
+  ?max_per_client:int ->
+  ?queue_soft:int ->
+  ?queue_hard:int ->
+  ?soft_delay:float ->
+  queue_depth:(unit -> int) ->
+  unit ->
+  admission
+(** [queue_depth] probes the stack's pending-work measure (proposal queue,
+    batch queue, uncommitted replies — each stack supplies its own).
+    Defaults: every bound 0 (off), [soft_delay] 2 ms.
+    @raise Invalid_argument on negative bounds or [queue_soft] above a
+    non-zero [queue_hard]. *)
+
 type t
 (** Handle on a registered frontend, for attaching history taps. *)
 
@@ -70,6 +104,10 @@ type tap_event =
       (** A retry answered from the session table's reply cache. *)
   | Tap_drop of { client : int; seq : int }
       (** Answered [Dropped]: stale retry, or a role change discarded it. *)
+  | Tap_reject of { client : int; seq : int; payload : string }
+      (** Answered [Busy] by admission control before any enqueue — the
+          request had no effect, which is exactly what the open-loop
+          checker's rejection accounting asserts. *)
 
 val set_tap : t -> (tap_event -> unit) option -> unit
 (** At most one tap per frontend; [None] detaches.  The tap must not
@@ -78,7 +116,13 @@ val set_tap : t -> (tap_event -> unit) option -> unit
 val node : t -> int
 
 val register :
-  Rpc.t -> node:int -> table:Session.Table.t -> ?reads:reads -> backend -> t
+  Rpc.t ->
+  node:int ->
+  table:Session.Table.t ->
+  ?admission:admission ->
+  ?reads:reads ->
+  backend ->
+  t
 (** Register the {!Client.client_port} and {!Client.query_port} services
     on [node] — plus, when [reads] is given, the {!Client.read_port}
     probe service and the fast-path query pipeline (obs counters under

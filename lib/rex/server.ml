@@ -942,10 +942,15 @@ let create ?make_agreement net rpc cfg ~node ~paxos_store ~disk factory =
       diverged = None;
     }
   in
-  (* Client-facing services, shared with the SMR and Eve stacks. *)
+  (* Client-facing services, shared with the SMR and Eve stacks.  The
+     admission probe is the commit-gated reply backlog — the primary's
+     natural measure of accepted-but-not-yet-durable work. *)
   t.front <-
     Some
       (Frontend.register rpc ~node ~table:t.session
+    ?admission:
+      (Config.admission cfg ~queue_depth:(fun () ->
+           Frontend.Replies.length t.replies))
     ~reads:
       {
         Frontend.r_peers = (fun () -> peers t);

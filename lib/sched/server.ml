@@ -297,6 +297,9 @@ let create net rpc cfg ~node ~paxos_store ~mode ~conflict factory =
   t.front <-
     Some
       (R.Frontend.register rpc ~node ~table:session
+         ?admission:
+           (R.Config.admission cfg ~queue_depth:(fun () ->
+                Queue.length t.queue))
          ~reads:
            {
              R.Frontend.r_peers =

@@ -223,7 +223,13 @@ let call_group ?(retries = 8) ?(timeout = 0.1) t ~group request =
           Obs.Metric.incr g.c_redirects;
           (match hint with Some h -> point_at g h | None -> rotate g);
           Engine.sleep backoff0;
-          go (tries - 1) backoff)
+          go (tries - 1) backoff
+        | R.Client.Busy ->
+          (* Overloaded, not misrouted: back off on the same leader and
+             resend the same envelope (idempotent via session table). *)
+          Obs.Metric.incr g.c_retries;
+          Engine.sleep backoff;
+          go (tries - 1) (Float.min (2. *. backoff) backoff_cap))
     end
   in
   go retries backoff0
@@ -293,7 +299,11 @@ let query_group ?(retries = 8) ?(timeout = 0.1) t ~group request =
           Obs.Metric.incr g.c_redirects;
           (match hint with Some h -> point_at g h | None -> rotate g);
           Engine.sleep backoff0;
-          go (tries - 1) backoff)
+          go (tries - 1) backoff
+        | R.Client.Busy ->
+          Obs.Metric.incr g.c_retries;
+          Engine.sleep backoff;
+          go (tries - 1) (Float.min (2. *. backoff) backoff_cap))
   in
   go retries backoff0
 

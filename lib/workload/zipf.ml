@@ -1,6 +1,6 @@
 type t = { cdf : float array }
 
-let create ~n ~theta =
+let build ~n ~theta =
   if n <= 0 then invalid_arg "Zipf.create";
   let weights = Array.init n (fun i -> 1.0 /. Float.pow (float_of_int (i + 1)) theta) in
   let total = Array.fold_left ( +. ) 0. weights in
@@ -12,7 +12,45 @@ let create ~n ~theta =
       cdf.(i) <- !acc)
     weights;
   cdf.(n - 1) <- 1.0;
+  cdf
+
+let create_uncached ~n ~theta = { cdf = build ~n ~theta }
+
+(* The CDF table is O(n) to build but immutable once built, and samplers
+   are instantiated per client fiber / per load-engine generator — a
+   million-session fleet must not pay O(keyspace) a million times.  The
+   cache is keyed by the full (n, theta) parameterization and guarded by a
+   stdlib mutex so domains-backend callers can share it; the arrays
+   themselves are never written after publication. *)
+let cache : (int * float, float array) Hashtbl.t = Hashtbl.create 8
+let cache_lock = Mutex.create ()
+let max_cached = 64
+
+let create ~n ~theta =
+  if n <= 0 then invalid_arg "Zipf.create";
+  let key = (n, theta) in
+  Mutex.lock cache_lock;
+  let cdf =
+    match Hashtbl.find_opt cache key with
+    | Some cdf -> cdf
+    | None ->
+      Mutex.unlock cache_lock;
+      let cdf = build ~n ~theta in
+      Mutex.lock cache_lock;
+      (match Hashtbl.find_opt cache key with
+      | Some cdf -> cdf (* lost the race; keep the published table *)
+      | None ->
+        if Hashtbl.length cache < max_cached then Hashtbl.add cache key cdf;
+        cdf)
+  in
+  Mutex.unlock cache_lock;
   { cdf }
+
+let n t = Array.length t.cdf
+
+let pmf t i =
+  if i < 0 || i >= Array.length t.cdf then invalid_arg "Zipf.pmf";
+  if i = 0 then t.cdf.(0) else t.cdf.(i) -. t.cdf.(i - 1)
 
 let sample t rng =
   let u = Sim.Rng.float rng 1.0 in

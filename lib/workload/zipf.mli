@@ -5,6 +5,20 @@ type t
 
 val create : n:int -> theta:float -> t
 (** Ranks [0 .. n-1]; [theta = 0] is uniform, [theta ~ 0.99] is the
-    classic YCSB skew. *)
+    classic YCSB skew.  The O(n) CDF table is memoized per (n, theta)
+    process-wide (mutex-guarded, immutable after publication), so
+    instantiating a sampler per session is O(1) after the first — the
+    million-session load engine depends on this. *)
+
+val create_uncached : n:int -> theta:float -> t
+(** Always rebuilds the table; the bechamel before/after baseline for the
+    memoization, and an escape hatch if a caller ever mutates nothing but
+    still wants isolation. *)
+
+val n : t -> int
+
+val pmf : t -> int -> float
+(** Analytic probability of rank [i], from adjacent CDF entries; the
+    reference distribution for the chi-square goodness-of-fit test. *)
 
 val sample : t -> Sim.Rng.t -> int

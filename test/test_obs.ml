@@ -170,6 +170,55 @@ let test_histogram_basics () =
   Obs.Histogram.reset h;
   Alcotest.(check int) "reset" 0 (Obs.Histogram.count h)
 
+let test_histogram_million () =
+  (* Percentile accuracy at open-loop scale: 10^6 samples from a known
+     uniform population, every quantile within one bucket growth factor
+     of the exact order statistic. *)
+  let h = Obs.Histogram.create () in
+  let rng = Sim.Rng.create 99 in
+  let n = 1_000_000 in
+  for _ = 1 to n do
+    (* uniform in [1ms, 1s): exact quantile q is 1e-3 + q * (1 - 1e-3) *)
+    Obs.Histogram.observe h (1e-3 +. Sim.Rng.float rng 0.999)
+  done;
+  Alcotest.(check int) "count" n (Obs.Histogram.count h);
+  List.iter
+    (fun q ->
+      let exact = 1e-3 +. (q *. 0.999) in
+      let est = Obs.Histogram.quantile h q in
+      Alcotest.(check bool)
+        (Printf.sprintf "q%.3f: %.4f ~ %.4f" q est exact)
+        true
+        (est >= exact *. 0.9 && est <= exact *. 1.2))
+    [ 0.5; 0.9; 0.99; 0.999 ]
+
+let test_histogram_merge_commutes () =
+  (* Merging per-caller histograms then querying equals having observed
+     the union into one histogram — what makes fleet-wide percentiles
+     from sharded recorders sound. *)
+  let rng = Sim.Rng.create 7 in
+  let union = Obs.Histogram.create () in
+  let parts = Array.init 4 (fun _ -> Obs.Histogram.create ()) in
+  for i = 0 to 9_999 do
+    let v = 1e-4 *. float_of_int (1 + Sim.Rng.int rng 100_000) in
+    Obs.Histogram.observe union v;
+    Obs.Histogram.observe parts.(i mod 4) v
+  done;
+  let merged = Obs.Histogram.create () in
+  (* merge in a scrambled order: the result must not care *)
+  List.iter (fun i -> Obs.Histogram.merge merged parts.(i)) [ 2; 0; 3; 1 ];
+  Alcotest.(check int) "count" (Obs.Histogram.count union)
+    (Obs.Histogram.count merged);
+  Alcotest.(check (float 1e-9)) "sum" (Obs.Histogram.sum union)
+    (Obs.Histogram.sum merged);
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 1e-12))
+        (Printf.sprintf "quantile %.3f identical" q)
+        (Obs.Histogram.quantile union q)
+        (Obs.Histogram.quantile merged q))
+    [ 0.; 0.1; 0.5; 0.9; 0.99; 0.999; 1. ]
+
 let test_histogram_clamping () =
   (* A tiny 4-bucket table: outliers land in the last bucket, where the
      only sound upper bound is the recorded max. *)
@@ -450,6 +499,10 @@ let suite =
   [
     Alcotest.test_case "histogram basics" `Quick test_histogram_basics;
     Alcotest.test_case "histogram clamping" `Quick test_histogram_clamping;
+    Alcotest.test_case "histogram percentiles at 10^6" `Quick
+      test_histogram_million;
+    Alcotest.test_case "histogram merge commutes" `Quick
+      test_histogram_merge_commutes;
     QCheck_alcotest.to_alcotest qcheck_quantile_bound;
     Alcotest.test_case "registry labels" `Quick test_registry_labels;
     Alcotest.test_case "spans" `Quick test_spans;

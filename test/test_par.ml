@@ -99,19 +99,27 @@ let cond_signal_wakes_one () =
 let rwlock_readers_share () =
   let concurrent_readers = ref 0 and max_readers = ref 0 in
   let writer_alone = ref true in
+  (* Rendezvous on a monotonic counter: each reader holds rd_lock until
+     all five are inside, so the overlap is forced, not left to the
+     scheduler (readers that ran back-to-back used to flake this).  The
+     writer stays off the lock until the readers are all in, so writer
+     preference cannot park a late reader and deadlock the rendezvous. *)
+  let entered = ref 0 in
   run_domains (fun d ->
       let l = Par.Sync.Rwlock.create () in
       for _ = 1 to 5 do
         Par.Domains.spawn d ~node:0 (fun () ->
             Par.Sync.Rwlock.rd_lock l;
             incr concurrent_readers;
+            incr entered;
             max_readers := max !max_readers !concurrent_readers;
-            Engine.yield ();
-            Engine.yield ();
+            while !entered < 5 do Engine.yield () done;
+            max_readers := max !max_readers !concurrent_readers;
             decr concurrent_readers;
             Par.Sync.Rwlock.rd_unlock l)
       done;
       Par.Domains.spawn d ~node:0 (fun () ->
+          while !entered < 5 do Engine.yield () done;
           Par.Sync.Rwlock.wr_lock l;
           if !concurrent_readers > 0 then writer_alone := false;
           Engine.yield ();
